@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  They all aggregate the same underlying
+measurement sweep, which is produced once per session here.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — all ten datasets, ~20k-row test tables; the whole
+  suite runs in a few minutes and reproduces the paper's *shapes*,
+* ``default`` — the library's default experiment scale (~40k rows),
+* ``paper``  — >1M-row tables and full training sizes, as in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import (
+    DEFAULT_CONFIG,
+    PAPER_SCALE,
+    ExperimentConfig,
+)
+from repro.experiments.harness import run_all
+
+QUICK_CONFIG = ExperimentConfig(
+    rows_target=20_000,
+    train_cap=8_000,
+    nb_bins=8,
+    cluster_bins=8,
+    max_nodes=300,
+)
+
+_SCALES = {
+    "quick": QUICK_CONFIG,
+    "default": DEFAULT_CONFIG,
+    "paper": PAPER_SCALE,
+}
+
+
+def bench_config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    try:
+        return _SCALES[scale]
+    except KeyError:
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, "
+            f"got {scale!r}"
+        ) from None
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return bench_config()
+
+
+@pytest.fixture(scope="session")
+def sweep(config):
+    """The full measurement sweep (one run per session, then cached)."""
+    return run_all(config)

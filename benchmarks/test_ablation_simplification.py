@@ -1,0 +1,49 @@
+"""A5 — ablation: envelope coarsening and weak-constraint pruning.
+
+Both transformations implement the paper's Section 4.2 complexity
+thresholds soundly — by loosening the envelope instead of dropping it.
+The sweep measures the trade: predicate size must drop sharply while the
+envelope's data selectivity dilutes only moderately.
+"""
+
+from repro.experiments.ablation import simplification_comparison
+from repro.workload.report import format_table
+
+
+def test_a5_simplification_trade(config, benchmark):
+    rows = benchmark.pedantic(
+        simplification_comparison,
+        kwargs=dict(dataset_name="shuttle", config=config),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["Variant", "Mean env sel", "Mean atoms", "Mean disjuncts"],
+            [
+                (
+                    r.variant,
+                    f"{r.mean_envelope_selectivity:.4f}",
+                    f"{r.mean_atoms:.0f}",
+                    f"{r.mean_disjuncts:.0f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+    by_variant = {r.variant: r for r in rows}
+    raw = by_variant["raw"]
+    simplified = by_variant["coarsened+pruned"]
+    # Soundness direction: simplification can only widen the envelope.
+    assert (
+        simplified.mean_envelope_selectivity
+        >= raw.mean_envelope_selectivity - 1e-9
+    )
+    # The point of the exercise: a large reduction in predicate size...
+    assert simplified.mean_atoms < 0.7 * max(raw.mean_atoms, 1.0)
+    # ...for a bounded loss of selectivity.
+    assert (
+        simplified.mean_envelope_selectivity
+        <= raw.mean_envelope_selectivity + 0.3
+    )

@@ -1,0 +1,51 @@
+"""A1 — ablation: the node-budget threshold of Algorithm 1.
+
+The paper's Threshold input trades derivation time for envelope tightness
+(Section 3.2.2; Section 4.2 discusses the disjunct-complexity side).  The
+sweep derives naive-Bayes envelopes under growing budgets and verifies the
+trade-off: more budget never loosens the mean envelope selectivity, and
+derivation time grows with the budget.
+"""
+
+from repro.experiments.ablation import threshold_sweep
+from repro.workload.report import format_table
+
+
+def test_a1_threshold_tradeoff(config, benchmark):
+    rows = benchmark.pedantic(
+        threshold_sweep,
+        kwargs=dict(
+            datasets=("diabetes", "anneal_u"),
+            budgets=(25, 100, 400),
+            config=config,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["Data set", "max_nodes", "Mean disjuncts", "Mean env sel", "s"],
+            [
+                (
+                    r.dataset,
+                    r.max_nodes,
+                    r.mean_disjuncts,
+                    f"{r.mean_envelope_selectivity:.4f}",
+                    f"{r.derive_seconds:.2f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+    by_dataset: dict[str, list] = {}
+    for row in rows:
+        by_dataset.setdefault(row.dataset, []).append(row)
+    for dataset, series in by_dataset.items():
+        series.sort(key=lambda r: r.max_nodes)
+        # Tightness is monotone (with slack for coarsening noise): the
+        # largest budget is at least as tight as the smallest.
+        assert (
+            series[-1].mean_envelope_selectivity
+            <= series[0].mean_envelope_selectivity + 0.05
+        ), dataset

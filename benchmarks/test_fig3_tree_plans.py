@@ -1,0 +1,32 @@
+"""F3 — Figure 3: per-dataset % plan change, decision-tree models.
+
+The paper's bar chart shows large plan-change percentages for many-class
+datasets (kddcup, letter, shuttle) and small ones for near-balanced
+two-class datasets (Diabetes, Parity).  The benchmark regenerates the
+series and asserts that ordering.
+"""
+
+from repro.experiments.figures import (
+    figure_plan_change,
+    print_figure_plan_change,
+)
+
+MANY_CLASS = ("kdd_cup_99", "letter", "shuttle")
+TWO_CLASS_BALANCED = ("diabetes", "parity5_5", "chess")
+
+
+def test_fig3_regenerates(config, sweep, benchmark):
+    series = benchmark(
+        figure_plan_change, 3, config, measurements=sweep
+    )
+    assert set(series) == set(config.datasets)
+    many = [series[d] for d in MANY_CLASS if d in series]
+    balanced = [series[d] for d in TWO_CLASS_BALANCED if d in series]
+    if many and balanced:
+        assert max(many) >= max(balanced)
+        assert sum(many) / len(many) >= sum(balanced) / len(balanced)
+
+
+def test_fig3_prints(config, capsys):
+    text = print_figure_plan_change(3, config)
+    assert "decision_tree" in text

@@ -1,0 +1,31 @@
+"""F4 — Figure 4: per-dataset % plan change, naive Bayes models.
+
+Same reading as Figure 3: impact concentrates on datasets with many (and
+hence individually selective) classes; loose envelopes on hard datasets
+(Parity — NB cannot represent parity at all) show no impact, which the
+paper's bars reflect as well.
+"""
+
+from repro.experiments.figures import (
+    figure_plan_change,
+    print_figure_plan_change,
+)
+
+
+def test_fig4_regenerates(config, sweep, benchmark):
+    series = benchmark(
+        figure_plan_change, 4, config, measurements=sweep
+    )
+    assert set(series) == set(config.datasets)
+    for value in series.values():
+        assert 0.0 <= value <= 100.0
+    # Parity5+5: naive Bayes sees two identical marginal distributions, so
+    # its envelopes cannot separate the classes — no plan change, as in the
+    # paper's near-zero Parity bar.
+    if "parity5_5" in series:
+        assert series["parity5_5"] <= 50.0
+
+
+def test_fig4_prints(config, capsys):
+    text = print_figure_plan_change(4, config)
+    assert "naive_bayes" in text

@@ -1,0 +1,28 @@
+"""F5 — Figure 5: per-dataset % plan change, clustering models.
+
+The paper's bars again favour many-cluster datasets (kddcup, letter,
+shuttle have #clusters = #classes, each cluster small).  Cluster models
+here are centroid-based k-means deployed over discretized attributes (the
+Analysis Server DISCRETIZED setting, Section 2.2), with envelopes from the
+Section 3.3 reduction.
+"""
+
+from repro.experiments.figures import (
+    figure_plan_change,
+    print_figure_plan_change,
+)
+
+
+def test_fig5_regenerates(config, sweep, benchmark):
+    series = benchmark(
+        figure_plan_change, 5, config, measurements=sweep
+    )
+    assert set(series) == set(config.datasets)
+    for value in series.values():
+        assert 0.0 <= value <= 100.0
+    assert any(value > 0.0 for value in series.values())
+
+
+def test_fig5_prints(config, capsys):
+    text = print_figure_plan_change(5, config)
+    assert "clustering" in text

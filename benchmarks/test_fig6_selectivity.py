@@ -1,0 +1,30 @@
+"""F6 — Figure 6: running-time improvement versus selectivity.
+
+The paper buckets every query by its class's original selectivity (and,
+as the second bar, by the upper envelope's selectivity) and shows that
+"the reduction in running time is most significant when the selectivity is
+below 10%", with little to gain above that even for exact envelopes.
+"""
+
+from repro.experiments.figures import figure6_selectivity, print_figure6
+
+
+def test_fig6_regenerates(config, sweep, benchmark):
+    rows = benchmark(figure6_selectivity, config, measurements=sweep)
+    assert [r.bucket for r in rows] == ["<1%", "1-10%", "10-50%", ">50%"]
+    by_bucket = {r.bucket: r for r in rows}
+    # The paper's headline shape: the biggest average reductions live in
+    # the sub-10% selectivity buckets.
+    low = max(
+        by_bucket["<1%"].original_reduction_pct,
+        by_bucket["1-10%"].original_reduction_pct,
+    )
+    assert low > by_bucket[">50%"].original_reduction_pct
+    assert low > 30.0
+    # Every measurement falls in exactly one original-selectivity bucket.
+    assert sum(r.original_count for r in rows) == len(sweep)
+
+
+def test_fig6_prints(config, capsys):
+    text = print_figure6(config)
+    assert "Figure 6" in text

@@ -1,0 +1,119 @@
+"""Quickstart: derive an upper envelope and run an optimized mining query.
+
+Recreates the paper's running example (Section 2.2): a decision-tree model
+``Risk_Class`` predicting customer risk from profile columns, queried with
+the mining predicate ``Risk = 'low'``.  The script shows the three things
+the paper is about:
+
+1. the *derived upper envelope* — an ordinary WHERE clause extracted from
+   the tree (Section 3.1),
+2. the *rewritten query* the relational engine actually runs (Section 4),
+3. the effect: fewer rows cross the SQL boundary, and with a tuned index
+   the plan changes from a full scan to an index search (Section 5).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Database,
+    DecisionTreeLearner,
+    MiningQuery,
+    ModelCatalog,
+    PredictionEquals,
+    PredictionJoinExecutor,
+    compile_predicate,
+    load_table,
+    select_statement,
+    tune_for_workload,
+)
+
+
+def make_customers(n: int = 20_000, seed: int = 11) -> list[dict]:
+    """Synthetic customer profiles with a learnable risk label."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        age = int(rng.integers(18, 85))
+        purchases = float(np.round(rng.gamma(2.0, 900.0), 2))
+        gender = str(rng.choice(["female", "male"]))
+        if age > 60 and purchases > 2500:
+            risk = "low"
+        elif age < 30 and purchases < 600:
+            risk = "high"
+        else:
+            risk = "medium"
+        if rng.random() < 0.02:
+            risk = str(rng.choice(["low", "medium", "high"]))
+        rows.append(
+            {"age": age, "purchases": purchases, "gender": gender, "risk": risk}
+        )
+    return rows
+
+
+def main() -> None:
+    rows = make_customers()
+    features = ("age", "purchases", "gender")
+
+    # -- train the mining model (CREATE MINING MODEL ... USING Decision_Trees)
+    tree = DecisionTreeLearner(
+        features, "risk", max_depth=6, name="Risk_Class"
+    ).fit(rows)
+    print(f"trained {tree.name}: depth={tree.depth()}, leaves={tree.leaf_count()}")
+
+    # -- register it: per-class envelopes are precomputed here (Section 4.2)
+    catalog = ModelCatalog()
+    entry = catalog.register(tree)
+    print(f"derived {len(entry.envelopes)} atomic envelopes "
+          f"in {entry.derivation_seconds * 1000:.1f} ms")
+
+    envelope = catalog.envelope("Risk_Class", "low")
+    print("\nupper envelope for Risk = 'low':")
+    print(" ", compile_predicate(envelope.predicate))
+    print(f"  exact={envelope.exact}, disjuncts={envelope.n_disjuncts}")
+
+    # -- load the data (customers table holds profile columns only)
+    db = Database()
+    load_table(db, "customers", [{c: r[c] for c in features} for r in rows])
+
+    # -- the mining query: SELECT * FROM customers WHERE Risk_Class = 'low'
+    query = MiningQuery(
+        "customers",
+        mining_predicates=(PredictionEquals("Risk_Class", "low"),),
+    )
+
+    # Let the Index Tuning Wizard stand-in pick indexes for the workload.
+    recommendation = tune_for_workload(
+        db,
+        "customers",
+        [catalog.envelope("Risk_Class", label).predicate
+         for label in tree.class_labels],
+    )
+    print("\nindex advisor chose:", recommendation.column_sets)
+
+    executor = PredictionJoinExecutor(db, catalog)
+    naive = executor.execute_naive(query)
+    optimized = executor.execute_optimized(query)
+
+    print("\nextract-and-mine (Section 2.1):")
+    print(f"  fetched {naive.rows_fetched} rows, "
+          f"returned {naive.rows_returned}, "
+          f"plan={naive.plan.access_path.value}, "
+          f"{naive.total_seconds * 1000:.1f} ms")
+    print("optimized with upper envelope (Section 4):")
+    print(f"  fetched {optimized.rows_fetched} rows, "
+          f"returned {optimized.rows_returned}, "
+          f"plan={optimized.plan.access_path.value}, "
+          f"{optimized.total_seconds * 1000:.1f} ms")
+    assert sorted(map(str, optimized.rows)) == sorted(map(str, naive.rows))
+    print("\nresults identical; the rewritten SQL was:")
+    print(" ", select_statement(
+        "customers", optimized.optimized.pushable_predicate)[:160], "...")
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    python -m repro tables              # Table 2 + the two §5.2.1 tables
+    python -m repro figures             # Figures 3-7 series
+    python -m repro overhead            # §5(iii) overheads
+    python -m repro ablations           # A1-A3 ablations
+    python -m repro all                 # everything above
+    python -m repro tables --scale smoke|default|paper
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import (
+    DEFAULT_CONFIG,
+    PAPER_SCALE,
+    SMOKE_CONFIG,
+    ExperimentConfig,
+)
+
+_SCALES: dict[str, ExperimentConfig] = {
+    "smoke": SMOKE_CONFIG,
+    "default": DEFAULT_CONFIG,
+    "paper": PAPER_SCALE,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the selected experiment group."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=(
+            "tables",
+            "figures",
+            "overhead",
+            "ablations",
+            "report",
+            "all",
+        ),
+        help="which experiment group to run",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="default",
+        help="experiment scale (default: default)",
+    )
+    arguments = parser.parse_args(argv)
+    config = _SCALES[arguments.scale]
+
+    if arguments.artifact in ("tables", "all"):
+        from repro.experiments import tables
+
+        tables.print_table2(config)
+        print()
+        tables.print_summary_tables(config)
+        print()
+    if arguments.artifact in ("figures", "all"):
+        from repro.experiments import figures
+
+        for figure in (3, 4, 5):
+            figures.print_figure_plan_change(figure, config)
+            print()
+        figures.print_figure6(config)
+        print()
+        figures.print_figure7(config)
+        print()
+    if arguments.artifact in ("overhead", "all"):
+        from repro.experiments import overhead
+
+        overhead.print_overheads(config)
+        print()
+    if arguments.artifact in ("ablations", "all"):
+        from repro.experiments import ablation
+
+        ablation.print_ablations()
+    if arguments.artifact == "report":
+        from repro.experiments import report_doc
+
+        target = report_doc.write_experiments_md(config=config)
+        print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

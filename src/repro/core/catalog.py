@@ -1,0 +1,108 @@
+"""Catalog of models and their precomputed atomic envelopes.
+
+Paper Section 4.2: "during training of the mining models, upper envelopes
+for mining predicates of the form Model.Prediction_column = class_label have
+to be precomputed ... Precomputation of such 'atomic' upper envelopes
+reduces overhead during query optimization."  The catalog is that store:
+models register together with their per-class envelopes; the optimizer looks
+envelopes up by ``(model name, class label)`` at rewrite time.
+
+The paper also notes correctness depends on model identity ("we need to
+invalidate an execution plan ... in case it had exploited upper envelopes"
+when the model changes): re-registering a model under an existing name bumps
+a version counter and drops the stale envelopes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.derive import derive_envelopes
+from repro.core.envelope import UpperEnvelope
+from repro.core.nb_envelope import DEFAULT_MAX_NODES
+from repro.core.predicates import Value
+from repro.exceptions import CatalogError
+from repro.mining.base import MiningModel, Row
+
+
+@dataclass
+class CatalogEntry:
+    """One registered model with its envelopes and version."""
+
+    model: MiningModel
+    envelopes: dict[Value, UpperEnvelope]
+    version: int = 1
+    derivation_seconds: float = 0.0
+
+
+@dataclass
+class ModelCatalog:
+    """Registry mapping model names to models and atomic envelopes."""
+
+    _entries: dict[str, CatalogEntry] = field(default_factory=dict)
+
+    def register(
+        self,
+        model: MiningModel,
+        rows: Sequence[Row] | None = None,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        bins: int = 8,
+        envelopes: dict[Value, UpperEnvelope] | None = None,
+    ) -> CatalogEntry:
+        """Register a model, deriving its atomic envelopes if not supplied.
+
+        Re-registering under the same name replaces the entry and increments
+        its version, signalling that plans built against the old envelopes
+        are stale.
+        """
+        if envelopes is None:
+            envelopes = derive_envelopes(
+                model, rows=rows, max_nodes=max_nodes, bins=bins
+            )
+        derivation_seconds = sum(e.seconds for e in envelopes.values())
+        version = 1
+        existing = self._entries.get(model.name)
+        if existing is not None:
+            version = existing.version + 1
+        entry = CatalogEntry(
+            model=model,
+            envelopes=dict(envelopes),
+            version=version,
+            derivation_seconds=derivation_seconds,
+        )
+        self._entries[model.name] = entry
+        return entry
+
+    def model(self, name: str) -> MiningModel:
+        return self._entry(name).model
+
+    def entry(self, name: str) -> CatalogEntry:
+        return self._entry(name)
+
+    def envelope(self, name: str, class_label: Value) -> UpperEnvelope:
+        """Atomic envelope lookup — the step 2(b) lookup of Section 4.2."""
+        entry = self._entry(name)
+        try:
+            return entry.envelopes[class_label]
+        except KeyError:
+            raise CatalogError(
+                f"model {name!r} has no envelope for class {class_label!r}; "
+                f"known labels: {sorted(entry.envelopes, key=str)}"
+            ) from None
+
+    def class_labels(self, name: str) -> tuple[Value, ...]:
+        """Class labels of a model (the Section 4.1 label enumeration)."""
+        return self._entry(name).model.class_labels
+
+    def model_names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def _entry(self, name: str) -> CatalogEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CatalogError(
+                f"no model named {name!r} in the catalog; "
+                f"registered: {self.model_names()}"
+            ) from None

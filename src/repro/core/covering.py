@@ -1,0 +1,113 @@
+"""Greedy hyper-rectangle covering of explicit cell sets.
+
+Two places in the paper need to cover an explicitly enumerated point set
+with few axis-aligned rectangles:
+
+* the *naive* envelope algorithm (Section 3.2.2) — enumerate the class of
+  every member combination, then cover the winning cells "using any of the
+  known multidimensional covering algorithms",
+* *boundary-based clusters* (Section 3.3) — the cluster's region boundary is
+  explicit, and "deriving upper envelopes is equivalent to covering a
+  geometric region with a small number of rectangles".
+
+We implement the classical greedy grow heuristic: pick an uncovered cell,
+expand it along each dimension while every cell inside the grown box belongs
+to the target set, emit the box, repeat.  The result is a set of rectangles
+whose union is *exactly* the input cell set (an exact cover, hence also a
+valid — and tight — upper envelope).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+from repro.core.regions import AttributeSpace, Region, merge_regions
+from repro.exceptions import RegionError
+
+
+def cover_cells(
+    space: AttributeSpace,
+    cells: Iterable[tuple[int, ...]],
+    merge: bool = True,
+) -> list[Region]:
+    """Cover ``cells`` exactly with greedy axis-aligned regions.
+
+    ``cells`` are grid points (one member index per dimension of ``space``).
+    Returns regions whose union equals the input set exactly (regions may
+    overlap, which is harmless for an upper envelope); with ``merge`` a
+    final pairwise-merge pass is applied (see
+    :func:`repro.core.regions.merge_regions`).
+    """
+    remaining = set(cells)
+    for cell in remaining:
+        if len(cell) != space.n_dims:
+            raise RegionError(
+                f"cell {cell} has wrong dimensionality for the space"
+            )
+    target = frozenset(remaining)
+    covered: list[Region] = []
+    while remaining:
+        seed = min(remaining)
+        box = _grow(space, seed, target, remaining)
+        covered.append(box)
+        remaining.difference_update(box.iter_cells())
+    if merge:
+        covered = merge_regions(covered)
+    return covered
+
+
+def _grow(
+    space: AttributeSpace,
+    seed: tuple[int, ...],
+    target: frozenset[tuple[int, ...]],
+    remaining: set[tuple[int, ...]],
+) -> Region:
+    """Grow a box from ``seed`` greedily along each dimension in turn.
+
+    Growth along a dimension adds one adjacent member (for ordered
+    dimensions, only members adjacent to the current run; for unordered
+    dimensions, any member) provided every new cell lies in ``target``.
+    Preference is given to extensions that consume not-yet-covered cells.
+    """
+    members: list[list[int]] = [[m] for m in seed]
+    progress = True
+    while progress:
+        progress = False
+        for axis, dim in enumerate(space.dimensions):
+            for candidate in _extension_candidates(dim.size, members[axis], dim.ordered):
+                new_cells = list(_slice_cells(members, axis, candidate))
+                if all(cell in target for cell in new_cells):
+                    # Only extend when the slice adds at least one uncovered
+                    # cell; otherwise growth just duplicates earlier boxes.
+                    if any(cell in remaining for cell in new_cells):
+                        members[axis].append(candidate)
+                        members[axis].sort()
+                        progress = True
+    return Region(tuple(tuple(m) for m in members))
+
+
+def _extension_candidates(
+    size: int, current: Sequence[int], ordered: bool
+) -> list[int]:
+    present = set(current)
+    if ordered:
+        candidates = []
+        low, high = current[0], current[-1]
+        if low > 0:
+            candidates.append(low - 1)
+        if high < size - 1:
+            candidates.append(high + 1)
+        return [c for c in candidates if c not in present]
+    return [m for m in range(size) if m not in present]
+
+
+def _slice_cells(
+    members: Sequence[Sequence[int]], axis: int, new_member: int
+) -> Iterable[tuple[int, ...]]:
+    """Cells added by extending dimension ``axis`` with ``new_member``."""
+    ranges = [
+        [new_member] if i == axis else list(dim_members)
+        for i, dim_members in enumerate(members)
+    ]
+    return itertools.product(*ranges)

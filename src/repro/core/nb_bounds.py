@@ -1,0 +1,406 @@
+"""Region probability bounds for the top-down envelope search.
+
+Implements the ``minProb`` / ``maxProb`` machinery of paper Section 3.2.2 in
+log space, plus a strictly tighter *pairwise-difference* variant that
+generalizes the paper's Lemma 3.2 from two classes to any K.
+
+**Separate bounds** (the paper's formulation): for a region ``r`` and class
+``j``,
+
+    minScore(j) = bias_j + sum_d  min over allowed members of lo_j(d, m)
+    maxScore(j) = bias_j + sum_d  max over allowed members of hi_j(d, m)
+
+* MUST_WIN  — ``minScore(k)`` beats ``maxScore(j)`` for every ``j != k``
+  (Lemma 3.1: every cell in the region is predicted ``k``),
+* MUST_LOSE — some ``j`` has ``minScore(j)`` beating ``maxScore(k)``,
+* AMBIGUOUS — neither.
+
+**Pairwise bounds**: for each opponent ``j`` bound the score *difference*
+
+    maxDiff(k, j) = bias_k - bias_j + sum_d max over members of
+                    (score_k - score_j)(d, m)
+
+(and symmetrically minDiff).  Because a difference of additive scores is
+itself additive, these per-opponent tests are exact given exact per-member
+difference bounds — this is what Lemma 3.2 achieves for K=2 via the ratio
+transform, extended to every pair.  Clustering adapters supply closed-form
+per-bin difference bounds (quadratics in the raw value), which remain
+informative even on unbounded outer bins where both absolute scores diverge.
+
+Soundness under floating point: discarding a region that contains a winning
+cell would break the upper-envelope contract, so the MUST_LOSE test demands
+a margin (:data:`LOSE_MARGIN`).  A mistaken MUST_WIN or AMBIGUOUS outcome
+only costs tightness, never correctness.
+
+Tie handling follows Section 3.2.1: equal totals go to the class with the
+better tie rank (higher prior for naive Bayes).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.regions import Region
+from repro.core.score_model import ScoreTable
+from repro.exceptions import EnvelopeError
+
+#: Conservative slack for the MUST_LOSE comparison (see module docstring).
+LOSE_MARGIN = 1e-9
+
+
+class RegionStatus(enum.Enum):
+    """Three-way outcome of the bound tests for a region."""
+
+    MUST_WIN = "must-win"
+    MUST_LOSE = "must-lose"
+    AMBIGUOUS = "ambiguous"
+
+
+class BoundsMode(enum.Enum):
+    """Which bound family drives the MUST-WIN / MUST-LOSE tests."""
+
+    #: The paper's Section 3.2.2 minProb/maxProb bounds.
+    SEPARATE = "separate"
+    #: Per-opponent difference bounds (Lemma 3.2 generalized to K classes).
+    PAIRWISE = "pairwise"
+
+
+def _masked_sum(matrix: np.ndarray, exclude: int) -> np.ndarray:
+    """Row sums of ``matrix`` with one column excluded (NaN/inf safe)."""
+    return np.delete(matrix, exclude, axis=-1).sum(axis=-1)
+
+
+class RegionBounds:
+    """Per-class score bounds of one region, with per-dimension detail.
+
+    Exposes the whole-region status and the member-conditional status used
+    by the shrink step (the ``maxProb(c_j, d, m)`` bounds of the paper).
+    """
+
+    def __init__(
+        self,
+        table: ScoreTable,
+        region: Region,
+        target: int,
+        mode: BoundsMode = BoundsMode.SEPARATE,
+    ) -> None:
+        if len(region.members) != table.space.n_dims:
+            raise EnvelopeError(
+                "region does not match the score table's space"
+            )
+        if not 0 <= target < table.n_classes:
+            raise EnvelopeError(f"target class {target} out of range")
+        self.table = table
+        self.region = region
+        self.target = target
+        self.mode = mode
+        n_classes = table.n_classes
+        n_dims = table.space.n_dims
+        self._indices = [
+            np.asarray(members, dtype=int) for members in region.members
+        ]
+        if mode is BoundsMode.SEPARATE:
+            #: Per-class, per-dimension extreme contributions.
+            self.dim_min = np.empty((n_classes, n_dims))
+            self.dim_max = np.empty((n_classes, n_dims))
+            for d, index in enumerate(self._indices):
+                self.dim_min[:, d] = table.lo[d][:, index].min(axis=1)
+                self.dim_max[:, d] = table.hi[d][:, index].max(axis=1)
+            self.min_score = table.biases + self.dim_min.sum(axis=1)
+            self.max_score = table.biases + self.dim_max.sum(axis=1)
+        else:
+            #: Per-opponent, per-dimension extreme difference contributions
+            #: of the target class: shape (K, n_dims).
+            self.diff_dim_min = np.empty((n_classes, n_dims))
+            self.diff_dim_max = np.empty((n_classes, n_dims))
+            for d, index in enumerate(self._indices):
+                diff_lo, diff_hi = table.diff_bounds(d)
+                self.diff_dim_min[:, d] = (
+                    diff_lo[target][:, index].min(axis=1)
+                )
+                self.diff_dim_max[:, d] = (
+                    diff_hi[target][:, index].max(axis=1)
+                )
+            bias_diff = table.biases[target] - table.biases
+            self.diff_min = bias_diff + self.diff_dim_min.sum(axis=1)
+            self.diff_max = bias_diff + self.diff_dim_max.sum(axis=1)
+
+    # -- whole-region tests -------------------------------------------------
+
+    def status(self) -> RegionStatus:
+        if self.mode is BoundsMode.SEPARATE:
+            min_score = self.min_score
+            max_score = self.max_score
+            if self._must_lose_separate(min_score, max_score):
+                return RegionStatus.MUST_LOSE
+            if self._must_win_separate(min_score, max_score):
+                return RegionStatus.MUST_WIN
+            return RegionStatus.AMBIGUOUS
+        if self._must_lose_pairwise(self.diff_max):
+            return RegionStatus.MUST_LOSE
+        if self._must_win_pairwise(self.diff_min):
+            return RegionStatus.MUST_WIN
+        return RegionStatus.AMBIGUOUS
+
+    def _must_win_separate(
+        self, min_score: np.ndarray, max_score: np.ndarray
+    ) -> bool:
+        ranks = self.table.tie_ranks
+        target = self.target
+        for j in range(self.table.n_classes):
+            if j == target:
+                continue
+            if min_score[target] > max_score[j]:
+                continue
+            if (
+                min_score[target] == max_score[j]
+                and ranks[target] < ranks[j]
+            ):
+                continue
+            return False
+        return True
+
+    def _must_lose_separate(
+        self, min_score: np.ndarray, max_score: np.ndarray
+    ) -> bool:
+        ranks = self.table.tie_ranks
+        target = self.target
+        for j in range(self.table.n_classes):
+            if j == target:
+                continue
+            if max_score[target] + LOSE_MARGIN < min_score[j]:
+                return True
+            if (
+                max_score[target] == min_score[j]
+                and ranks[j] < ranks[target]
+            ):
+                return True
+        return False
+
+    def _must_win_pairwise(self, diff_min: np.ndarray) -> bool:
+        ranks = self.table.tie_ranks
+        target = self.target
+        for j in range(self.table.n_classes):
+            if j == target:
+                continue
+            if diff_min[j] > 0.0:
+                continue
+            if diff_min[j] == 0.0 and ranks[target] < ranks[j]:
+                continue
+            return False
+        return True
+
+    def _must_lose_pairwise(self, diff_max: np.ndarray) -> bool:
+        ranks = self.table.tie_ranks
+        target = self.target
+        for j in range(self.table.n_classes):
+            if j == target:
+                continue
+            if diff_max[j] + LOSE_MARGIN < 0.0:
+                return True
+            if diff_max[j] == 0.0 and ranks[j] < ranks[target]:
+                return True
+        return False
+
+    # -- member-conditional tests (shrink step) -----------------------------
+
+    def member_must_lose(self, dim: int, member: int) -> bool:
+        """MUST_LOSE test restricted to cells with ``x_dim = member``."""
+        verdicts = self.members_must_lose(dim, np.array([member]))
+        return bool(verdicts[0])
+
+    def members_must_lose(
+        self, dim: int, members: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized MUST_LOSE verdicts for several members of one dim.
+
+        Uses the revised bounds of the paper's Shrink step: the chosen
+        dimension contributes exactly each member's bound; the remaining
+        dimensions keep their regional extremes.  Exclusion sums are
+        computed by dropping the dimension's column (never by subtraction),
+        so infinite contributions cannot produce NaN.
+
+        Returns a boolean array aligned with ``members``.
+        """
+        ranks = np.asarray(self.table.tie_ranks)
+        target = self.target
+        if self.mode is BoundsMode.SEPARATE:
+            # Conditional scores: shape (K, len(members)).
+            min_score = (
+                self.table.biases[:, None]
+                + _masked_sum(self.dim_min, dim)[:, None]
+                + self.table.lo[dim][:, members]
+            )
+            max_score = (
+                self.table.biases[:, None]
+                + _masked_sum(self.dim_max, dim)[:, None]
+                + self.table.hi[dim][:, members]
+            )
+            strict = max_score[target][None, :] + LOSE_MARGIN < min_score
+            ties = (max_score[target][None, :] == min_score) & (
+                ranks[:, None] < ranks[target]
+            )
+            lose = strict | ties
+            lose[target, :] = False
+            return lose.any(axis=0)
+        diff_lo, diff_hi = self.table.diff_bounds(dim)
+        bias_diff = self.table.biases[target] - self.table.biases
+        diff_max = (
+            bias_diff[:, None]
+            + _masked_sum(self.diff_dim_max, dim)[:, None]
+            + diff_hi[target][:, members]
+        )
+        strict = diff_max + LOSE_MARGIN < 0.0
+        ties = (diff_max == 0.0) & (ranks[:, None] < ranks[target])
+        lose = strict | ties
+        lose[target, :] = False
+        return lose.any(axis=0)
+
+
+def classify_region(
+    table: ScoreTable,
+    region: Region,
+    target: int,
+    mode: BoundsMode = BoundsMode.SEPARATE,
+) -> RegionStatus:
+    """Convenience wrapper: the status of ``region`` for class ``target``."""
+    return RegionBounds(table, region, target, mode=mode).status()
+
+
+def shrink_region(
+    table: ScoreTable,
+    region: Region,
+    target: int,
+    mode: BoundsMode = BoundsMode.SEPARATE,
+    max_passes: int = 3,
+) -> Region | None:
+    """The paper's Shrink step: drop members whose slice MUST-LOSEs.
+
+    Unordered dimensions may lose any member; ordered dimensions only shed
+    members from the two ends, preserving contiguity (Section 3.2.2).
+    Returns the shrunk region, or ``None`` when every member of some
+    dimension loses (the region holds no target-class cells).
+
+    Removing a member tightens the regional extremes, so the scan repeats
+    up to ``max_passes`` times or until a fixpoint.
+    """
+    current = region
+    for _ in range(max_passes):
+        bounds = RegionBounds(table, current, target, mode=mode)
+        changed = False
+        new_members: list[tuple[int, ...]] = []
+        for d, dim in enumerate(table.space.dimensions):
+            members = list(current.members[d])
+            lose = bounds.members_must_lose(
+                d, np.asarray(members, dtype=int)
+            )
+            if len(members) > 1:
+                if dim.ordered:
+                    lo = 0
+                    hi = len(members)
+                    while lo < hi and lose[lo]:
+                        lo += 1
+                    while hi > lo and lose[hi - 1]:
+                        hi -= 1
+                    if lo > 0 or hi < len(members):
+                        changed = True
+                    members = members[lo:hi]
+                else:
+                    kept = [
+                        m
+                        for m, lost in zip(members, lose)
+                        if not lost
+                    ]
+                    if len(kept) != len(members):
+                        changed = True
+                    members = kept
+            elif lose[0]:
+                return None
+            if not members:
+                return None
+            new_members.append(tuple(members))
+        if not changed:
+            return current
+        current = Region(tuple(new_members))
+    return current
+
+
+def entropy_split(
+    table: ScoreTable, region: Region, target: int
+) -> tuple[int, list[int]] | None:
+    """Pick the best binary split of ``region`` (paper's Split step).
+
+    Candidate splits are every cut position of an ordered dimension and
+    every one-vs-rest partition of an unordered dimension.  Each member
+    ``m`` of dimension ``d`` receives a target mass and an other-class mass
+    from the (bias-weighted) member scores; the split minimizing the
+    mass-weighted binary entropy of target-vs-rest is chosen, mirroring the
+    decision-tree split criterion the paper reuses "without explicit counts
+    of each class ... relying on the probability values of the members".
+
+    Returns ``(dimension index, left member list)`` or ``None`` when the
+    region is a single cell and cannot be split.
+    """
+    best: tuple[float, int, list[int]] | None = None
+    for d, dim in enumerate(table.space.dimensions):
+        members = region.members[d]
+        if len(members) < 2:
+            continue
+        index = np.asarray(members, dtype=int)
+        # Mid-point scores keep the heuristic defined for interval tables;
+        # infinities are clamped by the table's cached mid() accessor.
+        mids = table.mid(d)[:, index]
+        weighted = mids + table.biases[:, None]
+        peak = weighted.max()
+        mass = np.exp(weighted - peak)
+        target_mass = mass[target]
+        other_mass = mass.sum(axis=0) - target_mass
+        if dim.ordered:
+            # All prefix cuts at once via cumulative sums.
+            t_left = np.cumsum(target_mass)[:-1]
+            o_left = np.cumsum(other_mass)[:-1]
+        else:
+            # One-vs-rest splits: the "left" side is each single member.
+            t_left = target_mass
+            o_left = other_mass
+        t_total = float(target_mass.sum())
+        o_total = float(other_mass.sum())
+        scores = _split_entropies(t_left, o_left, t_total, o_total)
+        position = int(scores.argmin())
+        score = float(scores[position])
+        if best is None or score < best[0]:
+            if dim.ordered:
+                left = list(members[: position + 1])
+            else:
+                left = [members[position]]
+            best = (score, d, left)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def _split_entropies(
+    t_left: np.ndarray,
+    o_left: np.ndarray,
+    t_total: float,
+    o_total: float,
+) -> np.ndarray:
+    """Weighted binary entropies for a batch of candidate splits."""
+    total = t_total + o_total
+    if total <= 0:
+        return np.zeros(len(t_left))
+    left = t_left + o_left
+    right = total - left
+    t_right = t_total - t_left
+    scores = np.zeros(len(t_left))
+    for side_total, side_target in ((left, t_left), (right, t_right)):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = np.where(side_total > 0, side_target / side_total, 0.0)
+            entropy = -(
+                np.where(p > 0, p * np.log2(p), 0.0)
+                + np.where(p < 1, (1 - p) * np.log2(1 - p), 0.0)
+            )
+        scores += np.where(side_total > 0, side_total / total, 0.0) * entropy
+    return scores

@@ -1,0 +1,499 @@
+"""Normalization and simplification of predicate expressions.
+
+The optimization loop in the paper (Section 4.2, step 1 and step 3) applies
+"traditional normalization and transitivity rules" before and after injecting
+upper envelopes.  This module supplies those rules for the propositional
+fragment of :mod:`repro.core.predicates`:
+
+* :func:`to_nnf` — negation normal form (NOT pushed onto atoms),
+* :func:`to_dnf` — disjunctive normal form with an explicit size budget, so a
+  pathological envelope cannot blow up optimization (the paper thresholds
+  envelope complexity for the same reason),
+* :func:`simplify` — per-conjunct constraint solving (range intersection,
+  IN-set intersection, contradiction detection) plus absorption between
+  disjuncts,
+* :func:`allowed_values` — the transitivity helper: the set of constants a
+  column may take under a predicate, used to turn a prediction-to-data-column
+  join plus a column restriction into an IN mining predicate (Section 4.1).
+
+All rewrites are meaning-preserving; the property-based tests check them by
+evaluating the input and output on random rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    TruePredicate,
+    Value,
+    conjunction,
+    disjunction,
+    in_set,
+)
+from repro.exceptions import NormalizationError, PredicateError
+
+#: Default ceiling on the number of conjuncts produced by DNF conversion.
+DEFAULT_DNF_BUDGET = 10_000
+
+
+def to_nnf(pred: Predicate) -> Predicate:
+    """Rewrite ``pred`` so negations appear only directly on atoms.
+
+    ``Not(Comparison)`` becomes the complementary comparison,
+    ``Not(Interval)`` becomes a disjunction of the two outside ranges, and
+    ``Not(InSet)`` is kept as a negative atom (``NOT IN`` is itself a simple
+    selection predicate every SQL engine accepts).
+    """
+    if isinstance(pred, (TruePredicate, FalsePredicate)):
+        return pred
+    if pred.is_atom():
+        return pred
+    if isinstance(pred, And):
+        return conjunction([to_nnf(o) for o in pred.operands])
+    if isinstance(pred, Or):
+        return disjunction([to_nnf(o) for o in pred.operands])
+    if isinstance(pred, Not):
+        return _nnf_negate(pred.operand)
+    raise PredicateError(f"unknown predicate node {pred!r}")
+
+
+def _nnf_negate(pred: Predicate) -> Predicate:
+    """NNF of ``NOT pred``."""
+    if isinstance(pred, TruePredicate):
+        return FALSE
+    if isinstance(pred, FalsePredicate):
+        return TRUE
+    if isinstance(pred, Comparison):
+        return Comparison(pred.column, pred.op.negated, pred.value)
+    if isinstance(pred, InSet):
+        return Not(pred)
+    if isinstance(pred, Interval):
+        return _interval_complement(pred)
+    if isinstance(pred, Not):
+        return to_nnf(pred.operand)
+    if isinstance(pred, And):
+        return disjunction([_nnf_negate(o) for o in pred.operands])
+    if isinstance(pred, Or):
+        return conjunction([_nnf_negate(o) for o in pred.operands])
+    raise PredicateError(f"unknown predicate node {pred!r}")
+
+
+def _interval_complement(interval: Interval) -> Predicate:
+    """The complement of an interval as a disjunction of comparisons."""
+    parts: list[Predicate] = []
+    if interval.low is not None:
+        op = Op.LT if interval.low_closed else Op.LE
+        parts.append(Comparison(interval.column, op, interval.low))
+    if interval.high is not None:
+        op = Op.GT if interval.high_closed else Op.GE
+        parts.append(Comparison(interval.column, op, interval.high))
+    return disjunction(parts)
+
+
+# ---------------------------------------------------------------------------
+# DNF conversion
+# ---------------------------------------------------------------------------
+
+
+def to_dnf(pred: Predicate, max_terms: int = DEFAULT_DNF_BUDGET) -> Predicate:
+    """Convert ``pred`` to disjunctive normal form.
+
+    The result is ``FALSE``, ``TRUE``, a single conjunct, or an ``Or`` of
+    conjuncts where every conjunct is an atom or an ``And`` of atoms.
+
+    Raises :class:`~repro.exceptions.NormalizationError` if the number of
+    conjuncts would exceed ``max_terms``; callers that cannot tolerate the
+    failure (e.g. the optimizer) catch it and keep the original predicate.
+    """
+    nnf = to_nnf(pred)
+    terms = _dnf_terms(nnf, max_terms)
+    if terms is None:
+        return TRUE
+    return disjunction([conjunction(term) for term in terms])
+
+
+def _dnf_terms(
+    pred: Predicate, max_terms: int
+) -> list[tuple[Predicate, ...]] | None:
+    """DNF of an NNF predicate as a list of atom tuples.
+
+    ``None`` encodes TRUE (the disjunction containing the empty conjunct);
+    an empty list encodes FALSE.
+    """
+    if isinstance(pred, TruePredicate):
+        return None
+    if isinstance(pred, FalsePredicate):
+        return []
+    if pred.is_atom() or isinstance(pred, Not):
+        return [(pred,)]
+    if isinstance(pred, Or):
+        combined: list[tuple[Predicate, ...]] = []
+        for operand in pred.operands:
+            terms = _dnf_terms(operand, max_terms)
+            if terms is None:
+                return None
+            combined.extend(terms)
+            if len(combined) > max_terms:
+                raise NormalizationError(
+                    f"DNF exceeds {max_terms} conjuncts"
+                )
+        return combined
+    if isinstance(pred, And):
+        product: list[tuple[Predicate, ...]] = [()]
+        for operand in pred.operands:
+            terms = _dnf_terms(operand, max_terms)
+            if terms is None:
+                continue
+            if not terms:
+                return []
+            if len(product) * len(terms) > max_terms:
+                raise NormalizationError(
+                    f"DNF exceeds {max_terms} conjuncts"
+                )
+            product = [
+                existing + term for existing in product for term in terms
+            ]
+        return product
+    raise PredicateError(f"unexpected node in NNF: {pred!r}")
+
+
+# ---------------------------------------------------------------------------
+# Per-conjunct constraint solving
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ColumnConstraint:
+    """Accumulated constraints on one column inside a conjunct."""
+
+    allowed: set[Value] | None = None
+    forbidden: set[Value] = field(default_factory=set)
+    low: Value | None = None
+    low_closed: bool = True
+    high: Value | None = None
+    high_closed: bool = True
+    #: Set when constraints are mutually unsatisfiable.
+    contradictory: bool = False
+
+    def add_equals(self, value: Value) -> None:
+        self.restrict_allowed({value})
+
+    def restrict_allowed(self, values: set[Value]) -> None:
+        if self.allowed is None:
+            self.allowed = set(values)
+        else:
+            self.allowed &= values
+        if not self.allowed:
+            self.contradictory = True
+
+    def add_forbidden(self, values: set[Value]) -> None:
+        self.forbidden |= values
+
+    def add_low(self, value: Value, closed: bool) -> None:
+        if self.low is None or value > self.low or (
+            value == self.low and not closed
+        ):
+            self.low = value
+            self.low_closed = closed
+
+    def add_high(self, value: Value, closed: bool) -> None:
+        if self.high is None or value < self.high or (
+            value == self.high and not closed
+        ):
+            self.high = value
+            self.high_closed = closed
+
+    def _value_in_range(self, value: Value) -> bool:
+        try:
+            if self.low is not None:
+                if self.low_closed:
+                    if value < self.low:
+                        return False
+                elif value <= self.low:
+                    return False
+            if self.high is not None:
+                if self.high_closed:
+                    if value > self.high:
+                        return False
+                elif value >= self.high:
+                    return False
+        except TypeError:
+            # Mixed-type comparison (string value vs numeric bound): a value
+            # of the wrong type cannot satisfy the range constraint.
+            return False
+        return True
+
+    def finish(self) -> None:
+        """Resolve interactions between the accumulated constraints."""
+        if self.contradictory:
+            return
+        if self.allowed is not None:
+            self.allowed = {
+                v
+                for v in self.allowed
+                if v not in self.forbidden and self._value_in_range(v)
+            }
+            self.forbidden = set()
+            self.low = self.high = None
+            if not self.allowed:
+                self.contradictory = True
+            return
+        if self.low is not None and self.high is not None:
+            try:
+                if self.low > self.high or (
+                    self.low == self.high
+                    and not (self.low_closed and self.high_closed)
+                ):
+                    self.contradictory = True
+                    return
+                if self.low == self.high:
+                    # Range pinches to a single point: x = low.
+                    self.allowed = {self.low}
+                    self.finish()
+                    return
+            except TypeError:
+                self.contradictory = True
+                return
+        # Forbidden values outside the range are vacuous.
+        self.forbidden = {
+            v for v in self.forbidden if self._value_in_range(v)
+        }
+
+    def atoms(self, column: str) -> list[Predicate]:
+        """Minimal atom list expressing the resolved constraints."""
+        if self.contradictory:
+            return [FALSE]
+        parts: list[Predicate] = []
+        if self.allowed is not None:
+            parts.append(in_set(column, self.allowed))
+            return parts
+        if self.low is not None and self.high is not None:
+            parts.append(
+                Interval(
+                    column,
+                    self.low,
+                    self.high,
+                    low_closed=self.low_closed,
+                    high_closed=self.high_closed,
+                )
+            )
+        elif self.low is not None:
+            op = Op.GE if self.low_closed else Op.GT
+            parts.append(Comparison(column, op, self.low))
+        elif self.high is not None:
+            op = Op.LE if self.high_closed else Op.LT
+            parts.append(Comparison(column, op, self.high))
+        if self.forbidden:
+            if len(self.forbidden) == 1:
+                (value,) = self.forbidden
+                parts.append(Comparison(column, Op.NE, value))
+            else:
+                parts.append(Not(InSet(column, tuple(self.forbidden))))
+        return parts
+
+
+def _solve_conjunct(atoms: tuple[Predicate, ...]) -> Predicate:
+    """Simplify one conjunct of atoms by per-column constraint solving."""
+    per_column: dict[str, _ColumnConstraint] = {}
+    passthrough: list[Predicate] = []
+
+    def constraint(column: str) -> _ColumnConstraint:
+        return per_column.setdefault(column, _ColumnConstraint())
+
+    for atom in atoms:
+        if isinstance(atom, FalsePredicate):
+            return FALSE
+        if isinstance(atom, TruePredicate):
+            continue
+        if isinstance(atom, Comparison):
+            state = constraint(atom.column)
+            if atom.op is Op.EQ:
+                state.add_equals(atom.value)
+            elif atom.op is Op.NE:
+                state.add_forbidden({atom.value})
+            elif atom.op is Op.LT:
+                state.add_high(atom.value, closed=False)
+            elif atom.op is Op.LE:
+                state.add_high(atom.value, closed=True)
+            elif atom.op is Op.GT:
+                state.add_low(atom.value, closed=False)
+            else:
+                state.add_low(atom.value, closed=True)
+        elif isinstance(atom, InSet):
+            constraint(atom.column).restrict_allowed(set(atom.values))
+        elif isinstance(atom, Interval):
+            state = constraint(atom.column)
+            if atom.low is not None:
+                state.add_low(atom.low, closed=atom.low_closed)
+            if atom.high is not None:
+                state.add_high(atom.high, closed=atom.high_closed)
+        elif isinstance(atom, Not) and isinstance(atom.operand, InSet):
+            constraint(atom.operand.column).add_forbidden(
+                set(atom.operand.values)
+            )
+        else:
+            passthrough.append(atom)
+
+    parts: list[Predicate] = []
+    for column in sorted(per_column):
+        state = per_column[column]
+        state.finish()
+        if state.contradictory:
+            return FALSE
+        parts.extend(state.atoms(column))
+    parts.extend(passthrough)
+    return conjunction(parts)
+
+
+def _atom_set(conjunct: Predicate) -> frozenset[Predicate]:
+    if isinstance(conjunct, And):
+        return frozenset(conjunct.operands)
+    return frozenset((conjunct,))
+
+
+def simplify(
+    pred: Predicate, max_terms: int = DEFAULT_DNF_BUDGET
+) -> Predicate:
+    """Normalize to DNF, solve each conjunct, and absorb redundant disjuncts.
+
+    Returns a semantically equivalent predicate; if the DNF budget is
+    exceeded the original predicate is returned unchanged (simplification is
+    an optimization, never a requirement).
+    """
+    try:
+        dnf = to_dnf(pred, max_terms=max_terms)
+    except NormalizationError:
+        return pred
+    if isinstance(dnf, (TruePredicate, FalsePredicate)):
+        return dnf
+    conjuncts = dnf.operands if isinstance(dnf, Or) else (dnf,)
+    solved: list[Predicate] = []
+    for conjunct in conjuncts:
+        atoms = conjunct.operands if isinstance(conjunct, And) else (conjunct,)
+        result = _solve_conjunct(tuple(atoms))
+        if isinstance(result, TruePredicate):
+            return TRUE
+        if not isinstance(result, FalsePredicate):
+            solved.append(result)
+    if not solved:
+        return FALSE
+    # Absorption: drop any conjunct whose atoms are a superset of another's
+    # (A or (A and B)) == A.  Also deduplicates identical conjuncts.
+    atom_sets = [_atom_set(c) for c in solved]
+    keep: list[Predicate] = []
+    kept_sets: list[frozenset[Predicate]] = []
+    for i, conjunct in enumerate(solved):
+        absorbed = False
+        for j, other_atoms in enumerate(atom_sets):
+            if i == j:
+                continue
+            if other_atoms < atom_sets[i]:
+                absorbed = True
+                break
+            if other_atoms == atom_sets[i] and j < i:
+                absorbed = True
+                break
+        if not absorbed:
+            keep.append(conjunct)
+            kept_sets.append(atom_sets[i])
+    return _factor_common_atoms(keep, kept_sets)
+
+
+def _factor_common_atoms(
+    conjuncts: list[Predicate], atom_sets: list[frozenset[Predicate]]
+) -> Predicate:
+    """Hoist atoms shared by every disjunct: ``(aB)or(aC) -> a and (B or C)``.
+
+    Optimizers typically do not factor OR expressions when choosing an
+    access path, so a selective atom appearing in every disjunct of an
+    envelope (common for decision-tree paths sharing root tests) would go
+    unused; hoisting it exposes the atom as a top-level conjunct the engine
+    can drive an index from.
+    """
+    if len(conjuncts) <= 1:
+        return disjunction(conjuncts)
+    common = frozenset.intersection(*atom_sets)
+    if not common:
+        return disjunction(conjuncts)
+    residuals = []
+    for atoms in atom_sets:
+        remainder = atoms - common
+        if not remainder:
+            # One disjunct is exactly the common part: the OR of residues
+            # is vacuous and the whole predicate is just the common atoms.
+            return conjunction(sorted(common, key=repr))
+        residuals.append(conjunction(sorted(remainder, key=repr)))
+    return conjunction(
+        sorted(common, key=repr) + [disjunction(residuals)]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Transitivity helpers
+# ---------------------------------------------------------------------------
+
+
+def allowed_values(pred: Predicate, column: str) -> set[Value] | None:
+    """The set of constants ``column`` may take for ``pred`` to hold.
+
+    Returns ``None`` when the predicate does not bound the column to a finite
+    set (the column is then unconstrained for transitivity purposes).  This
+    implements the paper's transitivity example (Section 4.1): from
+    ``M.pred = T.age AND T.age IN ('old', 'middle-aged')`` we learn that the
+    prediction column is limited to those two labels.
+    """
+    try:
+        dnf = to_dnf(pred)
+    except NormalizationError:
+        return None
+    if isinstance(dnf, FalsePredicate):
+        return set()
+    if isinstance(dnf, TruePredicate):
+        return None
+    union: set[Value] = set()
+    conjuncts = dnf.operands if isinstance(dnf, Or) else (dnf,)
+    for conjunct in conjuncts:
+        atoms = conjunct.operands if isinstance(conjunct, And) else (conjunct,)
+        solved = _solve_conjunct(tuple(atoms))
+        if isinstance(solved, FalsePredicate):
+            continue
+        values = _conjunct_allowed(solved, column)
+        if values is None:
+            return None
+        union |= values
+    return union
+
+
+def _conjunct_allowed(conjunct: Predicate, column: str) -> set[Value] | None:
+    atoms = conjunct.operands if isinstance(conjunct, And) else (conjunct,)
+    for atom in atoms:
+        if isinstance(atom, Comparison) and atom.column == column:
+            if atom.op is Op.EQ:
+                return {atom.value}
+        elif isinstance(atom, InSet) and atom.column == column:
+            return set(atom.values)
+    return None
+
+
+def interval_width(interval: Interval) -> float:
+    """Numeric width of an interval (``inf`` when unbounded or non-numeric)."""
+    if interval.low is None or interval.high is None:
+        return math.inf
+    if not isinstance(interval.low, (int, float)):
+        return math.inf
+    if not isinstance(interval.high, (int, float)):
+        return math.inf
+    return float(interval.high) - float(interval.low)

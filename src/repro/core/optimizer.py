@@ -1,0 +1,195 @@
+"""The mining-query optimizer (paper Section 4.2).
+
+Given a :class:`MiningQuery` — a table, an ordinary relational predicate,
+and a set of mining predicates — :func:`optimize` performs the paper's loop:
+
+1. normalize/simplify the relational predicate,
+2. for each mining predicate ``f``, look up / compose its upper envelope
+   ``u_f`` (using the precomputed atomic envelopes in the catalog) and
+   conjoin it: ``f`` becomes ``f AND u_f``,
+3. re-apply normalization and transitivity; if new mining predicates are
+   inferred (e.g. through prediction-to-prediction joins), return to step 2.
+
+Envelope complexity is thresholded (``max_disjuncts``): an envelope whose
+DNF exceeds the budget is replaced by TRUE, exactly the paper's mitigation
+for "optimizers [that] degenerate to sequential scan when presented with a
+complex AND/OR expression".
+
+The result separates the *pushable* predicate (relational AND envelopes —
+what the SQL engine evaluates) from the *residual* mining predicates (the
+model applications that must still run on the returned rows, because an
+upper envelope is a superset).  When the combined predicate is FALSE the
+query is answered by a constant scan with no data access at all.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.catalog import ModelCatalog
+from repro.core.normalize import simplify, to_dnf
+from repro.core.predicates import (
+    TRUE,
+    FalsePredicate,
+    Predicate,
+    conjunction,
+    disjunct_count,
+)
+from repro.core.rewrite import MiningPredicate, infer_mining_predicates
+from repro.exceptions import NormalizationError, RewriteError
+from repro.mining.base import Row
+
+#: Default ceiling on the disjunct count of one injected envelope.
+DEFAULT_MAX_DISJUNCTS = 128
+
+
+@dataclass(frozen=True)
+class MiningQuery:
+    """A query with mining predicates over a single table (or view).
+
+    ``SELECT * FROM table WHERE relational_predicate AND f1 AND f2 ...``
+    where each ``f`` is a :class:`MiningPredicate`.
+    """
+
+    table: str
+    relational_predicate: Predicate = TRUE
+    mining_predicates: tuple[MiningPredicate, ...] = ()
+
+    def evaluate(self, row: Row, catalog: ModelCatalog) -> bool:
+        """Reference semantics: scan-and-apply-models (Section 2.1)."""
+        if not self.relational_predicate.evaluate(row):
+            return False
+        return all(
+            predicate.evaluate(row, catalog)
+            for predicate in self.mining_predicates
+        )
+
+
+@dataclass(frozen=True)
+class EnvelopeInjection:
+    """Record of one envelope added to the query (for explain output)."""
+
+    predicate_description: str
+    envelope: Predicate
+    disjuncts: int
+    thresholded: bool
+
+
+@dataclass(frozen=True)
+class OptimizedQuery:
+    """Outcome of :func:`optimize`.
+
+    ``pushable_predicate`` — to be evaluated by the relational engine;
+    ``residual_predicates`` — mining predicates still applied to returned
+    rows (empty only if the caller opts to trust exact envelopes);
+    ``constant_false`` — the rewritten query provably returns nothing.
+    """
+
+    query: MiningQuery
+    pushable_predicate: Predicate
+    residual_predicates: tuple[MiningPredicate, ...]
+    injections: tuple[EnvelopeInjection, ...]
+    inferred_predicates: tuple[MiningPredicate, ...]
+    optimize_seconds: float
+    notes: tuple[str, ...] = field(default=())
+
+    @property
+    def constant_false(self) -> bool:
+        return isinstance(self.pushable_predicate, FalsePredicate)
+
+    def evaluate_pushable(self, row: Row) -> bool:
+        """Evaluate the pushed predicate (the SQL engine's job) on a row."""
+        return self.pushable_predicate.evaluate(row)
+
+
+def optimize(
+    query: MiningQuery,
+    catalog: ModelCatalog,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    max_iterations: int = 3,
+    simplify_envelopes: bool = True,
+) -> OptimizedQuery:
+    """Rewrite ``query`` by injecting upper envelopes (Section 4.2)."""
+    if max_disjuncts < 1:
+        raise RewriteError("max_disjuncts must be >= 1")
+    started = time.perf_counter()
+    notes: list[str] = []
+
+    # Step 1: traditional normalization of the relational predicate.
+    relational = simplify(query.relational_predicate)
+
+    predicates: list[MiningPredicate] = list(query.mining_predicates)
+    all_inferred: list[MiningPredicate] = []
+    for _ in range(max_iterations):
+        inferred = infer_mining_predicates(predicates)
+        if not inferred:
+            break
+        for predicate in inferred:
+            notes.append(f"inferred mining predicate: {predicate.describe()}")
+        predicates.extend(inferred)
+        all_inferred.extend(inferred)
+
+    # Step 2: derive and inject one envelope per mining predicate.
+    injections: list[EnvelopeInjection] = []
+    envelope_parts: list[Predicate] = []
+    for predicate in predicates:
+        envelope = predicate.envelope(catalog, relational)
+        if simplify_envelopes:
+            envelope = simplify(envelope)
+        disjuncts = _disjunct_count_dnf(envelope)
+        thresholded = False
+        if disjuncts > max_disjuncts:
+            # Complexity threshold (Section 4.2): drop the envelope rather
+            # than hand the engine an expression it cannot exploit.
+            notes.append(
+                f"envelope for {predicate.describe()} thresholded "
+                f"({disjuncts} > {max_disjuncts} disjuncts)"
+            )
+            envelope = TRUE
+            thresholded = True
+        injections.append(
+            EnvelopeInjection(
+                predicate_description=predicate.describe(),
+                envelope=envelope,
+                disjuncts=disjuncts,
+                thresholded=thresholded,
+            )
+        )
+        envelope_parts.append(envelope)
+
+    # Step 3: final normalization of the combined pushable predicate.
+    pushable = conjunction([relational] + envelope_parts)
+    pushable = simplify(pushable)
+
+    return OptimizedQuery(
+        query=query,
+        pushable_predicate=pushable,
+        residual_predicates=tuple(query.mining_predicates),
+        injections=tuple(injections),
+        inferred_predicates=tuple(all_inferred),
+        optimize_seconds=time.perf_counter() - started,
+        notes=tuple(notes),
+    )
+
+
+def _disjunct_count_dnf(pred: Predicate) -> int:
+    """Disjunct count after DNF normalization (conservative on blow-up)."""
+    try:
+        return disjunct_count(to_dnf(pred))
+    except NormalizationError:
+        # DNF blow-up: report a count guaranteed to exceed any threshold.
+        return 1 << 30
+
+
+def execute_reference(
+    query: MiningQuery,
+    rows: Sequence[Mapping],
+    catalog: ModelCatalog,
+) -> list[Mapping]:
+    """Extract-and-mine execution (Section 2.1): scan, filter, apply models.
+
+    The semantic baseline every optimized execution must match.
+    """
+    return [row for row in rows if query.evaluate(row, catalog)]

@@ -1,0 +1,521 @@
+"""Propositional predicate algebra over relational rows.
+
+Upper envelopes (the paper's Section 3) are constrained to be propositional
+expressions of *simple selection predicates* on data columns, i.e. the
+fragment a traditional optimizer can use for access-path selection.  This
+module defines that fragment:
+
+* atoms: :class:`Comparison` (``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``),
+  :class:`InSet` (``col IN (...)``) and :class:`Interval`
+  (range ``lo <= col < hi`` with configurable bound closedness),
+* connectives: :class:`And`, :class:`Or`, :class:`Not`,
+* constants: :data:`TRUE` and :data:`FALSE`.
+
+Every node is an immutable value object; :meth:`Predicate.evaluate` gives the
+semantics on a row (a mapping from column name to value), which is the single
+source of truth used by the tests to check that every rewrite in
+:mod:`repro.core.normalize` and every derived envelope is meaning-preserving.
+
+The smart constructors :func:`conjunction` and :func:`disjunction` flatten
+nested connectives and fold constants, which keeps machine-generated
+envelopes (often thousands of nodes before simplification) small.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Union
+
+from repro.exceptions import PredicateError
+
+#: Scalar values a predicate may compare against.  ``bool`` deliberately
+#: excluded: SQLite has no boolean type, booleans are stored as 0/1 integers.
+Value = Union[int, float, str]
+
+_ALLOWED_VALUE_TYPES = (int, float, str)
+
+
+def _check_value(value: Value) -> Value:
+    """Validate a comparison constant, rejecting non-scalar types early."""
+    if isinstance(value, bool) or not isinstance(value, _ALLOWED_VALUE_TYPES):
+        raise PredicateError(
+            f"predicate constants must be int, float or str, got {value!r}"
+        )
+    return value
+
+
+class Op(enum.Enum):
+    """Comparison operators supported in simple selection predicates."""
+
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def negated(self) -> "Op":
+        """The operator expressing the complement of this one."""
+        return _NEGATED_OP[self]
+
+    @property
+    def flipped(self) -> "Op":
+        """The operator for the same comparison with operands swapped."""
+        return _FLIPPED_OP[self]
+
+
+_NEGATED_OP = {
+    Op.EQ: Op.NE,
+    Op.NE: Op.EQ,
+    Op.LT: Op.GE,
+    Op.LE: Op.GT,
+    Op.GT: Op.LE,
+    Op.GE: Op.LT,
+}
+
+_FLIPPED_OP = {
+    Op.EQ: Op.EQ,
+    Op.NE: Op.NE,
+    Op.LT: Op.GT,
+    Op.LE: Op.GE,
+    Op.GT: Op.LT,
+    Op.GE: Op.LE,
+}
+
+
+class Predicate:
+    """Abstract base class of all predicate nodes.
+
+    Subclasses are frozen dataclasses; instances compare by value and are
+    hashable, which the normalizer relies on for deduplication.
+    """
+
+    __slots__ = ()
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        """Return the truth value of this predicate on ``row``.
+
+        Missing columns raise :class:`~repro.exceptions.PredicateError`
+        rather than silently evaluating to false: an envelope referencing an
+        absent column indicates a schema mismatch upstream.
+        """
+        raise NotImplementedError
+
+    def columns(self) -> frozenset[str]:
+        """The set of column names referenced by this predicate."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Predicate", ...]:
+        """Immediate sub-predicates (empty for atoms and constants)."""
+        return ()
+
+    # -- convenience combinators ------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return conjunction([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return disjunction([self, other])
+
+    def __invert__(self) -> "Predicate":
+        return negate(self)
+
+    def is_atom(self) -> bool:
+        """True for leaf predicates (comparisons, IN sets, intervals)."""
+        return isinstance(self, (Comparison, InSet, Interval))
+
+
+def _lookup(row: Mapping[str, Value], column: str) -> Value:
+    try:
+        return row[column]
+    except KeyError:
+        raise PredicateError(f"row has no column {column!r}") from None
+
+
+def _comparable(a: Value, b: Value) -> bool:
+    """Whether two values may be ordered against each other."""
+    a_num = isinstance(a, (int, float))
+    b_num = isinstance(b, (int, float))
+    return a_num == b_num
+
+
+@dataclass(frozen=True, slots=True)
+class TruePredicate(Predicate):
+    """The constant TRUE (an empty conjunction)."""
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        return True
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True, slots=True)
+class FalsePredicate(Predicate):
+    """The constant FALSE (an empty disjunction).
+
+    An upper envelope equal to FALSE means the class is unreachable: the
+    optimizer can answer the query with a constant scan (paper Section 5.2.1).
+    """
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        return False
+
+    def columns(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+#: Singleton constants; all library code uses these instead of constructing
+#: fresh instances (equality would still hold, this is just idiomatic).
+TRUE = TruePredicate()
+FALSE = FalsePredicate()
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison(Predicate):
+    """A simple comparison ``column <op> value``."""
+
+    column: str
+    op: Op
+    value: Value
+
+    def __post_init__(self) -> None:
+        _check_value(self.value)
+        if not isinstance(self.column, str) or not self.column:
+            raise PredicateError(f"bad column name {self.column!r}")
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        actual = _lookup(row, self.column)
+        if self.op is Op.EQ:
+            return actual == self.value
+        if self.op is Op.NE:
+            return actual != self.value
+        if not _comparable(actual, self.value):
+            # Ordered comparison between a string and a number never holds;
+            # SQLite would apply type-affinity coercion, but our loaders store
+            # columns with uniform types so this branch flags schema drift.
+            raise PredicateError(
+                f"cannot order {actual!r} against {self.value!r} "
+                f"for column {self.column!r}"
+            )
+        if self.op is Op.LT:
+            return actual < self.value
+        if self.op is Op.LE:
+            return actual <= self.value
+        if self.op is Op.GT:
+            return actual > self.value
+        return actual >= self.value
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.column,))
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op.value} {self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class InSet(Predicate):
+    """Membership test ``column IN (v1, ..., vn)``.
+
+    ``values`` is stored as a sorted tuple so two semantically equal IN sets
+    are equal as objects.  An empty IN set is rejected; use :data:`FALSE`.
+    """
+
+    column: str
+    values: tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.column, str) or not self.column:
+            raise PredicateError(f"bad column name {self.column!r}")
+        if not self.values:
+            raise PredicateError("IN set must not be empty; use FALSE")
+        for value in self.values:
+            _check_value(value)
+        ordered = tuple(sorted(set(self.values), key=_sort_key))
+        object.__setattr__(self, "values", ordered)
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        return _lookup(row, self.column) in self.values
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.column,))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"({self.column} IN {{{inner}}})"
+
+
+def _sort_key(value: Value) -> tuple[int, Value]:
+    """Order mixed value types deterministically (numbers before strings)."""
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (1, value)
+
+
+@dataclass(frozen=True, slots=True)
+class Interval(Predicate):
+    """Range predicate ``low <?= column <?= high``.
+
+    Either bound may be ``None`` (unbounded).  ``low_closed``/``high_closed``
+    select between ``<=`` and ``<``.  Intervals are the natural output of
+    region-to-predicate compilation for discretized continuous attributes
+    (paper Section 3.2.2): a run of adjacent bins becomes one Interval.
+    """
+
+    column: str
+    low: Value | None = None
+    high: Value | None = None
+    low_closed: bool = True
+    high_closed: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.column, str) or not self.column:
+            raise PredicateError(f"bad column name {self.column!r}")
+        if self.low is None and self.high is None:
+            raise PredicateError("interval must be bounded on at least one side")
+        for bound in (self.low, self.high):
+            if bound is not None:
+                _check_value(bound)
+        if self.low is not None and self.high is not None:
+            if not _comparable(self.low, self.high):
+                raise PredicateError(
+                    f"interval bounds {self.low!r} and {self.high!r} "
+                    "are not mutually comparable"
+                )
+            if self.low > self.high:
+                raise PredicateError(
+                    f"empty interval [{self.low!r}, {self.high!r}]; use FALSE"
+                )
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        actual = _lookup(row, self.column)
+        if self.low is not None:
+            if not _comparable(actual, self.low):
+                raise PredicateError(
+                    f"cannot order {actual!r} against bound {self.low!r}"
+                )
+            if self.low_closed:
+                if actual < self.low:
+                    return False
+            elif actual <= self.low:
+                return False
+        if self.high is not None:
+            if not _comparable(actual, self.high):
+                raise PredicateError(
+                    f"cannot order {actual!r} against bound {self.high!r}"
+                )
+            if self.high_closed:
+                if actual > self.high:
+                    return False
+            elif actual >= self.high:
+                return False
+        return True
+
+    def columns(self) -> frozenset[str]:
+        return frozenset((self.column,))
+
+    def __repr__(self) -> str:
+        left = "[" if self.low_closed else "("
+        right = "]" if self.high_closed else ")"
+        lo = "-inf" if self.low is None else repr(self.low)
+        hi = "+inf" if self.high is None else repr(self.high)
+        return f"({self.column} in {left}{lo}, {hi}{right})"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Predicate):
+    """Conjunction of two or more predicates.
+
+    Use :func:`conjunction` to build conjunctions; the raw constructor
+    rejects degenerate arities so every ``And`` in a tree is meaningful.
+    """
+
+    operands: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise PredicateError("And requires >= 2 operands; use conjunction()")
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        return all(operand.evaluate(row) for operand in self.operands)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset().union(*(o.columns() for o in self.operands))
+
+    def children(self) -> tuple[Predicate, ...]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Predicate):
+    """Disjunction of two or more predicates (see :func:`disjunction`)."""
+
+    operands: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise PredicateError("Or requires >= 2 operands; use disjunction()")
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        return any(operand.evaluate(row) for operand in self.operands)
+
+    def columns(self) -> frozenset[str]:
+        return frozenset().union(*(o.columns() for o in self.operands))
+
+    def children(self) -> tuple[Predicate, ...]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Predicate):
+    """Logical negation.
+
+    Negations appear transiently (e.g. the default-class envelope of a rule
+    set, paper Section 3.1); normalization pushes them down to atoms before
+    any envelope is published.
+    """
+
+    operand: Predicate
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        return not self.operand.evaluate(row)
+
+    def columns(self) -> frozenset[str]:
+        return self.operand.columns()
+
+    def children(self) -> tuple[Predicate, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def conjunction(parts: Iterable[Predicate]) -> Predicate:
+    """AND a sequence of predicates with flattening and constant folding.
+
+    * nested ``And`` children are inlined,
+    * ``TRUE`` operands are dropped; any ``FALSE`` collapses the result,
+    * duplicates are removed (first occurrence kept),
+    * zero operands yield ``TRUE``; one operand is returned unwrapped.
+    """
+    flat: list[Predicate] = []
+    seen: set[Predicate] = set()
+    for part in parts:
+        if isinstance(part, TruePredicate):
+            continue
+        if isinstance(part, FalsePredicate):
+            return FALSE
+        if isinstance(part, And):
+            candidates: Iterable[Predicate] = part.operands
+        else:
+            candidates = (part,)
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                flat.append(candidate)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disjunction(parts: Iterable[Predicate]) -> Predicate:
+    """OR a sequence of predicates; dual of :func:`conjunction`."""
+    flat: list[Predicate] = []
+    seen: set[Predicate] = set()
+    for part in parts:
+        if isinstance(part, FalsePredicate):
+            continue
+        if isinstance(part, TruePredicate):
+            return TRUE
+        if isinstance(part, Or):
+            candidates: Iterable[Predicate] = part.operands
+        else:
+            candidates = (part,)
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                flat.append(candidate)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def negate(pred: Predicate) -> Predicate:
+    """Negate ``pred``, pushing the negation as deep as cheaply possible.
+
+    Comparisons negate to their complementary operator, constants flip, and
+    double negations cancel.  ``InSet``/``Interval`` wrap in :class:`Not`
+    (their complements are not single atoms); :mod:`repro.core.normalize`
+    expands those when a negation-free form is required.
+    """
+    if isinstance(pred, TruePredicate):
+        return FALSE
+    if isinstance(pred, FalsePredicate):
+        return TRUE
+    if isinstance(pred, Not):
+        return pred.operand
+    if isinstance(pred, Comparison):
+        return Comparison(pred.column, pred.op.negated, pred.value)
+    if isinstance(pred, And):
+        return disjunction([negate(o) for o in pred.operands])
+    if isinstance(pred, Or):
+        return conjunction([negate(o) for o in pred.operands])
+    return Not(pred)
+
+
+def equals(column: str, value: Value) -> Comparison:
+    """Shorthand for ``column = value``."""
+    return Comparison(column, Op.EQ, value)
+
+
+def in_set(column: str, values: Iterable[Value]) -> Predicate:
+    """Shorthand for ``column IN values`` (singletons become equality)."""
+    unique = sorted(set(values), key=_sort_key)
+    if not unique:
+        return FALSE
+    if len(unique) == 1:
+        return equals(column, unique[0])
+    return InSet(column, tuple(unique))
+
+
+def atom_count(pred: Predicate) -> int:
+    """Number of atomic predicates in the tree (a size/complexity measure).
+
+    The paper (Section 4.2) thresholds envelope complexity because "today's
+    query optimizers often degenerate to sequential scan when presented with
+    a complex AND/OR expression"; this metric feeds that thresholding.
+    """
+    if pred.is_atom():
+        return 1
+    return sum(atom_count(child) for child in pred.children())
+
+
+def disjunct_count(pred: Predicate) -> int:
+    """Number of top-level disjuncts (1 for non-OR predicates)."""
+    if isinstance(pred, Or):
+        return len(pred.operands)
+    return 1

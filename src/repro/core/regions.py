@@ -1,0 +1,592 @@
+"""Discretized attribute spaces and hyper-rectangular regions.
+
+The naive-Bayes / clustering envelope algorithm (paper Section 3.2.2)
+operates on the grid of attribute-member combinations: each attribute is a
+*dimension* whose domain members are indexed ``0..n_d-1``, and candidate
+envelope pieces are axis-aligned *regions* — one member subset per dimension.
+
+Three dimension kinds cover the models in the paper:
+
+* :class:`CategoricalDimension` — an unordered discrete attribute (shrinking
+  may remove any member),
+* :class:`OrdinalDimension` — an ordered discrete attribute (shrinking may
+  only strip members from the two ends, keeping regions contiguous and hence
+  expressible as ranges),
+* :class:`BinnedDimension` — a continuous attribute discretized into bins by
+  cut points; region pieces compile to range predicates over the raw column.
+
+A :class:`Region` compiles to a conjunction of simple selection predicates
+via :meth:`Region.to_predicate`; a disjunction of regions is exactly the
+"upper envelope" shape the paper feeds to the relational optimizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.predicates import (
+    TRUE,
+    Comparison,
+    Interval,
+    Op,
+    Predicate,
+    Value,
+    conjunction,
+    disjunction,
+    equals,
+    in_set,
+)
+from repro.exceptions import RegionError, SchemaError
+
+
+class Dimension:
+    """One attribute of a discretized space; see module docstring."""
+
+    #: Attribute/column name this dimension describes.
+    name: str
+    #: Whether members carry an order the shrink step must respect.
+    ordered: bool
+
+    @property
+    def size(self) -> int:
+        """Number of members in the domain."""
+        raise NotImplementedError
+
+    def predicate_for(self, members: Sequence[int]) -> Predicate:
+        """A predicate on the raw column satisfied exactly by ``members``.
+
+        For :class:`BinnedDimension` "exactly" means: a raw value falls in
+        one of the listed bins.  ``members`` spanning the whole domain yield
+        ``TRUE``.
+        """
+        raise NotImplementedError
+
+    def member_for_value(self, value: Value) -> int:
+        """Map a raw column value to its member index.
+
+        Raises :class:`~repro.exceptions.RegionError` for values outside the
+        domain of a discrete dimension.
+        """
+        raise NotImplementedError
+
+    def member_label(self, member: int) -> str:
+        """Human-readable label of one member (for reports and repr)."""
+        raise NotImplementedError
+
+    def _check_member(self, member: int) -> None:
+        if not 0 <= member < self.size:
+            raise RegionError(
+                f"member {member} out of range for dimension "
+                f"{self.name!r} of size {self.size}"
+            )
+
+
+def _contiguous_runs(members: Sequence[int]) -> list[tuple[int, int]]:
+    """Split a sorted member sequence into inclusive ``(start, end)`` runs."""
+    runs: list[tuple[int, int]] = []
+    start = prev = members[0]
+    for member in members[1:]:
+        if member == prev + 1:
+            prev = member
+            continue
+        runs.append((start, prev))
+        start = prev = member
+    runs.append((start, prev))
+    return runs
+
+
+@dataclass(frozen=True)
+class CategoricalDimension(Dimension):
+    """Unordered discrete attribute with an explicit value domain."""
+
+    name: str
+    values: tuple[Value, ...]
+    ordered: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SchemaError(f"dimension {self.name!r} has an empty domain")
+        if len(set(self.values)) != len(self.values):
+            raise SchemaError(f"dimension {self.name!r} has duplicate values")
+        object.__setattr__(self, "_index", {v: i for i, v in enumerate(self.values)})
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    def predicate_for(self, members: Sequence[int]) -> Predicate:
+        for member in members:
+            self._check_member(member)
+        if len(set(members)) == self.size:
+            return TRUE
+        return in_set(self.name, [self.values[m] for m in members])
+
+    def member_for_value(self, value: Value) -> int:
+        index: Mapping[Value, int] = getattr(self, "_index")
+        try:
+            return index[value]
+        except KeyError:
+            raise RegionError(
+                f"value {value!r} not in domain of dimension {self.name!r}"
+            ) from None
+
+    def member_label(self, member: int) -> str:
+        self._check_member(member)
+        return str(self.values[member])
+
+
+@dataclass(frozen=True)
+class OrdinalDimension(Dimension):
+    """Ordered discrete attribute; values must be sorted ascending."""
+
+    name: str
+    values: tuple[Value, ...]
+    ordered: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SchemaError(f"dimension {self.name!r} has an empty domain")
+        if list(self.values) != sorted(set(self.values)):  # type: ignore[type-var]
+            raise SchemaError(
+                f"ordinal dimension {self.name!r} values must be strictly "
+                "ascending"
+            )
+        object.__setattr__(self, "_index", {v: i for i, v in enumerate(self.values)})
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    def predicate_for(self, members: Sequence[int]) -> Predicate:
+        for member in members:
+            self._check_member(member)
+        unique = sorted(set(members))
+        if len(unique) == self.size:
+            return TRUE
+        parts: list[Predicate] = []
+        for start, end in _contiguous_runs(unique):
+            if start == end:
+                parts.append(equals(self.name, self.values[start]))
+            else:
+                parts.append(
+                    Interval(self.name, self.values[start], self.values[end])
+                )
+        return disjunction(parts)
+
+    def member_for_value(self, value: Value) -> int:
+        index: Mapping[Value, int] = getattr(self, "_index")
+        try:
+            return index[value]
+        except KeyError:
+            raise RegionError(
+                f"value {value!r} not in domain of dimension {self.name!r}"
+            ) from None
+
+    def member_label(self, member: int) -> str:
+        self._check_member(member)
+        return str(self.values[member])
+
+
+@dataclass(frozen=True)
+class BinnedDimension(Dimension):
+    """Continuous attribute discretized into bins by ascending cut points.
+
+    With cuts ``c_0 < ... < c_{m-1}`` and optional outer bounds ``low`` /
+    ``high``, member ``i`` covers ``[edge_i, edge_{i+1})`` except the last
+    bin, which is closed on the right when ``high`` is finite.  Unbounded
+    outer bins keep envelopes sound for values beyond the training range.
+    """
+
+    name: str
+    cuts: tuple[float, ...]
+    low: float | None = None
+    high: float | None = None
+    ordered: bool = True
+
+    def __post_init__(self) -> None:
+        if list(self.cuts) != sorted(set(self.cuts)):
+            raise SchemaError(
+                f"binned dimension {self.name!r} cuts must be strictly "
+                "ascending"
+            )
+        if self.cuts:
+            if self.low is not None and self.low >= self.cuts[0]:
+                raise SchemaError(
+                    f"dimension {self.name!r}: low bound must precede cuts"
+                )
+            if self.high is not None and self.high <= self.cuts[-1]:
+                raise SchemaError(
+                    f"dimension {self.name!r}: high bound must follow cuts"
+                )
+        elif self.low is not None and self.high is not None:
+            if self.low >= self.high:
+                raise SchemaError(
+                    f"dimension {self.name!r}: low bound must precede high"
+                )
+
+    @property
+    def size(self) -> int:
+        return len(self.cuts) + 1
+
+    def edges(self) -> tuple[float | None, ...]:
+        """Bin edges including outer bounds (``None`` when unbounded)."""
+        return (self.low, *self.cuts, self.high)
+
+    def bounds(self, member: int) -> tuple[float | None, float | None]:
+        """Raw-value bounds of one bin (``None`` for an unbounded side)."""
+        self._check_member(member)
+        edges = self.edges()
+        return edges[member], edges[member + 1]
+
+    def representative(self, member: int) -> float:
+        """A point inside the bin (midpoint; edges when half-unbounded)."""
+        low, high = self.bounds(member)
+        if low is None and high is None:
+            return 0.0
+        if low is None:
+            assert high is not None
+            return float(high) - 1.0
+        if high is None:
+            return float(low) + 1.0
+        return (float(low) + float(high)) / 2.0
+
+    def predicate_for(self, members: Sequence[int]) -> Predicate:
+        unique = sorted(set(members))
+        for member in unique:
+            self._check_member(member)
+        if len(unique) == self.size:
+            return TRUE
+        parts: list[Predicate] = []
+        for start, end in _contiguous_runs(unique):
+            parts.append(self._run_predicate(start, end))
+        return disjunction(parts)
+
+    def _run_predicate(self, start: int, end: int) -> Predicate:
+        low, _ = self.bounds(start)
+        _, high = self.bounds(end)
+        last = end == self.size - 1
+        if low is None and high is None:
+            return TRUE
+        if low is None:
+            assert high is not None
+            op = Op.LE if last else Op.LT
+            return Comparison(self.name, op, high)
+        if high is None:
+            return Comparison(self.name, Op.GE, low)
+        return Interval(
+            self.name, low, high, low_closed=True, high_closed=last
+        )
+
+    def member_for_value(self, value: Value) -> int:
+        if not isinstance(value, (int, float)):
+            raise RegionError(
+                f"binned dimension {self.name!r} needs numeric values, "
+                f"got {value!r}"
+            )
+        number = float(value)
+        for i, cut in enumerate(self.cuts):
+            if number < cut:
+                return i
+        return len(self.cuts)
+
+    def member_label(self, member: int) -> str:
+        low, high = self.bounds(member)
+        lo = "-inf" if low is None else f"{low:g}"
+        hi = "+inf" if high is None else f"{high:g}"
+        return f"[{lo}, {hi})"
+
+
+@dataclass(frozen=True)
+class AttributeSpace:
+    """An ordered collection of dimensions defining the prediction grid."""
+
+    dimensions: tuple[Dimension, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dimensions:
+            raise SchemaError("attribute space needs at least one dimension")
+        names = [d.name for d in self.dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names in {names}")
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dimensions)
+
+    def dimension(self, name: str) -> Dimension:
+        for dim in self.dimensions:
+            if dim.name == name:
+                return dim
+        raise SchemaError(f"no dimension named {name!r}")
+
+    def cell_count(self) -> int:
+        """Total number of member combinations (the paper's ``prod n_d``)."""
+        return math.prod(d.size for d in self.dimensions)
+
+    def point_for_row(self, row: Mapping[str, Value]) -> tuple[int, ...]:
+        """Map a data row to its grid cell (member index per dimension)."""
+        return tuple(
+            dim.member_for_value(row[dim.name]) for dim in self.dimensions
+        )
+
+    def iter_cells(self, limit: int | None = None) -> Iterator[tuple[int, ...]]:
+        """Enumerate every grid cell, optionally guarded by ``limit``.
+
+        The guard exists because full enumeration is exactly what the paper's
+        naive algorithm does and what Algorithm 1 is designed to avoid; tests
+        and the enumeration baseline set an explicit limit.
+        """
+        if limit is not None and self.cell_count() > limit:
+            raise RegionError(
+                f"space has {self.cell_count()} cells, above limit {limit}"
+            )
+        ranges = [range(d.size) for d in self.dimensions]
+        return itertools.product(*ranges)
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned region: one non-empty member subset per dimension.
+
+    Member tuples are kept sorted and deduplicated; regions are immutable
+    value objects, so the envelope search can share them freely between the
+    split tree and the result list.
+    """
+
+    members: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        cleaned = []
+        for dim_members in self.members:
+            unique = tuple(sorted(set(dim_members)))
+            if not unique:
+                raise RegionError("region has an empty dimension; drop it")
+            cleaned.append(unique)
+        object.__setattr__(self, "members", tuple(cleaned))
+
+    @classmethod
+    def full(cls, space: AttributeSpace) -> "Region":
+        """The region covering the entire space."""
+        return cls(tuple(tuple(range(d.size)) for d in space.dimensions))
+
+    def cell_count(self) -> int:
+        return math.prod(len(m) for m in self.members)
+
+    def is_cell(self) -> bool:
+        """True when the region is a single grid cell."""
+        return all(len(m) == 1 for m in self.members)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        if len(point) != len(self.members):
+            raise RegionError(
+                f"point has {len(point)} coordinates, region has "
+                f"{len(self.members)} dimensions"
+            )
+        return all(p in dim for p, dim in zip(point, self.members))
+
+    def with_members(self, dim_index: int, members: Iterable[int]) -> "Region":
+        """A copy with dimension ``dim_index`` replaced by ``members``."""
+        new = list(self.members)
+        new[dim_index] = tuple(members)
+        return Region(tuple(new))
+
+    def split(
+        self, dim_index: int, left_members: Iterable[int]
+    ) -> tuple["Region", "Region"]:
+        """Partition along one dimension into (left, right) sub-regions."""
+        left_set = set(left_members)
+        current = self.members[dim_index]
+        left = [m for m in current if m in left_set]
+        right = [m for m in current if m not in left_set]
+        if not left or not right:
+            raise RegionError("split must leave both sides non-empty")
+        return (
+            self.with_members(dim_index, left),
+            self.with_members(dim_index, right),
+        )
+
+    def iter_cells(self, limit: int | None = None) -> Iterator[tuple[int, ...]]:
+        if limit is not None and self.cell_count() > limit:
+            raise RegionError(
+                f"region has {self.cell_count()} cells, above limit {limit}"
+            )
+        return itertools.product(*self.members)
+
+    def to_predicate(self, space: AttributeSpace) -> Predicate:
+        """Compile to a conjunction of simple predicates on raw columns.
+
+        Dimensions whose member set is the full domain contribute nothing;
+        a region covering the whole space compiles to ``TRUE``.
+        """
+        if len(self.members) != space.n_dims:
+            raise RegionError(
+                "region dimensionality does not match the attribute space"
+            )
+        parts: list[Predicate] = []
+        for dim, members in zip(space.dimensions, self.members):
+            if len(members) == dim.size:
+                continue
+            parts.append(dim.predicate_for(members))
+        return conjunction(parts)
+
+    def merged_with(self, other: "Region") -> "Region | None":
+        """Merge with ``other`` if they differ in at most one dimension.
+
+        Returns the union region, or ``None`` when the regions differ in two
+        or more dimensions (their union would not be a hyper-rectangle).
+        Used by the bottom-up merge pass of Algorithm 1.
+        """
+        if len(self.members) != len(other.members):
+            return None
+        diff_axis = -1
+        for axis, (mine, theirs) in enumerate(
+            zip(self.members, other.members)
+        ):
+            if mine != theirs:
+                if diff_axis >= 0:
+                    return None
+                diff_axis = axis
+        if diff_axis < 0:
+            return self
+        merged = sorted(
+            set(self.members[diff_axis]) | set(other.members[diff_axis])
+        )
+        return self.with_members(diff_axis, merged)
+
+    def describe(self, space: AttributeSpace) -> str:
+        """Compact human-readable rendering, e.g. ``d0:[2..3], d1:[0..1]``."""
+        parts = []
+        for dim, members in zip(space.dimensions, self.members):
+            if len(members) == dim.size:
+                continue
+            runs = _contiguous_runs(list(members))
+            rendered = ",".join(
+                f"{a}..{b}" if a != b else str(a) for a, b in runs
+            )
+            parts.append(f"{dim.name}:[{rendered}]")
+        return ", ".join(parts) if parts else "<full space>"
+
+
+def merge_regions(regions: Sequence[Region]) -> list[Region]:
+    """Iteratively merge region pairs differing in one dimension.
+
+    This is the paper's post-pass ("another iterative search for pairs of
+    non-sibling regions that can be merged"): repeat pairwise merging until a
+    fixpoint.  Input regions are assumed pairwise disjoint (as produced by
+    the split tree); merging preserves the covered cell set exactly.
+    """
+    current = list(regions)
+    merged_any = True
+    while merged_any and len(current) > 1:
+        merged_any = False
+        result: list[Region] = []
+        used = [False] * len(current)
+        for i, region in enumerate(current):
+            if used[i]:
+                continue
+            acc = region
+            for j in range(i + 1, len(current)):
+                if used[j]:
+                    continue
+                candidate = acc.merged_with(current[j])
+                if candidate is not None:
+                    acc = candidate
+                    used[j] = True
+                    merged_any = True
+            used[i] = True
+            result.append(acc)
+        current = result
+    return current
+
+
+def coarsen_regions(
+    regions: Sequence[Region],
+    max_regions: int,
+    member_weights: "Sequence | None" = None,
+) -> list[Region]:
+    """Reduce a region list to at most ``max_regions`` by union-merging.
+
+    Implements the paper's Section 4.2 disjunct thresholding soundly:
+    rather than dropping the envelope when it has too many disjuncts, the
+    pair of regions whose merged bounding box adds the least *volume* is
+    merged (per-dimension member union), repeatedly, until the budget is
+    met.  The result covers a superset of the input's cells, so the
+    envelope stays an upper envelope — it just gets looser and much cheaper
+    for the optimizer to reason about.
+
+    ``member_weights`` — one non-negative weight array per dimension (one
+    entry per member) — redefines a box's volume as the product over
+    dimensions of its members' summed weights.  The envelope deriver passes
+    the model's own marginal member masses, so coarsening preferentially
+    merges through *low-probability* space and barely dilutes the
+    envelope's data selectivity.  Without weights, volume is the cell count.
+    """
+    import numpy as _np
+
+    if max_regions < 1:
+        raise RegionError("max_regions must be >= 1")
+    if len(regions) <= max_regions:
+        return list(regions)
+    n_dims = len(regions[0].members)
+    sizes = [
+        max(r.members[d][-1] for r in regions) + 1 for d in range(n_dims)
+    ]
+    if member_weights is None:
+        weights = [_np.ones(size) for size in sizes]
+    else:
+        weights = [
+            _np.asarray(member_weights[d], dtype=float)[: sizes[d]]
+            if len(member_weights[d]) >= sizes[d]
+            else _np.ones(sizes[d])
+            for d in range(n_dims)
+        ]
+    # Boolean membership matrices, one per dimension.
+    membership = [
+        _np.zeros((len(regions), sizes[d]), dtype=bool)
+        for d in range(n_dims)
+    ]
+    for r, region in enumerate(regions):
+        for d, members in enumerate(region.members):
+            membership[d][r, list(members)] = True
+
+    alive = list(range(len(regions)))
+    while len(alive) > max_regions:
+        live = [membership[d][alive] for d in range(n_dims)]
+        own = _np.ones(len(alive))
+        for d in range(n_dims):
+            own *= live[d] @ weights[d]
+        best: tuple[float, int, int] | None = None
+        for i in range(len(alive) - 1):
+            union_volume = _np.ones(len(alive) - i - 1)
+            for d in range(n_dims):
+                union = live[d][i] | live[d][i + 1:]
+                union_volume *= union @ weights[d]
+            cost = union_volume - own[i] - own[i + 1:]
+            j_rel = int(cost.argmin())
+            candidate = (float(cost[j_rel]), i, i + 1 + j_rel)
+            if best is None or candidate[0] < best[0]:
+                best = candidate
+        assert best is not None
+        _, i, j = best
+        for d in range(n_dims):
+            membership[d][alive[i]] |= membership[d][alive[j]]
+        del alive[j]
+
+    result = []
+    for r in alive:
+        members = tuple(
+            tuple(_np.flatnonzero(membership[d][r]).tolist())
+            for d in range(n_dims)
+        )
+        result.append(Region(members))
+    return result
+
+
+def regions_to_predicate(
+    regions: Sequence[Region], space: AttributeSpace
+) -> Predicate:
+    """Disjunction of region predicates — the upper-envelope shape."""
+    return disjunction(r.to_predicate(space) for r in regions)

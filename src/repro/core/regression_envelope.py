@@ -1,0 +1,148 @@
+"""Upper envelopes for real-valued predictions (paper future work).
+
+The paper restricts itself to discrete predictions and names real-valued
+models as future work.  For piecewise-constant regressors (regression
+trees) the extension is exact, mirroring Section 3.1: a range mining
+predicate
+
+    M.prediction BETWEEN low AND high
+
+holds exactly on rows routed to leaves whose constant lies in the range,
+so the envelope is the OR over those leaves of their path conjunctions.
+:class:`PredictionBetween` plugs the new predicate form into the existing
+Section 4 rewrite machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.catalog import ModelCatalog
+from repro.core.envelope import UpperEnvelope
+from repro.core.normalize import simplify
+from repro.core.predicates import (
+    TRUE,
+    Predicate,
+    conjunction,
+    disjunction,
+)
+from repro.core.rewrite import MiningPredicate
+from repro.exceptions import EnvelopeError, RewriteError
+from repro.mining.base import Row
+from repro.mining.regression_tree import (
+    RegressionTreeModel,
+    iter_regression_leaves,
+)
+
+
+def regression_range_envelope(
+    model: RegressionTreeModel,
+    low: float | None,
+    high: float | None,
+    simplify_result: bool = True,
+) -> UpperEnvelope:
+    """Exact envelope of ``low <= prediction <= high``.
+
+    Either bound may be ``None`` (one-sided range).  The label used on the
+    returned envelope is the rendered range.
+    """
+    if low is None and high is None:
+        raise EnvelopeError("range envelope needs at least one bound")
+    started = time.perf_counter()
+    disjuncts: list[Predicate] = []
+    for conditions, leaf in iter_regression_leaves(model.root):
+        if low is not None and leaf.value < low:
+            continue
+        if high is not None and leaf.value > high:
+            continue
+        disjuncts.append(conjunction(conditions))
+    predicate = disjunction(disjuncts)
+    if simplify_result:
+        predicate = simplify(predicate)
+    label = f"[{low if low is not None else '-inf'}, " \
+            f"{high if high is not None else '+inf'}]"
+    return UpperEnvelope(
+        model_name=model.name,
+        model_kind=model.kind,
+        class_label=label,
+        predicate=predicate,
+        exact=True,
+        seconds=time.perf_counter() - started,
+        derivation="tree-paths",
+    )
+
+
+@dataclass(frozen=True)
+class PredictionBetween(MiningPredicate):
+    """``low <= model.prediction_column <= high`` for a regression model.
+
+    The envelope is derived on demand from the registered model's content
+    (leaf constants are part of the model, not the catalog's per-class
+    store, since ranges are unbounded in number).
+    """
+
+    model_name: str
+    low: float | None = None
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.low is None and self.high is None:
+            raise RewriteError("PredictionBetween needs at least one bound")
+        if (
+            self.low is not None
+            and self.high is not None
+            and self.low > self.high
+        ):
+            raise RewriteError("PredictionBetween range is empty")
+
+    def models(self) -> tuple[str, ...]:
+        return (self.model_name,)
+
+    def evaluate(self, row: Row, catalog: ModelCatalog) -> bool:
+        value = catalog.model(self.model_name).predict(row)
+        if not isinstance(value, (int, float)):
+            raise RewriteError(
+                f"model {self.model_name!r} does not predict numbers"
+            )
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def envelope(
+        self,
+        catalog: ModelCatalog,
+        relational_predicate: Predicate = TRUE,
+    ) -> Predicate:
+        model = catalog.model(self.model_name)
+        if not isinstance(model, RegressionTreeModel):
+            raise RewriteError(
+                "PredictionBetween requires a regression tree; "
+                f"{self.model_name!r} is {type(model).__name__}"
+            )
+        return regression_range_envelope(model, self.low, self.high).predicate
+
+    def describe(self) -> str:
+        return (
+            f"{self.model_name}.prediction in "
+            f"[{self.low if self.low is not None else '-inf'}, "
+            f"{self.high if self.high is not None else '+inf'}]"
+        )
+
+
+def register_regression_model(
+    catalog: ModelCatalog, model: RegressionTreeModel
+) -> None:
+    """Register a regression tree with per-leaf-value atomic envelopes.
+
+    Each distinct leaf constant gets an exact envelope (the degenerate
+    range ``[v, v]``), so equality mining predicates on the predicted value
+    also work through the standard catalog path.
+    """
+    envelopes = {}
+    for value in model.class_labels:
+        assert isinstance(value, float)
+        envelopes[value] = regression_range_envelope(model, value, value)
+    catalog.register(model, envelopes=envelopes)

@@ -1,0 +1,88 @@
+"""Upper envelopes for rule-based classifiers (paper Section 3.1).
+
+"The upper envelope of each class c is just the disjunction of the body of
+all rules where c is the head."  With an *ordered* rule list the envelope is
+generally not exact: a row matching a class-``c`` body may be claimed by an
+earlier rule of another class.  The default class needs the complement of
+all non-default bodies ORed in, since any uncovered row falls through to it.
+
+The paper notes the envelope "may be possible to tighten ... by exploiting
+the knowledge of the resolution procedure"; :func:`rule_envelope` implements
+that tightening as an option: the body of each class-``c`` rule is ANDed
+with the negation of all *earlier* rules of other classes, which makes the
+envelope exact for sequential resolution at the cost of more atoms.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.envelope import UpperEnvelope
+from repro.core.normalize import simplify, to_nnf
+from repro.core.predicates import (
+    Predicate,
+    Value,
+    conjunction,
+    disjunction,
+    negate,
+)
+from repro.mining.rules import RuleSetModel
+
+
+def rule_envelope(
+    model: RuleSetModel,
+    class_label: Value,
+    tighten: bool = False,
+    simplify_result: bool = True,
+) -> UpperEnvelope:
+    """Envelope of ``class_label`` from rule bodies.
+
+    Without ``tighten`` this is the plain Section 3.1 disjunction (an upper
+    envelope, possibly loose).  With ``tighten`` the sequential resolution
+    order is encoded, yielding an exact envelope.
+    """
+    started = time.perf_counter()
+    disjuncts: list[Predicate] = []
+    blockers: list[Predicate] = []  # bodies of earlier other-class rules
+    for rule in model.rules:
+        body = rule.body_predicate()
+        if rule.head == class_label:
+            if tighten and blockers:
+                guarded = conjunction(
+                    [body] + [to_nnf(negate(b)) for b in blockers]
+                )
+                disjuncts.append(guarded)
+            else:
+                disjuncts.append(body)
+        else:
+            blockers.append(body)
+    if class_label == model.default_label:
+        # Any row matching no rule at all falls through to the default.
+        fallthrough = conjunction(
+            to_nnf(negate(rule.body_predicate())) for rule in model.rules
+        )
+        disjuncts.append(fallthrough)
+    predicate = disjunction(disjuncts)
+    if simplify_result:
+        predicate = simplify(predicate)
+    return UpperEnvelope(
+        model_name=model.name,
+        model_kind=model.kind,
+        class_label=class_label,
+        predicate=predicate,
+        exact=tighten,
+        seconds=time.perf_counter() - started,
+        derivation="rule-bodies",
+    )
+
+
+def rule_envelopes(
+    model: RuleSetModel, tighten: bool = False, simplify_result: bool = True
+) -> dict[Value, UpperEnvelope]:
+    """Envelopes for every class label of the rule set."""
+    return {
+        label: rule_envelope(
+            model, label, tighten=tighten, simplify_result=simplify_result
+        )
+        for label in model.class_labels
+    }

@@ -1,0 +1,65 @@
+"""Exact upper envelopes for decision trees (paper Section 3.1).
+
+"We extract the upper envelope for a class c by ANDing the test conditions
+on the path from the root to each leaf of the class and ORing them together.
+Clearly, this envelope is exact."
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.envelope import UpperEnvelope
+from repro.core.normalize import simplify
+from repro.core.predicates import Predicate, Value, conjunction, disjunction
+from repro.exceptions import EnvelopeError
+from repro.mining.decision_tree import DecisionTreeModel, iter_leaves
+
+
+def tree_envelope(
+    model: DecisionTreeModel,
+    class_label: Value,
+    simplify_result: bool = True,
+) -> UpperEnvelope:
+    """The exact envelope of ``class_label``: OR over its leaves' paths.
+
+    ``simplify_result`` folds redundant comparisons accumulated along a path
+    (e.g. ``age > 30 AND age > 50``) into minimal range atoms; the envelope
+    stays exact because simplification is meaning-preserving.
+
+    A label the tree never predicts gets the FALSE envelope — the optimizer
+    then answers the query with a constant scan.
+    """
+    if class_label not in model.class_labels:
+        # Permitted: the catalog derives envelopes for the full declared
+        # label domain, which may exceed the labels surviving in the tree.
+        pass
+    started = time.perf_counter()
+    paths: list[Predicate] = []
+    for conditions, leaf in iter_leaves(model.root):
+        if leaf.label == class_label:
+            paths.append(conjunction(conditions))
+    predicate = disjunction(paths)
+    if simplify_result:
+        predicate = simplify(predicate)
+    return UpperEnvelope(
+        model_name=model.name,
+        model_kind=model.kind,
+        class_label=class_label,
+        predicate=predicate,
+        exact=True,
+        seconds=time.perf_counter() - started,
+        derivation="tree-paths",
+    )
+
+
+def tree_envelopes(
+    model: DecisionTreeModel, simplify_result: bool = True
+) -> dict[Value, UpperEnvelope]:
+    """Envelopes for every class label of the tree."""
+    if not model.class_labels:
+        raise EnvelopeError("decision tree has no class labels")
+    return {
+        label: tree_envelope(model, label, simplify_result=simplify_result)
+        for label in model.class_labels
+    }

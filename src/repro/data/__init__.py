@@ -1,0 +1,26 @@
+"""Synthetic replicas of the paper's evaluation datasets (Table 2)."""
+
+from repro.data.expansion import doubled_size, doubling_factor, expand_rows
+from repro.data.generators import Dataset, class_label, generate, generate_all
+from repro.data.specs import (
+    DATASETS,
+    AttributeKind,
+    AttributeSpec,
+    DatasetSpec,
+    dataset_spec,
+)
+
+__all__ = [
+    "AttributeKind",
+    "AttributeSpec",
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "class_label",
+    "dataset_spec",
+    "doubled_size",
+    "doubling_factor",
+    "expand_rows",
+    "generate",
+    "generate_all",
+]

@@ -1,0 +1,47 @@
+"""Repeated-doubling test-set expansion (paper Section 5.1).
+
+"We generated the test data set ... by repeatedly doubling all available
+data until the total number of rows in the data set exceeded 1 million rows.
+This way, the data distribution of each column (and hence selectivity of
+predicates on the column) in the test data set is the same as in the
+training data set."
+
+:func:`expand_rows` streams the doubled rows so million-row tables can be
+loaded into SQLite without materializing them in memory;
+:func:`doubled_size` reports the row count the doubling produces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.exceptions import SchemaError
+from repro.mining.base import Row
+
+
+def doubling_factor(base: int, target: int) -> int:
+    """Number of copies (a power of two) needed to exceed ``target`` rows."""
+    if base < 1:
+        raise SchemaError("base row count must be >= 1")
+    if target < 1:
+        raise SchemaError("target row count must be >= 1")
+    copies = 1
+    while base * copies < target:
+        copies *= 2
+    return copies
+
+
+def doubled_size(base: int, target: int) -> int:
+    """Total rows after repeated doubling past ``target``."""
+    return base * doubling_factor(base, target)
+
+
+def expand_rows(rows: Sequence[Row], target: int) -> Iterator[Row]:
+    """Yield the training rows repeatedly doubled past ``target`` rows.
+
+    Row dictionaries are yielded by reference (they are treated as
+    immutable throughout the library), so expansion is O(1) extra memory.
+    """
+    copies = doubling_factor(len(rows), target)
+    for _ in range(copies):
+        yield from rows

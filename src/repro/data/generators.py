@@ -1,0 +1,450 @@
+"""Synthetic dataset generation for the Table 2 replicas.
+
+Each :class:`~repro.data.specs.DatasetSpec` names a generator:
+
+* ``class_conditional`` — the generic replica: classes are drawn from the
+  spec's priors, then each attribute is sampled from a class-conditional
+  distribution (per-class multinomials for discrete kinds, per-class
+  Gaussians for numeric kinds).  The ``separation`` knob controls how
+  distinct the class-conditional distributions are, i.e. how learnable the
+  classes are and how region-like they look to the envelope algorithms.
+* ``balance_scale`` — the deterministic torque rule of the original UCI
+  Balance-Scale data.
+* ``parity`` — Parity5+5: the label is the parity of bits 0..4, bits 5..9
+  are irrelevant (the classic hard case for naive Bayes, which is why the
+  paper's NB results on Parity are weak — ours reproduce that).
+* ``noisy_threshold`` — the Chess (kr-vs-kp) replica: a fixed random linear
+  threshold over 36 binary features with label noise.
+
+All generation is vectorized numpy on a seeded generator; the same
+``(name, train_size, seed)`` always produces the same rows.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.predicates import Value
+from repro.data.specs import (
+    AttributeKind,
+    AttributeSpec,
+    DatasetSpec,
+    dataset_spec,
+)
+from repro.exceptions import SchemaError
+from repro.mining.base import Row
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A generated dataset: spec plus materialized training rows."""
+
+    spec: DatasetSpec
+    seed: int
+    train_rows: tuple[Row, ...]
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def feature_columns(self) -> tuple[str, ...]:
+        return self.spec.feature_columns
+
+    @property
+    def target_column(self) -> str:
+        return self.spec.target_column
+
+    @property
+    def class_labels(self) -> tuple[Value, ...]:
+        return tuple(
+            sorted({row[self.target_column] for row in self.train_rows}, key=str)
+        )
+
+
+def class_label(index: int) -> str:
+    """Stable class-label naming used by the generic generator."""
+    return f"class_{index:02d}"
+
+
+def generate(
+    name: str | DatasetSpec,
+    train_size: int | None = None,
+    seed: int = 0,
+) -> Dataset:
+    """Generate a dataset by name (or explicit spec).
+
+    ``train_size`` overrides the spec's training size — the benchmarks use
+    this to scale the heavyweight datasets (Shuttle, KDD) down while keeping
+    their schema and skew.
+    """
+    spec = name if isinstance(name, DatasetSpec) else dataset_spec(name)
+    size = train_size if train_size is not None else spec.train_size
+    if size < 1:
+        raise SchemaError("train_size must be >= 1")
+    try:
+        generator = _GENERATORS[spec.generator]
+    except KeyError:
+        raise SchemaError(
+            f"dataset {spec.name!r} names unknown generator "
+            f"{spec.generator!r}"
+        ) from None
+    rng = np.random.default_rng(_dataset_seed(spec.name, seed))
+    columns = generator(spec, size, rng)
+    rows = _columns_to_rows(spec, columns, size)
+    return Dataset(spec=spec, seed=seed, train_rows=tuple(rows))
+
+
+def _dataset_seed(name: str, seed: int) -> int:
+    """Mix the dataset name into the seed so datasets are decorrelated.
+
+    Uses crc32 rather than ``hash`` so the same ``(name, seed)`` produces
+    the same data in every process (``hash`` is salted per interpreter).
+    """
+    return (zlib.crc32(name.encode()) & 0xFFFF_FFFF) ^ (
+        seed * 0x9E37_79B9 & 0xFFFF_FFFF
+    )
+
+
+def _columns_to_rows(
+    spec: DatasetSpec,
+    columns: dict[str, list[Value]],
+    size: int,
+) -> list[Row]:
+    names = list(spec.feature_columns) + [spec.target_column]
+    for column in names:
+        if column not in columns or len(columns[column]) != size:
+            raise SchemaError(
+                f"generator for {spec.name!r} produced a bad column "
+                f"{column!r}"
+            )
+    series = [columns[c] for c in names]
+    return [dict(zip(names, values)) for values in zip(*series)]
+
+
+# ---------------------------------------------------------------------------
+# Generic class-conditional generator
+# ---------------------------------------------------------------------------
+
+
+def _normalized_priors(spec: DatasetSpec, rng: np.random.Generator) -> np.ndarray:
+    if spec.class_priors:
+        priors = np.asarray(spec.class_priors, dtype=float)
+    else:
+        # Near-uniform with mild random variation so no two classes have
+        # identical selectivity.
+        priors = 1.0 + 0.3 * rng.random(spec.n_classes)
+    return priors / priors.sum()
+
+
+def _sample_class_conditional(
+    spec: DatasetSpec, size: int, rng: np.random.Generator
+) -> dict[str, list[Value]]:
+    """Signature-attribute class structure.
+
+    UCI-style classes are concentrated in a few *signature* attributes
+    (sensor thresholds in Shuttle, a handful of shape moments in Letter)
+    and look like background noise elsewhere.  Each class therefore draws a
+    small signature set: on those attributes its values sit in a narrow,
+    class-specific band; every other attribute follows one background
+    distribution shared by all classes.  This is what makes the original
+    datasets amenable to axis-aligned envelopes — and what the replicas
+    must preserve for the Section 5 experiments to exercise the same
+    regime.
+    """
+    priors = _normalized_priors(spec, rng)
+    assignments = rng.choice(spec.n_classes, size=size, p=priors)
+    columns: dict[str, list[Value]] = {
+        spec.target_column: [class_label(k) for k in assignments.tolist()]
+    }
+    n_attrs = len(spec.attributes)
+    signature_size = max(1, min(3, n_attrs // 2))
+    signatures = [
+        set(rng.choice(n_attrs, size=signature_size, replace=False).tolist())
+        for _ in range(spec.n_classes)
+    ]
+    for position, attribute in enumerate(spec.attributes):
+        signature_classes = {
+            k for k in range(spec.n_classes) if position in signatures[k]
+        }
+        columns[attribute.name] = _sample_attribute(
+            attribute, assignments, spec, rng, signature_classes
+        )
+    return columns
+
+
+def _sample_attribute(
+    attribute: AttributeSpec,
+    assignments: np.ndarray,
+    spec: DatasetSpec,
+    rng: np.random.Generator,
+    signature_classes: set[int],
+) -> list[Value]:
+    size = len(assignments)
+    separation = spec.separation
+    signature_mask = np.isin(
+        assignments, np.array(sorted(signature_classes), dtype=int)
+    ) if signature_classes else np.zeros(size, dtype=bool)
+
+    if attribute.kind is AttributeKind.BINARY:
+        # Background rate shared by all classes; signature classes commit
+        # strongly to one of the two values.
+        background = rng.uniform(0.35, 0.65)
+        rates = np.full(spec.n_classes, background)
+        for k in signature_classes:
+            rates[k] = 0.06 if rng.random() < 0.5 else 0.94
+        draws = rng.random(size) < rates[assignments]
+        return draws.astype(int).tolist()
+
+    if attribute.kind in (AttributeKind.CATEGORICAL, AttributeKind.ORDINAL):
+        cardinality = attribute.cardinality
+        background = rng.dirichlet(np.full(cardinality, 4.0))
+        tables = np.tile(background, (spec.n_classes, 1))
+        for k in signature_classes:
+            # A sharp class-specific mode over one or two members.
+            sharp = rng.dirichlet(np.full(cardinality, 0.25))
+            tables[k] = 0.9 * sharp + 0.1 * background
+        values = np.empty(size, dtype=int)
+        for k in range(spec.n_classes):
+            mask = assignments == k
+            count = int(mask.sum())
+            if count:
+                values[mask] = rng.choice(
+                    cardinality, size=count, p=tables[k]
+                )
+        if attribute.kind is AttributeKind.CATEGORICAL:
+            domain = [f"{attribute.name}_v{i}" for i in range(cardinality)]
+            return [domain[v] for v in values.tolist()]
+        return (values + 1).tolist()  # ordinal domains start at 1
+
+    # Numeric kinds: shared wide background, narrow class bands on
+    # signature attributes.
+    span = attribute.high - attribute.low
+    background_mean = attribute.low + span * rng.uniform(0.3, 0.7)
+    background_sigma = span / 4.0
+    means = np.full(spec.n_classes, background_mean)
+    sigmas = np.full(spec.n_classes, background_sigma)
+    for k in signature_classes:
+        means[k] = attribute.low + span * rng.random()
+        sigmas[k] = span / (4.0 * separation + 2.0)
+    raw = (
+        means[assignments]
+        + sigmas[assignments] * rng.standard_normal(size)
+    )
+    clipped = np.clip(raw, attribute.low, attribute.high)
+    if attribute.kind is AttributeKind.INTEGER:
+        return np.rint(clipped).astype(int).tolist()
+    return np.round(clipped, 4).tolist()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic / structured generators
+# ---------------------------------------------------------------------------
+
+
+def _sample_balance_scale(
+    spec: DatasetSpec, size: int, rng: np.random.Generator
+) -> dict[str, list[Value]]:
+    values = {
+        name: rng.integers(1, 6, size=size) for name in spec.feature_columns
+    }
+    left = values["left_weight"] * values["left_distance"]
+    right = values["right_weight"] * values["right_distance"]
+    labels = np.where(left > right, "L", np.where(right > left, "R", "B"))
+    columns: dict[str, list[Value]] = {
+        name: array.tolist() for name, array in values.items()
+    }
+    columns[spec.target_column] = labels.tolist()
+    return columns
+
+
+def _sample_parity(
+    spec: DatasetSpec, size: int, rng: np.random.Generator
+) -> dict[str, list[Value]]:
+    bits = rng.integers(0, 2, size=(size, len(spec.feature_columns)))
+    parity = bits[:, :5].sum(axis=1) % 2
+    columns: dict[str, list[Value]] = {
+        name: bits[:, i].tolist()
+        for i, name in enumerate(spec.feature_columns)
+    }
+    columns[spec.target_column] = [
+        "odd" if p else "even" for p in parity.tolist()
+    ]
+    return columns
+
+
+def _sample_noisy_threshold(
+    spec: DatasetSpec, size: int, rng: np.random.Generator
+) -> dict[str, list[Value]]:
+    n_features = len(spec.feature_columns)
+    bits = rng.integers(0, 2, size=(size, n_features))
+    weights = rng.standard_normal(n_features)
+    # Only a third of the features carry signal, as in kr-vs-kp where a few
+    # board predicates dominate.
+    mask = np.zeros(n_features)
+    signal = rng.choice(n_features, size=max(3, n_features // 3), replace=False)
+    mask[signal] = 1.0
+    scores = (bits - 0.5) @ (weights * mask)
+    noise = 0.15 * rng.standard_normal(size)
+    labels = np.where(scores + noise > 0, "won", "nowin")
+    columns: dict[str, list[Value]] = {
+        name: bits[:, i].tolist()
+        for i, name in enumerate(spec.feature_columns)
+    }
+    columns[spec.target_column] = labels.tolist()
+    return columns
+
+
+def _sample_grid_classes(
+    spec: DatasetSpec, size: int, rng: np.random.Generator
+) -> dict[str, list[Value]]:
+    """Many-class replica: classes live on a grid of a few anchor attributes.
+
+    Used for Letter: each class occupies a compact cell in the space of the
+    first four numeric attributes (as letter classes occupy compact regions
+    of a few dominant shape moments), while the remaining attributes are
+    shared background.  This is the structure that gives the original
+    dataset its high plan-change bars in the paper's Figures 3-5: every
+    class is a small, axis-describable region.
+    """
+    priors = _normalized_priors(spec, rng)
+    assignments = rng.choice(spec.n_classes, size=size, p=priors)
+    columns: dict[str, list[Value]] = {
+        spec.target_column: [class_label(k) for k in assignments.tolist()]
+    }
+    n_anchors = min(4, max(2, len(spec.attributes) // 2))
+    grid = int(np.ceil(spec.n_classes ** (1.0 / n_anchors)))
+    # Class k's grid coordinates in the anchor subspace.
+    coordinates = np.empty((spec.n_classes, n_anchors), dtype=int)
+    for k in range(spec.n_classes):
+        remainder = k
+        for a in range(n_anchors):
+            coordinates[k, a] = remainder % grid
+            remainder //= grid
+    centers: list[np.ndarray] = []
+    sigmas: list[float] = []
+    for a in range(n_anchors):
+        attribute = spec.attributes[a]
+        span = attribute.high - attribute.low
+        centers.append(
+            attribute.low + span * (coordinates[:, a] + 0.5) / grid
+        )
+        sigmas.append(span / (3.5 * grid))
+    for position, attribute in enumerate(spec.attributes):
+        if position < n_anchors:
+            raw = (
+                centers[position][assignments]
+                + sigmas[position] * rng.standard_normal(size)
+            )
+        else:
+            # Class-independent shared background: the anchors carry all of
+            # the class signal.  (Even mild class drift here would defeat
+            # axis-aligned envelope derivation — the per-dimension corner
+            # slack of a dozen weakly-informative attributes adds up to
+            # more than the anchors' log-probability penalty.)
+            span = attribute.high - attribute.low
+            raw = (
+                attribute.low
+                + span * 0.5
+                + (span / 4.0) * rng.standard_normal(size)
+            )
+        clipped = np.clip(raw, attribute.low, attribute.high)
+        if attribute.kind is AttributeKind.INTEGER:
+            columns[attribute.name] = np.rint(clipped).astype(int).tolist()
+        else:
+            columns[attribute.name] = np.round(clipped, 4).tolist()
+    return columns
+
+
+def _sample_network_traffic(
+    spec: DatasetSpec, size: int, rng: np.random.Generator
+) -> dict[str, list[Value]]:
+    """KDD-Cup-99 replica: attack classes follow protocol/service.
+
+    In the real data the big attack classes are nearly determined by a few
+    categorical columns (smurf = icmp/ecr_i, neptune = tcp SYN floods, ...)
+    plus traffic-volume bands.  The replica assigns each class a dominant
+    protocol and service (with small leakage), plus class-banded ``count``
+    and ``src_bytes``; the remaining columns are shared background.
+    """
+    priors = _normalized_priors(spec, rng)
+    assignments = rng.choice(spec.n_classes, size=size, p=priors)
+    columns: dict[str, list[Value]] = {
+        spec.target_column: [class_label(k) for k in assignments.tolist()]
+    }
+    by_name = {a.name: a for a in spec.attributes}
+    protocol_domain = [
+        f"protocol_v{i}" for i in range(by_name["protocol"].cardinality)
+    ]
+    service_domain = [
+        f"service_v{i}" for i in range(by_name["service"].cardinality)
+    ]
+    class_protocol = rng.integers(0, len(protocol_domain), spec.n_classes)
+    class_service = (
+        np.arange(spec.n_classes) * 7 + rng.integers(0, 3, spec.n_classes)
+    ) % len(service_domain)
+    leak = rng.random(size)
+    protocols = np.where(
+        leak < 0.92,
+        class_protocol[assignments],
+        rng.integers(0, len(protocol_domain), size),
+    )
+    services = np.where(
+        leak < 0.88,
+        class_service[assignments],
+        rng.integers(0, len(service_domain), size),
+    )
+    for position, attribute in enumerate(spec.attributes):
+        if attribute.name == "protocol":
+            columns["protocol"] = [protocol_domain[p] for p in protocols.tolist()]
+            continue
+        if attribute.name == "service":
+            columns["service"] = [service_domain[s] for s in services.tolist()]
+            continue
+        if attribute.name in ("count", "src_bytes"):
+            span = attribute.high - attribute.low
+            band = attribute.low + span * rng.random(spec.n_classes)
+            raw = band[assignments] + (span / 10.0) * rng.standard_normal(size)
+            columns[attribute.name] = np.round(
+                np.clip(raw, attribute.low, attribute.high), 4
+            ).tolist()
+            continue
+        columns[attribute.name] = _sample_attribute(
+            attribute, assignments, spec, rng, signature_classes=set()
+        )
+    return columns
+
+
+_GENERATORS: dict[
+    str, Callable[[DatasetSpec, int, np.random.Generator], dict[str, list[Value]]]
+] = {
+    "class_conditional": _sample_class_conditional,
+    "balance_scale": _sample_balance_scale,
+    "parity": _sample_parity,
+    "noisy_threshold": _sample_noisy_threshold,
+    "grid_classes": _sample_grid_classes,
+    "network_traffic": _sample_network_traffic,
+}
+
+
+def generate_all(
+    train_scale: float = 1.0,
+    max_train: int | None = None,
+    seed: int = 0,
+    names: Sequence[str] | None = None,
+) -> list[Dataset]:
+    """Generate every (or the named) Table 2 dataset, optionally scaled."""
+    from repro.data.specs import DATASETS
+
+    datasets = []
+    for name in names if names is not None else DATASETS:
+        spec = dataset_spec(name)
+        size = max(1, int(spec.train_size * train_scale))
+        if max_train is not None:
+            size = min(size, max_train)
+        datasets.append(generate(spec, train_size=size, seed=seed))
+    return datasets

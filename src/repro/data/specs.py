@@ -1,0 +1,324 @@
+"""Specifications of the ten evaluation datasets (paper Table 2).
+
+The paper evaluates on 9 UCI datasets plus KDD-Cup-99.  This environment
+has no network access, so each dataset is replaced by a *synthetic replica*
+that preserves what the experiments actually exercise (see DESIGN.md):
+
+* the attribute schema shape — how many attributes, of which kinds
+  (binary / categorical / ordinal / continuous), with which domain sizes,
+* the number of classes and clusters (Table 2's columns),
+* the class-prior skew — rare classes are what make envelope predicates
+  selective, so replicas of skewed datasets (Hypothyroid, Shuttle, KDD)
+  use the published class-distribution shapes,
+* the training-set size, and the repeated-doubling test expansion.
+
+Two datasets are deterministic functions in the original and are replicated
+exactly: Balance-Scale (torque comparison) and Parity5+5 (parity of five of
+ten bits).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import SchemaError
+
+
+class AttributeKind(enum.Enum):
+    """Schema kinds used by the synthetic generators."""
+
+    BINARY = "binary"          # integer 0/1
+    CATEGORICAL = "categorical"  # strings from a small domain
+    ORDINAL = "ordinal"        # small-domain integers with order
+    INTEGER = "integer"        # wider-range integers
+    REAL = "real"              # continuous
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute of a synthetic dataset."""
+
+    name: str
+    kind: AttributeKind
+    #: Domain size for BINARY/CATEGORICAL/ORDINAL/INTEGER kinds.
+    cardinality: int = 2
+    #: Value range for INTEGER/REAL kinds.
+    low: float = 0.0
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind in (
+            AttributeKind.CATEGORICAL,
+            AttributeKind.ORDINAL,
+        ) and self.cardinality < 2:
+            raise SchemaError(
+                f"attribute {self.name!r} needs cardinality >= 2"
+            )
+        if self.low >= self.high and self.kind in (
+            AttributeKind.INTEGER,
+            AttributeKind.REAL,
+        ):
+            raise SchemaError(f"attribute {self.name!r} has an empty range")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Schema + size + skew description of one Table 2 dataset."""
+
+    name: str
+    attributes: tuple[AttributeSpec, ...]
+    n_classes: int
+    n_clusters: int
+    train_size: int
+    #: Paper's Table 2 test size, in millions of rows.
+    paper_test_size_millions: float
+    #: Class priors (length ``n_classes``); empty means near-uniform.
+    class_priors: tuple[float, ...] = ()
+    #: Generator registered in :mod:`repro.data.generators`.
+    generator: str = "class_conditional"
+    #: How strongly class-conditional distributions separate classes.
+    separation: float = 2.0
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError(f"dataset {self.name!r} has no attributes")
+        if self.class_priors and len(self.class_priors) != self.n_classes:
+            raise SchemaError(
+                f"dataset {self.name!r}: priors must match n_classes"
+            )
+
+    @property
+    def feature_columns(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def target_column(self) -> str:
+        return "label"
+
+
+def _binary_attrs(prefix: str, count: int) -> tuple[AttributeSpec, ...]:
+    return tuple(
+        AttributeSpec(f"{prefix}{i}", AttributeKind.BINARY)
+        for i in range(count)
+    )
+
+
+ANNEAL_U = DatasetSpec(
+    name="anneal_u",
+    attributes=(
+        AttributeSpec("family", AttributeKind.CATEGORICAL, cardinality=5),
+        AttributeSpec("product_type", AttributeKind.CATEGORICAL, cardinality=3),
+        AttributeSpec("steel", AttributeKind.CATEGORICAL, cardinality=6),
+        AttributeSpec("hardness", AttributeKind.ORDINAL, cardinality=5),
+        AttributeSpec("condition", AttributeKind.CATEGORICAL, cardinality=3),
+        AttributeSpec("formability", AttributeKind.ORDINAL, cardinality=5),
+        AttributeSpec("carbon", AttributeKind.REAL, low=0.0, high=1.0),
+        AttributeSpec("strength", AttributeKind.REAL, low=0.0, high=900.0),
+        AttributeSpec("thickness", AttributeKind.REAL, low=0.2, high=4.0),
+        AttributeSpec("width", AttributeKind.REAL, low=20.0, high=1700.0),
+    ),
+    n_classes=6,
+    n_clusters=6,
+    train_size=598,
+    paper_test_size_millions=1.83,
+    class_priors=(0.60, 0.18, 0.10, 0.06, 0.04, 0.02),
+    notes="Steel annealing; skewed classes, mixed attribute kinds.",
+)
+
+BALANCE_SCALE = DatasetSpec(
+    name="balance_scale",
+    attributes=(
+        AttributeSpec("left_weight", AttributeKind.ORDINAL, cardinality=5),
+        AttributeSpec("left_distance", AttributeKind.ORDINAL, cardinality=5),
+        AttributeSpec("right_weight", AttributeKind.ORDINAL, cardinality=5),
+        AttributeSpec("right_distance", AttributeKind.ORDINAL, cardinality=5),
+    ),
+    n_classes=3,
+    n_clusters=5,
+    train_size=416,
+    paper_test_size_millions=1.28,
+    generator="balance_scale",
+    notes="Deterministic torque comparison: L, B, R.",
+)
+
+CHESS = DatasetSpec(
+    name="chess",
+    attributes=_binary_attrs("b", 36),
+    n_classes=2,
+    n_clusters=5,
+    train_size=2130,
+    paper_test_size_millions=1.63,
+    generator="noisy_threshold",
+    class_priors=(0.52, 0.48),
+    notes="kr-vs-kp replica: 36 binary features, near-balanced classes.",
+)
+
+DIABETES = DatasetSpec(
+    name="diabetes",
+    attributes=(
+        AttributeSpec("pregnancies", AttributeKind.INTEGER, cardinality=17, low=0, high=17),
+        AttributeSpec("glucose", AttributeKind.REAL, low=40.0, high=200.0),
+        AttributeSpec("blood_pressure", AttributeKind.REAL, low=30.0, high=120.0),
+        AttributeSpec("skin_thickness", AttributeKind.REAL, low=5.0, high=60.0),
+        AttributeSpec("insulin", AttributeKind.REAL, low=10.0, high=600.0),
+        AttributeSpec("bmi", AttributeKind.REAL, low=15.0, high=60.0),
+        AttributeSpec("pedigree", AttributeKind.REAL, low=0.05, high=2.5),
+        AttributeSpec("age", AttributeKind.REAL, low=21.0, high=81.0),
+    ),
+    n_classes=2,
+    n_clusters=5,
+    train_size=512,
+    paper_test_size_millions=1.57,
+    class_priors=(0.65, 0.35),
+    notes="Pima diabetes replica: 8 continuous attributes.",
+)
+
+HYPOTHYROID = DatasetSpec(
+    name="hypothyroid",
+    attributes=_binary_attrs("sym", 12)
+    + (
+        AttributeSpec("sex", AttributeKind.CATEGORICAL, cardinality=2),
+        AttributeSpec("referral", AttributeKind.CATEGORICAL, cardinality=5),
+        AttributeSpec("age", AttributeKind.REAL, low=1.0, high=95.0),
+        AttributeSpec("tsh", AttributeKind.REAL, low=0.005, high=500.0),
+        AttributeSpec("t3", AttributeKind.REAL, low=0.05, high=11.0),
+        AttributeSpec("tt4", AttributeKind.REAL, low=2.0, high=430.0),
+    ),
+    n_classes=2,
+    n_clusters=5,
+    train_size=1339,
+    paper_test_size_millions=1.78,
+    class_priors=(0.95, 0.05),
+    separation=2.5,
+    notes="Thyroid screening replica: strong class skew (95/5).",
+)
+
+LETTER = DatasetSpec(
+    name="letter",
+    attributes=tuple(
+        AttributeSpec(f"f{i}", AttributeKind.INTEGER, cardinality=16, low=0, high=15)
+        for i in range(16)
+    ),
+    n_classes=26,
+    n_clusters=26,
+    train_size=15000,
+    paper_test_size_millions=1.28,
+    separation=2.5,
+    generator="grid_classes",
+    notes=(
+        "Letter recognition replica: 16 integer features, 26 classes; "
+        "classes occupy compact regions of two dominant features."
+    ),
+)
+
+PARITY5_5 = DatasetSpec(
+    name="parity5_5",
+    attributes=_binary_attrs("bit", 10),
+    n_classes=2,
+    n_clusters=5,
+    train_size=100,
+    paper_test_size_millions=1.04,
+    generator="parity",
+    notes="Deterministic parity of bits 0..4; bits 5..9 are irrelevant.",
+)
+
+SHUTTLE = DatasetSpec(
+    name="shuttle",
+    attributes=tuple(
+        AttributeSpec(f"s{i}", AttributeKind.INTEGER, cardinality=100, low=-120, high=120)
+        for i in range(9)
+    ),
+    n_classes=7,
+    n_clusters=7,
+    train_size=43500,
+    paper_test_size_millions=1.85,
+    class_priors=(0.786, 0.10, 0.06, 0.03, 0.015, 0.006, 0.003),
+    separation=3.0,
+    notes="Statlog shuttle replica: dominant class ~79%, tiny tail classes.",
+)
+
+VEHICLE = DatasetSpec(
+    name="vehicle",
+    attributes=tuple(
+        AttributeSpec(f"v{i}", AttributeKind.INTEGER, cardinality=200, low=0, high=1000)
+        for i in range(18)
+    ),
+    n_classes=4,
+    n_clusters=5,
+    train_size=564,
+    paper_test_size_millions=1.73,
+    notes="Vehicle silhouettes replica: 18 integer shape features.",
+)
+
+KDD_CUP_99 = DatasetSpec(
+    name="kdd_cup_99",
+    attributes=(
+        AttributeSpec("duration", AttributeKind.REAL, low=0.0, high=600.0),
+        AttributeSpec("protocol", AttributeKind.CATEGORICAL, cardinality=3),
+        AttributeSpec("service", AttributeKind.CATEGORICAL, cardinality=12),
+        AttributeSpec("flag", AttributeKind.CATEGORICAL, cardinality=6),
+        AttributeSpec("src_bytes", AttributeKind.REAL, low=0.0, high=10000.0),
+        AttributeSpec("dst_bytes", AttributeKind.REAL, low=0.0, high=10000.0),
+        AttributeSpec("land", AttributeKind.BINARY),
+        AttributeSpec("wrong_fragment", AttributeKind.ORDINAL, cardinality=3),
+        AttributeSpec("urgent", AttributeKind.ORDINAL, cardinality=3),
+        AttributeSpec("hot", AttributeKind.INTEGER, cardinality=20, low=0, high=20),
+        AttributeSpec("logged_in", AttributeKind.BINARY),
+        AttributeSpec("count", AttributeKind.REAL, low=0.0, high=512.0),
+        AttributeSpec("srv_count", AttributeKind.REAL, low=0.0, high=512.0),
+        AttributeSpec("serror_rate", AttributeKind.REAL, low=0.0, high=1.0),
+        AttributeSpec("rerror_rate", AttributeKind.REAL, low=0.0, high=1.0),
+        AttributeSpec("same_srv_rate", AttributeKind.REAL, low=0.0, high=1.0),
+        AttributeSpec("diff_srv_rate", AttributeKind.REAL, low=0.0, high=1.0),
+        AttributeSpec("dst_host_count", AttributeKind.REAL, low=0.0, high=255.0),
+        AttributeSpec("dst_host_srv_count", AttributeKind.REAL, low=0.0, high=255.0),
+        AttributeSpec("dst_host_same_srv_rate", AttributeKind.REAL, low=0.0, high=1.0),
+    ),
+    n_classes=23,
+    n_clusters=23,
+    train_size=100_000,
+    paper_test_size_millions=4.72,
+    # Published KDD-Cup-99 10% distribution shape: smurf and neptune
+    # dominate, normal third, then a long tail of rare attacks.
+    class_priors=(
+        0.57, 0.22, 0.17, 0.02, 0.008, 0.004, 0.002, 0.002, 0.001,
+        0.001, 0.0008, 0.0006, 0.0005, 0.0004, 0.0003, 0.0002, 0.0002,
+        0.0001, 0.0001, 0.00008, 0.00006, 0.00004, 0.00002,
+    ),
+    separation=3.0,
+    generator="network_traffic",
+    notes=(
+        "KDD-Cup-99 replica on a 20-attribute schema subset; "
+        "class-distribution shape follows the published 10% sample, and "
+        "attack classes follow protocol/service as in the real data."
+    ),
+)
+
+#: All ten datasets, keyed by name, in Table 2 order.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        ANNEAL_U,
+        BALANCE_SCALE,
+        CHESS,
+        DIABETES,
+        HYPOTHYROID,
+        LETTER,
+        PARITY5_5,
+        SHUTTLE,
+        VEHICLE,
+        KDD_CUP_99,
+    )
+}
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset spec by name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise SchemaError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the mining-predicates reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Sub-classes separate user mistakes (bad predicates, bad
+schemas) from internal invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class PredicateError(ReproError):
+    """A predicate expression is malformed or used inconsistently."""
+
+
+class NormalizationError(PredicateError):
+    """Normalization could not complete (e.g. a DNF size budget blew up)."""
+
+
+class SchemaError(ReproError):
+    """A table schema, column, or dataset specification is invalid."""
+
+
+class ModelError(ReproError):
+    """A mining model is malformed, untrained, or used with bad inputs."""
+
+
+class NotFittedError(ModelError):
+    """A model method requiring training was called before ``fit``."""
+
+
+class EnvelopeError(ReproError):
+    """Upper-envelope derivation failed or was given unusable inputs."""
+
+
+class RegionError(EnvelopeError):
+    """A region over a discretized attribute space is malformed."""
+
+
+class RewriteError(ReproError):
+    """Query rewriting with mining predicates failed."""
+
+
+class CatalogError(RewriteError):
+    """An atomic upper envelope required during optimization is missing."""
+
+
+class DatabaseError(ReproError):
+    """The relational substrate reported a failure."""
+
+
+class WorkloadError(ReproError):
+    """Workload construction or execution failed."""

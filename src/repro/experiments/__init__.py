@@ -1,0 +1,29 @@
+"""Experiment runners: one module per paper table/figure (see DESIGN.md)."""
+
+from repro.experiments.config import (
+    DEFAULT_CONFIG,
+    PAPER_SCALE,
+    SMOKE_CONFIG,
+    ExperimentConfig,
+)
+from repro.experiments.harness import (
+    TrainedFamily,
+    clear_caches,
+    dataset_for,
+    numeric_feature_columns,
+    run_all,
+    train_family,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
+    "PAPER_SCALE",
+    "SMOKE_CONFIG",
+    "TrainedFamily",
+    "clear_caches",
+    "dataset_for",
+    "numeric_feature_columns",
+    "run_all",
+    "train_family",
+]

@@ -1,0 +1,167 @@
+"""Figure reproductions: Figures 3-7 of the paper.
+
+The paper's figures are bar charts and a scatter plot; these runners emit
+the same series as data tables (and ASCII bars), which is what
+EXPERIMENTS.md records next to the published shapes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.harness import run_all
+from repro.workload.measurement import (
+    FAMILY_CLUSTERING,
+    FAMILY_DECISION_TREE,
+    FAMILY_NAIVE_BAYES,
+    QueryMeasurement,
+)
+from repro.workload.report import (
+    SelectivityBucketRow,
+    TightnessPoint,
+    format_table,
+    plan_change_by_dataset,
+    reduction_by_selectivity,
+    tightness_scatter,
+    tightness_summary,
+)
+
+_FIGURE_FAMILY = {
+    3: FAMILY_DECISION_TREE,
+    4: FAMILY_NAIVE_BAYES,
+    5: FAMILY_CLUSTERING,
+}
+
+
+def figure_plan_change(
+    figure: int,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    measurements: Sequence[QueryMeasurement] | None = None,
+) -> dict[str, float]:
+    """Figures 3/4/5: per-dataset % plan change for one model family."""
+    family = _FIGURE_FAMILY[figure]
+    if measurements is None:
+        measurements = run_all(config)
+    return plan_change_by_dataset(list(measurements), family)
+
+
+def print_figure_plan_change(
+    figure: int, config: ExperimentConfig = DEFAULT_CONFIG
+) -> str:
+    """Print one of Figures 3-5 as a table with ASCII bars."""
+    family = _FIGURE_FAMILY[figure]
+    series = figure_plan_change(figure, config)
+    rows = [
+        (dataset, pct, _bar(pct))
+        for dataset, pct in sorted(series.items())
+    ]
+    text = (
+        f"Figure {figure}: % queries with changed plan — {family}\n"
+        + format_table(["Data set", "% changed", ""], rows)
+    )
+    print(text)
+    return text
+
+
+def figure6_selectivity(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    measurements: Sequence[QueryMeasurement] | None = None,
+) -> list[SelectivityBucketRow]:
+    """Figure 6: average runtime reduction per selectivity bucket."""
+    if measurements is None:
+        measurements = run_all(config)
+    return reduction_by_selectivity(list(measurements))
+
+
+def print_figure6(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    """Print the Figure 6 selectivity-bucket table."""
+    rows = figure6_selectivity(config)
+    text = (
+        "Figure 6: runtime improvement vs selectivity "
+        "(original | upper-envelope buckets)\n"
+        + format_table(
+            [
+                "Selectivity",
+                "Reduction% (orig)",
+                "n",
+                "Reduction% (envelope)",
+                "n",
+            ],
+            [
+                (
+                    r.bucket,
+                    r.original_reduction_pct,
+                    r.original_count,
+                    r.envelope_reduction_pct,
+                    r.envelope_count,
+                )
+                for r in rows
+            ],
+        )
+    )
+    print(text)
+    return text
+
+
+def figure7_tightness(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    measurements: Sequence[QueryMeasurement] | None = None,
+) -> list[TightnessPoint]:
+    """Figure 7: original vs envelope selectivity (NB and clustering)."""
+    if measurements is None:
+        measurements = run_all(config)
+    return tightness_scatter(list(measurements))
+
+
+def print_figure7(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    """Print the Figure 7 tightness scatter and its summary line."""
+    points = figure7_tightness(config)
+    summary = tightness_summary(points)
+    rows = [
+        (
+            p.dataset,
+            p.family,
+            str(p.class_label),
+            f"{p.original_selectivity:.4f}",
+            f"{p.envelope_selectivity:.4f}",
+        )
+        for p in sorted(
+            points, key=lambda p: (p.family, p.dataset, str(p.class_label))
+        )
+    ]
+    text = (
+        "Figure 7: tightness of approximation (per-class scatter)\n"
+        + format_table(
+            ["Data set", "Family", "Class", "Orig. sel", "Envelope sel"],
+            rows,
+        )
+        + "\n"
+        + (
+            f"tight (<=2x orig or <=1%): {summary['tight_fraction']:.1%}; "
+            f"loose but small enough for indexes (<=10%): "
+            f"{summary['small_enough_fraction']:.1%}; "
+            f"useful overall: {summary['useful_fraction']:.1%}"
+        )
+    )
+    print(text)
+    return text
+
+
+def _bar(pct: float, width: int = 30) -> str:
+    filled = int(round(pct / 100.0 * width))
+    return "#" * filled
+
+
+def main() -> None:
+    """Print every figure at the default scale."""
+    for figure in (3, 4, 5):
+        print_figure_plan_change(figure)
+        print()
+    print_figure6()
+    print()
+    print_figure7()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Experiment E8: optimization and precompute overheads (Section 5, item iii).
+
+The paper reports — without a table, "due to lack of space" — that (a) the
+time to precompute upper envelopes per class is "a negligible fraction of
+the model training time", and (b) looking up atomic envelopes is
+insignificant next to query optimization.  This runner produces the numbers
+behind both claims for our reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.catalog import ModelCatalog
+from repro.core.optimizer import MiningQuery, optimize
+from repro.core.rewrite import PredictionEquals
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.harness import dataset_for, train_family
+from repro.workload.report import format_table
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Training-vs-derivation timing for one (dataset, family) pair."""
+
+    dataset: str
+    family: str
+    train_seconds: float
+    derive_seconds: float
+    n_classes: int
+    optimize_seconds: float
+    lookup_fraction: float
+
+    @property
+    def derive_fraction(self) -> float:
+        if self.train_seconds <= 0:
+            return 0.0
+        return self.derive_seconds / self.train_seconds
+
+
+def overhead_rows(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> list[OverheadRow]:
+    """Measure per-family training, derivation, and optimization times."""
+    rows: list[OverheadRow] = []
+    for name in config.datasets:
+        dataset = dataset_for(config, name)
+        for family in config.families:
+            trained = train_family(dataset, family, config)
+            catalog = ModelCatalog()
+            catalog.register(
+                trained.model,
+                rows=dataset.train_rows,
+                envelopes=trained.envelopes,
+            )
+            # Time the full optimization of one atomic mining query and,
+            # inside it, the share spent looking up atomic envelopes.
+            label = trained.model.class_labels[0]
+            query = MiningQuery(
+                dataset.name,
+                mining_predicates=(
+                    PredictionEquals(trained.model.name, label),
+                ),
+            )
+            started = time.perf_counter()
+            optimize(query, catalog)
+            optimize_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            catalog.envelope(trained.model.name, label)
+            lookup_seconds = time.perf_counter() - started
+            rows.append(
+                OverheadRow(
+                    dataset=name,
+                    family=family,
+                    train_seconds=trained.train_seconds,
+                    derive_seconds=trained.derive_seconds,
+                    n_classes=len(trained.model.class_labels),
+                    optimize_seconds=optimize_seconds,
+                    lookup_fraction=(
+                        lookup_seconds / optimize_seconds
+                        if optimize_seconds > 0
+                        else 0.0
+                    ),
+                )
+            )
+    return rows
+
+
+def print_overheads(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
+    """Print the E8 overhead table; returns the rendered text."""
+    rows = overhead_rows(config)
+    text = (
+        "Envelope precompute vs training time; lookup vs optimize time\n"
+        + format_table(
+            [
+                "Data set",
+                "Family",
+                "Train s",
+                "Derive s",
+                "Derive/Train",
+                "Optimize ms",
+                "Lookup share",
+            ],
+            [
+                (
+                    r.dataset,
+                    r.family,
+                    f"{r.train_seconds:.3f}",
+                    f"{r.derive_seconds:.3f}",
+                    f"{r.derive_fraction:.2f}",
+                    f"{r.optimize_seconds * 1000:.1f}",
+                    f"{r.lookup_fraction:.1%}",
+                )
+                for r in rows
+            ],
+        )
+    )
+    print(text)
+    return text
+
+
+def main() -> None:
+    """CLI entry point for the overhead table."""
+    print_overheads()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Disk persistence for measurement sweeps.
+
+A full DEFAULT-scale sweep takes many minutes (it trains thirty models,
+derives several hundred envelopes, and loads ten doubled datasets), so the
+harness caches finished sweeps on disk keyed by a fingerprint of the
+configuration and the library version.  Delete the cache directory (or set
+``REPRO_SWEEP_CACHE=off``) to force fresh measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.sql.planner import AccessPath
+from repro.workload.measurement import QueryMeasurement
+
+#: Cache format version: bump when QueryMeasurement's shape changes.
+_FORMAT = 2
+
+
+def cache_enabled() -> bool:
+    """Whether sweep caching is on (``REPRO_SWEEP_CACHE`` opt-out)."""
+    return os.environ.get("REPRO_SWEEP_CACHE", "on").lower() not in (
+        "off",
+        "0",
+        "no",
+    )
+
+
+def default_cache_dir() -> Path:
+    """Cache directory (``REPRO_SWEEP_CACHE_DIR`` or ``.repro_cache``)."""
+    override = os.environ.get("REPRO_SWEEP_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path(".repro_cache")
+
+
+def config_fingerprint(config: ExperimentConfig) -> str:
+    """Stable hash of a configuration plus the library version."""
+    from repro import __version__
+
+    payload = json.dumps(
+        {"config": asdict(config), "version": __version__, "fmt": _FORMAT},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+def _measurement_to_dict(measurement: QueryMeasurement) -> dict:
+    payload = asdict(measurement)
+    payload["access_path"] = measurement.access_path.value
+    return payload
+
+
+def _measurement_from_dict(payload: dict) -> QueryMeasurement:
+    payload = dict(payload)
+    payload["access_path"] = AccessPath(payload["access_path"])
+    return QueryMeasurement(**payload)
+
+
+def save_sweep(
+    config: ExperimentConfig,
+    measurements: list[QueryMeasurement],
+    cache_dir: Path | None = None,
+) -> Path:
+    """Write a finished sweep to the cache; returns the file path."""
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"sweep_{config_fingerprint(config)}.json"
+    payload = {
+        "format": _FORMAT,
+        "measurements": [
+            _measurement_to_dict(m) for m in measurements
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_sweep(
+    config: ExperimentConfig,
+    cache_dir: Path | None = None,
+) -> list[QueryMeasurement] | None:
+    """Load a cached sweep for ``config``, or ``None`` if absent/stale."""
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    path = directory / f"sweep_{config_fingerprint(config)}.json"
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("format") != _FORMAT:
+            return None
+        return [
+            _measurement_from_dict(entry)
+            for entry in payload["measurements"]
+        ]
+    except (ValueError, KeyError, TypeError):
+        # A corrupt cache entry is treated as a miss, never an error.
+        return None

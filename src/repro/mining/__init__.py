@@ -1,0 +1,57 @@
+"""From-scratch mining models (the substrate the paper applies in queries).
+
+Learners and trained-model classes for the three families the paper derives
+upper envelopes for — decision trees, naive Bayes, and clustering (centroid,
+model-based, boundary-based) — plus rule sets, discretization utilities, and
+JSON model interchange.
+"""
+
+from repro.mining.base import MiningModel, ModelKind, Row
+from repro.mining.decision_tree import DecisionTreeLearner, DecisionTreeModel
+from repro.mining.density import (
+    NOISE_LABEL,
+    DensityClusterLearner,
+    DensityClusterModel,
+)
+from repro.mining.discretize import BinningMethod
+from repro.mining.discretized_cluster import DiscretizedClusterModel
+from repro.mining.gmm import GaussianMixtureLearner, GaussianMixtureModel
+from repro.mining.fuzzy import FuzzyCMeansLearner
+from repro.mining.hierarchical import AgglomerativeClusterLearner, MergeStep
+from repro.mining.interchange import load_model, model_from_dict, save_model
+from repro.mining.kmeans import KMeansLearner, KMeansModel
+from repro.mining.naive_bayes import (
+    NaiveBayesLearner,
+    NaiveBayesModel,
+    naive_bayes_from_tables,
+)
+from repro.mining.rules import Rule, RuleLearner, RuleSetModel
+
+__all__ = [
+    "AgglomerativeClusterLearner",
+    "BinningMethod",
+    "DecisionTreeLearner",
+    "DecisionTreeModel",
+    "DensityClusterLearner",
+    "DensityClusterModel",
+    "DiscretizedClusterModel",
+    "FuzzyCMeansLearner",
+    "GaussianMixtureLearner",
+    "GaussianMixtureModel",
+    "KMeansLearner",
+    "KMeansModel",
+    "MergeStep",
+    "MiningModel",
+    "ModelKind",
+    "NaiveBayesLearner",
+    "NaiveBayesModel",
+    "NOISE_LABEL",
+    "Row",
+    "Rule",
+    "RuleLearner",
+    "RuleSetModel",
+    "load_model",
+    "model_from_dict",
+    "naive_bayes_from_tables",
+    "save_model",
+]

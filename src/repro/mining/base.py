@@ -1,0 +1,117 @@
+"""Common interface for mining models.
+
+The paper treats mining models as first-class database objects (Section 2):
+they have a schema (source columns, one prediction column), can be applied
+row-by-row (the "prediction join"), and expose their internal content so the
+optimizer can derive upper envelopes from it.  :class:`MiningModel` captures
+exactly that contract; each learner in this package implements it from
+scratch.
+
+Rows are plain mappings from column name to value — the same representation
+the SQL layer produces — so a model can be applied to query results without
+any adapter.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+from repro.core.predicates import Value
+from repro.exceptions import ModelError, NotFittedError
+
+#: A data row: column name -> value.
+Row = Mapping[str, Value]
+
+
+class ModelKind(enum.Enum):
+    """The model families the library supports envelopes for."""
+
+    DECISION_TREE = "decision_tree"
+    NAIVE_BAYES = "naive_bayes"
+    RULES = "rules"
+    KMEANS = "kmeans"
+    GMM = "gmm"
+    DENSITY = "density"
+
+
+class MiningModel:
+    """Abstract base class of every trained mining model.
+
+    Concrete models are created by their learner's ``fit`` and are immutable
+    afterwards.  The two halves of the interface mirror the paper:
+
+    * the *black box* half — :meth:`predict` / :meth:`predict_many`, which is
+      all a traditional engine can use, and
+    * the *white box* half — :attr:`class_labels`, model-specific parameters,
+      and serialization, which is what upper-envelope derivation exploits.
+    """
+
+    #: Model name as registered in the catalog (e.g. ``Risk_Class``).
+    name: str
+    #: Name of the predicted column exposed in mining queries.
+    prediction_column: str
+
+    @property
+    def kind(self) -> ModelKind:
+        raise NotImplementedError
+
+    @property
+    def feature_columns(self) -> tuple[str, ...]:
+        """Source columns consumed by :meth:`predict`."""
+        raise NotImplementedError
+
+    @property
+    def class_labels(self) -> tuple[Value, ...]:
+        """All labels the model may predict, in a stable order.
+
+        The optimizer enumerates these when expanding IN predicates and join
+        predicates (paper Section 4.1); the paper notes the count is small
+        for typical models.
+        """
+        raise NotImplementedError
+
+    def predict(self, row: Row) -> Value:
+        """Predicted class (or cluster) label for one row."""
+        raise NotImplementedError
+
+    def predict_many(self, rows: Iterable[Row]) -> list[Value]:
+        """Vectorized convenience wrapper over :meth:`predict`."""
+        return [self.predict(row) for row in rows]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable model content (our PMML stand-in)."""
+        raise NotImplementedError
+
+    def _require_columns(self, row: Row) -> None:
+        missing = [c for c in self.feature_columns if c not in row]
+        if missing:
+            raise ModelError(
+                f"model {self.name!r} requires columns {missing} "
+                "absent from the row"
+            )
+
+
+def check_fitted(model: object, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``attribute`` is set."""
+    if getattr(model, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(model).__name__} must be fitted before use"
+        )
+
+
+def extract_column(rows: Sequence[Row], column: str) -> list[Value]:
+    """Column projection with a helpful error for missing columns."""
+    try:
+        return [row[column] for row in rows]
+    except KeyError:
+        raise ModelError(f"training rows lack column {column!r}") from None
+
+
+def class_distribution(labels: Iterable[Value]) -> dict[Value, int]:
+    """Counts per class label."""
+    counts: dict[Value, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    return counts

@@ -1,0 +1,395 @@
+"""Binary decision-tree classifier (paper Section 3.1, Figure 1).
+
+Internal nodes carry a simple test on one attribute — a numeric threshold
+(``x <= t``) or a categorical equality (``x = v``) — and leaves carry a class
+label.  This is the structure from which Section 3.1 extracts *exact* upper
+envelopes: AND the tests along each root-to-leaf path of a class, OR the
+paths together.
+
+The learner is a from-scratch C4.5/CART hybrid: greedy binary splits by
+information gain with standard stopping rules.  No pruning is performed —
+pruned or unpruned, the envelope-extraction contract (every predicted row
+satisfies its class envelope, exactly) is the same.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.core.predicates import Comparison, Op, Predicate, Value, equals
+from repro.exceptions import ModelError
+from repro.mining.base import MiningModel, ModelKind, Row, extract_column
+
+
+@dataclass(frozen=True)
+class NumericTest:
+    """Test ``column <= threshold``; true branch is the left child."""
+
+    column: str
+    threshold: float
+
+    def matches(self, row: Row) -> bool:
+        value = row[self.column]
+        if isinstance(value, str):
+            raise ModelError(
+                f"numeric test on {self.column!r} applied to string value"
+            )
+        return value <= self.threshold
+
+    def true_predicate(self) -> Predicate:
+        return Comparison(self.column, Op.LE, self.threshold)
+
+    def false_predicate(self) -> Predicate:
+        return Comparison(self.column, Op.GT, self.threshold)
+
+
+@dataclass(frozen=True)
+class CategoryTest:
+    """Test ``column = value``; true branch is the left child."""
+
+    column: str
+    value: Value
+
+    def matches(self, row: Row) -> bool:
+        return row[self.column] == self.value
+
+    def true_predicate(self) -> Predicate:
+        return equals(self.column, self.value)
+
+    def false_predicate(self) -> Predicate:
+        return Comparison(self.column, Op.NE, self.value)
+
+
+Test = Union[NumericTest, CategoryTest]
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """Terminal node predicting ``label``; ``counts`` kept for diagnostics."""
+
+    label: Value
+    counts: tuple[tuple[Value, int], ...]
+
+
+@dataclass(frozen=True)
+class Internal:
+    """Internal node: ``test`` true -> ``left``, false -> ``right``."""
+
+    test: Test
+    left: "Node"
+    right: "Node"
+
+
+Node = Union[Leaf, Internal]
+
+
+class DecisionTreeModel(MiningModel):
+    """A trained decision tree; :attr:`root` is the white-box content."""
+
+    def __init__(
+        self,
+        name: str,
+        prediction_column: str,
+        feature_columns: Sequence[str],
+        root: Node,
+    ) -> None:
+        self.name = name
+        self.prediction_column = prediction_column
+        self._feature_columns = tuple(feature_columns)
+        self.root = root
+        self._class_labels = tuple(sorted(self._collect_labels(root), key=str))
+
+    @staticmethod
+    def _collect_labels(node: Node) -> set[Value]:
+        if isinstance(node, Leaf):
+            return {node.label}
+        return DecisionTreeModel._collect_labels(
+            node.left
+        ) | DecisionTreeModel._collect_labels(node.right)
+
+    @property
+    def kind(self) -> ModelKind:
+        return ModelKind.DECISION_TREE
+
+    @property
+    def feature_columns(self) -> tuple[str, ...]:
+        return self._feature_columns
+
+    @property
+    def class_labels(self) -> tuple[Value, ...]:
+        return self._class_labels
+
+    def predict(self, row: Row) -> Value:
+        self._require_columns(row)
+        node = self.root
+        while isinstance(node, Internal):
+            node = node.left if node.test.matches(row) else node.right
+        return node.label
+
+    def leaf_count(self) -> int:
+        return sum(1 for _ in iter_leaves(self.root))
+
+    def depth(self) -> int:
+        def walk(node: Node) -> int:
+            if isinstance(node, Leaf):
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)
+
+    def to_dict(self) -> dict[str, Any]:
+        def node_dict(node: Node) -> dict[str, Any]:
+            if isinstance(node, Leaf):
+                return {
+                    "leaf": True,
+                    "label": node.label,
+                    "counts": [list(pair) for pair in node.counts],
+                }
+            test: dict[str, Any]
+            if isinstance(node.test, NumericTest):
+                test = {
+                    "type": "numeric",
+                    "column": node.test.column,
+                    "threshold": node.test.threshold,
+                }
+            else:
+                test = {
+                    "type": "category",
+                    "column": node.test.column,
+                    "value": node.test.value,
+                }
+            return {
+                "leaf": False,
+                "test": test,
+                "left": node_dict(node.left),
+                "right": node_dict(node.right),
+            }
+
+        return {
+            "kind": self.kind.value,
+            "name": self.name,
+            "prediction_column": self.prediction_column,
+            "feature_columns": list(self._feature_columns),
+            "root": node_dict(self.root),
+        }
+
+
+def iter_leaves(node: Node, path: tuple[Predicate, ...] = ()):
+    """Yield ``(path_conditions, leaf)`` pairs for every leaf.
+
+    ``path_conditions`` is the tuple of simple predicates along the
+    root-to-leaf path — exactly the conjuncts of Section 3.1's envelope.
+    """
+    if isinstance(node, Leaf):
+        yield path, node
+        return
+    yield from iter_leaves(node.left, path + (node.test.true_predicate(),))
+    yield from iter_leaves(node.right, path + (node.test.false_predicate(),))
+
+
+class DecisionTreeLearner:
+    """Greedy binary-split tree induction by information gain.
+
+    Split search is vectorized: training rows are converted to column
+    arrays once, numeric candidates are scored with prefix class-count
+    sums over the sorted column, and categorical candidates with per-value
+    count matrices — training on tens of thousands of rows stays fast.
+    """
+
+    def __init__(
+        self,
+        feature_columns: Sequence[str],
+        target_column: str,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        min_gain: float = 1e-6,
+        max_thresholds: int = 32,
+        name: str = "decision_tree",
+        prediction_column: str | None = None,
+    ) -> None:
+        if not feature_columns:
+            raise ModelError("decision tree needs at least one feature column")
+        if max_depth < 0:
+            raise ModelError("max_depth must be >= 0")
+        self.feature_columns = tuple(feature_columns)
+        self.target_column = target_column
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_gain = min_gain
+        self.max_thresholds = max_thresholds
+        self.name = name
+        self.prediction_column = prediction_column or f"predicted_{target_column}"
+
+    def fit(self, rows: Sequence[Row]) -> DecisionTreeModel:
+        import numpy as np
+
+        if not rows:
+            raise ModelError("cannot fit a tree on an empty training set")
+        labels_raw = extract_column(rows, self.target_column)
+        self._class_values = tuple(sorted(set(labels_raw), key=str))
+        label_index = {v: i for i, v in enumerate(self._class_values)}
+        self._labels = np.array(
+            [label_index[v] for v in labels_raw], dtype=np.int64
+        )
+        # Column arrays: numeric columns as float arrays; string columns as
+        # integer codes plus their value domain.
+        self._numeric: dict[str, np.ndarray] = {}
+        self._codes: dict[str, np.ndarray] = {}
+        self._domains: dict[str, list[Value]] = {}
+        for column in self.feature_columns:
+            values = extract_column(rows, column)
+            if any(isinstance(v, str) for v in values):
+                if not all(isinstance(v, str) for v in values):
+                    raise ModelError(
+                        f"column {column!r} mixes strings and numbers"
+                    )
+                domain = sorted(set(values))
+                code = {v: i for i, v in enumerate(domain)}
+                self._domains[column] = list(domain)
+                self._codes[column] = np.array(
+                    [code[v] for v in values], dtype=np.int64
+                )
+            else:
+                self._numeric[column] = np.asarray(values, dtype=float)
+        indices = np.arange(len(rows), dtype=np.int64)
+        root = self._build(indices, depth=0)
+        # Release training arrays; the model keeps only the tree.
+        del self._labels, self._numeric, self._codes, self._domains
+        return DecisionTreeModel(
+            self.name, self.prediction_column, self.feature_columns, root
+        )
+
+    # -- induction ---------------------------------------------------------
+
+    def _build(self, indices, depth: int) -> Node:
+        import numpy as np
+
+        counts = np.bincount(
+            self._labels[indices], minlength=len(self._class_values)
+        )
+        present = int((counts > 0).sum())
+        if (
+            present <= 1
+            or depth >= self.max_depth
+            or len(indices) < self.min_samples_split
+        ):
+            return self._leaf(counts)
+        best = self._best_split(indices, counts)
+        if best is None:
+            return self._leaf(counts)
+        test, left_mask = best
+        return Internal(
+            test,
+            self._build(indices[left_mask], depth + 1),
+            self._build(indices[~left_mask], depth + 1),
+        )
+
+    def _leaf(self, counts) -> Leaf:
+        best_index = int(counts.argmax())
+        label = self._class_values[best_index]
+        ordered = tuple(
+            (value, int(count))
+            for value, count in zip(self._class_values, counts)
+            if count
+        )
+        return Leaf(label, ordered)
+
+    @staticmethod
+    def _entropy_of(counts, totals) -> "float":
+        """Vectorized entropy of stacked count rows (base 2)."""
+        import numpy as np
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = counts / totals[..., None]
+            terms = np.where(p > 0, p * np.log2(p), 0.0)
+        return -terms.sum(axis=-1)
+
+    def _best_split(self, indices, counts):
+        import numpy as np
+
+        total = len(indices)
+        base_entropy = float(self._entropy_of(counts, np.array([total]))[0])
+        labels = self._labels[indices]
+        n_classes = len(self._class_values)
+        best_gain = self.min_gain
+        best: tuple[Test, np.ndarray] | None = None
+
+        for column in self.feature_columns:
+            if column in self._numeric:
+                values = self._numeric[column][indices]
+                order = np.argsort(values, kind="stable")
+                ordered_values = values[order]
+                ordered_labels = labels[order]
+                # Candidate cut positions: boundaries between distinct
+                # consecutive values.
+                boundaries = np.flatnonzero(
+                    ordered_values[1:] > ordered_values[:-1]
+                )
+                if boundaries.size == 0:
+                    continue
+                if boundaries.size > self.max_thresholds:
+                    step = boundaries.size / self.max_thresholds
+                    picks = (np.arange(self.max_thresholds) * step).astype(int)
+                    boundaries = boundaries[picks]
+                one_hot = np.zeros((total, n_classes))
+                one_hot[np.arange(total), ordered_labels] = 1.0
+                prefix = one_hot.cumsum(axis=0)
+                left_counts = prefix[boundaries]
+                left_totals = left_counts.sum(axis=1)
+                right_counts = counts[None, :] - left_counts
+                right_totals = total - left_totals
+                weighted = (
+                    left_totals / total
+                    * self._entropy_of(left_counts, left_totals)
+                    + right_totals / total
+                    * self._entropy_of(right_counts, right_totals)
+                )
+                gains = base_entropy - weighted
+                pick = int(gains.argmax())
+                if gains[pick] > best_gain:
+                    threshold = float(
+                        (
+                            ordered_values[boundaries[pick]]
+                            + ordered_values[boundaries[pick] + 1]
+                        )
+                        / 2.0
+                    )
+                    best_gain = float(gains[pick])
+                    best = (
+                        NumericTest(column, threshold),
+                        values <= threshold,
+                    )
+            else:
+                codes = self._codes[column][indices]
+                domain = self._domains[column]
+                # Per-(value, class) counts in one pass.
+                matrix = np.zeros((len(domain), n_classes))
+                np.add.at(matrix, (codes, labels), 1.0)
+                value_totals = matrix.sum(axis=1)
+                usable = np.flatnonzero(
+                    (value_totals > 0) & (value_totals < total)
+                )
+                if usable.size == 0:
+                    continue
+                left_counts = matrix[usable]
+                left_totals = value_totals[usable]
+                right_counts = counts[None, :] - left_counts
+                right_totals = total - left_totals
+                weighted = (
+                    left_totals / total
+                    * self._entropy_of(left_counts, left_totals)
+                    + right_totals / total
+                    * self._entropy_of(right_counts, right_totals)
+                )
+                gains = base_entropy - weighted
+                pick = int(gains.argmax())
+                if gains[pick] > best_gain:
+                    value = domain[int(usable[pick])]
+                    best_gain = float(gains[pick])
+                    best = (
+                        CategoryTest(column, value),
+                        codes == usable[pick],
+                    )
+        return best

@@ -1,0 +1,190 @@
+"""Boundary-based (density) clustering over a discretized grid.
+
+Paper Section 3.3's third variant: "boundary-based clusters explicitly
+define the boundary of a region within which a point needs to lie in order
+to belong to a cluster", and "deriving upper envelopes is equivalent to
+covering a geometric region with a small number of rectangles" (citing
+CLIQUE and orthogonal-polygon covering).
+
+We implement the CLIQUE-style grid-density formulation: discretize each
+numeric attribute into bins, mark cells containing at least
+``density_threshold`` training points as dense, and take connected
+components of dense cells (axis-adjacency) as clusters.  Points falling in a
+non-dense cell get the noise label.  Because each cluster is an explicit set
+of grid cells, its upper envelope is an *exact* rectangle cover produced by
+:func:`repro.core.covering.cover_cells`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+from typing import Any
+
+from repro.core.predicates import Value
+from repro.core.regions import AttributeSpace
+from repro.exceptions import ModelError
+from repro.mining.base import MiningModel, ModelKind, Row
+from repro.mining.discretize import BinningMethod, infer_space_dimensions
+
+#: Label assigned to points outside every dense cluster.
+NOISE_LABEL = "noise"
+
+
+class DensityClusterModel(MiningModel):
+    """Grid-density clustering: clusters are explicit cell sets."""
+
+    def __init__(
+        self,
+        name: str,
+        prediction_column: str,
+        space: AttributeSpace,
+        cluster_cells: Sequence[frozenset[tuple[int, ...]]],
+        labels: Sequence[Value] | None = None,
+    ) -> None:
+        self.name = name
+        self.prediction_column = prediction_column
+        self.space = space
+        self.cluster_cells = tuple(frozenset(c) for c in cluster_cells)
+        seen: set[tuple[int, ...]] = set()
+        for cells in self.cluster_cells:
+            if not cells:
+                raise ModelError("clusters must own at least one cell")
+            if cells & seen:
+                raise ModelError("cluster cell sets must be disjoint")
+            seen |= cells
+        if labels is None:
+            labels = [f"cluster_{k}" for k in range(len(self.cluster_cells))]
+        if len(labels) != len(self.cluster_cells):
+            raise ModelError("labels must match the number of clusters")
+        self._cluster_labels = tuple(labels)
+        self._cell_to_label: dict[tuple[int, ...], Value] = {}
+        for label, cells in zip(self._cluster_labels, self.cluster_cells):
+            for cell in cells:
+                self._cell_to_label[cell] = label
+
+    @property
+    def kind(self) -> ModelKind:
+        return ModelKind.DENSITY
+
+    @property
+    def feature_columns(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self.space.dimensions)
+
+    @property
+    def class_labels(self) -> tuple[Value, ...]:
+        return self._cluster_labels + (NOISE_LABEL,)
+
+    @property
+    def cluster_labels(self) -> tuple[Value, ...]:
+        """Labels of actual clusters, excluding the noise label."""
+        return self._cluster_labels
+
+    def cells_for(self, label: Value) -> frozenset[tuple[int, ...]]:
+        """The explicit cell set of one cluster (empty set for noise)."""
+        for cluster_label, cells in zip(
+            self._cluster_labels, self.cluster_cells
+        ):
+            if cluster_label == label:
+                return cells
+        if label == NOISE_LABEL:
+            return frozenset()
+        raise ModelError(f"model {self.name!r} has no cluster {label!r}")
+
+    def predict(self, row: Row) -> Value:
+        self._require_columns(row)
+        cell = self.space.point_for_row(row)
+        return self._cell_to_label.get(cell, NOISE_LABEL)
+
+    def to_dict(self) -> dict[str, Any]:
+        from repro.mining.interchange import dimension_to_dict
+
+        return {
+            "kind": self.kind.value,
+            "name": self.name,
+            "prediction_column": self.prediction_column,
+            "labels": list(self._cluster_labels),
+            "dimensions": [
+                dimension_to_dict(d) for d in self.space.dimensions
+            ],
+            "clusters": [
+                sorted(list(cell) for cell in cells)
+                for cells in self.cluster_cells
+            ],
+        }
+
+
+class DensityClusterLearner:
+    """CLIQUE-style dense-cell connected-components clustering."""
+
+    def __init__(
+        self,
+        feature_columns: Sequence[str],
+        bins: int = 8,
+        density_threshold: int = 4,
+        binning: BinningMethod = BinningMethod.EQUAL_WIDTH,
+        min_cluster_cells: int = 1,
+        name: str = "density",
+        prediction_column: str = "cluster",
+    ) -> None:
+        if density_threshold < 1:
+            raise ModelError("density_threshold must be >= 1")
+        self.feature_columns = tuple(feature_columns)
+        self.bins = bins
+        self.density_threshold = density_threshold
+        self.binning = binning
+        self.min_cluster_cells = min_cluster_cells
+        self.name = name
+        self.prediction_column = prediction_column
+
+    def fit(self, rows: Sequence[Row]) -> DensityClusterModel:
+        if not rows:
+            raise ModelError("cannot fit density clusters on no rows")
+        dims = infer_space_dimensions(
+            rows, self.feature_columns, bins=self.bins, method=self.binning
+        )
+        space = AttributeSpace(tuple(dims))
+        counts: dict[tuple[int, ...], int] = {}
+        for row in rows:
+            cell = space.point_for_row(row)
+            counts[cell] = counts.get(cell, 0) + 1
+        dense = {
+            cell for cell, n in counts.items() if n >= self.density_threshold
+        }
+        components = _connected_components(dense)
+        components = [
+            c for c in components if len(c) >= self.min_cluster_cells
+        ]
+        # Deterministic cluster numbering: by size descending, then lexical.
+        components.sort(key=lambda c: (-len(c), sorted(c)))
+        return DensityClusterModel(
+            self.name,
+            self.prediction_column,
+            space,
+            [frozenset(c) for c in components],
+        )
+
+
+def _connected_components(
+    cells: set[tuple[int, ...]],
+) -> list[set[tuple[int, ...]]]:
+    """Axis-adjacent connected components of a cell set (BFS)."""
+    unvisited = set(cells)
+    components: list[set[tuple[int, ...]]] = []
+    while unvisited:
+        seed = unvisited.pop()
+        component = {seed}
+        queue = deque([seed])
+        while queue:
+            cell = queue.popleft()
+            for axis in range(len(cell)):
+                for delta in (-1, 1):
+                    neighbor = (
+                        cell[:axis] + (cell[axis] + delta,) + cell[axis + 1:]
+                    )
+                    if neighbor in unvisited:
+                        unvisited.remove(neighbor)
+                        component.add(neighbor)
+                        queue.append(neighbor)
+        components.append(component)
+    return components

@@ -1,0 +1,167 @@
+"""Discretization of continuous attributes.
+
+The paper's naive-Bayes algorithm "assumes that all attributes are
+discretized" (Section 3.2.1, citing Dougherty et al. for discretization
+methods).  This module provides the two standard unsupervised methods —
+equal-width and equal-frequency binning — and builds the corresponding
+:class:`~repro.core.regions.BinnedDimension` objects used both by learners
+and by envelope derivation.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.regions import (
+    BinnedDimension,
+    CategoricalDimension,
+    Dimension,
+    OrdinalDimension,
+)
+from repro.core.predicates import Value
+from repro.exceptions import SchemaError
+from repro.mining.base import Row
+
+
+class BinningMethod(enum.Enum):
+    """Supported unsupervised discretization strategies."""
+
+    EQUAL_WIDTH = "equal_width"
+    EQUAL_FREQUENCY = "equal_frequency"
+
+
+def equal_width_cuts(values: Sequence[float], bins: int) -> list[float]:
+    """Cut points splitting ``[min, max]`` into ``bins`` equal-width bins.
+
+    Degenerate inputs (constant columns) yield no cuts, i.e. a single bin.
+    """
+    if bins < 1:
+        raise SchemaError(f"bins must be >= 1, got {bins}")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise SchemaError("cannot discretize an empty column")
+    low, high = float(array.min()), float(array.max())
+    if low == high or bins == 1:
+        return []
+    edges = np.linspace(low, high, bins + 1)[1:-1]
+    return sorted(set(float(e) for e in edges))
+
+
+def equal_frequency_cuts(values: Sequence[float], bins: int) -> list[float]:
+    """Cut points at quantile boundaries (duplicates collapsed)."""
+    if bins < 1:
+        raise SchemaError(f"bins must be >= 1, got {bins}")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise SchemaError("cannot discretize an empty column")
+    if bins == 1:
+        return []
+    quantiles = np.linspace(0.0, 1.0, bins + 1)[1:-1]
+    edges = np.quantile(array, quantiles)
+    low, high = float(array.min()), float(array.max())
+    cuts = sorted(set(float(e) for e in edges))
+    return [c for c in cuts if low < c < high]
+
+
+def make_binned_dimension(
+    name: str,
+    values: Sequence[float],
+    bins: int,
+    method: BinningMethod = BinningMethod.EQUAL_FREQUENCY,
+    bounded: bool = False,
+) -> BinnedDimension:
+    """Discretize ``values`` into a :class:`BinnedDimension`.
+
+    With ``bounded`` the outer bins carry the observed min/max as finite
+    edges (useful for clustering score bounds, where unbounded bins force
+    infinitely loose distance bounds); otherwise the outer bins are open so
+    the resulting envelopes stay sound for unseen out-of-range values.
+
+    Columns with at most ``bins`` distinct values are cut at the midpoints
+    between consecutive distinct values instead — one bin per value — so
+    binary and small-ordinal numeric columns discretize losslessly (a
+    quantile cut on a 0/1 column would otherwise collapse to a single bin).
+    """
+    distinct = sorted({float(v) for v in values})
+    if 1 < len(distinct) <= bins:
+        cuts = [
+            (a + b) / 2.0 for a, b in zip(distinct, distinct[1:])
+        ]
+    elif method is BinningMethod.EQUAL_WIDTH:
+        cuts = equal_width_cuts(values, bins)
+    else:
+        cuts = equal_frequency_cuts(values, bins)
+    low: float | None = None
+    high: float | None = None
+    if bounded:
+        array = np.asarray(values, dtype=float)
+        data_low, data_high = float(array.min()), float(array.max())
+        if not cuts:
+            if data_low < data_high:
+                low, high = data_low, data_high
+        else:
+            if data_low < cuts[0]:
+                low = data_low
+            if data_high > cuts[-1]:
+                high = data_high
+    return BinnedDimension(name, tuple(cuts), low=low, high=high)
+
+
+def infer_dimension(
+    name: str,
+    values: Sequence[Value],
+    bins: int = 8,
+    method: BinningMethod = BinningMethod.EQUAL_FREQUENCY,
+    max_ordinal_domain: int = 32,
+    bounded: bool = False,
+) -> Dimension:
+    """Build an appropriate dimension from a raw training column.
+
+    * string-valued columns become :class:`CategoricalDimension`,
+    * integer columns with a small domain become :class:`OrdinalDimension`
+      (exact member-per-value, the natural choice for attributes like
+      Balance-Scale's 1..5 scales),
+    * everything else is binned into a :class:`BinnedDimension`.
+    """
+    if not values:
+        raise SchemaError(f"cannot infer a dimension for empty column {name!r}")
+    if any(isinstance(v, str) for v in values):
+        if not all(isinstance(v, str) for v in values):
+            raise SchemaError(f"column {name!r} mixes strings and numbers")
+        domain = tuple(sorted(set(values)))
+        return CategoricalDimension(name, domain)
+    distinct = sorted(set(values))
+    all_int = all(isinstance(v, int) for v in values)
+    if all_int and len(distinct) <= max_ordinal_domain:
+        return OrdinalDimension(name, tuple(distinct))
+    return make_binned_dimension(
+        name, [float(v) for v in values], bins, method=method, bounded=bounded
+    )
+
+
+def infer_space_dimensions(
+    rows: Sequence[Row],
+    columns: Sequence[str],
+    bins: int = 8,
+    method: BinningMethod = BinningMethod.EQUAL_FREQUENCY,
+    bounded: bool = False,
+    max_ordinal_domain: int = 32,
+) -> list[Dimension]:
+    """Infer one dimension per feature column from training rows."""
+    dimensions = []
+    for column in columns:
+        values = [row[column] for row in rows]
+        dimensions.append(
+            infer_dimension(
+                column,
+                values,
+                bins=bins,
+                method=method,
+                bounded=bounded,
+                max_ordinal_domain=max_ordinal_domain,
+            )
+        )
+    return dimensions

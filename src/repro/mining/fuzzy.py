@@ -1,0 +1,106 @@
+"""Fuzzy c-means clustering — the paper's second "ongoing work" item.
+
+Section 3.3 names fuzzy clusters alongside hierarchical ones as ongoing
+work.  Fuzzy c-means maintains soft memberships ``u_{ik}`` during training,
+but a *mining predicate* needs a single predicted cluster per row; the
+standard hardening rule is ``argmax_k u_{ik}``, and because FCM memberships
+are a monotone function of centroid distance, the hardened assignment is
+exactly *nearest centroid*.  The trained model is therefore exposed as a
+:class:`~repro.mining.kmeans.KMeansModel` (optionally discretized), and the
+whole Section 3.3 envelope machinery applies unchanged — which is the
+observation that makes fuzzy clusters easy to support.
+
+The learner also exposes :meth:`memberships` for callers who want the soft
+assignment matrix itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.mining.base import Row
+from repro.mining.kmeans import KMeansModel
+
+
+class FuzzyCMeansLearner:
+    """Fuzzy c-means (Bezdek) with inverse-variance feature scaling."""
+
+    def __init__(
+        self,
+        feature_columns: Sequence[str],
+        n_clusters: int,
+        fuzziness: float = 2.0,
+        max_iterations: int = 100,
+        tolerance: float = 1e-5,
+        seed: int = 0,
+        name: str = "fuzzy_cmeans",
+        prediction_column: str = "cluster",
+    ) -> None:
+        if n_clusters < 1:
+            raise ModelError("n_clusters must be >= 1")
+        if fuzziness <= 1.0:
+            raise ModelError("fuzziness must be > 1 (1 is hard k-means)")
+        self.feature_columns = tuple(feature_columns)
+        self.n_clusters = n_clusters
+        self.fuzziness = fuzziness
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+        self.name = name
+        self.prediction_column = prediction_column
+        self._last_memberships: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, rows: Sequence[Row]) -> KMeansModel:
+        if len(rows) < self.n_clusters:
+            raise ModelError(
+                f"need at least {self.n_clusters} rows to fit "
+                f"{self.n_clusters} fuzzy clusters"
+            )
+        data = np.array(
+            [[float(row[c]) for c in self.feature_columns] for row in rows],
+            dtype=float,
+        )
+        variance = data.var(axis=0)
+        variance[variance == 0] = 1.0
+        scale = 1.0 / variance
+        self._scale = scale
+
+        rng = np.random.default_rng(self.seed)
+        memberships = rng.dirichlet(
+            np.ones(self.n_clusters), size=len(data)
+        )
+        # With squared distances D, the FCM update is
+        # u_ik proportional to D_ik^(-1/(m-1)).
+        power = 1.0 / (self.fuzziness - 1.0)
+        centroids = np.zeros((self.n_clusters, data.shape[1]))
+        for _ in range(self.max_iterations):
+            weights = memberships**self.fuzziness
+            centroids = (weights.T @ data) / weights.sum(axis=0)[:, None]
+            deltas = data[:, None, :] - centroids[None, :, :]
+            distances = (scale * deltas * deltas).sum(axis=2)
+            distances = np.maximum(distances, 1e-12)
+            inverted = distances ** (-power)
+            new_memberships = inverted / inverted.sum(axis=1, keepdims=True)
+            shift = float(np.abs(new_memberships - memberships).max())
+            memberships = new_memberships
+            if shift < self.tolerance:
+                break
+        self._last_memberships = memberships
+        weights_matrix = np.tile(scale, (self.n_clusters, 1))
+        return KMeansModel(
+            self.name,
+            self.prediction_column,
+            self.feature_columns,
+            centroids,
+            weights_matrix,
+        )
+
+    def memberships(self) -> np.ndarray:
+        """Soft membership matrix of the last ``fit`` (rows x clusters)."""
+        if self._last_memberships is None:
+            raise ModelError("fit must be called before memberships()")
+        return self._last_memberships

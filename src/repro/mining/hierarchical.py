@@ -1,0 +1,153 @@
+"""Agglomerative (hierarchical) clustering — the paper's "ongoing work".
+
+Section 3.3: "Hierarchical and fuzzy clusters are a subject of our ongoing
+work."  For the *assignment* semantics that matter to mining predicates,
+cutting a dendrogram at K clusters yields a partitional model: new points
+are assigned to the nearest cluster centroid.  That makes the cut
+hierarchy exactly a centroid-based model, so every envelope path built for
+k-means (Section 3.3's reduction, discretized or interval-bounded) applies
+unchanged.
+
+:class:`AgglomerativeClusterLearner` implements average-linkage
+agglomeration (vectorized Lance-Williams update) and returns a
+:class:`~repro.mining.kmeans.KMeansModel` whose centroids are the cut
+clusters' means — plus the merge history for callers who want the
+dendrogram itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.mining.base import Row
+from repro.mining.kmeans import KMeansModel
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One dendrogram merge: clusters ``left`` and ``right`` -> ``merged``.
+
+    Cluster ids: 0..n-1 are the leaves (input points); merge ``i`` creates
+    id ``n + i`` (the scipy linkage convention).
+    """
+
+    left: int
+    right: int
+    distance: float
+    size: int
+    merged: int
+
+
+class AgglomerativeClusterLearner:
+    """Average-linkage agglomerative clustering cut at ``n_clusters``.
+
+    ``max_points`` caps the points fed to the O(n^2) agglomeration: larger
+    training sets are deterministically subsampled first (standard practice
+    for hierarchical methods), and the returned centroid model assigns any
+    point by nearest centroid regardless.
+    """
+
+    def __init__(
+        self,
+        feature_columns: Sequence[str],
+        n_clusters: int,
+        max_points: int = 600,
+        weighting: str = "inverse_variance",
+        name: str = "agglomerative",
+        prediction_column: str = "cluster",
+    ) -> None:
+        if n_clusters < 1:
+            raise ModelError("n_clusters must be >= 1")
+        if max_points < n_clusters:
+            raise ModelError("max_points must be >= n_clusters")
+        if weighting not in ("inverse_variance", "uniform"):
+            raise ModelError(f"unknown weighting {weighting!r}")
+        self.feature_columns = tuple(feature_columns)
+        self.n_clusters = n_clusters
+        self.max_points = max_points
+        self.weighting = weighting
+        self.name = name
+        self.prediction_column = prediction_column
+        #: Populated by :meth:`fit`.
+        self.merge_history: tuple[MergeStep, ...] = ()
+
+    def fit(self, rows: Sequence[Row]) -> KMeansModel:
+        if len(rows) < self.n_clusters:
+            raise ModelError(
+                f"need at least {self.n_clusters} rows to cut "
+                f"{self.n_clusters} clusters"
+            )
+        data = np.array(
+            [[float(row[c]) for c in self.feature_columns] for row in rows],
+            dtype=float,
+        )
+        if len(data) > self.max_points:
+            step = len(data) / self.max_points
+            picks = (np.arange(self.max_points) * step).astype(int)
+            data = data[picks]
+        if self.weighting == "inverse_variance":
+            variance = data.var(axis=0)
+            variance[variance == 0] = 1.0
+            scale = 1.0 / variance
+        else:
+            scale = np.ones(data.shape[1])
+
+        n = len(data)
+        # Active cluster bookkeeping: members as index lists, centroids,
+        # sizes.  Average linkage over the weighted Euclidean metric.
+        centroids = data.copy()
+        sizes = np.ones(n)
+        active = list(range(n))
+        ids = list(range(n))
+        history: list[MergeStep] = []
+        # Pairwise average-linkage distances between centroids; with
+        # average linkage over squared distances the Lance-Williams update
+        # reduces to a size-weighted centroid merge, which is what we use.
+        while len(active) > self.n_clusters:
+            best = None
+            stacked = centroids[active]
+            deltas = stacked[:, None, :] - stacked[None, :, :]
+            distances = (scale * deltas * deltas).sum(axis=2)
+            np.fill_diagonal(distances, np.inf)
+            flat = int(distances.argmin())
+            i, j = divmod(flat, len(active))
+            if i > j:
+                i, j = j, i
+            a, b = active[i], active[j]
+            merged_size = sizes[a] + sizes[b]
+            merged_centroid = (
+                sizes[a] * centroids[a] + sizes[b] * centroids[b]
+            ) / merged_size
+            centroids = np.vstack([centroids, merged_centroid])
+            sizes = np.append(sizes, merged_size)
+            merged_id = n + len(history)
+            history.append(
+                MergeStep(
+                    left=ids[i],
+                    right=ids[j],
+                    distance=float(distances[i, j]),
+                    size=int(merged_size),
+                    merged=merged_id,
+                )
+            )
+            new_index = len(centroids) - 1
+            del active[j], ids[j]
+            del active[i], ids[i]
+            active.append(new_index)
+            ids.append(merged_id)
+        self.merge_history = tuple(history)
+        final_centroids = centroids[active]
+        weights = np.tile(scale, (self.n_clusters, 1))
+        # Order clusters by size descending for stable labels.
+        order = np.argsort(-sizes[active], kind="stable")
+        return KMeansModel(
+            self.name,
+            self.prediction_column,
+            self.feature_columns,
+            final_centroids[order],
+            weights,
+        )

@@ -1,0 +1,279 @@
+"""Model interchange: serialize trained models to JSON and back.
+
+The paper's systems import/export trained models through PMML or vendor
+formats (Section 1, Section 2.3: DB2's ``DM_impClasFile``).  JSON plays that
+interchange role here: every model's :meth:`to_dict` output round-trips
+through :func:`model_from_dict` / :func:`load_model`, so envelopes can be
+derived for models trained elsewhere, exactly as IM Scoring applies imported
+classifiers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.predicates import (
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Predicate,
+)
+from repro.core.regions import (
+    AttributeSpace,
+    BinnedDimension,
+    CategoricalDimension,
+    Dimension,
+    OrdinalDimension,
+)
+from repro.exceptions import ModelError
+from repro.mining.base import MiningModel, ModelKind
+from repro.mining.decision_tree import (
+    CategoryTest,
+    DecisionTreeModel,
+    Internal,
+    Leaf,
+    Node,
+    NumericTest,
+)
+from repro.mining.density import DensityClusterModel
+from repro.mining.gmm import GaussianMixtureModel
+from repro.mining.kmeans import KMeansModel
+from repro.mining.naive_bayes import NaiveBayesModel
+from repro.mining.rules import Rule, RuleSetModel
+
+
+def dimension_to_dict(dim: Dimension) -> dict[str, Any]:
+    """Serialize one attribute-space dimension."""
+    if isinstance(dim, CategoricalDimension):
+        return {"type": "categorical", "name": dim.name, "values": list(dim.values)}
+    if isinstance(dim, OrdinalDimension):
+        return {"type": "ordinal", "name": dim.name, "values": list(dim.values)}
+    if isinstance(dim, BinnedDimension):
+        return {
+            "type": "binned",
+            "name": dim.name,
+            "cuts": list(dim.cuts),
+            "low": dim.low,
+            "high": dim.high,
+        }
+    raise ModelError(f"cannot serialize dimension {dim!r}")
+
+
+def dimension_from_dict(payload: dict[str, Any]) -> Dimension:
+    """Inverse of :func:`dimension_to_dict`."""
+    kind = payload.get("type")
+    if kind == "categorical":
+        return CategoricalDimension(payload["name"], tuple(payload["values"]))
+    if kind == "ordinal":
+        return OrdinalDimension(payload["name"], tuple(payload["values"]))
+    if kind == "binned":
+        return BinnedDimension(
+            payload["name"],
+            tuple(payload["cuts"]),
+            low=payload.get("low"),
+            high=payload.get("high"),
+        )
+    raise ModelError(f"unknown dimension type {kind!r}")
+
+
+def predicate_to_dict(pred: Predicate) -> dict[str, Any]:
+    """Serialize the atom fragment used in rule bodies."""
+    if isinstance(pred, Comparison):
+        return {
+            "type": "comparison",
+            "column": pred.column,
+            "op": pred.op.value,
+            "value": pred.value,
+        }
+    if isinstance(pred, InSet):
+        return {"type": "in", "column": pred.column, "values": list(pred.values)}
+    if isinstance(pred, Interval):
+        return {
+            "type": "interval",
+            "column": pred.column,
+            "low": pred.low,
+            "high": pred.high,
+            "low_closed": pred.low_closed,
+            "high_closed": pred.high_closed,
+        }
+    if isinstance(pred, Not) and isinstance(pred.operand, InSet):
+        inner = predicate_to_dict(pred.operand)
+        return {"type": "not", "operand": inner}
+    raise ModelError(f"cannot serialize predicate {pred!r}")
+
+
+def predicate_from_dict(payload: dict[str, Any]) -> Predicate:
+    """Inverse of :func:`predicate_to_dict`."""
+    kind = payload.get("type")
+    if kind == "comparison":
+        return Comparison(payload["column"], Op(payload["op"]), payload["value"])
+    if kind == "in":
+        return InSet(payload["column"], tuple(payload["values"]))
+    if kind == "interval":
+        return Interval(
+            payload["column"],
+            payload.get("low"),
+            payload.get("high"),
+            low_closed=payload.get("low_closed", True),
+            high_closed=payload.get("high_closed", True),
+        )
+    if kind == "not":
+        return Not(predicate_from_dict(payload["operand"]))
+    raise ModelError(f"unknown predicate type {kind!r}")
+
+
+def _tree_node_from_dict(payload: dict[str, Any]) -> Node:
+    if payload["leaf"]:
+        return Leaf(
+            payload["label"],
+            tuple((label, count) for label, count in payload["counts"]),
+        )
+    test_payload = payload["test"]
+    if test_payload["type"] == "numeric":
+        test: NumericTest | CategoryTest = NumericTest(
+            test_payload["column"], test_payload["threshold"]
+        )
+    else:
+        test = CategoryTest(test_payload["column"], test_payload["value"])
+    return Internal(
+        test,
+        _tree_node_from_dict(payload["left"]),
+        _tree_node_from_dict(payload["right"]),
+    )
+
+
+def model_from_dict(payload: dict[str, Any]) -> MiningModel:
+    """Reconstruct any serialized model from its :meth:`to_dict` payload."""
+    if payload.get("kind") == "regression_tree":
+        from repro.mining.regression_tree import (
+            RegressionInternal,
+            RegressionLeaf,
+            RegressionTreeModel,
+        )
+
+        def regression_node(entry: dict[str, Any]):
+            if entry["leaf"]:
+                return RegressionLeaf(entry["value"], entry["count"])
+            test_payload = entry["test"]
+            if test_payload["type"] == "numeric":
+                test: NumericTest | CategoryTest = NumericTest(
+                    test_payload["column"], test_payload["threshold"]
+                )
+            else:
+                test = CategoryTest(
+                    test_payload["column"], test_payload["value"]
+                )
+            return RegressionInternal(
+                test,
+                regression_node(entry["left"]),
+                regression_node(entry["right"]),
+            )
+
+        return RegressionTreeModel(
+            payload["name"],
+            payload["prediction_column"],
+            tuple(payload["feature_columns"]),
+            regression_node(payload["root"]),
+        )
+    if payload.get("kind") == "discretized_cluster":
+        from repro.mining.discretized_cluster import DiscretizedClusterModel
+
+        base = model_from_dict(payload["base"])
+        space = AttributeSpace(
+            tuple(dimension_from_dict(d) for d in payload["dimensions"])
+        )
+        if not isinstance(base, (KMeansModel, GaussianMixtureModel)):
+            raise ModelError(
+                "discretized_cluster payload wraps an unsupported base model"
+            )
+        return DiscretizedClusterModel(base, space, name=payload["name"])
+    try:
+        kind = ModelKind(payload["kind"])
+    except (KeyError, ValueError) as exc:
+        raise ModelError(f"payload has no valid model kind: {exc}") from exc
+    if kind is ModelKind.DECISION_TREE:
+        return DecisionTreeModel(
+            payload["name"],
+            payload["prediction_column"],
+            tuple(payload["feature_columns"]),
+            _tree_node_from_dict(payload["root"]),
+        )
+    if kind is ModelKind.NAIVE_BAYES:
+        space = AttributeSpace(
+            tuple(dimension_from_dict(d) for d in payload["dimensions"])
+        )
+        return NaiveBayesModel(
+            payload["name"],
+            payload["prediction_column"],
+            space,
+            tuple(payload["class_labels"]),
+            np.asarray(payload["log_priors"], dtype=float),
+            [np.asarray(t, dtype=float) for t in payload["log_conditionals"]],
+        )
+    if kind is ModelKind.RULES:
+        rules = tuple(
+            Rule(
+                tuple(predicate_from_dict(a) for a in entry["body"]),
+                entry["head"],
+            )
+            for entry in payload["rules"]
+        )
+        return RuleSetModel(
+            payload["name"],
+            payload["prediction_column"],
+            tuple(payload["feature_columns"]),
+            rules,
+            payload["default_label"],
+        )
+    if kind is ModelKind.KMEANS:
+        return KMeansModel(
+            payload["name"],
+            payload["prediction_column"],
+            tuple(payload["feature_columns"]),
+            np.asarray(payload["centroids"], dtype=float),
+            np.asarray(payload["weights"], dtype=float),
+            labels=tuple(payload["labels"]),
+        )
+    if kind is ModelKind.GMM:
+        return GaussianMixtureModel(
+            payload["name"],
+            payload["prediction_column"],
+            tuple(payload["feature_columns"]),
+            np.asarray(payload["mixing"], dtype=float),
+            np.asarray(payload["means"], dtype=float),
+            np.asarray(payload["variances"], dtype=float),
+            labels=tuple(payload["labels"]),
+        )
+    if kind is ModelKind.DENSITY:
+        space = AttributeSpace(
+            tuple(dimension_from_dict(d) for d in payload["dimensions"])
+        )
+        clusters = [
+            frozenset(tuple(cell) for cell in cells)
+            for cells in payload["clusters"]
+        ]
+        return DensityClusterModel(
+            payload["name"],
+            payload["prediction_column"],
+            space,
+            clusters,
+            labels=tuple(payload["labels"]),
+        )
+    raise ModelError(f"no loader registered for model kind {kind}")
+
+
+def save_model(model: MiningModel, path: str | Path) -> None:
+    """Write a model to a JSON file."""
+    Path(path).write_text(json.dumps(model.to_dict(), indent=2))
+
+
+def load_model(path: str | Path) -> MiningModel:
+    """Read a model previously written by :func:`save_model`."""
+    payload = json.loads(Path(path).read_text())
+    return model_from_dict(payload)

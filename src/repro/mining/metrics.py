@@ -1,0 +1,59 @@
+"""Evaluation metrics for mining models."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.core.predicates import Value
+from repro.exceptions import ModelError
+from repro.mining.base import MiningModel, Row
+
+
+def accuracy(model: MiningModel, rows: Sequence[Row], target: str) -> float:
+    """Fraction of rows whose prediction matches ``target``."""
+    if not rows:
+        raise ModelError("accuracy needs at least one row")
+    hits = sum(1 for row in rows if model.predict(row) == row[target])
+    return hits / len(rows)
+
+
+def confusion_matrix(
+    model: MiningModel, rows: Sequence[Row], target: str
+) -> dict[tuple[Value, Value], int]:
+    """Counts keyed by ``(actual, predicted)``."""
+    matrix: dict[tuple[Value, Value], int] = {}
+    for row in rows:
+        key = (row[target], model.predict(row))
+        matrix[key] = matrix.get(key, 0) + 1
+    return matrix
+
+
+def label_selectivities(
+    labels: Iterable[Value],
+) -> dict[Value, float]:
+    """Per-label fraction of occurrences — the paper's *original selectivity*.
+
+    The original selectivity of class ``c`` is the fraction of rows the
+    model predicts as ``c``; pass the model's predictions (or the true
+    labels, for ground-truth selectivity).
+    """
+    counts: dict[Value, int] = {}
+    total = 0
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+        total += 1
+    if total == 0:
+        raise ModelError("selectivity needs at least one label")
+    return {label: count / total for label, count in counts.items()}
+
+
+def entropy(probabilities: Sequence[float]) -> float:
+    """Shannon entropy (bits) of a distribution; zeros contribute nothing."""
+    result = 0.0
+    for p in probabilities:
+        if p < 0:
+            raise ModelError(f"negative probability {p}")
+        if p > 0:
+            result -= p * math.log2(p)
+    return result

@@ -1,0 +1,290 @@
+"""Regression trees — the paper's stated future work.
+
+Section 3 closes with: "The class of models whose prediction is real-valued
+is a topic of our future work."  For regression *trees* the extension is
+natural and exact, mirroring Section 3.1: every leaf predicts a constant,
+so the upper envelope of a range mining predicate
+``M.prediction BETWEEN low AND high`` is the OR over leaves whose constant
+falls in the range of the AND of that leaf's path conditions.
+
+The learner is vectorized variance-reduction induction (CART for
+regression); the model reuses the classification tree's node structure with
+float leaf values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any, Union
+
+import numpy as np
+
+from repro.core.predicates import Predicate, Value
+from repro.exceptions import ModelError
+from repro.mining.base import MiningModel, ModelKind, Row, extract_column
+from repro.mining.decision_tree import CategoryTest, NumericTest, Test
+
+
+@dataclass(frozen=True)
+class RegressionLeaf:
+    """Terminal node predicting a constant value."""
+
+    value: float
+    count: int
+
+
+@dataclass(frozen=True)
+class RegressionInternal:
+    """Internal node: ``test`` true -> ``left``, false -> ``right``."""
+
+    test: Test
+    left: "RegressionNode"
+    right: "RegressionNode"
+
+
+RegressionNode = Union[RegressionLeaf, RegressionInternal]
+
+
+class RegressionTreeModel(MiningModel):
+    """A trained regression tree: piecewise-constant prediction."""
+
+    def __init__(
+        self,
+        name: str,
+        prediction_column: str,
+        feature_columns: Sequence[str],
+        root: RegressionNode,
+    ) -> None:
+        self.name = name
+        self.prediction_column = prediction_column
+        self._feature_columns = tuple(feature_columns)
+        self.root = root
+
+    @property
+    def kind(self) -> ModelKind:
+        # Regression trees share the decision-tree model family.
+        return ModelKind.DECISION_TREE
+
+    @property
+    def feature_columns(self) -> tuple[str, ...]:
+        return self._feature_columns
+
+    @property
+    def class_labels(self) -> tuple[Value, ...]:
+        """The distinct leaf constants — a finite 'label' set.
+
+        This is what makes the Section 4.1 label-enumeration machinery
+        carry over: a regression tree can only output one of its leaves'
+        values.
+        """
+        return tuple(sorted({leaf.value for _, leaf in iter_regression_leaves(self.root)}))
+
+    def predict(self, row: Row) -> Value:
+        self._require_columns(row)
+        node = self.root
+        while isinstance(node, RegressionInternal):
+            node = node.left if node.test.matches(row) else node.right
+        return node.value
+
+    def leaf_count(self) -> int:
+        return sum(1 for _ in iter_regression_leaves(self.root))
+
+    def value_range(self) -> tuple[float, float]:
+        values = [leaf.value for _, leaf in iter_regression_leaves(self.root)]
+        return min(values), max(values)
+
+    def to_dict(self) -> dict[str, Any]:
+        def node_dict(node: RegressionNode) -> dict[str, Any]:
+            if isinstance(node, RegressionLeaf):
+                return {
+                    "leaf": True,
+                    "value": node.value,
+                    "count": node.count,
+                }
+            if isinstance(node.test, NumericTest):
+                test: dict[str, Any] = {
+                    "type": "numeric",
+                    "column": node.test.column,
+                    "threshold": node.test.threshold,
+                }
+            else:
+                assert isinstance(node.test, CategoryTest)
+                test = {
+                    "type": "category",
+                    "column": node.test.column,
+                    "value": node.test.value,
+                }
+            return {
+                "leaf": False,
+                "test": test,
+                "left": node_dict(node.left),
+                "right": node_dict(node.right),
+            }
+
+        return {
+            "kind": "regression_tree",
+            "name": self.name,
+            "prediction_column": self.prediction_column,
+            "feature_columns": list(self._feature_columns),
+            "root": node_dict(self.root),
+        }
+
+
+def iter_regression_leaves(
+    node: RegressionNode, path: tuple[Predicate, ...] = ()
+):
+    """Yield ``(path_conditions, leaf)`` for every leaf (as for trees)."""
+    if isinstance(node, RegressionLeaf):
+        yield path, node
+        return
+    yield from iter_regression_leaves(
+        node.left, path + (node.test.true_predicate(),)
+    )
+    yield from iter_regression_leaves(
+        node.right, path + (node.test.false_predicate(),)
+    )
+
+
+class RegressionTreeLearner:
+    """Vectorized CART-style regression tree (variance reduction)."""
+
+    def __init__(
+        self,
+        feature_columns: Sequence[str],
+        target_column: str,
+        max_depth: int = 10,
+        min_samples_split: int = 8,
+        min_variance_gain: float = 1e-9,
+        max_thresholds: int = 32,
+        name: str = "regression_tree",
+        prediction_column: str | None = None,
+    ) -> None:
+        if not feature_columns:
+            raise ModelError(
+                "regression tree needs at least one feature column"
+            )
+        self.feature_columns = tuple(feature_columns)
+        self.target_column = target_column
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_variance_gain = min_variance_gain
+        self.max_thresholds = max_thresholds
+        self.name = name
+        self.prediction_column = prediction_column or f"predicted_{target_column}"
+
+    def fit(self, rows: Sequence[Row]) -> RegressionTreeModel:
+        if not rows:
+            raise ModelError("cannot fit a regression tree on no rows")
+        targets = extract_column(rows, self.target_column)
+        if any(isinstance(v, str) for v in targets):
+            raise ModelError("regression targets must be numeric")
+        self._targets = np.asarray(targets, dtype=float)
+        self._numeric: dict[str, np.ndarray] = {}
+        self._codes: dict[str, np.ndarray] = {}
+        self._domains: dict[str, list[Value]] = {}
+        for column in self.feature_columns:
+            values = extract_column(rows, column)
+            if any(isinstance(v, str) for v in values):
+                domain = sorted(set(values))
+                code = {v: i for i, v in enumerate(domain)}
+                self._domains[column] = list(domain)
+                self._codes[column] = np.array(
+                    [code[v] for v in values], dtype=np.int64
+                )
+            else:
+                self._numeric[column] = np.asarray(values, dtype=float)
+        indices = np.arange(len(rows), dtype=np.int64)
+        root = self._build(indices, depth=0)
+        del self._targets, self._numeric, self._codes, self._domains
+        return RegressionTreeModel(
+            self.name, self.prediction_column, self.feature_columns, root
+        )
+
+    def _build(self, indices: np.ndarray, depth: int) -> RegressionNode:
+        targets = self._targets[indices]
+        if (
+            depth >= self.max_depth
+            or len(indices) < self.min_samples_split
+            or float(targets.var()) <= 1e-18
+        ):
+            return RegressionLeaf(float(targets.mean()), len(indices))
+        best = self._best_split(indices, targets)
+        if best is None:
+            return RegressionLeaf(float(targets.mean()), len(indices))
+        test, left_mask = best
+        return RegressionInternal(
+            test,
+            self._build(indices[left_mask], depth + 1),
+            self._build(indices[~left_mask], depth + 1),
+        )
+
+    def _best_split(self, indices: np.ndarray, targets: np.ndarray):
+        total = len(indices)
+        base = float(targets.var()) * total
+        best_gain = self.min_variance_gain
+        best = None
+        for column in self.feature_columns:
+            if column in self._numeric:
+                values = self._numeric[column][indices]
+                order = np.argsort(values, kind="stable")
+                ordered_values = values[order]
+                ordered_targets = targets[order]
+                boundaries = np.flatnonzero(
+                    ordered_values[1:] > ordered_values[:-1]
+                )
+                if boundaries.size == 0:
+                    continue
+                if boundaries.size > self.max_thresholds:
+                    step = boundaries.size / self.max_thresholds
+                    picks = (
+                        np.arange(self.max_thresholds) * step
+                    ).astype(int)
+                    boundaries = boundaries[picks]
+                prefix_sum = ordered_targets.cumsum()
+                prefix_sq = (ordered_targets**2).cumsum()
+                n_left = boundaries + 1.0
+                s_left = prefix_sum[boundaries]
+                q_left = prefix_sq[boundaries]
+                n_right = total - n_left
+                s_right = prefix_sum[-1] - s_left
+                q_right = prefix_sq[-1] - q_left
+                sse = (
+                    q_left
+                    - s_left * s_left / n_left
+                    + q_right
+                    - s_right * s_right / n_right
+                )
+                gains = base - sse
+                pick = int(gains.argmax())
+                if gains[pick] > best_gain:
+                    threshold = float(
+                        (
+                            ordered_values[boundaries[pick]]
+                            + ordered_values[boundaries[pick] + 1]
+                        )
+                        / 2.0
+                    )
+                    best_gain = float(gains[pick])
+                    best = (
+                        NumericTest(column, threshold),
+                        values <= threshold,
+                    )
+            else:
+                codes = self._codes[column][indices]
+                domain = self._domains[column]
+                for value_index, value in enumerate(domain):
+                    mask = codes == value_index
+                    n_left = int(mask.sum())
+                    if n_left == 0 or n_left == total:
+                        continue
+                    left = targets[mask]
+                    right = targets[~mask]
+                    sse = float(left.var()) * n_left + float(
+                        right.var()
+                    ) * (total - n_left)
+                    gain = base - sse
+                    if gain > best_gain:
+                        best_gain = gain
+                        best = (CategoryTest(column, value), mask)
+        return best

@@ -1,0 +1,229 @@
+"""Ordered rule-list classifier learned by sequential covering.
+
+Section 3.1 of the paper covers rule-based learners (citing RIPPER/CN2):
+if-then rules whose bodies are conjunctions of simple attribute conditions,
+resolved by sequential order, with a default class for uncovered instances.
+The class-``c`` upper envelope is the disjunction of the bodies of ``c``'s
+rules — *not exact* in general because an instance matching a ``c`` rule may
+be claimed by an earlier rule of another class; the default class's envelope
+additionally includes the complement of all non-default bodies.
+
+The learner here is a compact PRISM/CN2-style sequential coverer: per class
+it greedily grows conjunctions maximizing Laplace-corrected precision,
+removes covered rows, and repeats up to a rule budget.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.predicates import (
+    Comparison,
+    Op,
+    Predicate,
+    Value,
+    conjunction,
+    equals,
+)
+from repro.exceptions import ModelError
+from repro.mining.base import (
+    MiningModel,
+    ModelKind,
+    Row,
+    class_distribution,
+    extract_column,
+)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One if-then rule: ``body`` (atom conjunction) implies ``head``."""
+
+    body: tuple[Predicate, ...]
+    head: Value
+
+    def matches(self, row: Row) -> bool:
+        return all(atom.evaluate(row) for atom in self.body)
+
+    def body_predicate(self) -> Predicate:
+        return conjunction(self.body)
+
+
+class RuleSetModel(MiningModel):
+    """An ordered rule list plus a default class."""
+
+    def __init__(
+        self,
+        name: str,
+        prediction_column: str,
+        feature_columns: Sequence[str],
+        rules: Sequence[Rule],
+        default_label: Value,
+    ) -> None:
+        self.name = name
+        self.prediction_column = prediction_column
+        self._feature_columns = tuple(feature_columns)
+        self.rules = tuple(rules)
+        self.default_label = default_label
+        labels = {rule.head for rule in rules} | {default_label}
+        self._class_labels = tuple(sorted(labels, key=str))
+
+    @property
+    def kind(self) -> ModelKind:
+        return ModelKind.RULES
+
+    @property
+    def feature_columns(self) -> tuple[str, ...]:
+        return self._feature_columns
+
+    @property
+    def class_labels(self) -> tuple[Value, ...]:
+        return self._class_labels
+
+    def predict(self, row: Row) -> Value:
+        self._require_columns(row)
+        for rule in self.rules:
+            if rule.matches(row):
+                return rule.head
+        return self.default_label
+
+    def rules_for(self, label: Value) -> tuple[Rule, ...]:
+        """Rules whose head is ``label`` (possibly empty)."""
+        return tuple(rule for rule in self.rules if rule.head == label)
+
+    def to_dict(self) -> dict[str, Any]:
+        from repro.mining.interchange import predicate_to_dict
+
+        return {
+            "kind": self.kind.value,
+            "name": self.name,
+            "prediction_column": self.prediction_column,
+            "feature_columns": list(self._feature_columns),
+            "default_label": self.default_label,
+            "rules": [
+                {
+                    "head": rule.head,
+                    "body": [predicate_to_dict(a) for a in rule.body],
+                }
+                for rule in self.rules
+            ],
+        }
+
+
+class RuleLearner:
+    """Sequential covering with greedy Laplace-precision condition growth."""
+
+    def __init__(
+        self,
+        feature_columns: Sequence[str],
+        target_column: str,
+        max_rules_per_class: int = 8,
+        max_conditions: int = 4,
+        min_coverage: int = 2,
+        max_thresholds: int = 16,
+        name: str = "rules",
+        prediction_column: str | None = None,
+    ) -> None:
+        if not feature_columns:
+            raise ModelError("rule learner needs at least one feature column")
+        self.feature_columns = tuple(feature_columns)
+        self.target_column = target_column
+        self.max_rules_per_class = max_rules_per_class
+        self.max_conditions = max_conditions
+        self.min_coverage = min_coverage
+        self.max_thresholds = max_thresholds
+        self.name = name
+        self.prediction_column = prediction_column or f"predicted_{target_column}"
+
+    def fit(self, rows: Sequence[Row]) -> RuleSetModel:
+        if not rows:
+            raise ModelError("cannot fit rules on an empty training set")
+        labels = extract_column(rows, self.target_column)
+        counts = class_distribution(labels)
+        # Learn rules for rarer classes first (standard sequential covering
+        # order); the most frequent class becomes the default.
+        ordered = sorted(counts, key=lambda c: (counts[c], str(c)))
+        default_label = ordered[-1]
+        remaining = list(rows)
+        rules: list[Rule] = []
+        for label in ordered[:-1]:
+            for _ in range(self.max_rules_per_class):
+                positives = [
+                    r for r in remaining if r[self.target_column] == label
+                ]
+                if len(positives) < self.min_coverage:
+                    break
+                rule = self._grow_rule(remaining, label)
+                if rule is None:
+                    break
+                rules.append(rule)
+                remaining = [r for r in remaining if not rule.matches(r)]
+        return RuleSetModel(
+            self.name,
+            self.prediction_column,
+            self.feature_columns,
+            rules,
+            default_label,
+        )
+
+    # -- rule growth -------------------------------------------------------
+
+    def _grow_rule(self, rows: list[Row], label: Value) -> Rule | None:
+        body: list[Predicate] = []
+        covered = list(rows)
+        best_precision = self._precision(covered, label)
+        while len(body) < self.max_conditions:
+            best_atom: Predicate | None = None
+            best_covered: list[Row] | None = None
+            for atom in self._candidate_atoms(covered):
+                subset = [r for r in covered if atom.evaluate(r)]
+                if len(subset) < self.min_coverage:
+                    continue
+                precision = self._precision(subset, label)
+                if precision > best_precision:
+                    best_precision = precision
+                    best_atom = atom
+                    best_covered = subset
+            if best_atom is None:
+                break
+            body.append(best_atom)
+            assert best_covered is not None
+            covered = best_covered
+            if all(r[self.target_column] == label for r in covered):
+                break
+        if not body:
+            return None
+        positives = sum(1 for r in covered if r[self.target_column] == label)
+        if positives < self.min_coverage or positives * 2 < len(covered):
+            return None
+        return Rule(tuple(body), label)
+
+    def _precision(self, rows: Sequence[Row], label: Value) -> float:
+        positives = sum(1 for r in rows if r[self.target_column] == label)
+        # Laplace correction keeps tiny pure subsets from dominating.
+        return (positives + 1) / (len(rows) + 2)
+
+    def _candidate_atoms(self, rows: Sequence[Row]) -> list[Predicate]:
+        atoms: list[Predicate] = []
+        for column in self.feature_columns:
+            values = [row[column] for row in rows]
+            if any(isinstance(v, str) for v in values):
+                for value in sorted(set(values)):  # type: ignore[type-var]
+                    atoms.append(equals(column, value))
+                continue
+            distinct = sorted(set(float(v) for v in values))
+            if len(distinct) <= 1:
+                continue
+            midpoints = [(a + b) / 2.0 for a, b in zip(distinct, distinct[1:])]
+            if len(midpoints) > self.max_thresholds:
+                step = len(midpoints) / self.max_thresholds
+                midpoints = [
+                    midpoints[int(i * step)]
+                    for i in range(self.max_thresholds)
+                ]
+            for threshold in midpoints:
+                atoms.append(Comparison(column, Op.LE, threshold))
+                atoms.append(Comparison(column, Op.GT, threshold))
+        return atoms

@@ -1,0 +1,78 @@
+"""Relational substrate: SQLite store, predicate compiler, plan capture,
+index advisor, and the PREDICTION JOIN execution layer."""
+
+from repro.sql.advisor import (
+    IndexCandidate,
+    Recommendation,
+    candidate_indexes,
+    implement_recommendation,
+    recommend_indexes,
+    tune_for_workload,
+)
+from repro.sql.compiler import (
+    compile_predicate,
+    count_statement,
+    render_literal,
+    select_statement,
+)
+from repro.sql.database import Database, load_table
+from repro.sql.miningext import (
+    ExecutionReport,
+    PredictionJoinExecutor,
+    baseline_full_scan,
+)
+from repro.sql.plancache import PlanCache, PlanCacheStats
+from repro.sql.planner import (
+    AccessPath,
+    CONSTANT_SCAN_PLAN,
+    FULL_SCAN_PLAN,
+    Plan,
+    PlanComparison,
+    capture_plan,
+    compare_plans,
+    parse_explain,
+)
+from repro.sql.schema import Column, ColumnType, TableSchema
+from repro.sql.stats import (
+    ColumnStats,
+    TableStats,
+    build_column_stats,
+    build_table_stats,
+    estimate_selectivity,
+)
+
+__all__ = [
+    "AccessPath",
+    "CONSTANT_SCAN_PLAN",
+    "Column",
+    "ColumnStats",
+    "ColumnType",
+    "Database",
+    "ExecutionReport",
+    "FULL_SCAN_PLAN",
+    "IndexCandidate",
+    "Plan",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanComparison",
+    "PredictionJoinExecutor",
+    "Recommendation",
+    "TableSchema",
+    "TableStats",
+    "baseline_full_scan",
+    "build_column_stats",
+    "build_table_stats",
+    "candidate_indexes",
+    "capture_plan",
+    "compare_plans",
+    "compile_predicate",
+    "count_statement",
+    "estimate_selectivity",
+    "implement_recommendation",
+    "load_table",
+    "parse_explain",
+    "recommend_indexes",
+    "render_literal",
+    "select_statement",
+    "tune_for_workload",
+]

@@ -1,0 +1,210 @@
+"""Cost-based index advisor — the Index Tuning Wizard stand-in.
+
+The paper's methodology (Section 5.1) feeds the per-class workload file to
+Microsoft's Index Tuning Wizard and implements its recommendations before
+measuring.  This module plays that role: given a workload of predicates
+over one table, it
+
+1. extracts candidate indexes from the predicate atoms (single columns and
+   two-column composites that co-occur in a conjunct),
+2. estimates each candidate's benefit with the statistics module: how many
+   scanned rows it would save, summed over the workload queries it can
+   serve (a disjunctive query is servable only if *every* disjunct is
+   sargable on an indexed column — SQLite's multi-index OR requirement),
+3. greedily picks the best candidates under a configurable budget, and
+4. optionally creates them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.normalize import to_dnf
+from repro.core.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Interval,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.exceptions import NormalizationError
+from repro.sql.database import Database
+from repro.sql.stats import TableStats, estimate_selectivity
+
+#: Rows an index lookup must save (fractionally) before it is worth it.
+_MIN_BENEFIT_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class IndexCandidate:
+    """A candidate index with its estimated workload benefit."""
+
+    columns: tuple[str, ...]
+    benefit_rows: float
+    queries_served: int
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Advisor output: the candidates chosen under the budget."""
+
+    table: str
+    chosen: tuple[IndexCandidate, ...]
+    considered: int
+
+    @property
+    def column_sets(self) -> list[tuple[str, ...]]:
+        return [c.columns for c in self.chosen]
+
+
+def _conjunct_atoms(conjunct: Predicate) -> list[Predicate]:
+    if isinstance(conjunct, And):
+        return list(conjunct.operands)
+    return [conjunct]
+
+
+def _atom_column(atom: Predicate) -> str | None:
+    """Sargable column of an atom, or None for non-sargable atoms."""
+    if isinstance(atom, (Comparison, InSet, Interval)):
+        return atom.column
+    if isinstance(atom, Not) and isinstance(atom.operand, InSet):
+        # NOT IN is not a useful index seek.
+        return None
+    return None
+
+
+def _dnf_conjuncts(pred: Predicate) -> list[list[Predicate]] | None:
+    """Predicate as DNF conjunct atom-lists; None when unusable."""
+    try:
+        dnf = to_dnf(pred)
+    except NormalizationError:
+        return None
+    if isinstance(dnf, (TruePredicate, FalsePredicate)):
+        return []
+    conjuncts = dnf.operands if isinstance(dnf, Or) else (dnf,)
+    return [_conjunct_atoms(c) for c in conjuncts]
+
+
+def candidate_indexes(
+    workload: Sequence[Predicate],
+    stats: TableStats,
+) -> list[IndexCandidate]:
+    """Score single- and two-column candidates over the workload."""
+    # Gather candidate column sets.
+    singles: set[tuple[str, ...]] = set()
+    pairs: set[tuple[str, ...]] = set()
+    parsed: list[list[list[Predicate]]] = []
+    for predicate in workload:
+        conjuncts = _dnf_conjuncts(predicate)
+        if conjuncts is None:
+            parsed.append([])
+            continue
+        parsed.append(conjuncts)
+        for atoms in conjuncts:
+            columns = sorted(
+                {c for c in (_atom_column(a) for a in atoms) if c}
+            )
+            for column in columns:
+                singles.add((column,))
+            for i, first in enumerate(columns):
+                for second in columns[i + 1:]:
+                    pairs.add((first, second))
+
+    candidates: list[IndexCandidate] = []
+    for column_set in sorted(singles) + sorted(pairs):
+        benefit = 0.0
+        served = 0
+        for predicate, conjuncts in zip(workload, parsed):
+            if not conjuncts:
+                continue
+            if not _index_serves(conjuncts, column_set):
+                continue
+            selectivity = estimate_selectivity(stats, predicate)
+            saved = stats.row_count * max(0.0, 1.0 - selectivity)
+            if saved >= stats.row_count * _MIN_BENEFIT_FRACTION:
+                benefit += saved
+                served += 1
+        if served:
+            candidates.append(
+                IndexCandidate(column_set, benefit, served)
+            )
+    candidates.sort(key=lambda c: (-c.benefit_rows, len(c.columns), c.columns))
+    return candidates
+
+
+def _index_serves(
+    conjuncts: list[list[Predicate]], columns: tuple[str, ...]
+) -> bool:
+    """Whether an index on ``columns`` can serve a DNF query.
+
+    SQLite answers an OR query with multi-index OR only when every disjunct
+    can use some index; for a single candidate we require the leading index
+    column to appear in every disjunct.
+    """
+    leading = columns[0]
+    for atoms in conjuncts:
+        atom_columns = {c for c in (_atom_column(a) for a in atoms) if c}
+        if leading not in atom_columns:
+            return False
+    return True
+
+
+def recommend_indexes(
+    workload: Sequence[Predicate],
+    stats: TableStats,
+    budget: int = 8,
+) -> Recommendation:
+    """Greedy top-``budget`` selection among scored candidates.
+
+    Candidates whose leading column is already covered by a chosen candidate
+    are skipped (a second index with the same leading column adds little for
+    these workloads).
+    """
+    candidates = candidate_indexes(workload, stats)
+    chosen: list[IndexCandidate] = []
+    leading_taken: set[str] = set()
+    for candidate in candidates:
+        if len(chosen) >= budget:
+            break
+        if candidate.columns[0] in leading_taken:
+            continue
+        chosen.append(candidate)
+        leading_taken.add(candidate.columns[0])
+    return Recommendation(
+        table=stats.table, chosen=tuple(chosen), considered=len(candidates)
+    )
+
+
+def implement_recommendation(
+    db: Database, recommendation: Recommendation
+) -> list[str]:
+    """Create the recommended indexes; returns the created index names."""
+    names = []
+    for candidate in recommendation.chosen:
+        names.append(
+            db.create_index(recommendation.table, candidate.columns)
+        )
+    db.analyze()
+    return names
+
+
+def tune_for_workload(
+    db: Database,
+    table: str,
+    workload: Sequence[Predicate],
+    sample_limit: int = 20_000,
+    budget: int = 8,
+) -> Recommendation:
+    """End-to-end tuning: sample, build stats, recommend, implement."""
+    from repro.sql.stats import build_table_stats
+
+    sample = db.sample_rows(table, sample_limit)
+    stats = build_table_stats(table, sample, row_count=db.row_count(table))
+    recommendation = recommend_indexes(workload, stats, budget=budget)
+    implement_recommendation(db, recommendation)
+    return recommendation

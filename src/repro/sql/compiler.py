@@ -1,0 +1,134 @@
+"""Compile predicate ASTs to SQLite WHERE-clause text.
+
+Upper envelopes are AND/OR expressions of simple selection predicates; this
+module renders them in exactly the shape SQLite's planner can exploit for
+index seeks and multi-index OR plans.  Literals are rendered inline (with
+strict escaping) rather than as bind parameters so that ``EXPLAIN QUERY
+PLAN`` output corresponds one-to-one with the executed statement.
+"""
+
+from __future__ import annotations
+
+from repro.core.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    TruePredicate,
+    Value,
+)
+from repro.exceptions import PredicateError
+from repro.sql.schema import check_identifier
+
+
+def quote_identifier(name: str) -> str:
+    """Bracket-quote a validated identifier.
+
+    Square brackets (the SQL Server style, which SQLite accepts) are used
+    deliberately instead of standard double quotes: SQLite's legacy
+    double-quoted-string fallback silently turns a misspelled
+    ``"column"`` into a string *literal*, so a typo would return an empty
+    result instead of an error.  Bracketed identifiers fail loudly.
+    """
+    return f"[{check_identifier(name)}]"
+
+
+def render_literal(value: Value) -> str:
+    """Render a predicate constant as a SQL literal."""
+    if isinstance(value, bool):
+        raise PredicateError("boolean literals are not supported; use 0/1")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    raise PredicateError(f"cannot render literal {value!r}")
+
+
+def compile_predicate(pred: Predicate) -> str:
+    """Render a predicate tree as a SQL boolean expression."""
+    if isinstance(pred, TruePredicate):
+        return "1=1"
+    if isinstance(pred, FalsePredicate):
+        return "1=0"
+    if isinstance(pred, Comparison):
+        column = quote_identifier(pred.column)
+        return f"{column} {pred.op.value} {render_literal(pred.value)}"
+    if isinstance(pred, InSet):
+        column = quote_identifier(pred.column)
+        values = ", ".join(render_literal(v) for v in pred.values)
+        return f"{column} IN ({values})"
+    if isinstance(pred, Interval):
+        return _compile_interval(pred)
+    if isinstance(pred, Not):
+        if isinstance(pred.operand, InSet):
+            inner = pred.operand
+            column = quote_identifier(inner.column)
+            values = ", ".join(render_literal(v) for v in inner.values)
+            return f"{column} NOT IN ({values})"
+        return f"NOT ({compile_predicate(pred.operand)})"
+    if isinstance(pred, And):
+        return " AND ".join(
+            _parenthesize(operand) for operand in pred.operands
+        )
+    if isinstance(pred, Or):
+        return " OR ".join(
+            _parenthesize(operand) for operand in pred.operands
+        )
+    raise PredicateError(f"cannot compile predicate node {pred!r}")
+
+
+def _parenthesize(pred: Predicate) -> str:
+    text = compile_predicate(pred)
+    if isinstance(pred, (And, Or)):
+        return f"({text})"
+    return text
+
+
+def _compile_interval(interval: Interval) -> str:
+    column = quote_identifier(interval.column)
+    if (
+        interval.low is not None
+        and interval.high is not None
+        and interval.low_closed
+        and interval.high_closed
+    ):
+        low = render_literal(interval.low)
+        high = render_literal(interval.high)
+        return f"{column} BETWEEN {low} AND {high}"
+    parts = []
+    if interval.low is not None:
+        op = Op.GE if interval.low_closed else Op.GT
+        parts.append(f"{column} {op.value} {render_literal(interval.low)}")
+    if interval.high is not None:
+        op = Op.LE if interval.high_closed else Op.LT
+        parts.append(f"{column} {op.value} {render_literal(interval.high)}")
+    return " AND ".join(parts)
+
+
+def select_statement(
+    table: str,
+    predicate: Predicate,
+    columns: str = "*",
+) -> str:
+    """``SELECT <columns> FROM <table> WHERE <predicate>``.
+
+    A TRUE predicate omits the WHERE clause, matching the paper's
+    ``SELECT * FROM T`` baseline query exactly.
+    """
+    base = f'SELECT {columns} FROM {quote_identifier(table)}'
+    if isinstance(predicate, TruePredicate):
+        return base
+    return f"{base} WHERE {compile_predicate(predicate)}"
+
+
+def count_statement(table: str, predicate: Predicate) -> str:
+    """``SELECT COUNT(*) ...`` used for selectivity measurement."""
+    return select_statement(table, predicate, columns="COUNT(*)")

@@ -1,0 +1,238 @@
+"""SQLite-backed relational store.
+
+This is the paper's "Microsoft SQL Server" substitute (see DESIGN.md): a
+real SQL engine with a cost-based planner that turns selective AND/OR
+predicates into index seeks (``SEARCH ... USING INDEX``) and multi-index OR
+plans, and whose chosen plan we can introspect via ``EXPLAIN QUERY PLAN``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.predicates import Predicate, Value
+from repro.exceptions import DatabaseError, SchemaError
+from repro.sql.compiler import (
+    count_statement,
+    quote_identifier,
+    select_statement,
+)
+from repro.sql.schema import TableSchema, check_identifier
+
+Row = dict[str, Value]
+
+#: Insert batch size; keeps memory flat while loading million-row tables.
+_BATCH = 5_000
+
+
+class Database:
+    """A thin, explicit wrapper around one SQLite connection.
+
+    Use as a context manager or call :meth:`close` explicitly.  All helpers
+    raise :class:`~repro.exceptions.DatabaseError` with the offending SQL on
+    failure.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.row_factory = sqlite3.Row
+        # Analytics workload: bigger cache, no per-statement fsync cost.
+        self._connection.execute("PRAGMA cache_size = -64000")
+        self._connection.execute("PRAGMA synchronous = OFF")
+        self._tables: dict[str, TableSchema] = {}
+        self._indexes: dict[str, tuple[str, tuple[str, ...]]] = {}
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # -- DDL and loading ----------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._tables:
+            raise DatabaseError(f"table {schema.name!r} already exists")
+        self.execute(schema.create_statement())
+        self._tables[schema.name] = schema
+
+    def schema(self, table: str) -> TableSchema:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise DatabaseError(f"no table named {table!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def insert_rows(
+        self, table: str, rows: Iterable[Mapping[str, Value]]
+    ) -> int:
+        """Bulk-insert rows in batches; returns the number inserted."""
+        schema = self.schema(table)
+        columns = schema.column_names
+        placeholders = ", ".join("?" for _ in columns)
+        column_list = ", ".join(quote_identifier(c) for c in columns)
+        statement = (
+            f'INSERT INTO {quote_identifier(table)} ({column_list}) '
+            f"VALUES ({placeholders})"
+        )
+        inserted = 0
+        batch: list[tuple[Value, ...]] = []
+        for row in rows:
+            try:
+                batch.append(tuple(row[c] for c in columns))
+            except KeyError as exc:
+                raise DatabaseError(
+                    f"row is missing column {exc.args[0]!r} required by "
+                    f"table {table!r}"
+                ) from exc
+            if len(batch) >= _BATCH:
+                self._connection.executemany(statement, batch)
+                inserted += len(batch)
+                batch = []
+        if batch:
+            self._connection.executemany(statement, batch)
+            inserted += len(batch)
+        self._connection.commit()
+        return inserted
+
+    def create_index(
+        self, table: str, columns: Sequence[str], name: str | None = None
+    ) -> str:
+        """Create a (possibly composite) index; returns its name."""
+        schema = self.schema(table)
+        for column in columns:
+            try:
+                schema.column(column)
+            except SchemaError as exc:
+                raise DatabaseError(str(exc)) from exc
+        if name is None:
+            name = f"idx_{table}_" + "_".join(columns)
+        check_identifier(name)
+        if name in self._indexes:
+            raise DatabaseError(f"index {name!r} already exists")
+        column_list = ", ".join(quote_identifier(c) for c in columns)
+        self.execute(
+            f'CREATE INDEX {quote_identifier(name)} ON '
+            f"{quote_identifier(table)} ({column_list})"
+        )
+        self._indexes[name] = (table, tuple(columns))
+        return name
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise DatabaseError(f"no index named {name!r}")
+        self.execute(f"DROP INDEX {quote_identifier(name)}")
+        del self._indexes[name]
+
+    def drop_all_indexes(self, table: str | None = None) -> None:
+        for name, (index_table, _) in list(self._indexes.items()):
+            if table is None or index_table == table:
+                self.drop_index(name)
+
+    def index_names(self, table: str | None = None) -> list[str]:
+        return sorted(
+            name
+            for name, (index_table, _) in self._indexes.items()
+            if table is None or index_table == table
+        )
+
+    def analyze(self) -> None:
+        """Refresh SQLite's planner statistics (``ANALYZE``)."""
+        self.execute("ANALYZE")
+
+    # -- querying -------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[Value] = ()) -> sqlite3.Cursor:
+        try:
+            return self._connection.execute(sql, parameters)
+        except sqlite3.Error as exc:
+            raise DatabaseError(f"{exc} (while executing: {sql})") from exc
+
+    def query_rows(self, sql: str) -> list[Row]:
+        cursor = self.execute(sql)
+        return [dict(row) for row in cursor.fetchall()]
+
+    def iter_rows(self, sql: str) -> Iterator[Row]:
+        cursor = self.execute(sql)
+        for row in cursor:
+            yield dict(row)
+
+    def select(self, table: str, predicate: Predicate) -> list[Row]:
+        return self.query_rows(select_statement(table, predicate))
+
+    def count(self, table: str, predicate: Predicate) -> int:
+        cursor = self.execute(count_statement(table, predicate))
+        return int(cursor.fetchone()[0])
+
+    def row_count(self, table: str) -> int:
+        cursor = self.execute(
+            f"SELECT COUNT(*) FROM {quote_identifier(table)}"
+        )
+        return int(cursor.fetchone()[0])
+
+    def selectivity(self, table: str, predicate: Predicate) -> float:
+        """Measured (not estimated) selectivity of a predicate."""
+        total = self.row_count(table)
+        if total == 0:
+            raise DatabaseError(f"table {table!r} is empty")
+        return self.count(table, predicate) / total
+
+    def timed_fetch(self, sql: str) -> tuple[int, float]:
+        """Execute and fully fetch ``sql``; returns (row count, seconds).
+
+        Fetching every row mirrors the paper's methodology: the client
+        consumes the full result of ``SELECT *`` / the envelope query.
+        """
+        started = time.perf_counter()
+        cursor = self.execute(sql)
+        count = 0
+        while True:
+            chunk = cursor.fetchmany(_BATCH)
+            if not chunk:
+                break
+            count += len(chunk)
+        return count, time.perf_counter() - started
+
+    def explain(self, sql: str) -> list[tuple[int, int, int, str]]:
+        """Raw ``EXPLAIN QUERY PLAN`` rows for a statement."""
+        cursor = self.execute(f"EXPLAIN QUERY PLAN {sql}")
+        return [
+            (int(r[0]), int(r[1]), int(r[2]), str(r[3]))
+            for r in cursor.fetchall()
+        ]
+
+    def sample_rows(self, table: str, limit: int, seed: int = 0) -> list[Row]:
+        """Deterministic pseudo-random sample used for statistics building.
+
+        Uses a hash of the rowid so repeated calls return the same sample
+        regardless of insertion batching.
+        """
+        total = self.row_count(table)
+        if total <= limit:
+            return self.query_rows(
+                f"SELECT * FROM {quote_identifier(table)}"
+            )
+        step = max(total // limit, 1)
+        return self.query_rows(
+            f"SELECT * FROM {quote_identifier(table)} "
+            f"WHERE (rowid + {seed}) % {step} = 0 LIMIT {limit}"
+        )
+
+
+def load_table(
+    db: Database,
+    table: str,
+    rows: Sequence[Mapping[str, Value]],
+) -> TableSchema:
+    """Create a table from sample rows and load them; returns the schema."""
+    schema = TableSchema.from_rows(table, rows)
+    db.create_table(schema)
+    db.insert_rows(table, rows)
+    return schema

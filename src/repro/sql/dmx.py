@@ -1,0 +1,322 @@
+"""A small DMX-style query language for mining queries (paper Section 2.2).
+
+The paper's systems expose mining predicates through SQL dialects — DMX's
+``PREDICTION JOIN`` on Analysis Server, UDFs on DB2.  This module provides
+the same front door: a parser for a compact prediction-join dialect that
+produces :class:`~repro.core.optimizer.MiningQuery` objects the optimizer
+and executor consume.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT '*' FROM table
+                  [ PREDICTION JOIN model [alias] { ',' model [alias] } ]
+                  [ WHERE condition { AND condition } ]
+    condition  := ref op literal
+                | ref IN '(' literal {',' literal} ')'
+                | ref BETWEEN literal AND literal
+                | ref '=' ref
+    ref        := [alias '.'] column
+    op         := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+
+A reference whose alias names a joined model denotes that model's
+prediction column; plain references (or the table alias) denote data
+columns.  ``model.pred = model2.pred`` becomes a prediction-join predicate,
+``model.pred = column`` a prediction-to-column join — the Section 4.1
+forms.  Conditions are conjunctive, as in the paper's examples.
+
+Example::
+
+    parse_dmx(
+        "SELECT * FROM customers "
+        "PREDICTION JOIN Risk_Class M "
+        "WHERE M.Risk = 'low' AND age > 30",
+        catalog,
+    )
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.catalog import ModelCatalog
+from repro.core.optimizer import MiningQuery
+from repro.core.predicates import (
+    Comparison,
+    Interval,
+    Op,
+    Predicate,
+    Value,
+    conjunction,
+    in_set,
+)
+from repro.core.rewrite import (
+    MiningPredicate,
+    PredictionEquals,
+    PredictionIn,
+    PredictionJoinColumn,
+    PredictionJoinPrediction,
+)
+from repro.exceptions import RewriteError
+
+_TOKEN = re.compile(
+    r"\s*(?:"
+    r"(?P<string>'(?:[^']|'')*')"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<bracket>\[[^\]]+\])"
+    r"|(?P<op><>|!=|<=|>=|=|<|>|\(|\)|,|\.|\*)"
+    r")"
+)
+
+_OPS = {
+    "=": Op.EQ,
+    "<>": Op.NE,
+    "!=": Op.NE,
+    "<": Op.LT,
+    "<=": Op.LE,
+    ">": Op.GT,
+    ">=": Op.GE,
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise RewriteError(f"cannot tokenize DMX near {remainder[:25]!r}")
+        position = match.end()
+        for kind in ("string", "number", "name", "bracket", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], catalog: ModelCatalog) -> None:
+        self._tokens = tokens
+        self._position = 0
+        self._catalog = catalog
+        #: alias (lowercased) -> model name, for joined models.
+        self._models: dict[str, str] = {}
+        self._table = ""
+        self._table_alias: str | None = None
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise RewriteError("unexpected end of DMX query")
+        self._position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.kind != "name" or token.text.upper() != keyword:
+            raise RewriteError(
+                f"expected {keyword}, found {token.text!r}"
+            )
+
+    def _keyword_ahead(self, keyword: str) -> bool:
+        token = self._peek()
+        return (
+            token is not None
+            and token.kind == "name"
+            and token.text.upper() == keyword
+        )
+
+    def _name(self) -> str:
+        token = self._next()
+        if token.kind == "bracket":
+            return token.text[1:-1]
+        if token.kind == "name":
+            return token.text
+        raise RewriteError(f"expected a name, found {token.text!r}")
+
+    def _literal(self) -> Value:
+        token = self._next()
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "number":
+            text = token.text
+            return float(text) if "." in text else int(text)
+        raise RewriteError(f"expected a literal, found {token.text!r}")
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> MiningQuery:
+        self._expect_keyword("SELECT")
+        star = self._next()
+        if star.text != "*":
+            raise RewriteError("only SELECT * is supported")
+        self._expect_keyword("FROM")
+        self._table = self._name()
+        if (
+            self._peek() is not None
+            and self._peek().kind == "name"
+            and self._peek().text.upper() not in ("PREDICTION", "WHERE")
+        ):
+            self._table_alias = self._next().text.lower()
+        if self._keyword_ahead("PREDICTION"):
+            self._next()
+            self._expect_keyword("JOIN")
+            self._parse_model_list()
+        relational: list[Predicate] = []
+        mining: list[MiningPredicate] = []
+        if self._keyword_ahead("WHERE"):
+            self._next()
+            while True:
+                self._parse_condition(relational, mining)
+                if self._keyword_ahead("AND"):
+                    self._next()
+                    continue
+                break
+        if self._peek() is not None:
+            raise RewriteError(
+                f"unexpected trailing token {self._peek().text!r}"
+            )
+        return MiningQuery(
+            self._table,
+            relational_predicate=conjunction(relational),
+            mining_predicates=tuple(mining),
+        )
+
+    def _parse_model_list(self) -> None:
+        while True:
+            model_name = self._name()
+            self._catalog.model(model_name)  # validates registration
+            alias = model_name
+            token = self._peek()
+            if (
+                token is not None
+                and token.kind == "name"
+                and token.text.upper() not in ("WHERE", "AND")
+            ):
+                alias = self._next().text
+            self._models[alias.lower()] = model_name
+            self._models.setdefault(model_name.lower(), model_name)
+            if self._peek() is not None and self._peek().text == ",":
+                self._next()
+                continue
+            break
+
+    def _parse_ref(self) -> tuple[str | None, str]:
+        """Returns ``(model_name or None, column/prediction name)``."""
+        first = self._name()
+        if self._peek() is not None and self._peek().text == ".":
+            self._next()
+            second = self._name()
+            alias = first.lower()
+            if alias in self._models:
+                return self._models[alias], second
+            if self._table_alias is not None and alias == self._table_alias:
+                return None, second
+            if alias == self._table.lower():
+                return None, second
+            raise RewriteError(f"unknown alias {first!r}")
+        return None, first
+
+    def _parse_condition(
+        self,
+        relational: list[Predicate],
+        mining: list[MiningPredicate],
+    ) -> None:
+        model, column = self._parse_ref()
+        if self._keyword_ahead("IN"):
+            self._next()
+            values = self._parse_literal_list()
+            if model is not None:
+                mining.append(PredictionIn(model, tuple(values)))
+            else:
+                relational.append(in_set(column, values))
+            return
+        if self._keyword_ahead("BETWEEN"):
+            self._next()
+            low = self._literal()
+            self._expect_keyword("AND")
+            high = self._literal()
+            if model is not None:
+                raise RewriteError(
+                    "BETWEEN on a prediction column is not supported here; "
+                    "use repro.core.regression_envelope.PredictionBetween"
+                )
+            relational.append(Interval(column, low, high))
+            return
+        op_token = self._next()
+        if op_token.text not in _OPS:
+            raise RewriteError(
+                f"expected a comparison operator, found {op_token.text!r}"
+            )
+        op = _OPS[op_token.text]
+        # Right-hand side: literal or reference.
+        token = self._peek()
+        if token is not None and token.kind in ("name", "bracket"):
+            rhs_model, rhs_column = self._parse_ref()
+            if op is not Op.EQ:
+                raise RewriteError(
+                    "column-to-column conditions support '=' only"
+                )
+            if model is not None and rhs_model is not None:
+                mining.append(PredictionJoinPrediction(model, rhs_model))
+            elif model is not None:
+                mining.append(PredictionJoinColumn(model, rhs_column))
+            elif rhs_model is not None:
+                mining.append(PredictionJoinColumn(rhs_model, column))
+            else:
+                raise RewriteError(
+                    "data-column-to-data-column joins are not supported"
+                )
+            return
+        value = self._literal()
+        if model is not None:
+            if op is not Op.EQ:
+                raise RewriteError(
+                    "prediction columns support '=' and IN predicates"
+                )
+            mining.append(PredictionEquals(model, value))
+        else:
+            relational.append(Comparison(column, op, value))
+
+    def _parse_literal_list(self) -> list[Value]:
+        token = self._next()
+        if token.text != "(":
+            raise RewriteError("expected '(' after IN")
+        values = [self._literal()]
+        while True:
+            token = self._next()
+            if token.text == ")":
+                return values
+            if token.text != ",":
+                raise RewriteError(
+                    f"expected ',' or ')' in IN list, found {token.text!r}"
+                )
+            values.append(self._literal())
+
+
+def parse_dmx(text: str, catalog: ModelCatalog) -> MiningQuery:
+    """Parse a DMX-style prediction-join query into a :class:`MiningQuery`.
+
+    Joined models must already be registered in ``catalog`` (so aliases and
+    prediction columns can be resolved, exactly as Analysis Server resolves
+    them against its model store).
+    """
+    return _Parser(_tokenize(text), catalog).parse()

@@ -1,0 +1,102 @@
+"""Plan caching with model-version invalidation (paper Section 4.2).
+
+"Such information is different from the traditional statistical information
+about tables because the correctness of our optimization is impacted if the
+mining model is changed.  In such cases, we need to invalidate an execution
+plan (if cached or persisted) in case it had exploited upper envelopes."
+
+:class:`PlanCache` stores optimized queries keyed by a structural
+fingerprint of the mining query *plus the versions of every referenced
+model* (from the catalog).  Re-registering a model bumps its version, so a
+cached plan built against stale envelopes can never be replayed —
+correctness, not just staleness, is at stake, exactly as the paper notes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.catalog import ModelCatalog
+from repro.core.optimizer import MiningQuery, OptimizedQuery, optimize
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss/invalidation counters for observability."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+
+class PlanCache:
+    """A bounded LRU cache of optimized mining queries."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: OrderedDict[
+            tuple, tuple[tuple[tuple[str, int], ...], OptimizedQuery]
+        ] = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    @staticmethod
+    def _fingerprint(query: MiningQuery) -> tuple:
+        return (
+            query.table,
+            repr(query.relational_predicate),
+            tuple(
+                predicate.describe() for predicate in query.mining_predicates
+            ),
+        )
+
+    @staticmethod
+    def _model_versions(
+        query: MiningQuery, catalog: ModelCatalog
+    ) -> tuple[tuple[str, int], ...]:
+        names: list[str] = []
+        for predicate in query.mining_predicates:
+            for name in predicate.models():
+                if name not in names:
+                    names.append(name)
+        return tuple(
+            (name, catalog.entry(name).version) for name in names
+        )
+
+    def get_or_optimize(
+        self,
+        query: MiningQuery,
+        catalog: ModelCatalog,
+        **optimize_kwargs,
+    ) -> OptimizedQuery:
+        """Return a cached plan if every referenced model is unchanged.
+
+        A version mismatch counts as an *invalidation* (the stale entry is
+        evicted) and the query is re-optimized against the current
+        envelopes.
+        """
+        key = self._fingerprint(query)
+        versions = self._model_versions(query, catalog)
+        cached = self._entries.get(key)
+        if cached is not None:
+            cached_versions, plan = cached
+            if cached_versions == versions:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return plan
+            del self._entries[key]
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        plan = optimize(query, catalog, **optimize_kwargs)
+        self._entries[key] = (versions, plan)
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

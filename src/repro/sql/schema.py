@@ -1,0 +1,98 @@
+"""Relational schema descriptions for the SQLite substrate."""
+
+from __future__ import annotations
+
+import enum
+import re
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.predicates import Value
+from repro.exceptions import SchemaError
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def check_identifier(name: str) -> str:
+    """Validate a SQL identifier (defense against malformed names)."""
+    if not _IDENTIFIER.match(name):
+        raise SchemaError(f"invalid SQL identifier {name!r}")
+    return name
+
+
+class ColumnType(enum.Enum):
+    """SQLite storage classes we use."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+
+    @classmethod
+    def for_value(cls, value: Value) -> "ColumnType":
+        if isinstance(value, bool):
+            raise SchemaError("boolean values are stored as INTEGER 0/1")
+        if isinstance(value, int):
+            return cls.INTEGER
+        if isinstance(value, float):
+            return cls.REAL
+        if isinstance(value, str):
+            return cls.TEXT
+        raise SchemaError(f"unsupported value type {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name and SQLite type."""
+
+    name: str
+    type: ColumnType
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name)
+
+    def ddl(self) -> str:
+        return f'"{self.name}" {self.type.value}'
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table definition (no constraints; analytics tables)."""
+
+    name: str
+    columns: tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name)
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {self.name!r} has duplicate columns")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def create_statement(self) -> str:
+        body = ", ".join(c.ddl() for c in self.columns)
+        return f'CREATE TABLE "{self.name}" ({body})'
+
+    @classmethod
+    def from_rows(
+        cls, name: str, rows: Sequence[Mapping[str, Value]]
+    ) -> "TableSchema":
+        """Infer a schema from sample rows (first row fixes the columns)."""
+        if not rows:
+            raise SchemaError("cannot infer a schema from zero rows")
+        first = rows[0]
+        columns = tuple(
+            Column(column, ColumnType.for_value(value))
+            for column, value in first.items()
+        )
+        return cls(name, columns)

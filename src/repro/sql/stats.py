@@ -1,0 +1,204 @@
+"""Column statistics and selectivity estimation.
+
+The index advisor (our Index Tuning Wizard stand-in) needs estimated
+selectivities of candidate predicates, just as the paper's optimizer relies
+on "selectivity computations ... for complex boolean expressions"
+(Section 4.2).  Statistics are built from a deterministic sample: per-column
+distinct counts, most-common values, and an equi-depth histogram for range
+estimates.  Composite predicates combine atoms under the classical
+independence assumption.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    TruePredicate,
+    Value,
+)
+from repro.exceptions import DatabaseError
+
+#: Histogram resolution (equi-depth bucket count).
+_BUCKETS = 32
+#: How many most-common values to track exactly.
+_TOP_VALUES = 24
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary of one column built from a sample."""
+
+    name: str
+    sample_size: int
+    distinct: int
+    top_values: dict[Value, float]
+    #: Sorted numeric sample quantile boundaries (numeric columns only).
+    boundaries: tuple[float, ...] | None
+
+    def equality_selectivity(self, value: Value) -> float:
+        if value in self.top_values:
+            return self.top_values[value]
+        if self.distinct == 0:
+            return 0.0
+        return min(1.0 / self.distinct, 1.0)
+
+    def range_selectivity(
+        self,
+        low: Value | None,
+        high: Value | None,
+        low_closed: bool,
+        high_closed: bool,
+    ) -> float:
+        if self.boundaries is None or not self.boundaries:
+            # Non-numeric column: fall back to a generic guess.
+            return 0.3
+        points = self.boundaries
+        n = len(points)
+        lo_index = 0
+        if low is not None and isinstance(low, (int, float)):
+            if low_closed:
+                lo_index = bisect.bisect_left(points, float(low))
+            else:
+                lo_index = bisect.bisect_right(points, float(low))
+        hi_index = n
+        if high is not None and isinstance(high, (int, float)):
+            if high_closed:
+                hi_index = bisect.bisect_right(points, float(high))
+            else:
+                hi_index = bisect.bisect_left(points, float(high))
+        if hi_index <= lo_index:
+            return 0.0
+        return (hi_index - lo_index) / n
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Per-column statistics of one table."""
+
+    table: str
+    row_count: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise DatabaseError(
+                f"no statistics for column {name!r} of {self.table!r}"
+            ) from None
+
+
+def build_column_stats(name: str, values: Sequence[Value]) -> ColumnStats:
+    """Build stats for one column from sampled values."""
+    if not values:
+        raise DatabaseError(f"no sample values for column {name!r}")
+    counts: dict[Value, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    total = len(values)
+    common = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    top_values = {
+        value: count / total for value, count in common[:_TOP_VALUES]
+    }
+    numeric = [v for v in values if isinstance(v, (int, float))]
+    boundaries: tuple[float, ...] | None = None
+    if len(numeric) == total:
+        ordered = sorted(float(v) for v in numeric)
+        if len(ordered) > _BUCKETS:
+            step = len(ordered) / _BUCKETS
+            boundaries = tuple(
+                ordered[min(int(i * step), len(ordered) - 1)]
+                for i in range(_BUCKETS)
+            )
+        else:
+            boundaries = tuple(ordered)
+    return ColumnStats(
+        name=name,
+        sample_size=total,
+        distinct=len(counts),
+        top_values=top_values,
+        boundaries=boundaries,
+    )
+
+
+def build_table_stats(
+    table: str,
+    rows: Sequence[Mapping[str, Value]],
+    row_count: int | None = None,
+) -> TableStats:
+    """Build full-table statistics from a row sample."""
+    if not rows:
+        raise DatabaseError(f"no sample rows for table {table!r}")
+    columns = {}
+    for column in rows[0]:
+        values = [row[column] for row in rows]
+        columns[column] = build_column_stats(column, values)
+    return TableStats(
+        table=table,
+        row_count=row_count if row_count is not None else len(rows),
+        columns=columns,
+    )
+
+
+def estimate_selectivity(stats: TableStats, pred: Predicate) -> float:
+    """Estimated fraction of rows satisfying ``pred`` (independence model).
+
+    Conjunction multiplies, disjunction uses inclusion-exclusion under
+    independence (``1 - prod(1 - s_i)``), negation complements.  Estimates
+    are clamped to ``[0, 1]``.
+    """
+    if isinstance(pred, TruePredicate):
+        return 1.0
+    if isinstance(pred, FalsePredicate):
+        return 0.0
+    if isinstance(pred, Comparison):
+        return _comparison_selectivity(stats, pred)
+    if isinstance(pred, InSet):
+        column = stats.column(pred.column)
+        total = sum(column.equality_selectivity(v) for v in pred.values)
+        return min(total, 1.0)
+    if isinstance(pred, Interval):
+        column = stats.column(pred.column)
+        return column.range_selectivity(
+            pred.low, pred.high, pred.low_closed, pred.high_closed
+        )
+    if isinstance(pred, Not):
+        return max(0.0, 1.0 - estimate_selectivity(stats, pred.operand))
+    if isinstance(pred, And):
+        result = 1.0
+        for operand in pred.operands:
+            result *= estimate_selectivity(stats, operand)
+        return result
+    if isinstance(pred, Or):
+        miss = 1.0
+        for operand in pred.operands:
+            miss *= 1.0 - estimate_selectivity(stats, operand)
+        return 1.0 - miss
+    raise DatabaseError(f"cannot estimate selectivity of {pred!r}")
+
+
+def _comparison_selectivity(stats: TableStats, pred: Comparison) -> float:
+    column = stats.column(pred.column)
+    if pred.op is Op.EQ:
+        return column.equality_selectivity(pred.value)
+    if pred.op is Op.NE:
+        return max(0.0, 1.0 - column.equality_selectivity(pred.value))
+    if pred.op is Op.LT:
+        return column.range_selectivity(None, pred.value, True, False)
+    if pred.op is Op.LE:
+        return column.range_selectivity(None, pred.value, True, True)
+    if pred.op is Op.GT:
+        return column.range_selectivity(pred.value, None, False, True)
+    return column.range_selectivity(pred.value, None, True, True)

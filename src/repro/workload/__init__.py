@@ -1,0 +1,54 @@
+"""Evaluation harness: the Section 5.1 methodology and its reports."""
+
+from repro.workload.files import read_workload_file, write_workload_file
+from repro.workload.measurement import (
+    FAMILIES,
+    FAMILY_CLUSTERING,
+    FAMILY_DECISION_TREE,
+    FAMILY_NAIVE_BAYES,
+    QueryMeasurement,
+)
+from repro.workload.report import (
+    SELECTIVITY_BUCKETS,
+    SelectivityBucketRow,
+    TightnessPoint,
+    format_table,
+    plan_change_by_dataset,
+    plan_change_by_family,
+    reduction_by_selectivity,
+    runtime_reduction_by_family,
+    tightness_scatter,
+    tightness_summary,
+)
+from repro.workload.runner import (
+    LoadedDataset,
+    load_dataset,
+    original_selectivities,
+    run_family,
+    verify_envelope_soundness,
+)
+
+__all__ = [
+    "FAMILIES",
+    "FAMILY_CLUSTERING",
+    "FAMILY_DECISION_TREE",
+    "FAMILY_NAIVE_BAYES",
+    "LoadedDataset",
+    "QueryMeasurement",
+    "SELECTIVITY_BUCKETS",
+    "SelectivityBucketRow",
+    "TightnessPoint",
+    "format_table",
+    "load_dataset",
+    "read_workload_file",
+    "original_selectivities",
+    "plan_change_by_dataset",
+    "plan_change_by_family",
+    "reduction_by_selectivity",
+    "run_family",
+    "runtime_reduction_by_family",
+    "tightness_scatter",
+    "tightness_summary",
+    "verify_envelope_soundness",
+    "write_workload_file",
+]

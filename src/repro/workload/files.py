@@ -1,0 +1,59 @@
+"""Workload files (paper Section 5.1).
+
+"We create a workload file containing all queries for the (data set, mining
+model) combination ... we invoke the Index Tuning Wizard tool ... by
+passing it the above workload file as input."
+
+The advisor in this library consumes predicates directly, but the workload
+*file* remains useful as an artifact: it records exactly which SQL the
+evaluation ran, can be re-fed to the advisor, and is diffable across runs.
+One statement per line, ``--`` comments allowed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.core.envelope import UpperEnvelope
+from repro.core.predicates import Value
+from repro.exceptions import WorkloadError
+from repro.sql.compiler import select_statement
+
+
+def write_workload_file(
+    path: str | Path,
+    table: str,
+    envelopes: Mapping[Value, UpperEnvelope],
+) -> Path:
+    """Write the per-class workload of one (dataset, model) combination.
+
+    Each class contributes ``SELECT * FROM table WHERE <envelope>`` —
+    exactly the queries of the paper's evaluation methodology.
+    """
+    if not envelopes:
+        raise WorkloadError("workload needs at least one envelope")
+    path = Path(path)
+    lines = [
+        f"-- workload for table {table}: "
+        f"{len(envelopes)} per-class envelope queries"
+    ]
+    for label in sorted(envelopes, key=str):
+        envelope = envelopes[label]
+        lines.append(f"-- class {label!r} ({envelope.derivation})")
+        lines.append(select_statement(table, envelope.predicate) + ";")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_workload_file(path: str | Path) -> list[str]:
+    """Read back the SQL statements of a workload file (comments dropped)."""
+    statements: list[str] = []
+    for line in Path(path).read_text().splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("--"):
+            continue
+        statements.append(stripped.rstrip(";"))
+    if not statements:
+        raise WorkloadError(f"workload file {path} contains no statements")
+    return statements

@@ -1,0 +1,64 @@
+"""Measurement records produced by the evaluation harness.
+
+One :class:`QueryMeasurement` per (dataset, model, class) matches the unit
+of the paper's evaluation: the workload query
+``SELECT * FROM T WHERE <envelope>`` compared against ``SELECT * FROM T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predicates import Value
+from repro.sql.planner import AccessPath
+
+#: Model-family names used across reports (the paper's three columns).
+FAMILY_DECISION_TREE = "decision_tree"
+FAMILY_NAIVE_BAYES = "naive_bayes"
+FAMILY_CLUSTERING = "clustering"
+FAMILIES = (FAMILY_DECISION_TREE, FAMILY_NAIVE_BAYES, FAMILY_CLUSTERING)
+
+
+@dataclass(frozen=True)
+class QueryMeasurement:
+    """Everything the Section 5 experiments need about one workload query."""
+
+    dataset: str
+    family: str
+    model_name: str
+    class_label: Value
+    #: Fraction of rows the model predicts as this class (the paper's
+    #: *original selectivity*).
+    original_selectivity: float
+    #: Measured fraction of rows satisfying the upper envelope.
+    envelope_selectivity: float
+    envelope_disjuncts: int
+    envelope_exact: bool
+    envelope_is_false: bool
+    #: Whether the selectivity gate stripped the envelope before execution.
+    envelope_used: bool
+    access_path: AccessPath
+    plan_changed: bool
+    scan_seconds: float
+    query_seconds: float
+    #: Envelope-derivation time (the training-time precompute).
+    derive_seconds: float
+    rows_total: int
+    rows_matched: int
+
+    @property
+    def reduction(self) -> float:
+        """Fractional running-time reduction versus the full scan."""
+        if self.scan_seconds <= 0:
+            return 0.0
+        return 1.0 - self.query_seconds / self.scan_seconds
+
+    @property
+    def tightness_ratio(self) -> float:
+        """Envelope selectivity over original selectivity (1.0 = exact).
+
+        The Figure 7 tightness measure; guarded for unreachable classes.
+        """
+        if self.original_selectivity <= 0:
+            return 1.0 if self.envelope_selectivity <= 0 else float("inf")
+        return self.envelope_selectivity / self.original_selectivity

@@ -1,0 +1,224 @@
+"""Aggregation of measurements into the paper's tables and figures.
+
+Each function reproduces one reporting artifact of Section 5.2; the
+formatting helpers print them in the paper's layout so a reader can place
+our numbers next to the published ones (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import WorkloadError
+from repro.workload.measurement import FAMILIES, QueryMeasurement
+
+#: Figure 6's selectivity buckets (fractions, upper-bound inclusive).
+SELECTIVITY_BUCKETS = (
+    ("<1%", 0.0, 0.01),
+    ("1-10%", 0.01, 0.10),
+    ("10-50%", 0.10, 0.50),
+    (">50%", 0.50, 1.0001),
+)
+
+
+def _require(measurements: Sequence[QueryMeasurement]) -> None:
+    if not measurements:
+        raise WorkloadError("no measurements to aggregate")
+
+
+def runtime_reduction_by_family(
+    measurements: Sequence[QueryMeasurement],
+) -> dict[str, float]:
+    """Average % running-time reduction per model family.
+
+    Reproduces the first table of Section 5.2.1 (paper: decision tree
+    73.7%, naive Bayes 63.5%, clustering 79.0%).
+    """
+    _require(measurements)
+    result: dict[str, float] = {}
+    for family in FAMILIES:
+        rows = [m for m in measurements if m.family == family]
+        if rows:
+            result[family] = 100.0 * sum(m.reduction for m in rows) / len(rows)
+    return result
+
+
+def plan_change_by_family(
+    measurements: Sequence[QueryMeasurement],
+) -> dict[str, float]:
+    """% of queries whose physical plan changed, per family.
+
+    Reproduces the second table of Section 5.2.1 (paper: 72.7 / 75.3 /
+    76.6).
+    """
+    _require(measurements)
+    result: dict[str, float] = {}
+    for family in FAMILIES:
+        rows = [m for m in measurements if m.family == family]
+        if rows:
+            changed = sum(1 for m in rows if m.plan_changed)
+            result[family] = 100.0 * changed / len(rows)
+    return result
+
+
+def plan_change_by_dataset(
+    measurements: Sequence[QueryMeasurement], family: str
+) -> dict[str, float]:
+    """Per-dataset % plan change for one family (Figures 3, 4, 5)."""
+    _require(measurements)
+    rows = [m for m in measurements if m.family == family]
+    datasets = sorted({m.dataset for m in rows})
+    result: dict[str, float] = {}
+    for dataset in datasets:
+        subset = [m for m in rows if m.dataset == dataset]
+        changed = sum(1 for m in subset if m.plan_changed)
+        result[dataset] = 100.0 * changed / len(subset)
+    return result
+
+
+@dataclass(frozen=True)
+class SelectivityBucketRow:
+    """One bar pair of Figure 6."""
+
+    bucket: str
+    original_reduction_pct: float
+    envelope_reduction_pct: float
+    original_count: int
+    envelope_count: int
+
+
+def reduction_by_selectivity(
+    measurements: Sequence[QueryMeasurement],
+) -> list[SelectivityBucketRow]:
+    """Average reduction bucketed by original and by envelope selectivity.
+
+    Reproduces Figure 6: the paper buckets every (class, dataset, model)
+    query by its selectivity and shows that reductions concentrate below
+    10% selectivity, with paired bars for original vs upper-envelope
+    selectivity.
+    """
+    _require(measurements)
+    rows: list[SelectivityBucketRow] = []
+    for name, low, high in SELECTIVITY_BUCKETS:
+        by_original = [
+            m
+            for m in measurements
+            if low <= m.original_selectivity < high
+        ]
+        by_envelope = [
+            m
+            for m in measurements
+            if low <= m.envelope_selectivity < high
+        ]
+        rows.append(
+            SelectivityBucketRow(
+                bucket=name,
+                original_reduction_pct=_mean_reduction(by_original),
+                envelope_reduction_pct=_mean_reduction(by_envelope),
+                original_count=len(by_original),
+                envelope_count=len(by_envelope),
+            )
+        )
+    return rows
+
+
+def _mean_reduction(rows: Iterable[QueryMeasurement]) -> float:
+    rows = list(rows)
+    if not rows:
+        return 0.0
+    return 100.0 * sum(m.reduction for m in rows) / len(rows)
+
+
+@dataclass(frozen=True)
+class TightnessPoint:
+    """One point of the Figure 7 scatter plot."""
+
+    dataset: str
+    family: str
+    class_label: object
+    original_selectivity: float
+    envelope_selectivity: float
+
+
+def tightness_scatter(
+    measurements: Sequence[QueryMeasurement],
+    families: Sequence[str] = ("naive_bayes", "clustering"),
+) -> list[TightnessPoint]:
+    """Original vs envelope selectivity per class (Figure 7).
+
+    Restricted to naive Bayes and clustering by default — decision-tree
+    envelopes are exact, so their scatter is the diagonal by construction.
+    """
+    _require(measurements)
+    return [
+        TightnessPoint(
+            dataset=m.dataset,
+            family=m.family,
+            class_label=m.class_label,
+            original_selectivity=m.original_selectivity,
+            envelope_selectivity=m.envelope_selectivity,
+        )
+        for m in measurements
+        if m.family in families
+    ]
+
+
+def tightness_summary(
+    points: Sequence[TightnessPoint],
+    tight_factor: float = 2.0,
+    index_worthy: float = 0.1,
+) -> dict[str, float]:
+    """Summary statistics for the Figure 7 discussion.
+
+    The paper's reading of the scatter: "a significant fraction of the
+    upper envelope predicates either have selectivities close to the
+    original selectivity or have selectivity small enough that use of
+    indexes ... is attractive".  Returns the fraction in each category.
+    """
+    if not points:
+        raise WorkloadError("no tightness points")
+    tight = 0
+    small = 0
+    for point in points:
+        if point.envelope_selectivity <= max(
+            point.original_selectivity * tight_factor, 0.01
+        ):
+            tight += 1
+        elif point.envelope_selectivity <= index_worthy:
+            small += 1
+    total = len(points)
+    return {
+        "tight_fraction": tight / total,
+        "small_enough_fraction": small / total,
+        "useful_fraction": (tight + small) / total,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain monospace table used by every experiment's printed output."""
+    widths = [len(h) for h in headers]
+    rendered_rows = [[_cell(v) for v in row] for row in rows]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    separator = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rendered_rows
+    ]
+    return "\n".join([line, separator, *body])
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

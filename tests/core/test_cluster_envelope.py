@@ -1,0 +1,241 @@
+"""Unit tests for clustering envelopes (Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_envelope import (
+    clustering_envelopes,
+    clustering_space,
+    density_envelopes,
+    discretized_cluster_envelopes,
+    gmm_score_table,
+    kmeans_score_table,
+)
+from repro.core.regions import AttributeSpace, BinnedDimension
+from repro.exceptions import EnvelopeError
+from repro.mining.density import NOISE_LABEL, DensityClusterLearner
+from repro.mining.discretized_cluster import DiscretizedClusterModel
+from repro.mining.gmm import GaussianMixtureModel
+from repro.mining.kmeans import KMeansModel
+
+
+@pytest.fixture()
+def two_blob_rows():
+    rng = np.random.default_rng(5)
+    rows = []
+    for _ in range(150):
+        rows.append(
+            {
+                "x": float(rng.normal(0.0, 1.0)),
+                "y": float(rng.normal(0.0, 1.0)),
+            }
+        )
+    for _ in range(150):
+        rows.append(
+            {
+                "x": float(rng.normal(12.0, 1.0)),
+                "y": float(rng.normal(12.0, 1.0)),
+            }
+        )
+    return rows
+
+
+@pytest.fixture()
+def two_centroid_model():
+    return KMeansModel(
+        "km2",
+        "cluster",
+        ("x", "y"),
+        np.array([[0.0, 0.0], [12.0, 12.0]]),
+        np.ones((2, 2)),
+    )
+
+
+class TestKMeansScoreTable:
+    def test_interval_bounds_contain_raw_scores(self, two_centroid_model):
+        space = AttributeSpace(
+            (
+                BinnedDimension("x", (3.0, 6.0, 9.0)),
+                BinnedDimension("y", (3.0, 6.0, 9.0)),
+            )
+        )
+        table = kmeans_score_table(two_centroid_model, space)
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            x = float(rng.uniform(-5, 17))
+            y = float(rng.uniform(-5, 17))
+            cell = (
+                space.dimensions[0].member_for_value(x),
+                space.dimensions[1].member_for_value(y),
+            )
+            point = np.array([x, y])
+            for k in range(2):
+                score = -float(
+                    (two_centroid_model.weights[k] * (point - two_centroid_model.centroids[k]) ** 2).sum()
+                )
+                lo = table.lo[0][k, cell[0]] + table.lo[1][k, cell[1]]
+                hi = table.hi[0][k, cell[0]] + table.hi[1][k, cell[1]]
+                assert lo - 1e-9 <= score <= hi + 1e-9
+
+    def test_pairwise_diffs_contain_raw_differences(self, two_centroid_model):
+        space = AttributeSpace(
+            (
+                BinnedDimension("x", (3.0, 6.0, 9.0)),
+                BinnedDimension("y", (3.0, 6.0, 9.0)),
+            )
+        )
+        table = kmeans_score_table(two_centroid_model, space)
+        assert table.has_exact_diffs()
+        rng = np.random.default_rng(1)
+        diff_lo_x, diff_hi_x = table.diff_bounds(0)
+        for _ in range(300):
+            x = float(rng.uniform(-5, 17))
+            m = space.dimensions[0].member_for_value(x)
+            s0 = -((x - 0.0) ** 2)
+            s1 = -((x - 12.0) ** 2)
+            assert diff_lo_x[0, 1, m] - 1e-9 <= s0 - s1 <= diff_hi_x[0, 1, m] + 1e-9
+
+    def test_space_mismatch_rejected(self, two_centroid_model):
+        space = AttributeSpace((BinnedDimension("x", (3.0,)),))
+        with pytest.raises(EnvelopeError):
+            kmeans_score_table(two_centroid_model, space)
+
+
+class TestClusteringEnvelopes:
+    def test_raw_envelopes_sound_for_raw_predictions(
+        self, two_centroid_model, two_blob_rows
+    ):
+        envelopes = clustering_envelopes(
+            two_centroid_model, rows=two_blob_rows, bins=6
+        )
+        for row in two_blob_rows:
+            label = two_centroid_model.predict(row)
+            assert envelopes[label].predicate.evaluate(row)
+
+    def test_raw_envelopes_sound_out_of_range(
+        self, two_centroid_model, two_blob_rows
+    ):
+        envelopes = clustering_envelopes(
+            two_centroid_model, rows=two_blob_rows, bins=6
+        )
+        for row in (
+            {"x": -100.0, "y": -50.0},
+            {"x": 100.0, "y": 200.0},
+            {"x": -100.0, "y": 200.0},
+        ):
+            label = two_centroid_model.predict(row)
+            assert envelopes[label].predicate.evaluate(row)
+
+    def test_well_separated_blobs_get_selective_envelopes(
+        self, two_centroid_model, two_blob_rows
+    ):
+        envelopes = clustering_envelopes(
+            two_centroid_model, rows=two_blob_rows, bins=6
+        )
+        # Each envelope should reject the other blob's core.
+        assert not envelopes["cluster_0"].predicate.evaluate(
+            {"x": 12.0, "y": 12.0}
+        )
+        assert not envelopes["cluster_1"].predicate.evaluate(
+            {"x": 0.0, "y": 0.0}
+        )
+
+    def test_requires_space_or_rows(self, two_centroid_model):
+        with pytest.raises(EnvelopeError):
+            clustering_envelopes(two_centroid_model)
+
+
+class TestDiscretizedClusterEnvelopes:
+    def test_exact_on_grid(self, two_centroid_model, two_blob_rows):
+        space = clustering_space(two_centroid_model, two_blob_rows, bins=6)
+        model = DiscretizedClusterModel(two_centroid_model, space)
+        envelopes = discretized_cluster_envelopes(model)
+        for row in two_blob_rows:
+            label = model.predict(row)
+            for candidate, envelope in envelopes.items():
+                assert envelope.predicate.evaluate(row) == (
+                    candidate == label
+                )
+
+    def test_gmm_base(self, two_blob_rows):
+        gmm = GaussianMixtureModel(
+            "g",
+            "cluster",
+            ("x", "y"),
+            np.array([0.5, 0.5]),
+            np.array([[0.0, 0.0], [12.0, 12.0]]),
+            np.ones((2, 2)),
+        )
+        space = clustering_space(gmm, two_blob_rows, bins=6)
+        model = DiscretizedClusterModel(gmm, space)
+        envelopes = discretized_cluster_envelopes(model)
+        for row in two_blob_rows:
+            label = model.predict(row)
+            assert envelopes[label].predicate.evaluate(row)
+
+
+class TestGmmScoreTable:
+    def test_interval_bounds_contain_raw_scores(self, two_blob_rows):
+        gmm = GaussianMixtureModel(
+            "g",
+            "cluster",
+            ("x", "y"),
+            np.array([0.4, 0.6]),
+            np.array([[0.0, 0.0], [12.0, 12.0]]),
+            np.array([[1.0, 2.0], [3.0, 1.0]]),
+        )
+        space = clustering_space(gmm, two_blob_rows, bins=5)
+        table = gmm_score_table(gmm, space)
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            point = np.array(
+                [float(rng.uniform(-5, 17)), float(rng.uniform(-5, 17))]
+            )
+            cell = space.point_for_row({"x": point[0], "y": point[1]})
+            scores = gmm.component_log_scores(point) - np.log(gmm.mixing)
+            for k in range(2):
+                lo = table.lo[0][k, cell[0]] + table.lo[1][k, cell[1]]
+                hi = table.hi[0][k, cell[0]] + table.hi[1][k, cell[1]]
+                assert lo - 1e-9 <= scores[k] <= hi + 1e-9
+
+
+class TestDensityEnvelopes:
+    def test_exact_cluster_envelopes(self):
+        rng = np.random.default_rng(11)
+        rows = []
+        for cx, cy in ((0.0, 0.0), (10.0, 10.0)):
+            for _ in range(120):
+                rows.append(
+                    {
+                        "x": float(rng.normal(cx, 0.8)),
+                        "y": float(rng.normal(cy, 0.8)),
+                    }
+                )
+        model = DensityClusterLearner(
+            ("x", "y"), bins=6, density_threshold=3
+        ).fit(rows)
+        assert len(model.cluster_labels) >= 2
+        envelopes = density_envelopes(model)
+        for row in rows:
+            label = model.predict(row)
+            assert envelopes[label].predicate.evaluate(row)
+
+    def test_noise_envelope_covers_noise_points(self):
+        rng = np.random.default_rng(12)
+        rows = [
+            {
+                "x": float(rng.normal(0.0, 0.5)),
+                "y": float(rng.normal(0.0, 0.5)),
+            }
+            for _ in range(100)
+        ]
+        # A lone far-away point lands in a sparse cell -> noise.
+        rows.append({"x": 50.0, "y": 50.0})
+        model = DensityClusterLearner(
+            ("x", "y"), bins=8, density_threshold=4
+        ).fit(rows)
+        envelopes = density_envelopes(model)
+        noise_rows = [r for r in rows if model.predict(r) == NOISE_LABEL]
+        assert noise_rows
+        for row in noise_rows:
+            assert envelopes[NOISE_LABEL].predicate.evaluate(row)

@@ -1,0 +1,88 @@
+"""Unit tests for greedy rectangle covering."""
+
+import pytest
+
+from repro.core.covering import cover_cells
+from repro.core.regions import (
+    AttributeSpace,
+    CategoricalDimension,
+    OrdinalDimension,
+)
+from repro.exceptions import RegionError
+
+
+@pytest.fixture()
+def grid_space():
+    return AttributeSpace(
+        (
+            OrdinalDimension("x", (0, 1, 2, 3)),
+            OrdinalDimension("y", (0, 1, 2, 3)),
+        )
+    )
+
+
+def covered(regions):
+    return {cell for region in regions for cell in region.iter_cells()}
+
+
+class TestCoverCells:
+    def test_exact_cover_of_rectangle(self, grid_space):
+        cells = {(x, y) for x in (1, 2) for y in (0, 1, 2)}
+        regions = cover_cells(grid_space, cells)
+        assert covered(regions) == cells
+        assert len(regions) == 1
+
+    def test_exact_cover_of_l_shape(self, grid_space):
+        cells = {(0, 0), (1, 0), (2, 0), (0, 1), (0, 2)}
+        regions = cover_cells(grid_space, cells)
+        assert covered(regions) == cells
+        assert len(regions) <= 3
+
+    def test_scattered_cells(self, grid_space):
+        cells = {(0, 0), (3, 3), (0, 3)}
+        regions = cover_cells(grid_space, cells)
+        assert covered(regions) == cells
+
+    def test_empty_input(self, grid_space):
+        assert cover_cells(grid_space, []) == []
+
+    def test_full_grid_single_region(self, grid_space):
+        cells = set(grid_space.iter_cells())
+        regions = cover_cells(grid_space, cells)
+        assert len(regions) == 1
+        assert covered(regions) == cells
+
+    def test_unordered_dimension_allows_gap_jumps(self):
+        space = AttributeSpace(
+            (
+                CategoricalDimension("c", ("a", "b", "c", "d")),
+                OrdinalDimension("y", (0, 1)),
+            )
+        )
+        # Members a and d (non-adjacent) share the same y slice: an
+        # unordered dimension may grow across the gap, an ordered one not.
+        cells = {(0, 0), (3, 0)}
+        regions = cover_cells(space, cells)
+        assert covered(regions) == cells
+        assert len(regions) == 1
+
+    def test_ordered_dimension_gap_still_exact(self, grid_space):
+        # Greedy growth keeps ordered dimensions contiguous, but the final
+        # merge pass may union across a gap; the cover must stay exact
+        # either way (the gap compiles to an OR of ranges).
+        cells = {(0, 0), (2, 0)}
+        regions = cover_cells(grid_space, cells)
+        assert covered(regions) == cells
+        unmerged = cover_cells(grid_space, cells, merge=False)
+        assert covered(unmerged) == cells
+        assert len(unmerged) == 2
+
+    def test_wrong_dimensionality_rejected(self, grid_space):
+        with pytest.raises(RegionError):
+            cover_cells(grid_space, [(0, 0, 0)])
+
+    def test_separate_blocks(self, grid_space):
+        cells = {(0, 0), (0, 1), (2, 2), (2, 3), (3, 2), (3, 3)}
+        regions = cover_cells(grid_space, cells)
+        assert covered(regions) == cells
+        assert len(regions) == 2

@@ -1,0 +1,207 @@
+"""Unit tests for normalization, simplification, and transitivity."""
+
+import pytest
+
+from repro.core.normalize import (
+    allowed_values,
+    simplify,
+    to_dnf,
+    to_nnf,
+)
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    conjunction,
+    disjunction,
+    equals,
+    in_set,
+)
+from repro.exceptions import NormalizationError
+
+ROWS = [
+    {"a": 1, "b": 10.0, "c": "x"},
+    {"a": 2, "b": 20.0, "c": "y"},
+    {"a": 3, "b": 30.0, "c": "z"},
+    {"a": 1, "b": 30.0, "c": "y"},
+    {"a": 5, "b": 5.0, "c": "x"},
+]
+
+
+def assert_equivalent(original, rewritten):
+    for row in ROWS:
+        assert original.evaluate(row) == rewritten.evaluate(row), row
+
+
+class TestNNF:
+    def test_pushes_not_onto_comparison(self):
+        pred = Not(equals("a", 1))
+        assert to_nnf(pred) == Comparison("a", Op.NE, 1)
+
+    def test_not_interval_becomes_disjunction(self):
+        pred = Not(Interval("b", 10.0, 20.0))
+        nnf = to_nnf(pred)
+        assert isinstance(nnf, Or)
+        assert_equivalent(pred, nnf)
+
+    def test_not_in_set_kept_as_negative_atom(self):
+        pred = Not(InSet("a", (1, 2)))
+        assert to_nnf(pred) == pred
+
+    def test_de_morgan_and(self):
+        pred = Not(conjunction([equals("a", 1), equals("c", "x")]))
+        nnf = to_nnf(pred)
+        assert isinstance(nnf, Or)
+        assert_equivalent(pred, nnf)
+
+    def test_double_negation(self):
+        pred = Not(Not(equals("a", 1)))
+        assert to_nnf(pred) == equals("a", 1)
+
+    def test_constants(self):
+        assert to_nnf(Not(TRUE)) is FALSE
+        assert to_nnf(Not(FALSE)) is TRUE
+
+
+class TestDNF:
+    def test_distributes_and_over_or(self):
+        pred = conjunction(
+            [
+                disjunction([equals("a", 1), equals("a", 2)]),
+                disjunction([equals("c", "x"), equals("c", "y")]),
+            ]
+        )
+        dnf = to_dnf(pred)
+        assert isinstance(dnf, Or)
+        assert len(dnf.operands) == 4
+        assert_equivalent(pred, dnf)
+
+    def test_budget_enforced(self):
+        big = conjunction(
+            [
+                disjunction([equals("a", i), equals("a", i + 100)])
+                for i in range(12)
+            ]
+        )
+        with pytest.raises(NormalizationError):
+            to_dnf(big, max_terms=100)
+
+    def test_true_false_passthrough(self):
+        assert to_dnf(TRUE) is TRUE
+        assert to_dnf(FALSE) is FALSE
+
+    def test_atom_passthrough(self):
+        assert to_dnf(equals("a", 1)) == equals("a", 1)
+
+    def test_and_with_false_collapses(self):
+        pred = conjunction([equals("a", 1), disjunction([])])
+        assert to_dnf(pred) is FALSE
+
+
+class TestSimplify:
+    def test_contradictory_equalities(self):
+        pred = conjunction([equals("a", 1), equals("a", 2)])
+        assert simplify(pred) is FALSE
+
+    def test_in_set_intersection(self):
+        pred = conjunction([in_set("a", [1, 2, 3]), in_set("a", [2, 3, 4])])
+        simplified = simplify(pred)
+        assert simplified == in_set("a", [2, 3])
+
+    def test_range_intersection(self):
+        pred = conjunction(
+            [
+                Comparison("b", Op.GE, 10.0),
+                Comparison("b", Op.LE, 30.0),
+                Comparison("b", Op.GT, 15.0),
+            ]
+        )
+        simplified = simplify(pred)
+        assert_equivalent(pred, simplified)
+        assert isinstance(simplified, Interval)
+        assert simplified.low == 15.0 and not simplified.low_closed
+        assert simplified.high == 30.0 and simplified.high_closed
+
+    def test_empty_range_is_false(self):
+        pred = conjunction(
+            [Comparison("b", Op.GT, 30.0), Comparison("b", Op.LT, 10.0)]
+        )
+        assert simplify(pred) is FALSE
+
+    def test_pinched_range_becomes_equality(self):
+        pred = conjunction(
+            [Comparison("b", Op.GE, 10.0), Comparison("b", Op.LE, 10.0)]
+        )
+        assert simplify(pred) == equals("b", 10.0)
+
+    def test_equality_filtered_by_range(self):
+        pred = conjunction([equals("b", 5.0), Comparison("b", Op.GE, 10.0)])
+        assert simplify(pred) is FALSE
+
+    def test_equality_with_forbidden_value(self):
+        pred = conjunction([equals("a", 1), Comparison("a", Op.NE, 1)])
+        assert simplify(pred) is FALSE
+
+    def test_absorption(self):
+        a = equals("a", 1)
+        pred = disjunction([a, conjunction([a, equals("c", "x")])])
+        assert simplify(pred) == a
+
+    def test_duplicate_disjuncts_removed(self):
+        pred = Or((equals("a", 1), equals("a", 1)))
+        assert simplify(pred) == equals("a", 1)
+
+    def test_preserves_semantics_on_mixed_expression(self):
+        pred = disjunction(
+            [
+                conjunction(
+                    [Not(InSet("a", (2, 3))), Comparison("b", Op.LT, 25.0)]
+                ),
+                conjunction([equals("c", "z"), equals("a", 3)]),
+            ]
+        )
+        assert_equivalent(pred, simplify(pred))
+
+    def test_not_in_set_merged(self):
+        pred = conjunction(
+            [Not(InSet("a", (1, 2))), Comparison("a", Op.NE, 3)]
+        )
+        simplified = simplify(pred)
+        assert_equivalent(pred, simplified)
+
+    def test_true_result(self):
+        assert simplify(disjunction([TRUE, equals("a", 1)])) is TRUE
+
+
+class TestAllowedValues:
+    def test_equality(self):
+        assert allowed_values(equals("a", 1), "a") == {1}
+
+    def test_in_set(self):
+        assert allowed_values(in_set("a", [1, 2]), "a") == {1, 2}
+
+    def test_unconstrained(self):
+        assert allowed_values(equals("c", "x"), "a") is None
+
+    def test_union_over_disjuncts(self):
+        pred = disjunction([equals("a", 1), in_set("a", [2, 3])])
+        assert allowed_values(pred, "a") == {1, 2, 3}
+
+    def test_disjunct_without_constraint_gives_none(self):
+        pred = disjunction([equals("a", 1), equals("c", "x")])
+        assert allowed_values(pred, "a") is None
+
+    def test_false_gives_empty(self):
+        assert allowed_values(FALSE, "a") == set()
+
+    def test_conjunction_restriction_with_transitive_example(self):
+        # The paper's transitivity example: age IN ('old', 'middle-aged').
+        pred = conjunction(
+            [in_set("age", ["old", "middle-aged"]), equals("c", "x")]
+        )
+        assert allowed_values(pred, "age") == {"old", "middle-aged"}

@@ -1,0 +1,220 @@
+"""Unit tests for the predicate algebra."""
+
+import pytest
+
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    atom_count,
+    conjunction,
+    disjunct_count,
+    disjunction,
+    equals,
+    in_set,
+    negate,
+)
+from repro.exceptions import PredicateError
+
+ROW = {"age": 30, "income": 50_000.0, "city": "paris"}
+
+
+class TestComparison:
+    def test_equality(self):
+        assert equals("age", 30).evaluate(ROW)
+        assert not equals("age", 31).evaluate(ROW)
+
+    def test_string_equality(self):
+        assert equals("city", "paris").evaluate(ROW)
+        assert not equals("city", "rome").evaluate(ROW)
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            (Op.LT, 31, True),
+            (Op.LT, 30, False),
+            (Op.LE, 30, True),
+            (Op.GT, 29, True),
+            (Op.GT, 30, False),
+            (Op.GE, 30, True),
+            (Op.NE, 30, False),
+            (Op.NE, 31, True),
+        ],
+    )
+    def test_operators(self, op, value, expected):
+        assert Comparison("age", op, value).evaluate(ROW) is expected
+
+    def test_missing_column_raises(self):
+        with pytest.raises(PredicateError):
+            equals("missing", 1).evaluate(ROW)
+
+    def test_ordering_mixed_types_raises(self):
+        with pytest.raises(PredicateError):
+            Comparison("city", Op.LT, 5).evaluate(ROW)
+
+    def test_rejects_bool_constant(self):
+        with pytest.raises(PredicateError):
+            Comparison("age", Op.EQ, True)
+
+    def test_rejects_empty_column(self):
+        with pytest.raises(PredicateError):
+            Comparison("", Op.EQ, 1)
+
+    def test_columns(self):
+        assert equals("age", 30).columns() == frozenset({"age"})
+
+    def test_negated_op_roundtrip(self):
+        for op in Op:
+            assert op.negated.negated is op
+
+    def test_flipped_op(self):
+        assert Op.LT.flipped is Op.GT
+        assert Op.LE.flipped is Op.GE
+        assert Op.EQ.flipped is Op.EQ
+
+
+class TestInSet:
+    def test_membership(self):
+        pred = InSet("age", (30, 40))
+        assert pred.evaluate(ROW)
+        assert not InSet("age", (31, 40)).evaluate(ROW)
+
+    def test_values_sorted_and_deduplicated(self):
+        assert InSet("age", (40, 30, 40)).values == (30, 40)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredicateError):
+            InSet("age", ())
+
+    def test_in_set_helper_singleton_is_equality(self):
+        assert in_set("age", [30]) == equals("age", 30)
+
+    def test_in_set_helper_empty_is_false(self):
+        assert in_set("age", []) is FALSE
+
+    def test_equal_sets_are_equal_objects(self):
+        assert InSet("age", (1, 2)) == InSet("age", (2, 1))
+
+
+class TestInterval:
+    def test_closed_interval(self):
+        pred = Interval("age", 20, 30)
+        assert pred.evaluate(ROW)
+        assert not Interval("age", 20, 29).evaluate(ROW)
+
+    def test_open_bounds(self):
+        assert not Interval("age", 30, 40, low_closed=False).evaluate(ROW)
+        assert Interval("age", 30, 40, low_closed=True).evaluate(ROW)
+        assert not Interval("age", 20, 30, high_closed=False).evaluate(ROW)
+
+    def test_half_bounded(self):
+        assert Interval("age", low=25, high=None).evaluate(ROW)
+        assert Interval("age", low=None, high=35).evaluate(ROW)
+
+    def test_unbounded_both_sides_rejected(self):
+        with pytest.raises(PredicateError):
+            Interval("age", None, None)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(PredicateError):
+            Interval("age", 30, 20)
+
+
+class TestConnectives:
+    def test_and_or_not(self):
+        pred = (equals("city", "paris") & Comparison("age", Op.GE, 18)) | FALSE
+        assert pred.evaluate(ROW)
+        assert not negate(pred).evaluate(ROW)
+
+    def test_and_requires_two_operands(self):
+        with pytest.raises(PredicateError):
+            And((TRUE,))
+
+    def test_or_requires_two_operands(self):
+        with pytest.raises(PredicateError):
+            Or((TRUE,))
+
+    def test_not_evaluate(self):
+        assert Not(equals("age", 31)).evaluate(ROW)
+
+    def test_columns_union(self):
+        pred = conjunction([equals("age", 30), equals("city", "paris")])
+        assert pred.columns() == frozenset({"age", "city"})
+
+
+class TestSmartConstructors:
+    def test_conjunction_flattens(self):
+        inner = conjunction([equals("age", 30), equals("city", "paris")])
+        outer = conjunction([inner, equals("income", 50_000.0)])
+        assert isinstance(outer, And)
+        assert len(outer.operands) == 3
+
+    def test_conjunction_drops_true(self):
+        assert conjunction([TRUE, equals("age", 30)]) == equals("age", 30)
+
+    def test_conjunction_false_collapses(self):
+        assert conjunction([equals("age", 30), FALSE]) is FALSE
+
+    def test_conjunction_empty_is_true(self):
+        assert conjunction([]) is TRUE
+
+    def test_conjunction_deduplicates(self):
+        pred = conjunction([equals("age", 30), equals("age", 30)])
+        assert pred == equals("age", 30)
+
+    def test_disjunction_flattens(self):
+        inner = disjunction([equals("age", 30), equals("age", 31)])
+        outer = disjunction([inner, equals("age", 32)])
+        assert isinstance(outer, Or)
+        assert len(outer.operands) == 3
+
+    def test_disjunction_drops_false(self):
+        assert disjunction([FALSE, equals("age", 30)]) == equals("age", 30)
+
+    def test_disjunction_true_collapses(self):
+        assert disjunction([equals("age", 30), TRUE]) is TRUE
+
+    def test_disjunction_empty_is_false(self):
+        assert disjunction([]) is FALSE
+
+
+class TestNegate:
+    def test_negate_constants(self):
+        assert negate(TRUE) is FALSE
+        assert negate(FALSE) is TRUE
+
+    def test_negate_comparison(self):
+        assert negate(equals("age", 30)) == Comparison("age", Op.NE, 30)
+
+    def test_double_negation(self):
+        pred = Not(InSet("age", (1, 2)))
+        assert negate(pred) == InSet("age", (1, 2))
+
+    def test_de_morgan(self):
+        pred = conjunction([equals("age", 30), equals("city", "paris")])
+        negated = negate(pred)
+        assert isinstance(negated, Or)
+        for row in (ROW, {**ROW, "age": 31}, {**ROW, "city": "rome"}):
+            assert negated.evaluate(row) == (not pred.evaluate(row))
+
+
+class TestMetrics:
+    def test_atom_count(self):
+        pred = disjunction(
+            [
+                conjunction([equals("age", 1), equals("age", 2)]),
+                equals("city", "x"),
+            ]
+        )
+        assert atom_count(pred) == 3
+
+    def test_disjunct_count(self):
+        pred = disjunction([equals("age", 1), equals("age", 2)])
+        assert disjunct_count(pred) == 2
+        assert disjunct_count(equals("age", 1)) == 1

@@ -1,0 +1,288 @@
+"""Unit tests for dimensions, attribute spaces, and regions."""
+
+import pytest
+
+from repro.core.predicates import (
+    TRUE,
+    Comparison,
+    InSet,
+    Interval,
+    Op,
+    Or,
+    equals,
+)
+from repro.core.regions import (
+    AttributeSpace,
+    BinnedDimension,
+    CategoricalDimension,
+    OrdinalDimension,
+    Region,
+    coarsen_regions,
+    merge_regions,
+    regions_to_predicate,
+)
+from repro.exceptions import RegionError, SchemaError
+
+
+class TestCategoricalDimension:
+    def test_basics(self):
+        dim = CategoricalDimension("color", ("blue", "green", "red"))
+        assert dim.size == 3
+        assert not dim.ordered
+        assert dim.member_for_value("green") == 1
+        assert dim.member_label(2) == "red"
+
+    def test_unknown_value(self):
+        dim = CategoricalDimension("color", ("blue",))
+        with pytest.raises(RegionError):
+            dim.member_for_value("red")
+
+    def test_predicate_subset(self):
+        dim = CategoricalDimension("color", ("blue", "green", "red"))
+        pred = dim.predicate_for([0, 2])
+        assert pred == InSet("color", ("blue", "red"))
+
+    def test_predicate_singleton(self):
+        dim = CategoricalDimension("color", ("blue", "green", "red"))
+        assert dim.predicate_for([1]) == equals("color", "green")
+
+    def test_predicate_full_domain_is_true(self):
+        dim = CategoricalDimension("color", ("blue", "green"))
+        assert dim.predicate_for([0, 1]) is TRUE
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalDimension("color", ("blue", "blue"))
+
+
+class TestOrdinalDimension:
+    def test_requires_sorted(self):
+        with pytest.raises(SchemaError):
+            OrdinalDimension("size", (3, 1, 2))
+
+    def test_contiguous_run_becomes_interval(self):
+        dim = OrdinalDimension("size", (1, 2, 3, 4, 5))
+        pred = dim.predicate_for([1, 2, 3])
+        assert pred == Interval("size", 2, 4)
+
+    def test_noncontiguous_becomes_disjunction(self):
+        dim = OrdinalDimension("size", (1, 2, 3, 4, 5))
+        pred = dim.predicate_for([0, 2, 3])
+        assert isinstance(pred, Or)
+        assert pred.evaluate({"size": 1})
+        assert not pred.evaluate({"size": 2})
+        assert pred.evaluate({"size": 3})
+        assert pred.evaluate({"size": 4})
+        assert not pred.evaluate({"size": 5})
+
+
+class TestBinnedDimension:
+    def test_member_for_value(self):
+        dim = BinnedDimension("w", (10.0, 20.0))
+        assert dim.member_for_value(5.0) == 0
+        assert dim.member_for_value(10.0) == 1
+        assert dim.member_for_value(19.9) == 1
+        assert dim.member_for_value(25.0) == 2
+
+    def test_bounds_unbounded_outer(self):
+        dim = BinnedDimension("w", (10.0, 20.0))
+        assert dim.bounds(0) == (None, 10.0)
+        assert dim.bounds(1) == (10.0, 20.0)
+        assert dim.bounds(2) == (20.0, None)
+
+    def test_bounds_with_outer_limits(self):
+        dim = BinnedDimension("w", (10.0,), low=0.0, high=50.0)
+        assert dim.bounds(0) == (0.0, 10.0)
+        assert dim.bounds(1) == (10.0, 50.0)
+
+    def test_predicate_run(self):
+        dim = BinnedDimension("w", (10.0, 20.0, 30.0))
+        pred = dim.predicate_for([1, 2])
+        assert pred == Interval("w", 10.0, 30.0, high_closed=False)
+
+    def test_predicate_outer_bins_one_sided(self):
+        dim = BinnedDimension("w", (10.0,))
+        low = dim.predicate_for([0])
+        high = dim.predicate_for([1])
+        assert low == Comparison("w", Op.LT, 10.0)
+        assert high == Comparison("w", Op.GE, 10.0)
+
+    def test_predicate_matches_membership(self):
+        dim = BinnedDimension("w", (10.0, 20.0, 30.0))
+        for members in ([0], [1], [2, 3], [0, 2]):
+            pred = dim.predicate_for(members)
+            for value in (5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0):
+                expected = dim.member_for_value(value) in members
+                assert pred.evaluate({"w": value}) == expected, (
+                    members,
+                    value,
+                )
+
+    def test_representative_inside_bin(self):
+        dim = BinnedDimension("w", (10.0, 20.0))
+        assert dim.bounds(1) == (10.0, 20.0)
+        assert 10.0 <= dim.representative(1) < 20.0
+        assert dim.member_for_value(dim.representative(0)) == 0
+        assert dim.member_for_value(dim.representative(2)) == 2
+
+    def test_unsorted_cuts_rejected(self):
+        with pytest.raises(SchemaError):
+            BinnedDimension("w", (20.0, 10.0))
+
+
+class TestAttributeSpace:
+    def test_cell_count(self, small_space):
+        assert small_space.cell_count() == 3 * 4 * 3
+
+    def test_point_for_row(self, small_space):
+        point = small_space.point_for_row(
+            {"color": "red", "size": 2, "weight": 12.0}
+        )
+        assert point == (2, 1, 1)
+
+    def test_iter_cells_guard(self, small_space):
+        with pytest.raises(RegionError):
+            list(small_space.iter_cells(limit=5))
+
+    def test_duplicate_dimension_names_rejected(self):
+        dim = CategoricalDimension("x", ("a",))
+        with pytest.raises(SchemaError):
+            AttributeSpace((dim, dim))
+
+    def test_dimension_lookup(self, small_space):
+        assert small_space.dimension("size").name == "size"
+        with pytest.raises(SchemaError):
+            small_space.dimension("nope")
+
+
+class TestRegion:
+    def test_full_region(self, small_space):
+        region = Region.full(small_space)
+        assert region.cell_count() == small_space.cell_count()
+        assert region.to_predicate(small_space) is TRUE
+
+    def test_contains(self, small_space):
+        region = Region(((0, 1), (0,), (0, 1, 2)))
+        assert region.contains((0, 0, 2))
+        assert not region.contains((2, 0, 0))
+
+    def test_split(self, small_space):
+        region = Region.full(small_space)
+        left, right = region.split(1, [0, 1])
+        assert left.members[1] == (0, 1)
+        assert right.members[1] == (2, 3)
+        assert left.cell_count() + right.cell_count() == region.cell_count()
+
+    def test_split_empty_side_rejected(self, small_space):
+        region = Region.full(small_space)
+        with pytest.raises(RegionError):
+            region.split(0, [0, 1, 2])
+
+    def test_empty_dimension_rejected(self):
+        with pytest.raises(RegionError):
+            Region(((),))
+
+    def test_to_predicate_restricts_only_partial_dims(self, small_space):
+        region = Region(((0, 1, 2), (1, 2), (0, 1, 2)))
+        pred = region.to_predicate(small_space)
+        assert pred == Interval("size", 2, 3)
+
+    def test_predicate_matches_cells(self, small_space):
+        region = Region(((0, 2), (0, 1), (1,)))
+        pred = region.to_predicate(small_space)
+        values = {
+            "color": ["blue", "green", "red"],
+            "size": [1, 2, 3, 4],
+            "weight": [5.0, 15.0, 25.0],
+        }
+        for ci, color in enumerate(values["color"]):
+            for si, size in enumerate(values["size"]):
+                for wi, weight in enumerate(values["weight"]):
+                    row = {"color": color, "size": size, "weight": weight}
+                    assert pred.evaluate(row) == region.contains(
+                        (ci, si, wi)
+                    ), row
+
+    def test_merged_with_one_axis(self):
+        a = Region(((0,), (0, 1)))
+        b = Region(((1,), (0, 1)))
+        merged = a.merged_with(b)
+        assert merged == Region(((0, 1), (0, 1)))
+
+    def test_merged_with_two_axes_fails(self):
+        a = Region(((0,), (0,)))
+        b = Region(((1,), (1,)))
+        assert a.merged_with(b) is None
+
+    def test_describe(self, small_space):
+        region = Region(((0, 1), (0, 1, 2, 3), (2,)))
+        text = region.describe(small_space)
+        assert "color" in text and "weight" in text and "size" not in text
+
+
+class TestMergeRegions:
+    def test_merges_grid_back_to_full(self):
+        quadrants = [
+            Region(((0,), (0,))),
+            Region(((0,), (1,))),
+            Region(((1,), (0,))),
+            Region(((1,), (1,))),
+        ]
+        merged = merge_regions(quadrants)
+        assert len(merged) == 1
+        assert merged[0] == Region(((0, 1), (0, 1)))
+
+    def test_preserves_cells(self):
+        regions = [
+            Region(((0,), (0, 1))),
+            Region(((1,), (0,))),
+        ]
+        merged = merge_regions(regions)
+        cells_before = {
+            cell for region in regions for cell in region.iter_cells()
+        }
+        cells_after = {
+            cell for region in merged for cell in region.iter_cells()
+        }
+        assert cells_before == cells_after
+
+
+class TestCoarsenRegions:
+    def test_respects_budget(self):
+        regions = [Region(((i,), (i,))) for i in range(6)]
+        coarse = coarsen_regions(regions, 2)
+        assert len(coarse) <= 2
+
+    def test_covers_superset(self):
+        regions = [Region(((i,), (0,))) for i in range(5)]
+        coarse = coarsen_regions(regions, 2)
+        before = {
+            cell for region in regions for cell in region.iter_cells()
+        }
+        after = {
+            cell for region in coarse for cell in region.iter_cells()
+        }
+        assert before <= after
+
+    def test_no_op_under_budget(self):
+        regions = [Region(((0,), (0,)))]
+        assert coarsen_regions(regions, 5) == regions
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(RegionError):
+            coarsen_regions([Region(((0,), (0,)))], 0)
+
+
+class TestRegionsToPredicate:
+    def test_disjunction_shape(self, small_space):
+        regions = [
+            Region(((0,), (0, 1, 2, 3), (0, 1, 2))),
+            Region(((1,), (0, 1, 2, 3), (0, 1, 2))),
+        ]
+        pred = regions_to_predicate(regions, small_space)
+        assert isinstance(pred, (Or, InSet))
+
+    def test_empty_regions_is_false(self, small_space):
+        from repro.core.predicates import FALSE
+
+        assert regions_to_predicate([], small_space) is FALSE

@@ -1,0 +1,157 @@
+"""Tests for the real-valued-prediction extension (regression trees)."""
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import ModelCatalog
+from repro.core.optimizer import MiningQuery
+from repro.core.regression_envelope import (
+    PredictionBetween,
+    register_regression_model,
+    regression_range_envelope,
+)
+from repro.exceptions import EnvelopeError, RewriteError
+from repro.mining.regression_tree import (
+    RegressionTreeLearner,
+    RegressionTreeModel,
+)
+from repro.sql.database import Database, load_table
+from repro.sql.miningext import PredictionJoinExecutor
+
+
+@pytest.fixture(scope="module")
+def house_rows():
+    rng = np.random.default_rng(17)
+    rows = []
+    for _ in range(600):
+        sqm = float(rng.uniform(30, 200))
+        rooms = int(rng.integers(1, 7))
+        district = str(rng.choice(["north", "center", "south"]))
+        base = 2000 * sqm + 15_000 * rooms
+        if district == "center":
+            base *= 1.8
+        price = float(base + rng.normal(0, 10_000))
+        rows.append(
+            {
+                "sqm": round(sqm, 1),
+                "rooms": rooms,
+                "district": district,
+                "price": round(price, 2),
+            }
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def price_model(house_rows):
+    return RegressionTreeLearner(
+        ("sqm", "rooms", "district"), "price", max_depth=7, name="price_model"
+    ).fit(house_rows)
+
+
+class TestLearner:
+    def test_reasonable_fit(self, price_model, house_rows):
+        errors = [
+            abs(price_model.predict(r) - r["price"]) for r in house_rows
+        ]
+        prices = [r["price"] for r in house_rows]
+        spread = max(prices) - min(prices)
+        assert sum(errors) / len(errors) < spread * 0.1
+
+    def test_piecewise_constant(self, price_model):
+        assert price_model.leaf_count() == len(
+            set(price_model.class_labels)
+        ) or price_model.leaf_count() >= len(price_model.class_labels)
+
+    def test_value_range(self, price_model, house_rows):
+        low, high = price_model.value_range()
+        assert low < high
+
+    def test_rejects_string_targets(self):
+        with pytest.raises(Exception):
+            RegressionTreeLearner(("a",), "label").fit(
+                [{"a": 1, "label": "x"}]
+            )
+
+    def test_categorical_split_supported(self, price_model, house_rows):
+        # The district column nearly doubles prices; deep trees should
+        # exploit it somewhere.
+        center = [r for r in house_rows if r["district"] == "center"]
+        other = [r for r in house_rows if r["district"] != "center"]
+        mean = lambda rs: sum(price_model.predict(r) for r in rs) / len(rs)
+        assert mean(center) > mean(other)
+
+
+class TestRangeEnvelope:
+    def test_exactness(self, price_model, house_rows):
+        low, high = 200_000.0, 400_000.0
+        envelope = regression_range_envelope(price_model, low, high)
+        assert envelope.exact
+        for row in house_rows:
+            predicted = price_model.predict(row)
+            assert envelope.predicate.evaluate(row) == (
+                low <= predicted <= high
+            )
+
+    def test_one_sided(self, price_model, house_rows):
+        envelope = regression_range_envelope(price_model, None, 150_000.0)
+        for row in house_rows:
+            assert envelope.predicate.evaluate(row) == (
+                price_model.predict(row) <= 150_000.0
+            )
+
+    def test_empty_range_is_false(self, price_model):
+        low, high = price_model.value_range()
+        envelope = regression_range_envelope(
+            price_model, high + 1e9, high + 2e9
+        )
+        assert envelope.is_false
+
+    def test_unbounded_rejected(self, price_model):
+        with pytest.raises(EnvelopeError):
+            regression_range_envelope(price_model, None, None)
+
+
+class TestPredictionBetween:
+    def test_pipeline_equivalence(self, price_model, house_rows):
+        catalog = ModelCatalog()
+        register_regression_model(catalog, price_model)
+        db = Database()
+        load_table(
+            db,
+            "houses",
+            [
+                {c: r[c] for c in ("sqm", "rooms", "district")}
+                for r in house_rows
+            ],
+        )
+        executor = PredictionJoinExecutor(db, catalog)
+        query = MiningQuery(
+            "houses",
+            mining_predicates=(
+                PredictionBetween("price_model", 250_000.0, 450_000.0),
+            ),
+        )
+        optimized = executor.execute_optimized(query)
+        naive = executor.execute_naive(query)
+        assert optimized.rows_returned == naive.rows_returned
+        assert optimized.rows_fetched <= naive.rows_fetched
+        db.close()
+
+    def test_validation(self):
+        with pytest.raises(RewriteError):
+            PredictionBetween("m")
+        with pytest.raises(RewriteError):
+            PredictionBetween("m", 10.0, 5.0)
+
+    def test_describe(self):
+        predicate = PredictionBetween("m", 1.0, None)
+        assert "1.0" in predicate.describe()
+
+    def test_interchange_round_trip(self, price_model, house_rows):
+        from repro.mining.interchange import model_from_dict
+
+        clone = model_from_dict(price_model.to_dict())
+        assert isinstance(clone, RegressionTreeModel)
+        for row in house_rows[:50]:
+            assert clone.predict(row) == price_model.predict(row)

@@ -1,0 +1,219 @@
+"""Unit tests for mining-predicate rewriting and the Section 4.2 optimizer."""
+
+import pytest
+
+from repro.core.catalog import ModelCatalog
+from repro.core.optimizer import (
+    MiningQuery,
+    execute_reference,
+    optimize,
+)
+from repro.core.predicates import (
+    FALSE,
+    TruePredicate,
+    equals,
+    in_set,
+)
+from repro.core.rewrite import (
+    PredictionEquals,
+    PredictionIn,
+    PredictionJoinColumn,
+    PredictionJoinPrediction,
+    infer_mining_predicates,
+)
+from repro.exceptions import CatalogError, RewriteError
+from repro.mining.decision_tree import DecisionTreeLearner
+
+from tests.conftest import CUSTOMER_FEATURES, make_customer_rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return make_customer_rows(300, seed=13)
+
+
+@pytest.fixture(scope="module")
+def catalog(rows):
+    catalog = ModelCatalog()
+    catalog.register(
+        DecisionTreeLearner(
+            CUSTOMER_FEATURES, "risk", max_depth=6, name="tree_a"
+        ).fit(rows)
+    )
+    catalog.register(
+        DecisionTreeLearner(
+            CUSTOMER_FEATURES, "risk", max_depth=3, name="tree_b"
+        ).fit(rows)
+    )
+    return catalog
+
+
+class TestEnvelopeComposition:
+    def test_equals_envelope_is_atomic_lookup(self, catalog):
+        predicate = PredictionEquals("tree_a", "low")
+        envelope = predicate.envelope(catalog)
+        assert envelope == catalog.envelope("tree_a", "low").predicate
+
+    def test_unknown_label_is_false(self, catalog):
+        assert PredictionEquals("tree_a", "nope").envelope(catalog) is FALSE
+
+    def test_in_envelope_is_disjunction(self, catalog, rows):
+        predicate = PredictionIn("tree_a", ("low", "high"))
+        envelope = predicate.envelope(catalog)
+        model = catalog.model("tree_a")
+        for row in rows:
+            if model.predict(row) in ("low", "high"):
+                assert envelope.evaluate(row)
+
+    def test_in_requires_labels(self):
+        with pytest.raises(RewriteError):
+            PredictionIn("tree_a", ())
+
+    def test_join_identical_models_is_tautology(self, catalog):
+        predicate = PredictionJoinPrediction("tree_a", "tree_a")
+        assert isinstance(predicate.envelope(catalog), TruePredicate)
+
+    def test_join_envelope_covers_agreements(self, catalog, rows):
+        predicate = PredictionJoinPrediction("tree_a", "tree_b")
+        envelope = predicate.envelope(catalog)
+        a = catalog.model("tree_a")
+        b = catalog.model("tree_b")
+        for row in rows:
+            if a.predict(row) == b.predict(row):
+                assert envelope.evaluate(row)
+
+    def test_join_column_envelope(self, catalog, rows):
+        predicate = PredictionJoinColumn("tree_a", "risk")
+        envelope = predicate.envelope(catalog)
+        model = catalog.model("tree_a")
+        for row in rows:
+            if model.predict(row) == row["risk"]:
+                assert envelope.evaluate(row)
+
+    def test_join_column_transitivity_restricts_labels(self, catalog):
+        predicate = PredictionJoinColumn("tree_a", "risk")
+        relational = in_set("risk", ["low"])
+        labels = predicate.restricted_labels(catalog, relational)
+        assert labels == ("low",)
+
+
+class TestInference:
+    def test_join_plus_equals_infers_equals(self):
+        predicates = [
+            PredictionJoinPrediction("m1", "m2"),
+            PredictionEquals("m2", "low"),
+        ]
+        inferred = infer_mining_predicates(predicates)
+        assert PredictionEquals("m1", "low") in inferred
+
+    def test_join_plus_in_infers_in(self):
+        predicates = [
+            PredictionJoinPrediction("m1", "m2"),
+            PredictionIn("m1", ("a", "b")),
+        ]
+        inferred = infer_mining_predicates(predicates)
+        assert PredictionIn("m2", ("a", "b")) in inferred
+
+    def test_no_inference_without_joins(self):
+        assert infer_mining_predicates([PredictionEquals("m", "x")]) == []
+
+
+class TestOptimize:
+    def test_injects_envelope(self, catalog):
+        query = MiningQuery(
+            "t", mining_predicates=(PredictionEquals("tree_a", "high"),)
+        )
+        optimized = optimize(query, catalog)
+        assert not isinstance(optimized.pushable_predicate, TruePredicate)
+        assert len(optimized.injections) == 1
+        assert not optimized.injections[0].thresholded
+
+    def test_pushable_implied_by_semantics(self, catalog, rows):
+        query = MiningQuery(
+            "t",
+            relational_predicate=equals("gender", "female"),
+            mining_predicates=(PredictionEquals("tree_a", "high"),),
+        )
+        optimized = optimize(query, catalog)
+        for row in rows:
+            if query.evaluate(row, catalog):
+                assert optimized.evaluate_pushable(row)
+
+    def test_constant_false_for_unknown_label(self, catalog):
+        query = MiningQuery(
+            "t", mining_predicates=(PredictionEquals("tree_a", "nope"),)
+        )
+        optimized = optimize(query, catalog)
+        assert optimized.constant_false
+
+    def test_threshold_drops_complex_envelope(self, catalog):
+        query = MiningQuery(
+            "t", mining_predicates=(PredictionEquals("tree_a", "medium"),)
+        )
+        optimized = optimize(query, catalog, max_disjuncts=1)
+        assert optimized.injections[0].thresholded
+        assert any("thresholded" in note for note in optimized.notes)
+
+    def test_inference_loop_records_predicates(self, catalog):
+        query = MiningQuery(
+            "t",
+            mining_predicates=(
+                PredictionJoinPrediction("tree_a", "tree_b"),
+                PredictionEquals("tree_b", "low"),
+            ),
+        )
+        optimized = optimize(query, catalog)
+        assert PredictionEquals("tree_a", "low") in optimized.inferred_predicates
+
+    def test_reference_execution(self, catalog, rows):
+        query = MiningQuery(
+            "t", mining_predicates=(PredictionEquals("tree_a", "low"),)
+        )
+        expected = [
+            row
+            for row in rows
+            if catalog.model("tree_a").predict(row) == "low"
+        ]
+        assert execute_reference(query, rows, catalog) == expected
+
+    def test_invalid_max_disjuncts(self, catalog):
+        query = MiningQuery("t")
+        with pytest.raises(RewriteError):
+            optimize(query, catalog, max_disjuncts=0)
+
+    def test_optimize_seconds_recorded(self, catalog):
+        query = MiningQuery(
+            "t", mining_predicates=(PredictionEquals("tree_a", "low"),)
+        )
+        optimized = optimize(query, catalog)
+        assert optimized.optimize_seconds >= 0
+
+
+class TestCatalog:
+    def test_lookup_unknown_model(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.envelope("missing", "x")
+
+    def test_lookup_unknown_label(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.envelope("tree_a", "nope")
+
+    def test_reregistration_bumps_version(self, rows):
+        catalog = ModelCatalog()
+        model = DecisionTreeLearner(
+            CUSTOMER_FEATURES, "risk", name="v"
+        ).fit(rows)
+        first = catalog.register(model)
+        second = catalog.register(model)
+        assert first.version == 1
+        assert second.version == 2
+
+    def test_class_labels(self, catalog):
+        assert set(catalog.class_labels("tree_a")) <= {
+            "low",
+            "medium",
+            "high",
+        }
+
+    def test_model_names(self, catalog):
+        assert catalog.model_names() == ["tree_a", "tree_b"]

@@ -1,0 +1,99 @@
+"""Unit tests for rule-set envelope extraction (Section 3.1)."""
+
+import pytest
+
+from repro.core.predicates import Comparison, Op, equals
+from repro.core.rule_envelope import rule_envelope, rule_envelopes
+from repro.mining.rules import Rule, RuleSetModel
+
+
+@pytest.fixture()
+def overlapping_rules():
+    """An ordered rule list whose bodies overlap across classes."""
+    return RuleSetModel(
+        "rules",
+        "label",
+        ("age", "city"),
+        (
+            Rule((Comparison("age", Op.LE, 30),), "young"),
+            Rule((equals("city", "paris"),), "parisian"),
+            Rule((Comparison("age", Op.GT, 60),), "senior"),
+        ),
+        default_label="other",
+    )
+
+
+ROWS = [
+    {"age": 25, "city": "paris"},
+    {"age": 25, "city": "rome"},
+    {"age": 45, "city": "paris"},
+    {"age": 70, "city": "rome"},
+    {"age": 70, "city": "paris"},
+    {"age": 45, "city": "rome"},
+]
+
+
+class TestPlainEnvelopes:
+    def test_upper_envelope_contract(self, overlapping_rules):
+        envelopes = rule_envelopes(overlapping_rules)
+        for row in ROWS:
+            predicted = overlapping_rules.predict(row)
+            assert envelopes[predicted].predicate.evaluate(row), (
+                predicted,
+                row,
+            )
+
+    def test_envelope_may_be_loose(self, overlapping_rules):
+        # Age 25 in paris fires the 'young' rule first, but the plain
+        # 'parisian' envelope still accepts the row (overlap, Section 3.1).
+        envelope = rule_envelope(overlapping_rules, "parisian")
+        row = {"age": 25, "city": "paris"}
+        assert overlapping_rules.predict(row) == "young"
+        assert envelope.predicate.evaluate(row)
+        assert not envelope.exact
+
+    def test_default_class_envelope_covers_fallthrough(
+        self, overlapping_rules
+    ):
+        envelope = rule_envelope(overlapping_rules, "other")
+        row = {"age": 45, "city": "rome"}
+        assert overlapping_rules.predict(row) == "other"
+        assert envelope.predicate.evaluate(row)
+
+
+class TestTightenedEnvelopes:
+    def test_tightened_envelopes_are_exact(self, overlapping_rules):
+        envelopes = rule_envelopes(overlapping_rules, tighten=True)
+        for row in ROWS:
+            predicted = overlapping_rules.predict(row)
+            for label, envelope in envelopes.items():
+                assert envelope.predicate.evaluate(row) == (
+                    predicted == label
+                ), (label, row)
+
+    def test_tightened_flagged_exact(self, overlapping_rules):
+        envelope = rule_envelope(overlapping_rules, "parisian", tighten=True)
+        assert envelope.exact
+
+
+class TestLearnedRules:
+    def test_upper_envelope_on_training_rows(
+        self, customer_rules, customer_rows
+    ):
+        envelopes = rule_envelopes(customer_rules)
+        for row in customer_rows:
+            predicted = customer_rules.predict(row)
+            assert envelopes[predicted].predicate.evaluate(row)
+
+    def test_tightened_partition_on_training_rows(
+        self, customer_rules, customer_rows
+    ):
+        envelopes = rule_envelopes(customer_rules, tighten=True)
+        for row in customer_rows:
+            predicted = customer_rules.predict(row)
+            hits = [
+                label
+                for label, e in envelopes.items()
+                if e.predicate.evaluate(row)
+            ]
+            assert hits == [predicted]

@@ -1,0 +1,114 @@
+"""Unit tests for decision-tree envelope extraction (Section 3.1)."""
+
+import pytest
+
+from repro.core.tree_envelope import tree_envelope, tree_envelopes
+from repro.mining.decision_tree import (
+    CategoryTest,
+    DecisionTreeModel,
+    Internal,
+    Leaf,
+    NumericTest,
+)
+
+
+@pytest.fixture()
+def figure1_tree():
+    """The paper's Figure 1 tree:
+
+    lower_bp > 91 ? (age > 63 ? (overweight ? c1 : c2) : c2)
+                  : (upper_bp > 130 ? c1 : c2)
+
+    Overweight is modelled as a categorical yes/no test.
+    """
+    overweight = Internal(
+        CategoryTest("overweight", "yes"),
+        Leaf("c1", (("c1", 1),)),
+        Leaf("c2", (("c2", 1),)),
+    )
+    age = Internal(
+        NumericTest("age", 63.0),
+        Leaf("c2", (("c2", 1),)),
+        overweight,
+    )
+    upper = Internal(
+        NumericTest("upper_bp", 130.0),
+        Leaf("c2", (("c2", 1),)),
+        Leaf("c1", (("c1", 1),)),
+    )
+    root = Internal(NumericTest("lower_bp", 91.0), upper, age)
+    return DecisionTreeModel(
+        "figure1", "diagnosis",
+        ("lower_bp", "upper_bp", "age", "overweight"), root,
+    )
+
+
+ROWS = [
+    {"lower_bp": 95, "upper_bp": 120, "age": 70, "overweight": "yes"},
+    {"lower_bp": 95, "upper_bp": 120, "age": 70, "overweight": "no"},
+    {"lower_bp": 95, "upper_bp": 120, "age": 50, "overweight": "yes"},
+    {"lower_bp": 85, "upper_bp": 140, "age": 30, "overweight": "no"},
+    {"lower_bp": 85, "upper_bp": 120, "age": 30, "overweight": "no"},
+    {"lower_bp": 91, "upper_bp": 130, "age": 63, "overweight": "yes"},
+]
+
+
+class TestFigure1:
+    def test_envelopes_are_exact(self, figure1_tree):
+        envelopes = tree_envelopes(figure1_tree)
+        for row in ROWS:
+            predicted = figure1_tree.predict(row)
+            for label, envelope in envelopes.items():
+                assert envelope.predicate.evaluate(row) == (
+                    predicted == label
+                ), (label, row)
+
+    def test_envelope_metadata(self, figure1_tree):
+        envelope = tree_envelope(figure1_tree, "c1")
+        assert envelope.exact
+        assert envelope.derivation == "tree-paths"
+        assert envelope.model_name == "figure1"
+        assert not envelope.is_false
+
+    def test_unused_label_gives_false(self, figure1_tree):
+        envelope = tree_envelope(figure1_tree, "c99")
+        assert envelope.is_false
+
+    def test_simplification_keeps_exactness(self, figure1_tree):
+        raw = tree_envelope(figure1_tree, "c2", simplify_result=False)
+        simplified = tree_envelope(figure1_tree, "c2", simplify_result=True)
+        for row in ROWS:
+            assert raw.predicate.evaluate(row) == simplified.predicate.evaluate(
+                row
+            )
+        assert simplified.n_atoms <= raw.n_atoms
+
+
+class TestLearnedTrees:
+    def test_envelopes_exact_on_training_rows(
+        self, customer_tree, customer_rows
+    ):
+        envelopes = tree_envelopes(customer_tree)
+        for row in customer_rows:
+            predicted = customer_tree.predict(row)
+            for label, envelope in envelopes.items():
+                assert envelope.predicate.evaluate(row) == (
+                    predicted == label
+                )
+
+    def test_partition_property(self, customer_tree, customer_rows):
+        """Exactly one class envelope accepts each row."""
+        envelopes = tree_envelopes(customer_tree)
+        for row in customer_rows:
+            hits = sum(
+                1 for e in envelopes.values() if e.predicate.evaluate(row)
+            )
+            assert hits == 1
+
+    def test_envelope_columns_are_feature_columns(self, customer_tree):
+        envelopes = tree_envelopes(customer_tree)
+        for envelope in envelopes.values():
+            if not envelope.is_false:
+                assert envelope.predicate.columns() <= set(
+                    customer_tree.feature_columns
+                )

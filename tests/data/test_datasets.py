@@ -1,0 +1,148 @@
+"""Unit tests for dataset specs, generators, and doubling expansion."""
+
+import pytest
+
+from repro.data.expansion import doubled_size, doubling_factor, expand_rows
+from repro.data.generators import class_label, generate, generate_all
+from repro.data.specs import DATASETS, dataset_spec
+from repro.exceptions import SchemaError
+
+
+class TestSpecs:
+    def test_ten_datasets_registered(self):
+        assert len(DATASETS) == 10
+
+    def test_table2_shape(self):
+        """Class/cluster counts must match the paper's Table 2."""
+        expected = {
+            "anneal_u": (6, 6),
+            "balance_scale": (3, 5),
+            "chess": (2, 5),
+            "diabetes": (2, 5),
+            "hypothyroid": (2, 5),
+            "letter": (26, 26),
+            "parity5_5": (2, 5),
+            "shuttle": (7, 7),
+            "vehicle": (4, 5),
+            "kdd_cup_99": (23, 23),
+        }
+        for name, (n_classes, n_clusters) in expected.items():
+            spec = dataset_spec(name)
+            assert spec.n_classes == n_classes, name
+            assert spec.n_clusters == n_clusters, name
+
+    def test_training_sizes_match_paper(self):
+        expected = {
+            "anneal_u": 598,
+            "balance_scale": 416,
+            "chess": 2130,
+            "diabetes": 512,
+            "hypothyroid": 1339,
+            "letter": 15000,
+            "parity5_5": 100,
+            "shuttle": 43500,
+            "vehicle": 564,
+            "kdd_cup_99": 100_000,
+        }
+        for name, size in expected.items():
+            assert dataset_spec(name).train_size == size, name
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SchemaError):
+            dataset_spec("nonexistent")
+
+    def test_priors_lengths(self):
+        for spec in DATASETS.values():
+            if spec.class_priors:
+                assert len(spec.class_priors) == spec.n_classes, spec.name
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        a = generate("diabetes", train_size=100, seed=3)
+        b = generate("diabetes", train_size=100, seed=3)
+        assert a.train_rows == b.train_rows
+
+    def test_seed_changes_data(self):
+        a = generate("diabetes", train_size=100, seed=3)
+        b = generate("diabetes", train_size=100, seed=4)
+        assert a.train_rows != b.train_rows
+
+    def test_row_shape(self):
+        dataset = generate("anneal_u", train_size=50)
+        row = dataset.train_rows[0]
+        assert set(row) == set(dataset.feature_columns) | {"label"}
+
+    def test_balance_scale_semantics(self):
+        dataset = generate("balance_scale", train_size=300)
+        for row in dataset.train_rows:
+            left = row["left_weight"] * row["left_distance"]
+            right = row["right_weight"] * row["right_distance"]
+            expected = "L" if left > right else "R" if right > left else "B"
+            assert row["label"] == expected
+
+    def test_parity_semantics(self):
+        dataset = generate("parity5_5", train_size=100)
+        for row in dataset.train_rows:
+            bits = sum(row[f"bit{i}"] for i in range(5))
+            assert row["label"] == ("odd" if bits % 2 else "even")
+
+    def test_skew_preserved(self):
+        dataset = generate("shuttle", train_size=4000, seed=1)
+        labels = [r["label"] for r in dataset.train_rows]
+        dominant = labels.count(class_label(0)) / len(labels)
+        assert dominant == pytest.approx(0.786, abs=0.05)
+
+    def test_class_labels_property(self):
+        dataset = generate("diabetes", train_size=200)
+        assert dataset.class_labels == ("class_00", "class_01")
+
+    def test_invalid_size(self):
+        with pytest.raises(SchemaError):
+            generate("diabetes", train_size=0)
+
+    def test_generate_all_scaled(self):
+        datasets = generate_all(
+            max_train=50, names=("diabetes", "chess")
+        )
+        assert [d.name for d in datasets] == ["diabetes", "chess"]
+        assert all(len(d.train_rows) <= 50 for d in datasets)
+
+    def test_learnable_classes(self):
+        """The replicas must be learnable — otherwise the Section 5
+        experiments would measure noise."""
+        from repro.mining.metrics import accuracy
+        from repro.mining.naive_bayes import NaiveBayesLearner
+
+        dataset = generate("anneal_u", train_size=500, seed=0)
+        model = NaiveBayesLearner(
+            dataset.feature_columns, dataset.target_column, bins=6
+        ).fit(dataset.train_rows)
+        assert accuracy(model, dataset.train_rows, "label") > 0.7
+
+
+class TestExpansion:
+    def test_doubling_factor_powers_of_two(self):
+        assert doubling_factor(100, 100) == 1
+        assert doubling_factor(100, 101) == 2
+        assert doubling_factor(100, 401) == 8
+
+    def test_doubled_size(self):
+        assert doubled_size(598, 1_000_000) == 598 * 2048
+        assert doubled_size(598, 1_000_000) > 1_000_000
+
+    def test_expand_rows_preserves_distribution(self):
+        rows = [{"a": i} for i in range(10)]
+        expanded = list(expand_rows(rows, 35))
+        assert len(expanded) == 40
+        assert expanded.count({"a": 3}) == 4
+
+    def test_expand_rows_identity_when_large_enough(self):
+        rows = [{"a": i} for i in range(10)]
+        assert list(expand_rows(rows, 10)) == rows
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SchemaError):
+            doubling_factor(0, 10)
+        with pytest.raises(SchemaError):
+            doubling_factor(10, 0)

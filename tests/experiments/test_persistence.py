@@ -1,0 +1,66 @@
+"""Tests for sweep disk persistence."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.persistence import (
+    config_fingerprint,
+    load_sweep,
+    save_sweep,
+)
+from repro.sql.planner import AccessPath
+from repro.workload.measurement import QueryMeasurement
+
+
+def make_measurement() -> QueryMeasurement:
+    return QueryMeasurement(
+        dataset="d",
+        family="decision_tree",
+        model_name="m",
+        class_label="c",
+        original_selectivity=0.1,
+        envelope_selectivity=0.12,
+        envelope_disjuncts=3,
+        envelope_exact=True,
+        envelope_is_false=False,
+        envelope_used=True,
+        access_path=AccessPath.INDEX_SEARCH,
+        plan_changed=True,
+        scan_seconds=1.0,
+        query_seconds=0.3,
+        derive_seconds=0.02,
+        rows_total=1000,
+        rows_matched=120,
+    )
+
+
+CONFIG = ExperimentConfig(datasets=("diabetes",))
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        measurements = [make_measurement()]
+        save_sweep(CONFIG, measurements, cache_dir=tmp_path)
+        loaded = load_sweep(CONFIG, cache_dir=tmp_path)
+        assert loaded == measurements
+
+    def test_miss_for_other_config(self, tmp_path):
+        save_sweep(CONFIG, [make_measurement()], cache_dir=tmp_path)
+        other = ExperimentConfig(datasets=("chess",))
+        assert load_sweep(other, cache_dir=tmp_path) is None
+
+    def test_fingerprint_sensitive_to_config(self):
+        assert config_fingerprint(CONFIG) != config_fingerprint(
+            ExperimentConfig(datasets=("diabetes",), rows_target=999)
+        )
+
+    def test_corrupt_cache_is_a_miss(self, tmp_path):
+        path = save_sweep(CONFIG, [make_measurement()], cache_dir=tmp_path)
+        path.write_text("not json at all {")
+        assert load_sweep(CONFIG, cache_dir=tmp_path) is None
+
+    def test_enum_survives_round_trip(self, tmp_path):
+        save_sweep(CONFIG, [make_measurement()], cache_dir=tmp_path)
+        loaded = load_sweep(CONFIG, cache_dir=tmp_path)
+        assert loaded is not None
+        assert loaded[0].access_path is AccessPath.INDEX_SEARCH

@@ -1,0 +1,46 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.experiments import SMOKE_CONFIG
+from repro.experiments.report_doc import (
+    render_experiments_md,
+    write_experiments_md,
+)
+
+
+@pytest.fixture(scope="module")
+def document():
+    return render_experiments_md(SMOKE_CONFIG)
+
+
+class TestReportDocument:
+    def test_contains_every_artifact_section(self, document):
+        for heading in (
+            "Table 2",
+            "average reduction in running time",
+            "changed physical plan",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "overheads",
+            "Ablations",
+        ):
+            assert heading in document, heading
+
+    def test_contains_paper_reference_values(self, document):
+        for value in ("73.7", "63.5", "79.0", "72.7", "75.3", "76.6"):
+            assert value in document, value
+
+    def test_lists_configured_datasets(self, document):
+        for name in SMOKE_CONFIG.datasets:
+            assert name in document
+
+    def test_write_to_disk(self, tmp_path):
+        target = write_experiments_md(
+            tmp_path / "EXPERIMENTS.md", SMOKE_CONFIG
+        )
+        assert target.exists()
+        assert target.read_text().startswith("# EXPERIMENTS")

@@ -1,0 +1,168 @@
+"""End-to-end integration: every model family through the full pipeline.
+
+For each family the test trains a model on a synthetic dataset, registers
+it (envelope derivation), loads the doubled data into SQLite, tunes
+indexes, and checks the central invariant of the whole system: the
+optimized execution returns *exactly* the rows of the extract-and-mine
+baseline, while never fetching more rows than it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import ModelCatalog
+from repro.core.cluster_envelope import clustering_space
+from repro.core.optimizer import MiningQuery
+from repro.core.predicates import Comparison, Op
+from repro.core.rewrite import PredictionEquals, PredictionIn
+from repro.data.expansion import expand_rows
+from repro.data.generators import generate
+from repro.mining.decision_tree import DecisionTreeLearner
+from repro.mining.density import DensityClusterLearner
+from repro.mining.discretized_cluster import DiscretizedClusterModel
+from repro.mining.gmm import GaussianMixtureLearner
+from repro.mining.kmeans import KMeansLearner
+from repro.mining.naive_bayes import NaiveBayesLearner
+from repro.mining.rules import RuleLearner
+from repro.sql.database import Database, load_table
+from repro.sql.miningext import PredictionJoinExecutor
+from repro.sql.advisor import tune_for_workload
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate("anneal_u", train_size=500, seed=9)
+
+
+@pytest.fixture(scope="module")
+def loaded(dataset):
+    db = Database()
+    feature_rows = [
+        {c: row[c] for c in dataset.feature_columns}
+        for row in expand_rows(dataset.train_rows, 4000)
+    ]
+    load_table(db, "t", feature_rows)
+    yield db, feature_rows
+    db.close()
+
+
+def numeric_columns(dataset):
+    first = dataset.train_rows[0]
+    return tuple(
+        c
+        for c in dataset.feature_columns
+        if not isinstance(first[c], str)
+    )
+
+
+def build_model(dataset, family):
+    if family == "tree":
+        return DecisionTreeLearner(
+            dataset.feature_columns, "label", max_depth=8, name="m_tree"
+        ).fit(dataset.train_rows)
+    if family == "nb":
+        return NaiveBayesLearner(
+            dataset.feature_columns, "label", bins=6, name="m_nb"
+        ).fit(dataset.train_rows)
+    if family == "rules":
+        return RuleLearner(
+            dataset.feature_columns, "label", name="m_rules"
+        ).fit(dataset.train_rows)
+    if family == "kmeans":
+        base = KMeansLearner(
+            numeric_columns(dataset), 4, name="m_kmeans"
+        ).fit(dataset.train_rows)
+        space = clustering_space(base, dataset.train_rows, bins=6)
+        return DiscretizedClusterModel(base, space, name="m_kmeans")
+    if family == "gmm":
+        base = GaussianMixtureLearner(
+            numeric_columns(dataset), 3, name="m_gmm"
+        ).fit(dataset.train_rows)
+        space = clustering_space(base, dataset.train_rows, bins=6)
+        return DiscretizedClusterModel(base, space, name="m_gmm")
+    if family == "density":
+        return DensityClusterLearner(
+            numeric_columns(dataset)[:3],
+            bins=5,
+            density_threshold=3,
+            name="m_density",
+        ).fit(dataset.train_rows)
+    raise AssertionError(family)
+
+
+FAMILIES = ("tree", "nb", "rules", "kmeans", "gmm", "density")
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_pipeline_equivalence(dataset, loaded, family):
+    db, feature_rows = loaded
+    model = build_model(dataset, family)
+    catalog = ModelCatalog()
+    catalog.register(model, rows=dataset.train_rows)
+    executor = PredictionJoinExecutor(db, catalog)
+    for label in model.class_labels:
+        query = MiningQuery(
+            "t", mining_predicates=(PredictionEquals(model.name, label),)
+        )
+        optimized = executor.execute_optimized(query)
+        naive = executor.execute_naive(query)
+        key = lambda r: tuple(sorted(r.items()))
+        assert sorted(map(key, optimized.rows)) == sorted(
+            map(key, naive.rows)
+        ), (family, label)
+        assert optimized.rows_fetched <= naive.rows_fetched
+
+
+@pytest.mark.parametrize("family", ("tree", "nb", "kmeans"))
+def test_pipeline_with_relational_predicate_and_tuning(
+    dataset, loaded, family
+):
+    db, feature_rows = loaded
+    model = build_model(dataset, family)
+    catalog = ModelCatalog()
+    catalog.register(model, rows=dataset.train_rows)
+    db.drop_all_indexes("t")
+    tune_for_workload(
+        db,
+        "t",
+        [catalog.envelope(model.name, l).predicate for l in model.class_labels],
+    )
+    executor = PredictionJoinExecutor(db, catalog)
+    numeric = numeric_columns(dataset)[0]
+    values = sorted({row[numeric] for row in feature_rows})
+    midpoint = values[len(values) // 2]
+    labels = model.class_labels[:2]
+    query = MiningQuery(
+        "t",
+        relational_predicate=Comparison(numeric, Op.LE, midpoint),
+        mining_predicates=(PredictionIn(model.name, tuple(labels)),),
+    )
+    optimized = executor.execute_optimized(query)
+    naive = executor.execute_naive(query)
+    assert optimized.rows_returned == naive.rows_returned
+    for row in optimized.rows:
+        assert row[numeric] <= midpoint
+
+
+def test_model_interchange_through_pipeline(dataset, loaded, tmp_path):
+    """A model exported to JSON and re-imported drives the same plans."""
+    from repro.mining.interchange import load_model, save_model
+
+    db, feature_rows = loaded
+    original = build_model(dataset, "tree")
+    path = tmp_path / "model.json"
+    save_model(original, path)
+    clone = load_model(path)
+
+    catalog = ModelCatalog()
+    catalog.register(clone)
+    executor = PredictionJoinExecutor(db, catalog)
+    label = clone.class_labels[0]
+    query = MiningQuery(
+        "t", mining_predicates=(PredictionEquals(clone.name, label),)
+    )
+    optimized = executor.execute_optimized(query)
+    expected = sum(
+        1 for row in feature_rows if original.predict(row) == label
+    )
+    assert optimized.rows_returned == expected

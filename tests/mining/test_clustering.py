@@ -1,0 +1,197 @@
+"""Unit tests for k-means, Gaussian mixtures, and density clustering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.mining.base import ModelKind
+from repro.mining.density import (
+    NOISE_LABEL,
+    DensityClusterLearner,
+    DensityClusterModel,
+)
+from repro.mining.gmm import GaussianMixtureLearner, GaussianMixtureModel
+from repro.mining.kmeans import KMeansLearner, KMeansModel
+
+
+def blob_rows(centers, n_per=80, spread=0.7, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for cx, cy in centers:
+        for _ in range(n_per):
+            rows.append(
+                {
+                    "x": float(rng.normal(cx, spread)),
+                    "y": float(rng.normal(cy, spread)),
+                }
+            )
+    return rows
+
+
+THREE_BLOBS = ((0.0, 0.0), (10.0, 0.0), (5.0, 9.0))
+
+
+class TestKMeans:
+    def test_recovers_blobs(self):
+        rows = blob_rows(THREE_BLOBS)
+        model = KMeansLearner(("x", "y"), 3, seed=1).fit(rows)
+        found = sorted(
+            tuple(np.round(c, 0)) for c in model.centroids
+        )
+        expected = sorted(tuple(np.array(c)) for c in THREE_BLOBS)
+        for f, e in zip(found, expected):
+            assert abs(f[0] - e[0]) <= 1.0
+            assert abs(f[1] - e[1]) <= 1.0
+
+    def test_assignment_is_nearest_centroid(self):
+        model = KMeansModel(
+            "m", "cluster", ("x",), np.array([[0.0], [10.0]]), np.ones((2, 1))
+        )
+        assert model.predict({"x": 1.0}) == "cluster_0"
+        assert model.predict({"x": 9.0}) == "cluster_1"
+
+    def test_weighted_assignment(self):
+        # Heavy weight on x for cluster 1 makes it repel mid points.
+        model = KMeansModel(
+            "m",
+            "cluster",
+            ("x",),
+            np.array([[0.0], [10.0]]),
+            np.array([[1.0], [9.0]]),
+        )
+        # At x=7: d0 = 49, d1 = 9*9 = 81 -> cluster_0 despite being closer
+        # to centroid 1 in raw distance.
+        assert model.predict({"x": 7.0}) == "cluster_0"
+
+    def test_tie_goes_to_lower_index(self):
+        model = KMeansModel(
+            "m", "cluster", ("x",), np.array([[0.0], [10.0]]), np.ones((2, 1))
+        )
+        assert model.predict({"x": 5.0}) == "cluster_0"
+
+    def test_too_few_rows_rejected(self):
+        with pytest.raises(ModelError):
+            KMeansLearner(("x",), 5).fit([{"x": 1.0}])
+
+    def test_shape_validation(self):
+        with pytest.raises(ModelError):
+            KMeansModel(
+                "m", "c", ("x",), np.array([[0.0]]), np.ones((2, 1))
+            )
+        with pytest.raises(ModelError):
+            KMeansModel(
+                "m", "c", ("x",), np.array([[0.0]]), -np.ones((1, 1))
+            )
+
+    def test_deterministic_given_seed(self):
+        rows = blob_rows(THREE_BLOBS)
+        a = KMeansLearner(("x", "y"), 3, seed=4).fit(rows)
+        b = KMeansLearner(("x", "y"), 3, seed=4).fit(rows)
+        assert np.allclose(a.centroids, b.centroids)
+
+    def test_kind(self):
+        rows = blob_rows(THREE_BLOBS)
+        model = KMeansLearner(("x", "y"), 3).fit(rows)
+        assert model.kind is ModelKind.KMEANS
+
+
+class TestGaussianMixture:
+    def test_recovers_blobs(self):
+        rows = blob_rows(THREE_BLOBS, n_per=120)
+        model = GaussianMixtureLearner(("x", "y"), 3, seed=2).fit(rows)
+        assert model.mixing == pytest.approx([1 / 3] * 3, abs=0.12)
+        found = sorted(tuple(np.round(m, 0)) for m in model.means)
+        expected = sorted(tuple(np.array(c)) for c in THREE_BLOBS)
+        for f, e in zip(found, expected):
+            assert abs(f[0] - e[0]) <= 1.5
+            assert abs(f[1] - e[1]) <= 1.5
+
+    def test_mixing_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            GaussianMixtureModel(
+                "g",
+                "c",
+                ("x",),
+                np.array([0.4, 0.4]),
+                np.zeros((2, 1)),
+                np.ones((2, 1)),
+            )
+
+    def test_variances_must_be_positive(self):
+        with pytest.raises(ModelError):
+            GaussianMixtureModel(
+                "g",
+                "c",
+                ("x",),
+                np.array([0.5, 0.5]),
+                np.zeros((2, 1)),
+                np.zeros((2, 1)),
+            )
+
+    def test_assignment_uses_mixing_weight(self):
+        model = GaussianMixtureModel(
+            "g",
+            "c",
+            ("x",),
+            np.array([0.99, 0.01]),
+            np.array([[0.0], [4.0]]),
+            np.ones((2, 1)),
+        )
+        # Midpoint: equal densities, the dominant weight wins.
+        assert model.predict({"x": 2.0}) == "cluster_0"
+
+    def test_kind(self):
+        rows = blob_rows(THREE_BLOBS)
+        model = GaussianMixtureLearner(("x", "y"), 2).fit(rows)
+        assert model.kind is ModelKind.GMM
+
+
+class TestDensityClustering:
+    def test_finds_two_components(self):
+        rows = blob_rows(((0.0, 0.0), (10.0, 10.0)), n_per=150, spread=0.8)
+        model = DensityClusterLearner(
+            ("x", "y"), bins=6, density_threshold=3
+        ).fit(rows)
+        assert len(model.cluster_labels) == 2
+
+    def test_noise_for_sparse_points(self):
+        rows = blob_rows(((0.0, 0.0),), n_per=200, spread=0.5)
+        rows.append({"x": 40.0, "y": 40.0})
+        model = DensityClusterLearner(
+            ("x", "y"), bins=8, density_threshold=4
+        ).fit(rows)
+        assert model.predict({"x": 40.0, "y": 40.0}) == NOISE_LABEL
+
+    def test_cells_disjoint(self):
+        rows = blob_rows(((0.0, 0.0), (10.0, 10.0)), n_per=100)
+        model = DensityClusterLearner(
+            ("x", "y"), bins=6, density_threshold=3
+        ).fit(rows)
+        seen = set()
+        for cells in model.cluster_cells:
+            assert not (cells & seen)
+            seen |= cells
+
+    def test_cells_for_unknown_label(self):
+        rows = blob_rows(((0.0, 0.0),), n_per=100)
+        model = DensityClusterLearner(("x", "y"), bins=4).fit(rows)
+        with pytest.raises(ModelError):
+            model.cells_for("nope")
+
+    def test_noise_label_in_class_labels(self):
+        rows = blob_rows(((0.0, 0.0),), n_per=100)
+        model = DensityClusterLearner(("x", "y"), bins=4).fit(rows)
+        assert NOISE_LABEL in model.class_labels
+        assert NOISE_LABEL not in model.cluster_labels
+
+    def test_overlapping_cluster_cells_rejected(self):
+        from repro.core.regions import AttributeSpace, BinnedDimension
+
+        space = AttributeSpace((BinnedDimension("x", (0.0,)),))
+        with pytest.raises(ModelError):
+            DensityClusterModel(
+                "d",
+                "c",
+                space,
+                [frozenset({(0,)}), frozenset({(0,)})],
+            )

@@ -1,0 +1,122 @@
+"""Unit tests for the decision-tree learner and model."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.mining.base import ModelKind
+from repro.mining.decision_tree import (
+    CategoryTest,
+    DecisionTreeLearner,
+    Leaf,
+    NumericTest,
+    iter_leaves,
+)
+from repro.mining.metrics import accuracy
+
+AND_ROWS = [
+    {"a": 0, "b": 0, "label": "zero"},
+    {"a": 0, "b": 1, "label": "zero"},
+    {"a": 1, "b": 0, "label": "zero"},
+    {"a": 1, "b": 1, "label": "one"},
+] * 10
+
+
+class TestLearner:
+    def test_learns_conjunction(self):
+        model = DecisionTreeLearner(("a", "b"), "label", max_depth=4).fit(
+            AND_ROWS
+        )
+        assert accuracy(model, AND_ROWS, "label") == 1.0
+
+    def test_learns_categorical_split(self):
+        rows = [
+            {"city": c, "label": "fr" if c == "paris" else "other"}
+            for c in ("paris", "rome", "berlin", "paris")
+        ] * 5
+        model = DecisionTreeLearner(("city",), "label").fit(rows)
+        assert model.predict({"city": "paris"}) == "fr"
+        assert model.predict({"city": "rome"}) == "other"
+
+    def test_max_depth_zero_gives_majority_leaf(self):
+        model = DecisionTreeLearner(("a", "b"), "label", max_depth=0).fit(
+            AND_ROWS
+        )
+        assert isinstance(model.root, Leaf)
+        assert model.depth() == 0
+
+    def test_customer_accuracy(self, customer_tree, customer_rows):
+        assert accuracy(customer_tree, customer_rows, "risk") > 0.9
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeLearner(("a",), "label").fit([])
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeLearner(("a",), "label").fit([{"a": 1}])
+
+    def test_no_features_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeLearner((), "label")
+
+    def test_constant_feature_yields_leaf(self):
+        rows = [{"a": 1, "label": "x"}, {"a": 1, "label": "y"}] * 5
+        model = DecisionTreeLearner(("a",), "label").fit(rows)
+        assert isinstance(model.root, Leaf)
+
+    def test_threshold_subsampling(self):
+        rows = [
+            {"a": float(i), "label": "low" if i < 500 else "high"}
+            for i in range(1000)
+        ]
+        model = DecisionTreeLearner(
+            ("a",), "label", max_thresholds=8
+        ).fit(rows)
+        assert accuracy(model, rows, "label") > 0.95
+
+
+class TestModel:
+    def test_kind_and_labels(self, customer_tree):
+        assert customer_tree.kind is ModelKind.DECISION_TREE
+        assert set(customer_tree.class_labels) <= {"low", "medium", "high"}
+
+    def test_predict_requires_columns(self, customer_tree):
+        with pytest.raises(ModelError):
+            customer_tree.predict({"age": 30})
+
+    def test_iter_leaves_paths_consistent(self, customer_tree):
+        for path, leaf in iter_leaves(customer_tree.root):
+            assert isinstance(leaf, Leaf)
+            for atom in path:
+                assert atom.columns() <= set(customer_tree.feature_columns)
+
+    def test_leaf_count_matches_iteration(self, customer_tree):
+        assert customer_tree.leaf_count() == sum(
+            1 for _ in iter_leaves(customer_tree.root)
+        )
+
+    def test_predict_many(self, customer_tree, customer_rows):
+        few = customer_rows[:5]
+        assert customer_tree.predict_many(few) == [
+            customer_tree.predict(r) for r in few
+        ]
+
+
+class TestTests:
+    def test_numeric_test(self):
+        test = NumericTest("a", 5.0)
+        assert test.matches({"a": 5.0})
+        assert not test.matches({"a": 5.1})
+        assert test.true_predicate().evaluate({"a": 4})
+        assert test.false_predicate().evaluate({"a": 6})
+
+    def test_numeric_test_rejects_strings(self):
+        with pytest.raises(ModelError):
+            NumericTest("a", 5.0).matches({"a": "x"})
+
+    def test_category_test(self):
+        test = CategoryTest("c", "paris")
+        assert test.matches({"c": "paris"})
+        assert not test.matches({"c": "rome"})
+        assert test.true_predicate().evaluate({"c": "paris"})
+        assert test.false_predicate().evaluate({"c": "rome"})

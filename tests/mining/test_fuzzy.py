@@ -1,0 +1,73 @@
+"""Tests for fuzzy c-means (the paper's second ongoing-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_envelope import clustering_space
+from repro.core.derive import derive_envelopes
+from repro.exceptions import ModelError
+from repro.mining.discretized_cluster import DiscretizedClusterModel
+from repro.mining.fuzzy import FuzzyCMeansLearner
+from repro.mining.kmeans import KMeansModel
+
+from tests.mining.test_clustering import THREE_BLOBS, blob_rows
+
+
+class TestFuzzyCMeans:
+    def test_returns_centroid_model(self):
+        rows = blob_rows(THREE_BLOBS)
+        model = FuzzyCMeansLearner(("x", "y"), 3, seed=1).fit(rows)
+        assert isinstance(model, KMeansModel)
+        assert model.n_clusters == 3
+
+    def test_recovers_blobs(self):
+        rows = blob_rows(THREE_BLOBS, seed=8)
+        model = FuzzyCMeansLearner(("x", "y"), 3, seed=1).fit(rows)
+        found = sorted(tuple(np.round(c, 0)) for c in model.centroids)
+        expected = sorted(tuple(np.array(c)) for c in THREE_BLOBS)
+        for f, e in zip(found, expected):
+            assert abs(f[0] - e[0]) <= 1.5
+            assert abs(f[1] - e[1]) <= 1.5
+
+    def test_memberships_shape_and_normalization(self):
+        rows = blob_rows(THREE_BLOBS, n_per=40)
+        learner = FuzzyCMeansLearner(("x", "y"), 3)
+        learner.fit(rows)
+        memberships = learner.memberships()
+        assert memberships.shape == (120, 3)
+        assert memberships.sum(axis=1) == pytest.approx(
+            np.ones(120), abs=1e-9
+        )
+        assert (memberships >= 0).all()
+
+    def test_hardened_assignment_is_nearest_centroid(self):
+        """argmax membership == nearest centroid — the reduction that makes
+        fuzzy clusters fit the Section 3.3 envelope machinery."""
+        rows = blob_rows(THREE_BLOBS, n_per=50)
+        learner = FuzzyCMeansLearner(("x", "y"), 3, seed=2)
+        model = learner.fit(rows)
+        memberships = learner.memberships()
+        for index, row in enumerate(rows):
+            soft = int(memberships[index].argmax())
+            hard = model.assign(
+                np.array([row["x"], row["y"]], dtype=float)
+            )
+            assert soft == hard
+
+    def test_memberships_before_fit_rejected(self):
+        with pytest.raises(ModelError):
+            FuzzyCMeansLearner(("x",), 2).memberships()
+
+    def test_fuzziness_validation(self):
+        with pytest.raises(ModelError):
+            FuzzyCMeansLearner(("x",), 2, fuzziness=1.0)
+
+    def test_envelopes_through_standard_path(self):
+        rows = blob_rows(THREE_BLOBS, seed=9)
+        base = FuzzyCMeansLearner(("x", "y"), 3, name="fuzzy").fit(rows)
+        space = clustering_space(base, rows, bins=6)
+        model = DiscretizedClusterModel(base, space, name="fuzzy")
+        envelopes = derive_envelopes(model)
+        for row in rows:
+            label = model.predict(row)
+            assert envelopes[label].predicate.evaluate(row)

@@ -1,0 +1,79 @@
+"""Tests for agglomerative clustering (the paper's ongoing-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_envelope import clustering_space
+from repro.core.derive import derive_envelopes
+from repro.exceptions import ModelError
+from repro.mining.discretized_cluster import DiscretizedClusterModel
+from repro.mining.hierarchical import AgglomerativeClusterLearner
+from repro.mining.kmeans import KMeansModel
+
+from tests.mining.test_clustering import THREE_BLOBS, blob_rows
+
+
+class TestAgglomerative:
+    def test_returns_centroid_model(self):
+        rows = blob_rows(THREE_BLOBS)
+        learner = AgglomerativeClusterLearner(("x", "y"), 3)
+        model = learner.fit(rows)
+        assert isinstance(model, KMeansModel)
+        assert model.n_clusters == 3
+
+    def test_recovers_blobs(self):
+        rows = blob_rows(THREE_BLOBS, seed=4)
+        model = AgglomerativeClusterLearner(("x", "y"), 3).fit(rows)
+        found = sorted(tuple(np.round(c, 0)) for c in model.centroids)
+        expected = sorted(tuple(np.array(c)) for c in THREE_BLOBS)
+        for f, e in zip(found, expected):
+            assert abs(f[0] - e[0]) <= 1.5
+            assert abs(f[1] - e[1]) <= 1.5
+
+    def test_merge_history_is_a_dendrogram(self):
+        rows = blob_rows(THREE_BLOBS, n_per=20)
+        learner = AgglomerativeClusterLearner(
+            ("x", "y"), 3, max_points=60
+        )
+        learner.fit(rows)
+        history = learner.merge_history
+        assert len(history) == 60 - 3
+        # Merge distances are produced by repeatedly merging the closest
+        # pair; each merged id is fresh.
+        seen = set(range(60))
+        for step in history:
+            assert step.left in seen and step.right in seen
+            assert step.merged not in seen
+            seen.add(step.merged)
+
+    def test_subsampling_cap(self):
+        rows = blob_rows(THREE_BLOBS, n_per=300)
+        learner = AgglomerativeClusterLearner(
+            ("x", "y"), 3, max_points=100
+        )
+        model = learner.fit(rows)
+        assert model.n_clusters == 3
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AgglomerativeClusterLearner(("x",), 0)
+        with pytest.raises(ModelError):
+            AgglomerativeClusterLearner(("x",), 10, max_points=5)
+        with pytest.raises(ModelError):
+            AgglomerativeClusterLearner(("x",), 2).fit(
+                [{"x": 1.0}]
+            )
+
+    def test_envelopes_via_kmeans_path(self):
+        """The cut hierarchy plugs into the Section 3.3 envelope machinery
+        unchanged — that is the point of the reduction."""
+        rows = blob_rows(THREE_BLOBS, seed=6)
+        base = AgglomerativeClusterLearner(
+            ("x", "y"), 3, name="agglo"
+        ).fit(rows)
+        space = clustering_space(base, rows, bins=6)
+        model = DiscretizedClusterModel(base, space, name="agglo")
+        envelopes = derive_envelopes(model)
+        for row in rows:
+            label = model.predict(row)
+            assert envelopes[label].predicate.evaluate(row)

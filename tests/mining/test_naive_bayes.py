@@ -1,0 +1,124 @@
+"""Unit tests for the naive Bayes learner and model."""
+
+import numpy as np
+import pytest
+
+from repro.core.regions import AttributeSpace, CategoricalDimension
+from repro.exceptions import ModelError
+from repro.mining.base import ModelKind
+from repro.mining.metrics import accuracy
+from repro.mining.naive_bayes import (
+    NaiveBayesLearner,
+    naive_bayes_from_tables,
+)
+
+
+class TestPaperTable1:
+    """The worked example of paper Section 3.2.1, Table 1."""
+
+    # Expected winner for each (d0, d1) combination, from Table 1's cells.
+    EXPECTED = {
+        (0, 0): "c2", (1, 0): "c2", (2, 0): "c2", (3, 0): "c2",
+        (0, 1): "c1", (1, 1): "c1", (2, 1): "c2", (3, 1): "c2",
+        (0, 2): "c1", (1, 2): "c1", (2, 2): "c3", (3, 2): "c3",
+    }
+
+    def test_all_12_cells(self, paper_table1_nb):
+        for cell, expected in self.EXPECTED.items():
+            assert (
+                paper_table1_nb.class_labels[
+                    paper_table1_nb.predict_cell(cell)
+                ]
+                == expected
+            ), cell
+
+    def test_predict_from_rows(self, paper_table1_nb):
+        row = {"d0": "m00", "d1": "m11"}
+        assert paper_table1_nb.predict(row) == "c1"
+
+    def test_cell_log_scores_match_products(self, paper_table1_nb):
+        scores = np.exp(paper_table1_nb.cell_log_scores((0, 0)))
+        assert scores == pytest.approx(
+            [0.33 * 0.4 * 0.01, 0.5 * 0.1 * 0.7, 0.17 * 0.05 * 0.05]
+        )
+
+
+class TestLearner:
+    def test_learns_customer_risk(self, customer_nb, customer_rows):
+        assert accuracy(customer_nb, customer_rows, "risk") > 0.8
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ModelError):
+            NaiveBayesLearner(("a",), "label").fit([])
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ModelError):
+            NaiveBayesLearner(("a",), "label", smoothing=0.0)
+
+    def test_laplace_smoothing_gives_nonzero_probabilities(self):
+        rows = [{"a": "x", "label": "p"}, {"a": "y", "label": "q"}]
+        model = NaiveBayesLearner(("a",), "label").fit(rows)
+        for table in model.log_conditionals:
+            assert np.all(np.isfinite(table))
+
+    def test_mixed_feature_kinds(self):
+        rows = [
+            {"num": float(i), "cat": "a" if i < 10 else "b",
+             "label": "low" if i < 10 else "high"}
+            for i in range(20)
+        ]
+        model = NaiveBayesLearner(("num", "cat"), "label", bins=4).fit(rows)
+        assert accuracy(model, rows, "label") == 1.0
+
+    def test_explicit_dimensions(self):
+        dims = (CategoricalDimension("a", ("x", "y")),)
+        rows = [{"a": "x", "label": "p"}, {"a": "y", "label": "q"}] * 3
+        model = NaiveBayesLearner(
+            ("a",), "label", dimensions=dims
+        ).fit(rows)
+        assert model.space.dimensions == dims
+
+    def test_explicit_dimensions_must_match_features(self):
+        dims = (CategoricalDimension("wrong", ("x",)),)
+        with pytest.raises(ModelError):
+            NaiveBayesLearner(("a",), "label", dimensions=dims).fit(
+                [{"a": "x", "label": "p"}]
+            )
+
+
+class TestTieBreaking:
+    def test_tie_goes_to_larger_prior(self):
+        """Section 3.2.1: 'Ties are resolved by choosing the class which
+        has the higher prior probability.'"""
+        space = AttributeSpace((CategoricalDimension("a", ("x", "y")),))
+        model = naive_bayes_from_tables(
+            "ties",
+            "cls",
+            space,
+            ["minor", "major"],
+            [0.3, 0.7],
+            # Conditionals chosen so products tie exactly when scaled by
+            # the inverse prior ratio: P(x|minor)*0.3 == P(x|major)*0.7.
+            [[[0.7, 0.3], [0.3, 0.7]]],
+        )
+        # Scores: minor: 0.3*0.7 = 0.21; major: 0.7*0.3 = 0.21 -> tie.
+        assert model.predict({"a": "x"}) == "major"
+
+
+class TestValidation:
+    def test_mismatched_priors_rejected(self):
+        space = AttributeSpace((CategoricalDimension("a", ("x",)),))
+        with pytest.raises(ModelError):
+            naive_bayes_from_tables(
+                "bad", "cls", space, ["c1", "c2"], [1.0], [[[1.0]]]
+            )
+
+    def test_mismatched_conditionals_rejected(self):
+        space = AttributeSpace((CategoricalDimension("a", ("x", "y")),))
+        with pytest.raises(ModelError):
+            naive_bayes_from_tables(
+                "bad", "cls", space, ["c1"], [1.0], [[[1.0]]]  # 1 member
+            )
+
+    def test_kind(self, paper_table1_nb):
+        assert paper_table1_nb.kind is ModelKind.NAIVE_BAYES

@@ -1,0 +1,220 @@
+"""Unit tests for the rule learner, discretization, interchange, metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import equals
+from repro.core.regions import (
+    BinnedDimension,
+    CategoricalDimension,
+    OrdinalDimension,
+)
+from repro.exceptions import ModelError, SchemaError
+from repro.mining.base import ModelKind
+from repro.mining.discretize import (
+    BinningMethod,
+    equal_frequency_cuts,
+    equal_width_cuts,
+    infer_dimension,
+    make_binned_dimension,
+)
+from repro.mining.discretized_cluster import DiscretizedClusterModel
+from repro.mining.interchange import load_model, model_from_dict, save_model
+from repro.mining.kmeans import KMeansModel
+from repro.mining.metrics import (
+    accuracy,
+    confusion_matrix,
+    entropy,
+    label_selectivities,
+)
+from repro.mining.rules import Rule, RuleLearner
+
+
+class TestRuleLearner:
+    def test_learns_simple_concept(self):
+        rows = [
+            {"a": i, "label": "small" if i < 10 else "big"}
+            for i in range(20)
+        ] * 3
+        model = RuleLearner(("a",), "label").fit(rows)
+        assert accuracy(model, rows, "label") > 0.9
+
+    def test_default_is_majority_class(self, customer_rules):
+        assert customer_rules.default_label == "medium"
+
+    def test_rules_for(self, customer_rules):
+        for label in customer_rules.class_labels:
+            for rule in customer_rules.rules_for(label):
+                assert rule.head == label
+
+    def test_rule_matching(self):
+        rule = Rule((equals("city", "paris"),), "fr")
+        assert rule.matches({"city": "paris"})
+        assert not rule.matches({"city": "rome"})
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ModelError):
+            RuleLearner(("a",), "label").fit([])
+
+    def test_kind(self, customer_rules):
+        assert customer_rules.kind is ModelKind.RULES
+
+
+class TestDiscretize:
+    def test_equal_width(self):
+        cuts = equal_width_cuts([0.0, 10.0], 4)
+        assert cuts == [2.5, 5.0, 7.5]
+
+    def test_equal_width_constant_column(self):
+        assert equal_width_cuts([3.0, 3.0, 3.0], 4) == []
+
+    def test_equal_frequency(self):
+        values = list(range(100))
+        cuts = equal_frequency_cuts(values, 4)
+        assert len(cuts) == 3
+        assert cuts[1] == pytest.approx(49.5, abs=1.0)
+
+    def test_low_cardinality_uses_midpoints(self):
+        dim = make_binned_dimension("b", [0.0, 1.0] * 20, 8)
+        assert dim.cuts == (0.5,)
+        assert dim.member_for_value(0) == 0
+        assert dim.member_for_value(1) == 1
+
+    def test_bins_must_be_positive(self):
+        with pytest.raises(SchemaError):
+            equal_width_cuts([1.0], 0)
+
+    def test_infer_string_column(self):
+        dim = infer_dimension("c", ["a", "b", "a"])
+        assert isinstance(dim, CategoricalDimension)
+        assert dim.values == ("a", "b")
+
+    def test_infer_small_int_column(self):
+        dim = infer_dimension("c", [1, 2, 3, 2, 1])
+        assert isinstance(dim, OrdinalDimension)
+
+    def test_infer_wide_float_column(self):
+        dim = infer_dimension("c", [float(i) for i in range(1000)], bins=6)
+        assert isinstance(dim, BinnedDimension)
+        assert dim.size == 6
+
+    def test_infer_mixed_column_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_dimension("c", ["a", 1])
+
+    def test_bounded_dimension(self):
+        dim = make_binned_dimension(
+            "c",
+            [float(i) for i in range(100)],
+            4,
+            method=BinningMethod.EQUAL_WIDTH,
+            bounded=True,
+        )
+        assert dim.low == 0.0
+        assert dim.high == 99.0
+
+
+class TestInterchange:
+    @pytest.mark.parametrize(
+        "fixture_name",
+        [
+            "customer_tree",
+            "customer_nb",
+            "customer_rules",
+            "customer_kmeans",
+        ],
+    )
+    def test_round_trip(self, request, fixture_name, customer_rows):
+        model = request.getfixturevalue(fixture_name)
+        clone = model_from_dict(model.to_dict())
+        for row in customer_rows[:50]:
+            assert clone.predict(row) == model.predict(row)
+
+    def test_file_round_trip(self, customer_tree, customer_rows, tmp_path):
+        path = tmp_path / "model.json"
+        save_model(customer_tree, path)
+        clone = load_model(path)
+        for row in customer_rows[:20]:
+            assert clone.predict(row) == customer_tree.predict(row)
+
+    def test_discretized_cluster_round_trip(self, customer_rows):
+        from repro.core.cluster_envelope import clustering_space
+
+        base = KMeansModel(
+            "km",
+            "cluster",
+            ("age", "income"),
+            np.array([[30.0, 30_000.0], [60.0, 90_000.0]]),
+            np.ones((2, 2)),
+        )
+        space = clustering_space(base, customer_rows, bins=4)
+        model = DiscretizedClusterModel(base, space)
+        clone = model_from_dict(model.to_dict())
+        for row in customer_rows[:50]:
+            assert clone.predict(row) == model.predict(row)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_dict({"kind": "martian"})
+
+
+class TestDiscretizedClusterModel:
+    def test_all_rows_in_cell_share_prediction(self, customer_rows):
+        from repro.core.cluster_envelope import clustering_space
+
+        base = KMeansModel(
+            "km",
+            "cluster",
+            ("age", "income"),
+            np.array([[30.0, 30_000.0], [60.0, 90_000.0]]),
+            np.ones((2, 2)),
+        )
+        space = clustering_space(base, customer_rows, bins=4)
+        model = DiscretizedClusterModel(base, space)
+        by_cell: dict = {}
+        for row in customer_rows:
+            cell = space.point_for_row(
+                {"age": row["age"], "income": row["income"]}
+            )
+            label = model.predict(row)
+            assert by_cell.setdefault(cell, label) == label
+
+    def test_space_mismatch_rejected(self, customer_rows):
+        base = KMeansModel(
+            "km",
+            "cluster",
+            ("age", "income"),
+            np.zeros((2, 2)),
+            np.ones((2, 2)),
+        )
+        from repro.core.regions import AttributeSpace, BinnedDimension
+
+        wrong = AttributeSpace((BinnedDimension("age", (40.0,)),))
+        with pytest.raises(ModelError):
+            DiscretizedClusterModel(base, wrong)
+
+
+class TestMetrics:
+    def test_accuracy(self, customer_tree, customer_rows):
+        value = accuracy(customer_tree, customer_rows, "risk")
+        assert 0.0 <= value <= 1.0
+
+    def test_confusion_matrix_totals(self, customer_tree, customer_rows):
+        matrix = confusion_matrix(customer_tree, customer_rows, "risk")
+        assert sum(matrix.values()) == len(customer_rows)
+
+    def test_label_selectivities(self):
+        result = label_selectivities(["a", "a", "b", "c"])
+        assert result == {"a": 0.5, "b": 0.25, "c": 0.25}
+
+    def test_entropy(self):
+        assert entropy([0.5, 0.5]) == pytest.approx(1.0)
+        assert entropy([1.0, 0.0]) == 0.0
+        with pytest.raises(ModelError):
+            entropy([-0.1, 1.1])
+
+    def test_accuracy_empty_rejected(self, customer_tree):
+        with pytest.raises(ModelError):
+            accuracy(customer_tree, [], "risk")

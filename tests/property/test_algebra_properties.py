@@ -1,0 +1,207 @@
+"""Property-based tests of the predicate and region algebra (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.covering import cover_cells
+from repro.core.normalize import simplify, to_dnf, to_nnf
+from repro.core.predicates import (
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    conjunction,
+    disjunction,
+    negate,
+)
+from repro.core.regions import (
+    AttributeSpace,
+    OrdinalDimension,
+    coarsen_regions,
+    merge_regions,
+)
+from repro.exceptions import NormalizationError
+from repro.sql.compiler import compile_predicate
+
+COLUMNS = ("a", "b", "c")
+
+
+@st.composite
+def atoms(draw) -> Predicate:
+    column = draw(st.sampled_from(COLUMNS))
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        op = draw(st.sampled_from(list(Op)))
+        value = draw(st.integers(0, 10))
+        return Comparison(column, op, value)
+    if kind == 1:
+        values = draw(
+            st.lists(st.integers(0, 10), min_size=1, max_size=4, unique=True)
+        )
+        return InSet(column, tuple(values))
+    low = draw(st.integers(0, 8))
+    high = draw(st.integers(low, 10))
+    return Interval(
+        column,
+        low,
+        high,
+        low_closed=draw(st.booleans()),
+        high_closed=draw(st.booleans()),
+    )
+
+
+def predicates(max_depth: int = 3):
+    return st.recursive(
+        atoms(),
+        lambda children: st.one_of(
+            st.builds(
+                lambda xs: conjunction(xs),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(
+                lambda xs: disjunction(xs),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(Not, children),
+        ),
+        max_leaves=8,
+    )
+
+
+@st.composite
+def rows(draw):
+    return {c: draw(st.integers(-2, 12)) for c in COLUMNS}
+
+
+def safe_evaluate(pred, row):
+    # Interval semantics with open bounds on equal endpoints can make an
+    # empty Interval; our constructors reject those, so evaluation is total.
+    return pred.evaluate(row)
+
+
+class TestNormalizationEquivalence:
+    @given(predicates(), st.lists(rows(), min_size=5, max_size=10))
+    @settings(max_examples=150, deadline=None)
+    def test_nnf_preserves_semantics(self, pred, sample):
+        nnf = to_nnf(pred)
+        for row in sample:
+            assert safe_evaluate(pred, row) == safe_evaluate(nnf, row)
+
+    @given(predicates(), st.lists(rows(), min_size=5, max_size=10))
+    @settings(max_examples=150, deadline=None)
+    def test_dnf_preserves_semantics(self, pred, sample):
+        try:
+            dnf = to_dnf(pred, max_terms=500)
+        except NormalizationError:
+            return
+        for row in sample:
+            assert safe_evaluate(pred, row) == safe_evaluate(dnf, row)
+
+    @given(predicates(), st.lists(rows(), min_size=5, max_size=10))
+    @settings(max_examples=150, deadline=None)
+    def test_simplify_preserves_semantics(self, pred, sample):
+        simplified = simplify(pred)
+        for row in sample:
+            assert safe_evaluate(pred, row) == safe_evaluate(
+                simplified, row
+            )
+
+    @given(predicates(), rows())
+    @settings(max_examples=100, deadline=None)
+    def test_negation_is_complement(self, pred, row):
+        assert safe_evaluate(negate(pred), row) == (
+            not safe_evaluate(pred, row)
+        )
+
+
+class TestSQLAgreement:
+    @given(predicates(), st.lists(rows(), min_size=3, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_sql_matches_evaluate(self, pred, sample):
+        import sqlite3
+
+        connection = sqlite3.connect(":memory:")
+        connection.execute(
+            "CREATE TABLE t (a INTEGER, b INTEGER, c INTEGER)"
+        )
+        connection.executemany(
+            "INSERT INTO t VALUES (?, ?, ?)",
+            [(row["a"], row["b"], row["c"]) for row in sample],
+        )
+        sql = f"SELECT COUNT(*) FROM t WHERE {compile_predicate(pred)}"
+        via_sql = connection.execute(sql).fetchone()[0]
+        via_eval = sum(1 for row in sample if safe_evaluate(pred, row))
+        assert via_sql == via_eval
+
+
+@st.composite
+def grids_and_cells(draw):
+    n_dims = draw(st.integers(1, 3))
+    sizes = [draw(st.integers(2, 4)) for _ in range(n_dims)]
+    space = AttributeSpace(
+        tuple(
+            OrdinalDimension(f"d{i}", tuple(range(sizes[i])))
+            for i in range(n_dims)
+        )
+    )
+    all_cells = list(space.iter_cells())
+    chosen = draw(
+        st.lists(st.sampled_from(all_cells), min_size=0, max_size=12)
+    )
+    return space, set(chosen)
+
+
+class TestCoveringProperties:
+    @given(grids_and_cells())
+    @settings(max_examples=120, deadline=None)
+    def test_cover_is_exact(self, case):
+        space, cells = case
+        regions = cover_cells(space, cells)
+        covered = {
+            cell for region in regions for cell in region.iter_cells()
+        }
+        assert covered == cells
+
+    @given(grids_and_cells())
+    @settings(max_examples=120, deadline=None)
+    def test_merge_preserves_cells(self, case):
+        space, cells = case
+        regions = cover_cells(space, cells, merge=False)
+        merged = merge_regions(regions)
+        covered = {
+            cell for region in merged for cell in region.iter_cells()
+        }
+        assert covered == cells
+
+    @given(grids_and_cells(), st.integers(1, 4))
+    @settings(max_examples=120, deadline=None)
+    def test_coarsen_is_superset(self, case, budget):
+        space, cells = case
+        regions = cover_cells(space, cells)
+        if not regions:
+            return
+        coarse = coarsen_regions(regions, budget)
+        assert len(coarse) <= max(budget, 1)
+        covered = {
+            cell for region in coarse for cell in region.iter_cells()
+        }
+        assert cells <= covered
+
+    @given(grids_and_cells())
+    @settings(max_examples=60, deadline=None)
+    def test_region_predicates_match_membership(self, case):
+        space, cells = case
+        regions = cover_cells(space, cells)
+        for region in regions:
+            pred = region.to_predicate(space)
+            for cell in space.iter_cells():
+                row = {
+                    dim.name: dim.values[member]
+                    for dim, member in zip(space.dimensions, cell)
+                }
+                assert pred.evaluate(row) == region.contains(cell)

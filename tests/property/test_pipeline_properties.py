@@ -1,0 +1,98 @@
+"""Property-based tests across module boundaries (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.derive import naive_bayes_envelopes
+from repro.mining.interchange import model_from_dict
+from repro.sql.compiler import compile_predicate
+from repro.sql.database import Database, load_table
+from repro.sql.stats import build_table_stats, estimate_selectivity
+
+from tests.property.test_envelope_soundness import (
+    random_naive_bayes,
+    row_for_cell,
+)
+
+
+class TestInterchangeProperties:
+    @given(random_naive_bayes())
+    @settings(max_examples=30, deadline=None)
+    def test_nb_round_trip_preserves_predictions(self, model):
+        clone = model_from_dict(model.to_dict())
+        for cell in model.space.iter_cells():
+            row = row_for_cell(model, cell)
+            assert clone.predict(row) == model.predict(row)
+
+    @given(random_naive_bayes())
+    @settings(max_examples=20, deadline=None)
+    def test_round_tripped_model_derives_identical_envelopes(self, model):
+        clone = model_from_dict(model.to_dict())
+        original = naive_bayes_envelopes(model)
+        cloned = naive_bayes_envelopes(clone)
+        for label in model.class_labels:
+            for cell in model.space.iter_cells():
+                row = row_for_cell(model, cell)
+                assert original[label].predicate.evaluate(row) == cloned[
+                    label
+                ].predicate.evaluate(row)
+
+
+class TestEnvelopeSQLAgreement:
+    @given(random_naive_bayes(), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_envelope_sql_matches_python_evaluation(self, model, seed):
+        """Compiled envelope SQL selects exactly the rows the predicate
+        accepts — the bridge between the core and sql layers."""
+        rng = np.random.default_rng(seed)
+        rows = []
+        for _ in range(80):
+            cell = tuple(
+                int(rng.integers(dim.size))
+                for dim in model.space.dimensions
+            )
+            rows.append(row_for_cell(model, cell))
+        db = Database()
+        load_table(db, "t", rows)
+        envelopes = naive_bayes_envelopes(model)
+        try:
+            for label, envelope in envelopes.items():
+                sql_count = db.count("t", envelope.predicate)
+                python_count = sum(
+                    1 for row in rows if envelope.predicate.evaluate(row)
+                )
+                assert sql_count == python_count, label
+                # And soundness end-to-end on the loaded rows.
+                predicted = sum(
+                    1 for row in rows if model.predict(row) == label
+                )
+                assert sql_count >= predicted
+        finally:
+            db.close()
+
+
+class TestSelectivityEstimateProperties:
+    @given(random_naive_bayes(), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_estimates_are_probabilities(self, model, seed):
+        rng = np.random.default_rng(seed)
+        rows = []
+        for _ in range(60):
+            cell = tuple(
+                int(rng.integers(dim.size))
+                for dim in model.space.dimensions
+            )
+            rows.append(row_for_cell(model, cell))
+        stats = build_table_stats("t", rows)
+        for envelope in naive_bayes_envelopes(model).values():
+            estimate = estimate_selectivity(stats, envelope.predicate)
+            assert 0.0 <= estimate <= 1.0
+
+    @given(random_naive_bayes())
+    @settings(max_examples=15, deadline=None)
+    def test_envelope_sql_compiles(self, model):
+        for envelope in naive_bayes_envelopes(model).values():
+            sql = compile_predicate(envelope.predicate)
+            assert sql

@@ -1,0 +1,65 @@
+"""Property-based tests for the regression-tree range envelopes."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.regression_envelope import regression_range_envelope
+from repro.mining.regression_tree import RegressionTreeLearner
+
+
+def random_regression_rows(seed: int, n: int = 80):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(n):
+        a = float(np.round(rng.uniform(0, 10), 3))
+        b = float(np.round(rng.uniform(-5, 5), 3))
+        c = str(rng.choice(["p", "q", "r"]))
+        target = 3.0 * a - 2.0 * b + (5.0 if c == "p" else 0.0)
+        target += float(rng.normal(0, 1.0))
+        rows.append({"a": a, "b": b, "c": c, "y": round(target, 3)})
+    return rows
+
+
+class TestRangeEnvelopeProperties:
+    @given(
+        st.integers(0, 10_000),
+        st.integers(1, 6),
+        st.floats(-30, 60),
+        st.floats(0, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exactness_for_any_range(self, seed, depth, low, width):
+        rows = random_regression_rows(seed)
+        model = RegressionTreeLearner(
+            ("a", "b", "c"), "y", max_depth=depth
+        ).fit(rows)
+        high = low + width
+        envelope = regression_range_envelope(model, low, high)
+        probes = random_regression_rows(seed + 1)
+        for row in rows + probes:
+            predicted = model.predict(row)
+            assert envelope.predicate.evaluate(row) == (
+                low <= predicted <= high
+            )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_leaf_value_ranges_partition_predictions(self, seed):
+        """Per-leaf-value envelopes partition rows exactly."""
+        rows = random_regression_rows(seed)
+        model = RegressionTreeLearner(
+            ("a", "b", "c"), "y", max_depth=4
+        ).fit(rows)
+        envelopes = {
+            value: regression_range_envelope(model, value, value)
+            for value in model.class_labels
+        }
+        for row in rows:
+            hits = [
+                value
+                for value, envelope in envelopes.items()
+                if envelope.predicate.evaluate(row)
+            ]
+            assert hits == [model.predict(row)]

@@ -1,0 +1,60 @@
+"""Additional advisor tests: composite candidates and budget interplay."""
+
+import pytest
+
+from repro.core.predicates import conjunction, disjunction, equals
+from repro.sql.advisor import candidate_indexes, recommend_indexes
+from repro.sql.stats import build_table_stats
+
+ROWS = [
+    {
+        "a": i % 50,
+        "b": i % 40,
+        "c": i % 3,
+    }
+    for i in range(2000)
+]
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return build_table_stats("t", ROWS, row_count=len(ROWS))
+
+
+class TestCompositeCandidates:
+    def test_pair_candidate_from_conjunct(self, stats):
+        workload = [conjunction([equals("a", 3), equals("b", 7)])]
+        candidates = candidate_indexes(workload, stats)
+        assert any(c.columns == ("a", "b") for c in candidates)
+
+    def test_no_pair_across_disjuncts(self, stats):
+        workload = [disjunction([equals("a", 3), equals("b", 7)])]
+        candidates = candidate_indexes(workload, stats)
+        assert not any(len(c.columns) == 2 for c in candidates)
+
+    def test_benefit_ranks_selective_first(self, stats):
+        workload = [equals("a", 3), equals("c", 1)]
+        candidates = candidate_indexes(workload, stats)
+        by_columns = {c.columns: c for c in candidates}
+        # a has 50 distinct values (2% selectivity) -> much more benefit
+        # than c with 3 values (33%).
+        assert ("a",) in by_columns
+        if ("c",) in by_columns:
+            assert (
+                by_columns[("a",)].benefit_rows
+                > by_columns[("c",)].benefit_rows
+            )
+
+    def test_leading_column_dedup_in_recommendation(self, stats):
+        workload = [
+            equals("a", 3),
+            conjunction([equals("a", 3), equals("b", 7)]),
+        ]
+        recommendation = recommend_indexes(workload, stats, budget=8)
+        leading = [c.columns[0] for c in recommendation.chosen]
+        assert len(leading) == len(set(leading))
+
+    def test_considered_count_reported(self, stats):
+        workload = [equals("a", 1)]
+        recommendation = recommend_indexes(workload, stats)
+        assert recommendation.considered >= len(recommendation.chosen)

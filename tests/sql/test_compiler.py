@@ -1,0 +1,145 @@
+"""Unit tests for the predicate-to-SQL compiler."""
+
+import pytest
+
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    conjunction,
+    disjunction,
+    equals,
+)
+from repro.exceptions import PredicateError
+from repro.sql.compiler import (
+    compile_predicate,
+    count_statement,
+    render_literal,
+    select_statement,
+)
+
+
+class TestLiterals:
+    def test_int(self):
+        assert render_literal(42) == "42"
+
+    def test_float(self):
+        assert render_literal(1.5) == "1.5"
+
+    def test_string_quoting(self):
+        assert render_literal("paris") == "'paris'"
+
+    def test_string_escaping(self):
+        assert render_literal("o'brien") == "'o''brien'"
+
+    def test_bool_rejected(self):
+        with pytest.raises(PredicateError):
+            render_literal(True)
+
+
+class TestCompile:
+    def test_constants(self):
+        assert compile_predicate(TRUE) == "1=1"
+        assert compile_predicate(FALSE) == "1=0"
+
+    def test_comparison(self):
+        assert compile_predicate(equals("age", 30)) == "[age] = 30"
+        assert (
+            compile_predicate(Comparison("age", Op.GE, 18)) == "[age] >= 18"
+        )
+
+    def test_in_set(self):
+        sql = compile_predicate(InSet("city", ("paris", "rome")))
+        assert sql == "[city] IN ('paris', 'rome')"
+
+    def test_not_in_set(self):
+        sql = compile_predicate(Not(InSet("city", ("paris",))))
+        assert sql == "[city] NOT IN ('paris')"
+
+    def test_closed_interval_becomes_between(self):
+        sql = compile_predicate(Interval("age", 18, 65))
+        assert sql == '[age] BETWEEN 18 AND 65'
+
+    def test_half_open_interval(self):
+        sql = compile_predicate(Interval("age", 18, 65, high_closed=False))
+        assert sql == '[age] >= 18 AND [age] < 65'
+
+    def test_one_sided_interval(self):
+        assert compile_predicate(Interval("age", low=18)) == '[age] >= 18'
+        assert (
+            compile_predicate(Interval("age", high=65, high_closed=False))
+            == '[age] < 65'
+        )
+
+    def test_and_or_nesting(self):
+        pred = disjunction(
+            [
+                conjunction([equals("a", 1), equals("b", 2)]),
+                equals("c", 3),
+            ]
+        )
+        sql = compile_predicate(pred)
+        assert sql == '([a] = 1 AND [b] = 2) OR [c] = 3'
+
+    def test_generic_not(self):
+        pred = Not(conjunction([equals("a", 1), equals("b", 2)]))
+        sql = compile_predicate(pred)
+        assert sql.startswith("NOT (")
+
+    def test_injection_resistant_identifiers(self):
+        with pytest.raises(Exception):
+            compile_predicate(equals('a"; DROP TABLE t; --', 1))
+
+
+class TestStatements:
+    def test_select_with_true_has_no_where(self):
+        assert select_statement("t", TRUE) == 'SELECT * FROM [t]'
+
+    def test_select_with_predicate(self):
+        sql = select_statement("t", equals("a", 1))
+        assert sql == 'SELECT * FROM [t] WHERE [a] = 1'
+
+    def test_count_statement(self):
+        sql = count_statement("t", equals("a", 1))
+        assert sql == 'SELECT COUNT(*) FROM [t] WHERE [a] = 1'
+
+
+class TestRoundTripAgainstSQLite:
+    """The compiled SQL must agree with Predicate.evaluate row by row."""
+
+    def test_agreement(self):
+        import sqlite3
+
+        rows = [
+            (1, 10.5, "paris"),
+            (2, 20.0, "rome"),
+            (3, 5.25, "o'brien"),
+            (4, 30.0, "berlin"),
+        ]
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE t (a INTEGER, b REAL, c TEXT)")
+        connection.executemany("INSERT INTO t VALUES (?, ?, ?)", rows)
+        predicates = [
+            equals("a", 2),
+            Comparison("b", Op.GT, 10.0),
+            InSet("c", ("paris", "o'brien")),
+            Not(InSet("c", ("rome",))),
+            Interval("b", 5.25, 20.0, high_closed=False),
+            conjunction(
+                [Comparison("a", Op.GE, 2), InSet("c", ("rome", "berlin"))]
+            ),
+            disjunction([equals("c", "paris"), Comparison("a", Op.GE, 4)]),
+        ]
+        for pred in predicates:
+            sql = f"SELECT a FROM t WHERE {compile_predicate(pred)}"
+            via_sql = {r[0] for r in connection.execute(sql)}
+            via_eval = {
+                a
+                for a, b, c in rows
+                if pred.evaluate({"a": a, "b": b, "c": c})
+            }
+            assert via_sql == via_eval, pred

@@ -1,0 +1,127 @@
+"""Unit tests for the SQLite wrapper."""
+
+import pytest
+
+from repro.core.predicates import TRUE, Comparison, Op, equals
+from repro.exceptions import DatabaseError
+from repro.sql.database import Database, load_table
+from repro.sql.schema import Column, ColumnType, TableSchema
+
+ROWS = [
+    {"id": i, "score": float(i) * 1.5, "city": ["paris", "rome"][i % 2]}
+    for i in range(100)
+]
+
+
+@pytest.fixture()
+def db():
+    with Database() as database:
+        load_table(database, "t", ROWS)
+        yield database
+
+
+class TestDDL:
+    def test_create_and_load(self, db):
+        assert db.row_count("t") == 100
+        assert db.table_names() == ["t"]
+
+    def test_schema_inferred_types(self, db):
+        schema = db.schema("t")
+        assert schema.column("id").type is ColumnType.INTEGER
+        assert schema.column("score").type is ColumnType.REAL
+        assert schema.column("city").type is ColumnType.TEXT
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.create_table(TableSchema("t", (Column("x", ColumnType.INTEGER),)))
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.schema("missing")
+
+
+class TestIndexes:
+    def test_create_and_drop(self, db):
+        name = db.create_index("t", ["city"])
+        assert name in db.index_names("t")
+        db.drop_index(name)
+        assert name not in db.index_names("t")
+
+    def test_composite_index(self, db):
+        name = db.create_index("t", ["city", "score"])
+        assert "city" in name and "score" in name
+
+    def test_duplicate_index_rejected(self, db):
+        db.create_index("t", ["city"])
+        with pytest.raises(DatabaseError):
+            db.create_index("t", ["city"])
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.create_index("t", ["missing"])
+
+    def test_drop_all(self, db):
+        db.create_index("t", ["city"])
+        db.create_index("t", ["score"])
+        db.drop_all_indexes("t")
+        assert db.index_names("t") == []
+
+
+class TestQueries:
+    def test_select_rows(self, db):
+        rows = db.select("t", equals("city", "paris"))
+        assert len(rows) == 50
+        assert all(r["city"] == "paris" for r in rows)
+
+    def test_count_and_selectivity(self, db):
+        assert db.count("t", Comparison("id", Op.LT, 10)) == 10
+        assert db.selectivity("t", Comparison("id", Op.LT, 10)) == pytest.approx(0.1)
+
+    def test_timed_fetch(self, db):
+        count, seconds = db.timed_fetch('SELECT * FROM "t"')
+        assert count == 100
+        assert seconds >= 0
+
+    def test_explain_returns_rows(self, db):
+        plan = db.explain('SELECT * FROM "t" WHERE "id" = 5')
+        assert plan
+        assert any("t" in text for *_ids, text in plan)
+
+    def test_bad_sql_raises_with_statement(self, db):
+        with pytest.raises(DatabaseError) as info:
+            db.execute("SELECT nonsense FROM nowhere")
+        assert "nowhere" in str(info.value)
+
+    def test_sample_rows_small_table_returns_all(self, db):
+        assert len(db.sample_rows("t", 1000)) == 100
+
+    def test_sample_rows_subsamples(self, db):
+        sample = db.sample_rows("t", 10)
+        assert 0 < len(sample) <= 15
+
+    def test_sample_rows_deterministic(self, db):
+        assert db.sample_rows("t", 10) == db.sample_rows("t", 10)
+
+    def test_empty_table_selectivity_raises(self):
+        with Database() as database:
+            database.create_table(
+                TableSchema("e", (Column("x", ColumnType.INTEGER),))
+            )
+            with pytest.raises(DatabaseError):
+                database.selectivity("e", TRUE)
+
+    def test_iter_rows(self, db):
+        rows = list(db.iter_rows('SELECT * FROM "t" LIMIT 3'))
+        assert len(rows) == 3
+        assert set(rows[0]) == {"id", "score", "city"}
+
+    def test_insert_batching(self):
+        with Database() as database:
+            database.create_table(
+                TableSchema("big", (Column("x", ColumnType.INTEGER),))
+            )
+            inserted = database.insert_rows(
+                "big", ({"x": i} for i in range(12_345))
+            )
+            assert inserted == 12_345
+            assert database.row_count("big") == 12_345

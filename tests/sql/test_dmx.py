@@ -1,0 +1,182 @@
+"""Tests for the DMX-style prediction-join parser."""
+
+import pytest
+
+from repro.core.catalog import ModelCatalog
+from repro.core.predicates import Comparison, InSet, Interval, Op
+from repro.core.rewrite import (
+    PredictionEquals,
+    PredictionIn,
+    PredictionJoinColumn,
+    PredictionJoinPrediction,
+)
+from repro.exceptions import RewriteError
+from repro.mining.decision_tree import DecisionTreeLearner
+from repro.sql.dmx import parse_dmx
+
+from tests.conftest import CUSTOMER_FEATURES, make_customer_rows
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    rows = make_customer_rows(200, seed=3)
+    catalog = ModelCatalog()
+    catalog.register(
+        DecisionTreeLearner(
+            CUSTOMER_FEATURES, "risk", max_depth=4, name="Risk_Class"
+        ).fit(rows)
+    )
+    catalog.register(
+        DecisionTreeLearner(
+            CUSTOMER_FEATURES, "risk", max_depth=2, name="Other_Model"
+        ).fit(rows)
+    )
+    return catalog
+
+
+class TestBasicParsing:
+    def test_paper_example_shape(self, catalog):
+        query = parse_dmx(
+            "SELECT * FROM customers "
+            "PREDICTION JOIN [Risk_Class] M "
+            "WHERE M.Risk = 'low'",
+            catalog,
+        )
+        assert query.table == "customers"
+        assert query.mining_predicates == (
+            PredictionEquals("Risk_Class", "low"),
+        )
+
+    def test_relational_and_mining_mix(self, catalog):
+        query = parse_dmx(
+            "SELECT * FROM customers D "
+            "PREDICTION JOIN Risk_Class M "
+            "WHERE M.Risk = 'low' AND D.age > 30 AND gender = 'female'",
+            catalog,
+        )
+        atoms = (
+            query.relational_predicate.operands
+            if hasattr(query.relational_predicate, "operands")
+            else (query.relational_predicate,)
+        )
+        assert Comparison("age", Op.GT, 30) in atoms
+        assert Comparison("gender", Op.EQ, "female") in atoms
+
+    def test_in_predicate(self, catalog):
+        query = parse_dmx(
+            "SELECT * FROM t PREDICTION JOIN Risk_Class M "
+            "WHERE M.Risk IN ('low', 'high')",
+            catalog,
+        )
+        assert query.mining_predicates == (
+            PredictionIn("Risk_Class", ("high", "low")),
+        )
+
+    def test_between_on_data_column(self, catalog):
+        query = parse_dmx(
+            "SELECT * FROM t WHERE age BETWEEN 20 AND 30", catalog
+        )
+        assert query.relational_predicate == Interval("age", 20, 30)
+
+    def test_data_in_list(self, catalog):
+        query = parse_dmx(
+            "SELECT * FROM t WHERE city IN ('paris', 'rome')", catalog
+        )
+        assert isinstance(query.relational_predicate, InSet)
+
+    def test_string_escaping(self, catalog):
+        query = parse_dmx(
+            "SELECT * FROM t PREDICTION JOIN Risk_Class M "
+            "WHERE M.Risk = 'o''brien'",
+            catalog,
+        )
+        assert query.mining_predicates[0].label == "o'brien"
+
+
+class TestJoins:
+    def test_model_to_model(self, catalog):
+        query = parse_dmx(
+            "SELECT * FROM t "
+            "PREDICTION JOIN Risk_Class M1, Other_Model M2 "
+            "WHERE M1.Risk = M2.Risk",
+            catalog,
+        )
+        assert query.mining_predicates == (
+            PredictionJoinPrediction("Risk_Class", "Other_Model"),
+        )
+
+    def test_model_to_column(self, catalog):
+        query = parse_dmx(
+            "SELECT * FROM t D PREDICTION JOIN Risk_Class M "
+            "WHERE M.Risk = D.risk",
+            catalog,
+        )
+        assert query.mining_predicates == (
+            PredictionJoinColumn("Risk_Class", "risk"),
+        )
+
+    def test_column_to_model_reversed(self, catalog):
+        query = parse_dmx(
+            "SELECT * FROM t D PREDICTION JOIN Risk_Class M "
+            "WHERE D.risk = M.Risk",
+            catalog,
+        )
+        assert query.mining_predicates == (
+            PredictionJoinColumn("Risk_Class", "risk"),
+        )
+
+
+class TestErrors:
+    def test_unknown_model(self, catalog):
+        with pytest.raises(Exception):
+            parse_dmx(
+                "SELECT * FROM t PREDICTION JOIN Nope M WHERE M.x = 1",
+                catalog,
+            )
+
+    def test_unknown_alias(self, catalog):
+        with pytest.raises(RewriteError):
+            parse_dmx(
+                "SELECT * FROM t WHERE Z.col = 1",
+                catalog,
+            )
+
+    def test_only_select_star(self, catalog):
+        with pytest.raises(RewriteError):
+            parse_dmx("SELECT id FROM t", catalog)
+
+    def test_inequality_on_prediction_rejected(self, catalog):
+        with pytest.raises(RewriteError):
+            parse_dmx(
+                "SELECT * FROM t PREDICTION JOIN Risk_Class M "
+                "WHERE M.Risk > 'low'",
+                catalog,
+            )
+
+    def test_trailing_garbage(self, catalog):
+        with pytest.raises(RewriteError):
+            parse_dmx("SELECT * FROM t WHERE a = 1 ORDER", catalog)
+
+
+class TestExecution:
+    def test_parsed_query_runs(self, catalog):
+        from repro.sql.database import Database, load_table
+        from repro.sql.miningext import PredictionJoinExecutor
+
+        rows = make_customer_rows(200, seed=3)
+        db = Database()
+        load_table(
+            db,
+            "customers",
+            [{c: r[c] for c in CUSTOMER_FEATURES} for r in rows],
+        )
+        query = parse_dmx(
+            "SELECT * FROM customers PREDICTION JOIN Risk_Class M "
+            "WHERE M.Risk = 'high' AND age < 40",
+            catalog,
+        )
+        executor = PredictionJoinExecutor(db, catalog)
+        optimized = executor.execute_optimized(query)
+        naive = executor.execute_naive(query)
+        assert optimized.rows_returned == naive.rows_returned
+        db.close()

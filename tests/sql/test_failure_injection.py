@@ -1,0 +1,87 @@
+"""Failure-injection tests: the substrate must fail loudly and typed."""
+
+import pytest
+
+from repro.core.predicates import equals
+from repro.exceptions import DatabaseError, ReproError
+from repro.sql.database import Database, load_table
+from repro.sql.schema import Column, ColumnType, TableSchema
+
+
+class TestInsertFailures:
+    def test_missing_column_raises_database_error(self):
+        with Database() as db:
+            db.create_table(
+                TableSchema(
+                    "t",
+                    (
+                        Column("a", ColumnType.INTEGER),
+                        Column("b", ColumnType.TEXT),
+                    ),
+                )
+            )
+            with pytest.raises(DatabaseError) as info:
+                db.insert_rows("t", [{"a": 1}])
+            assert "b" in str(info.value)
+
+    def test_insert_into_unknown_table(self):
+        with Database() as db:
+            with pytest.raises(DatabaseError):
+                db.insert_rows("missing", [{"a": 1}])
+
+
+class TestQueryFailures:
+    def test_predicate_on_unknown_column_fails_in_sql(self):
+        with Database() as db:
+            load_table(db, "t", [{"a": 1}])
+            with pytest.raises(DatabaseError):
+                db.select("t", equals("nope", 1))
+
+    def test_closed_database_raises(self):
+        db = Database()
+        load_table(db, "t", [{"a": 1}])
+        db.close()
+        with pytest.raises(ReproError):
+            db.select("t", equals("a", 1))
+
+    def test_drop_unknown_index(self):
+        with Database() as db:
+            with pytest.raises(DatabaseError):
+                db.drop_index("missing")
+
+
+class TestExecutorFailures:
+    def test_unknown_model_in_query(self):
+        from repro.core.catalog import ModelCatalog
+        from repro.core.optimizer import MiningQuery
+        from repro.core.rewrite import PredictionEquals
+        from repro.exceptions import CatalogError
+        from repro.sql.miningext import PredictionJoinExecutor
+
+        with Database() as db:
+            load_table(db, "t", [{"a": 1}])
+            executor = PredictionJoinExecutor(db, ModelCatalog())
+            query = MiningQuery(
+                "t", mining_predicates=(PredictionEquals("ghost", "x"),)
+            )
+            with pytest.raises(CatalogError):
+                executor.execute_optimized(query)
+
+    def test_envelope_on_missing_feature_column(self, customer_catalog):
+        """A table lacking the model's feature columns fails in SQL with a
+        typed error rather than returning wrong results."""
+        from repro.core.optimizer import MiningQuery
+        from repro.core.rewrite import PredictionEquals
+        from repro.sql.miningext import PredictionJoinExecutor
+
+        with Database() as db:
+            load_table(db, "t", [{"unrelated": 1}])
+            executor = PredictionJoinExecutor(
+                db, customer_catalog, selectivity_gate=None
+            )
+            query = MiningQuery(
+                "t",
+                mining_predicates=(PredictionEquals("risk_tree", "high"),),
+            )
+            with pytest.raises(ReproError):
+                executor.execute_optimized(query)

@@ -1,0 +1,193 @@
+"""Integration tests for the PREDICTION JOIN execution layer."""
+
+import pytest
+
+from repro.core.catalog import ModelCatalog
+from repro.core.optimizer import MiningQuery
+from repro.core.predicates import Comparison, Op, equals
+from repro.core.rewrite import (
+    PredictionEquals,
+    PredictionIn,
+    PredictionJoinColumn,
+    PredictionJoinPrediction,
+)
+from repro.sql.database import Database, load_table
+from repro.sql.miningext import PredictionJoinExecutor, baseline_full_scan
+from repro.sql.planner import AccessPath
+
+from tests.conftest import CUSTOMER_FEATURES
+
+
+@pytest.fixture(scope="module")
+def setup(customer_rows_module, customer_catalog_module):
+    db = Database()
+    feature_rows = [
+        {c: row[c] for c in CUSTOMER_FEATURES} for row in customer_rows_module
+    ]
+    load_table(db, "customers", feature_rows)
+    executor = PredictionJoinExecutor(db, customer_catalog_module)
+    yield db, executor, customer_catalog_module, feature_rows
+    db.close()
+
+
+# Module-scoped clones of the session fixtures (pytest scoping rules).
+@pytest.fixture(scope="module")
+def customer_rows_module():
+    from tests.conftest import make_customer_rows
+
+    return make_customer_rows()
+
+
+@pytest.fixture(scope="module")
+def customer_catalog_module(customer_rows_module):
+    from repro.mining.decision_tree import DecisionTreeLearner
+    from repro.mining.naive_bayes import NaiveBayesLearner
+
+    catalog = ModelCatalog()
+    catalog.register(
+        DecisionTreeLearner(
+            CUSTOMER_FEATURES, "risk", max_depth=6, name="risk_tree"
+        ).fit(customer_rows_module)
+    )
+    catalog.register(
+        NaiveBayesLearner(
+            CUSTOMER_FEATURES, "risk", bins=5, name="risk_nb"
+        ).fit(customer_rows_module)
+    )
+    return catalog
+
+
+def reference_rows(query, rows, catalog):
+    return [row for row in rows if query.evaluate(row, catalog)]
+
+
+class TestEquivalence:
+    """Optimized and naive executions must return identical rows."""
+
+    @pytest.mark.parametrize("model_name", ["risk_tree", "risk_nb"])
+    @pytest.mark.parametrize("label", ["low", "medium", "high"])
+    def test_equality_predicate(self, setup, model_name, label):
+        db, executor, catalog, rows = setup
+        query = MiningQuery(
+            "customers",
+            mining_predicates=(PredictionEquals(model_name, label),),
+        )
+        optimized = executor.execute_optimized(query)
+        naive = executor.execute_naive(query)
+        key = lambda r: tuple(sorted(r.items()))
+        assert sorted(map(key, optimized.rows)) == sorted(
+            map(key, naive.rows)
+        )
+        expected = reference_rows(query, rows, catalog)
+        assert len(optimized.rows) == len(expected)
+
+    def test_in_predicate(self, setup):
+        db, executor, catalog, rows = setup
+        query = MiningQuery(
+            "customers",
+            mining_predicates=(
+                PredictionIn("risk_tree", ("low", "high")),
+            ),
+        )
+        optimized = executor.execute_optimized(query)
+        expected = reference_rows(query, rows, catalog)
+        assert len(optimized.rows) == len(expected)
+
+    def test_join_between_models(self, setup):
+        db, executor, catalog, rows = setup
+        query = MiningQuery(
+            "customers",
+            mining_predicates=(
+                PredictionJoinPrediction("risk_tree", "risk_nb"),
+            ),
+        )
+        optimized = executor.execute_optimized(query)
+        expected = reference_rows(query, rows, catalog)
+        assert len(optimized.rows) == len(expected)
+
+    def test_join_with_relational_predicate(self, setup):
+        db, executor, catalog, rows = setup
+        query = MiningQuery(
+            "customers",
+            relational_predicate=Comparison("age", Op.LT, 40),
+            mining_predicates=(PredictionEquals("risk_tree", "high"),),
+        )
+        optimized = executor.execute_optimized(query)
+        expected = reference_rows(query, rows, catalog)
+        assert len(optimized.rows) == len(expected)
+        assert all(r["age"] < 40 for r in optimized.rows)
+
+
+class TestFewerRowsFetched:
+    def test_optimized_fetches_no_more_rows(self, setup):
+        db, executor, catalog, rows = setup
+        query = MiningQuery(
+            "customers",
+            mining_predicates=(PredictionEquals("risk_tree", "high"),),
+        )
+        optimized = executor.execute_optimized(query)
+        naive = executor.execute_naive(query)
+        assert optimized.rows_fetched <= naive.rows_fetched
+        # 'high' risk is a minority class: the tree envelope is exact, so
+        # the optimized path should fetch strictly fewer rows.
+        assert optimized.rows_fetched < naive.rows_fetched
+
+    def test_unknown_label_constant_false(self, setup):
+        db, executor, catalog, rows = setup
+        query = MiningQuery(
+            "customers",
+            mining_predicates=(PredictionEquals("risk_tree", "nope"),),
+        )
+        report = executor.execute_optimized(query)
+        assert report.rows == ()
+        assert report.rows_fetched == 0
+        assert report.plan.access_path is AccessPath.CONSTANT_SCAN
+
+
+class TestPredictions:
+    def test_prediction_column_added(self, setup):
+        db, executor, catalog, rows = setup
+        query = MiningQuery(
+            "customers",
+            mining_predicates=(PredictionEquals("risk_tree", "low"),),
+        )
+        result = executor.predictions(query)
+        assert result
+        for row in result:
+            assert row["predicted_risk"] == "low"
+
+
+class TestJoinColumn:
+    def test_prediction_vs_column(self, customer_rows_module):
+        """Cross-validation query: predicted label equals stored label."""
+        from repro.mining.decision_tree import DecisionTreeLearner
+
+        catalog = ModelCatalog()
+        catalog.register(
+            DecisionTreeLearner(
+                CUSTOMER_FEATURES, "risk", max_depth=6, name="cv_tree"
+            ).fit(customer_rows_module)
+        )
+        db = Database()
+        load_table(db, "labelled", customer_rows_module)  # includes 'risk'
+        executor = PredictionJoinExecutor(db, catalog)
+        query = MiningQuery(
+            "labelled",
+            mining_predicates=(PredictionJoinColumn("cv_tree", "risk"),),
+        )
+        report = executor.execute_optimized(query)
+        expected = [
+            row
+            for row in customer_rows_module
+            if catalog.model("cv_tree").predict(row) == row["risk"]
+        ]
+        assert len(report.rows) == len(expected)
+        db.close()
+
+
+class TestBaseline:
+    def test_full_scan_report(self, setup):
+        db, executor, catalog, rows = setup
+        report = baseline_full_scan(db, "customers")
+        assert report.rows_fetched == len(rows)
+        assert report.plan.access_path is AccessPath.FULL_SCAN

@@ -1,0 +1,184 @@
+"""Unit tests for statistics, the index advisor, and plan capture."""
+
+import pytest
+
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    Comparison,
+    Interval,
+    Op,
+    conjunction,
+    disjunction,
+    equals,
+    in_set,
+)
+from repro.sql.advisor import (
+    candidate_indexes,
+    recommend_indexes,
+    tune_for_workload,
+)
+from repro.sql.database import Database, load_table
+from repro.sql.planner import (
+    AccessPath,
+    CONSTANT_SCAN_PLAN,
+    FULL_SCAN_PLAN,
+    capture_plan,
+    compare_plans,
+    parse_explain,
+)
+from repro.sql.stats import build_table_stats, estimate_selectivity
+
+ROWS = [
+    {
+        "id": i,
+        "bucket": i % 10,
+        "rare": 1 if i % 100 == 0 else 0,
+        "city": ["paris", "rome", "berlin", "madrid"][i % 4],
+    }
+    for i in range(2000)
+]
+
+
+@pytest.fixture(scope="module")
+def db():
+    with Database() as database:
+        load_table(database, "t", ROWS)
+        yield database
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return build_table_stats("t", ROWS, row_count=len(ROWS))
+
+
+class TestSelectivityEstimation:
+    def test_equality_on_common_value(self, stats):
+        estimated = estimate_selectivity(stats, equals("bucket", 3))
+        assert estimated == pytest.approx(0.1, abs=0.03)
+
+    def test_equality_on_rare_value(self, stats):
+        estimated = estimate_selectivity(stats, equals("rare", 1))
+        assert estimated == pytest.approx(0.01, abs=0.005)
+
+    def test_range(self, stats):
+        estimated = estimate_selectivity(
+            stats, Comparison("id", Op.LT, 200)
+        )
+        assert estimated == pytest.approx(0.1, abs=0.05)
+
+    def test_interval(self, stats):
+        estimated = estimate_selectivity(stats, Interval("id", 0, 999))
+        assert estimated == pytest.approx(0.5, abs=0.08)
+
+    def test_conjunction_multiplies(self, stats):
+        pred = conjunction([equals("bucket", 3), equals("city", "paris")])
+        estimated = estimate_selectivity(stats, pred)
+        assert estimated == pytest.approx(0.1 * 0.25, abs=0.02)
+
+    def test_disjunction_inclusion_exclusion(self, stats):
+        pred = disjunction([equals("bucket", 3), equals("bucket", 4)])
+        estimated = estimate_selectivity(stats, pred)
+        assert estimated == pytest.approx(0.19, abs=0.04)
+
+    def test_constants(self, stats):
+        assert estimate_selectivity(stats, TRUE) == 1.0
+        assert estimate_selectivity(stats, FALSE) == 0.0
+
+    def test_in_set(self, stats):
+        pred = in_set("city", ["paris", "rome"])
+        assert estimate_selectivity(stats, pred) == pytest.approx(
+            0.5, abs=0.05
+        )
+
+
+class TestAdvisor:
+    def test_candidates_from_selective_workload(self, stats):
+        workload = [equals("rare", 1)]
+        candidates = candidate_indexes(workload, stats)
+        assert any(c.columns == ("rare",) for c in candidates)
+
+    def test_unselective_workload_yields_nothing(self, stats):
+        workload = [Comparison("id", Op.GE, 0)]
+        candidates = candidate_indexes(workload, stats)
+        assert all(c.queries_served == 0 for c in candidates) or not candidates
+
+    def test_disjunctive_query_needs_column_in_every_disjunct(self, stats):
+        served = disjunction(
+            [
+                conjunction([equals("rare", 1), equals("bucket", 1)]),
+                conjunction([equals("rare", 1), equals("city", "paris")]),
+            ]
+        )
+        not_served = disjunction([equals("rare", 1), equals("city", "paris")])
+        candidates = candidate_indexes([served, not_served], stats)
+        rare = [c for c in candidates if c.columns == ("rare",)]
+        assert rare and rare[0].queries_served == 1
+
+    def test_budget_respected(self, stats):
+        workload = [
+            equals("rare", 1),
+            equals("bucket", 0),
+            equals("city", "paris"),
+        ]
+        recommendation = recommend_indexes(workload, stats, budget=1)
+        assert len(recommendation.chosen) <= 1
+
+    def test_tune_creates_indexes(self):
+        with Database() as database:
+            load_table(database, "t", ROWS)
+            recommendation = tune_for_workload(
+                database, "t", [equals("rare", 1)]
+            )
+            assert recommendation.chosen
+            assert database.index_names("t")
+
+
+class TestPlanner:
+    def test_false_predicate_is_constant_scan(self, db):
+        plan = capture_plan(db, "t", FALSE)
+        assert plan is CONSTANT_SCAN_PLAN
+        assert plan.is_constant
+
+    def test_full_scan_without_indexes(self):
+        with Database() as database:
+            load_table(database, "t", ROWS)
+            plan = capture_plan(database, "t", equals("rare", 1))
+            assert plan.access_path is AccessPath.FULL_SCAN
+
+    def test_index_search_with_index(self):
+        with Database() as database:
+            load_table(database, "t", ROWS)
+            database.create_index("t", ["rare"])
+            database.analyze()
+            plan = capture_plan(database, "t", equals("rare", 1))
+            assert plan.uses_index
+            assert any("rare" in name for name in plan.index_names)
+
+    def test_plan_change_criterion(self):
+        baseline = FULL_SCAN_PLAN
+        assert CONSTANT_SCAN_PLAN.changed_from(baseline)
+        assert not FULL_SCAN_PLAN.changed_from(baseline)
+
+    def test_compare_plans(self):
+        with Database() as database:
+            load_table(database, "t", ROWS)
+            database.create_index("t", ["rare"])
+            comparison = compare_plans(
+                database, "t", TRUE, equals("rare", 1)
+            )
+            assert comparison.changed
+
+    def test_parse_explain_multi_index_or(self):
+        rows = [
+            (0, 0, 0, "MULTI-INDEX OR"),
+            (1, 0, 0, "SEARCH t USING INDEX idx_a (a=?)"),
+            (2, 0, 0, "SEARCH t USING INDEX idx_b (b=?)"),
+        ]
+        plan = parse_explain(rows)
+        assert plan.uses_index
+        assert plan.index_names == ("idx_a", "idx_b")
+
+    def test_parse_explain_scan(self):
+        plan = parse_explain([(0, 0, 0, "SCAN t")])
+        assert plan.access_path is AccessPath.FULL_SCAN

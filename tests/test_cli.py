@@ -1,0 +1,29 @@
+"""Integration tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_tables_smoke(self, capsys):
+        assert main(["tables", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "Average reduction in running time" in output
+        assert "Paper" in output
+
+    def test_figures_smoke(self, capsys):
+        assert main(["figures", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        for figure in ("Figure 3", "Figure 4", "Figure 5", "Figure 6",
+                       "Figure 7"):
+            assert figure in output
+
+    def test_report_smoke(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["report", "--scale", "smoke"]) == 0
+        assert (tmp_path / "EXPERIMENTS.md").exists()
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tables", "--scale", "galactic"])

@@ -1,0 +1,145 @@
+"""Coverage for smaller modules: exceptions, schema, envelope, CLI."""
+
+import pytest
+
+from repro.core.envelope import UpperEnvelope
+from repro.core.predicates import FALSE, TRUE, disjunction, equals
+from repro.exceptions import (
+    CatalogError,
+    DatabaseError,
+    EnvelopeError,
+    ModelError,
+    NormalizationError,
+    NotFittedError,
+    PredicateError,
+    RegionError,
+    ReproError,
+    RewriteError,
+    SchemaError,
+    WorkloadError,
+)
+from repro.mining.base import ModelKind
+from repro.sql.schema import Column, ColumnType, TableSchema, check_identifier
+
+
+class TestExceptions:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            PredicateError,
+            NormalizationError,
+            SchemaError,
+            ModelError,
+            NotFittedError,
+            EnvelopeError,
+            RegionError,
+            RewriteError,
+            CatalogError,
+            DatabaseError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_specific_hierarchies(self):
+        assert issubclass(NormalizationError, PredicateError)
+        assert issubclass(NotFittedError, ModelError)
+        assert issubclass(RegionError, EnvelopeError)
+        assert issubclass(CatalogError, RewriteError)
+
+
+class TestSchema:
+    def test_identifier_validation(self):
+        assert check_identifier("good_name1") == "good_name1"
+        for bad in ("1bad", "has space", 'quo"te', "semi;colon", ""):
+            with pytest.raises(SchemaError):
+                check_identifier(bad)
+
+    def test_column_type_inference(self):
+        assert ColumnType.for_value(3) is ColumnType.INTEGER
+        assert ColumnType.for_value(3.5) is ColumnType.REAL
+        assert ColumnType.for_value("x") is ColumnType.TEXT
+        with pytest.raises(SchemaError):
+            ColumnType.for_value(True)
+
+    def test_table_schema_from_rows(self):
+        schema = TableSchema.from_rows("t", [{"a": 1, "b": "x"}])
+        assert schema.column_names == ("a", "b")
+        assert "CREATE TABLE" in schema.create_statement()
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (
+                    Column("a", ColumnType.INTEGER),
+                    Column("a", ColumnType.TEXT),
+                ),
+            )
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ())
+        with pytest.raises(SchemaError):
+            TableSchema.from_rows("t", [])
+
+    def test_unknown_column_lookup(self):
+        schema = TableSchema.from_rows("t", [{"a": 1}])
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+
+class TestUpperEnvelopeObject:
+    def make(self, predicate):
+        return UpperEnvelope(
+            model_name="m",
+            model_kind=ModelKind.DECISION_TREE,
+            class_label="c",
+            predicate=predicate,
+            exact=True,
+            seconds=0.001,
+            derivation="tree-paths",
+        )
+
+    def test_false_detection(self):
+        assert self.make(FALSE).is_false
+        assert not self.make(TRUE).is_false
+
+    def test_counts(self):
+        predicate = disjunction([equals("a", 1), equals("a", 2)])
+        envelope = self.make(predicate)
+        assert envelope.n_disjuncts == 2
+        assert envelope.n_atoms == 2
+
+    def test_admits(self):
+        envelope = self.make(equals("a", 1))
+        assert envelope.admits({"a": 1})
+        assert not envelope.admits({"a": 2})
+
+
+class TestCLI:
+    def test_help_runs(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+
+    def test_rejects_unknown_artifact(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

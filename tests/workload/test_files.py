@@ -1,0 +1,44 @@
+"""Tests for workload files (the Section 5.1 artifact)."""
+
+import pytest
+
+from repro.core.derive import derive_envelopes
+from repro.exceptions import WorkloadError
+from repro.workload.files import read_workload_file, write_workload_file
+
+
+class TestWorkloadFiles:
+    def test_round_trip(self, customer_tree, tmp_path):
+        envelopes = derive_envelopes(customer_tree)
+        path = write_workload_file(
+            tmp_path / "workload.sql", "customers", envelopes
+        )
+        statements = read_workload_file(path)
+        assert len(statements) == len(envelopes)
+        for statement in statements:
+            assert statement.startswith("SELECT * FROM [customers]")
+
+    def test_statements_are_executable(self, customer_tree, customer_rows, tmp_path):
+        from repro.sql.database import Database, load_table
+        from tests.conftest import CUSTOMER_FEATURES
+
+        envelopes = derive_envelopes(customer_tree)
+        path = write_workload_file(tmp_path / "w.sql", "t", envelopes)
+        with Database() as db:
+            load_table(
+                db,
+                "t",
+                [{c: r[c] for c in CUSTOMER_FEATURES} for r in customer_rows],
+            )
+            for statement in read_workload_file(path):
+                db.query_rows(statement)  # must not raise
+
+    def test_empty_envelopes_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            write_workload_file(tmp_path / "w.sql", "t", {})
+
+    def test_empty_file_rejected(self, tmp_path):
+        target = tmp_path / "empty.sql"
+        target.write_text("-- nothing here\n")
+        with pytest.raises(WorkloadError):
+            read_workload_file(target)

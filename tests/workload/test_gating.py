@@ -1,0 +1,115 @@
+"""Tests for the Section 4.2 gates: selectivity and predicate complexity."""
+
+import pytest
+
+from repro.core.derive import derive_envelopes
+from repro.data.generators import generate
+from repro.mining.decision_tree import DecisionTreeLearner
+from repro.workload.runner import load_dataset, run_family
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = generate("hypothyroid", train_size=400, seed=5)
+    model = DecisionTreeLearner(
+        dataset.feature_columns,
+        dataset.target_column,
+        max_depth=8,
+        name="gate_tree",
+    ).fit(dataset.train_rows)
+    return dataset, model, derive_envelopes(model)
+
+
+class TestSelectivityGate:
+    def test_dominant_class_is_gated(self, trained):
+        dataset, model, envelopes = trained
+        loaded = load_dataset(dataset, rows_target=4000)
+        try:
+            measurements = run_family(
+                loaded,
+                "decision_tree",
+                model,
+                envelopes,
+                repeats=1,
+                selectivity_gate=0.2,
+            )
+        finally:
+            loaded.db.close()
+        dominant = max(measurements, key=lambda m: m.original_selectivity)
+        assert dominant.original_selectivity > 0.5
+        assert not dominant.envelope_used
+        # A gated query runs the plain scan: zero reduction by definition.
+        assert dominant.reduction == pytest.approx(0.0)
+
+    def test_gate_disabled_pushes_everything(self, trained):
+        dataset, model, envelopes = trained
+        loaded = load_dataset(dataset, rows_target=4000)
+        try:
+            measurements = run_family(
+                loaded,
+                "decision_tree",
+                model,
+                envelopes,
+                repeats=1,
+                selectivity_gate=None,
+            )
+        finally:
+            loaded.db.close()
+        assert all(m.envelope_used for m in measurements)
+
+
+class TestComplexityGate:
+    def test_atom_budget_strips_envelope(self, trained):
+        dataset, model, envelopes = trained
+        loaded = load_dataset(dataset, rows_target=4000)
+        try:
+            measurements = run_family(
+                loaded,
+                "decision_tree",
+                model,
+                envelopes,
+                repeats=1,
+                selectivity_gate=None,
+                max_envelope_atoms=1,
+            )
+        finally:
+            loaded.db.close()
+        # Every envelope exceeds one atom, so all are stripped.
+        assert all(not m.envelope_used for m in measurements)
+
+
+class TestExecutorGate:
+    def test_executor_strips_unselective_envelope(self, trained):
+        from repro.core.catalog import ModelCatalog
+        from repro.core.optimizer import MiningQuery
+        from repro.core.rewrite import PredictionEquals
+        from repro.sql.miningext import PredictionJoinExecutor
+
+        dataset, model, envelopes = trained
+        catalog = ModelCatalog()
+        catalog.register(model, envelopes=envelopes)
+        loaded = load_dataset(dataset, rows_target=4000)
+        try:
+            executor = PredictionJoinExecutor(
+                loaded.db, catalog, selectivity_gate=0.05
+            )
+            dominant = max(
+                model.class_labels,
+                key=lambda label: loaded.db.selectivity(
+                    loaded.table, envelopes[label].predicate
+                ),
+            )
+            query = MiningQuery(
+                loaded.table,
+                mining_predicates=(
+                    PredictionEquals(model.name, dominant),
+                ),
+            )
+            report = executor.execute_optimized(query)
+            # The envelope was stripped, so the SQL fetched everything and
+            # the model filtered: same rows as extract-and-mine.
+            naive = executor.execute_naive(query)
+            assert report.rows_fetched == naive.rows_fetched
+            assert report.rows_returned == naive.rows_returned
+        finally:
+            loaded.db.close()

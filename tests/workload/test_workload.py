@@ -1,0 +1,227 @@
+"""Tests for the Section 5.1 evaluation harness and its reports."""
+
+import pytest
+
+from repro.data.generators import generate
+from repro.exceptions import WorkloadError
+from repro.mining.decision_tree import DecisionTreeLearner
+from repro.core.derive import derive_envelopes
+from repro.sql.planner import AccessPath
+from repro.workload.measurement import (
+    FAMILY_DECISION_TREE,
+    QueryMeasurement,
+)
+from repro.workload.report import (
+    format_table,
+    plan_change_by_dataset,
+    plan_change_by_family,
+    reduction_by_selectivity,
+    runtime_reduction_by_family,
+    tightness_scatter,
+    tightness_summary,
+)
+from repro.workload.runner import (
+    load_dataset,
+    original_selectivities,
+    run_family,
+    verify_envelope_soundness,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = generate("hypothyroid", train_size=400, seed=2)
+    model = DecisionTreeLearner(
+        dataset.feature_columns,
+        dataset.target_column,
+        max_depth=8,
+        name="tree_hypo",
+    ).fit(dataset.train_rows)
+    envelopes = derive_envelopes(model)
+    return dataset, model, envelopes
+
+
+class TestRunner:
+    def test_load_dataset_doubles(self, trained):
+        dataset, model, envelopes = trained
+        loaded = load_dataset(dataset, rows_target=3000)
+        try:
+            assert loaded.rows_total >= 3000
+            assert loaded.rows_total % len(dataset.train_rows) == 0
+            assert loaded.scan_seconds > 0
+        finally:
+            loaded.db.close()
+
+    def test_label_column_not_loaded(self, trained):
+        dataset, model, envelopes = trained
+        loaded = load_dataset(dataset, rows_target=1000)
+        try:
+            columns = loaded.db.schema(loaded.table).column_names
+            assert "label" not in columns
+        finally:
+            loaded.db.close()
+
+    def test_original_selectivities_sum_to_one(self, trained):
+        dataset, model, envelopes = trained
+        selectivities = original_selectivities(dataset, model)
+        assert sum(selectivities.values()) == pytest.approx(1.0)
+
+    def test_run_family_measurements(self, trained):
+        dataset, model, envelopes = trained
+        loaded = load_dataset(dataset, rows_target=4000)
+        try:
+            measurements = run_family(
+                loaded, FAMILY_DECISION_TREE, model, envelopes, repeats=1
+            )
+        finally:
+            loaded.db.close()
+        assert len(measurements) == len(model.class_labels)
+        for m in measurements:
+            assert 0.0 <= m.original_selectivity <= 1.0
+            assert 0.0 <= m.envelope_selectivity <= 1.0
+            # Exact tree envelopes: selectivities must agree closely.
+            assert m.envelope_selectivity == pytest.approx(
+                m.original_selectivity, abs=1e-9
+            )
+
+    def test_rare_class_gets_indexed_plan(self, trained):
+        dataset, model, envelopes = trained
+        loaded = load_dataset(dataset, rows_target=8000)
+        try:
+            measurements = run_family(
+                loaded, FAMILY_DECISION_TREE, model, envelopes, repeats=1
+            )
+        finally:
+            loaded.db.close()
+        rare = [m for m in measurements if m.original_selectivity < 0.1]
+        assert rare
+        assert any(
+            m.access_path is AccessPath.INDEX_SEARCH for m in rare
+        )
+
+    def test_soundness_verifier_passes(self, trained):
+        dataset, model, envelopes = trained
+        verify_envelope_soundness(dataset, model, envelopes)
+
+    def test_soundness_verifier_catches_violation(self, trained):
+        from repro.core.envelope import UpperEnvelope
+        from repro.core.predicates import FALSE
+        from repro.mining.base import ModelKind
+
+        dataset, model, envelopes = trained
+        broken = dict(envelopes)
+        label = model.class_labels[0]
+        broken[label] = UpperEnvelope(
+            model_name=model.name,
+            model_kind=ModelKind.DECISION_TREE,
+            class_label=label,
+            predicate=FALSE,
+            exact=False,
+            seconds=0.0,
+            derivation="broken",
+        )
+        with pytest.raises(WorkloadError):
+            verify_envelope_soundness(dataset, model, broken)
+
+
+def make_measurement(**overrides) -> QueryMeasurement:
+    defaults = dict(
+        dataset="d",
+        family="decision_tree",
+        model_name="m",
+        class_label="c",
+        original_selectivity=0.05,
+        envelope_selectivity=0.06,
+        envelope_disjuncts=3,
+        envelope_exact=False,
+        envelope_is_false=False,
+        envelope_used=True,
+        access_path=AccessPath.INDEX_SEARCH,
+        plan_changed=True,
+        scan_seconds=1.0,
+        query_seconds=0.2,
+        derive_seconds=0.01,
+        rows_total=1000,
+        rows_matched=60,
+    )
+    defaults.update(overrides)
+    return QueryMeasurement(**defaults)
+
+
+class TestReports:
+    def test_reduction_property(self):
+        m = make_measurement(scan_seconds=1.0, query_seconds=0.25)
+        assert m.reduction == pytest.approx(0.75)
+
+    def test_runtime_reduction_by_family(self):
+        ms = [
+            make_measurement(query_seconds=0.2),
+            make_measurement(query_seconds=0.6),
+        ]
+        result = runtime_reduction_by_family(ms)
+        assert result["decision_tree"] == pytest.approx(60.0)
+
+    def test_plan_change_by_family(self):
+        ms = [
+            make_measurement(plan_changed=True),
+            make_measurement(plan_changed=False),
+        ]
+        assert plan_change_by_family(ms)["decision_tree"] == 50.0
+
+    def test_plan_change_by_dataset(self):
+        ms = [
+            make_measurement(dataset="a", plan_changed=True),
+            make_measurement(dataset="a", plan_changed=False),
+            make_measurement(dataset="b", plan_changed=False),
+        ]
+        result = plan_change_by_dataset(ms, "decision_tree")
+        assert result == {"a": 50.0, "b": 0.0}
+
+    def test_selectivity_buckets_partition(self):
+        ms = [
+            make_measurement(original_selectivity=s, envelope_selectivity=s)
+            for s in (0.005, 0.05, 0.3, 0.7)
+        ]
+        rows = reduction_by_selectivity(ms)
+        assert [r.original_count for r in rows] == [1, 1, 1, 1]
+
+    def test_tightness_scatter_families(self):
+        ms = [
+            make_measurement(family="naive_bayes"),
+            make_measurement(family="clustering"),
+            make_measurement(family="decision_tree"),
+        ]
+        points = tightness_scatter(ms)
+        assert {p.family for p in points} == {"naive_bayes", "clustering"}
+
+    def test_tightness_summary(self):
+        ms = [
+            make_measurement(
+                family="naive_bayes",
+                original_selectivity=0.05,
+                envelope_selectivity=0.06,
+            ),
+            make_measurement(
+                family="naive_bayes",
+                original_selectivity=0.4,
+                envelope_selectivity=0.9,
+            ),
+        ]
+        summary = tightness_summary(tightness_scatter(ms))
+        assert summary["tight_fraction"] == pytest.approx(0.5)
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(WorkloadError):
+            runtime_reduction_by_family([])
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [(1, 2.5), ("x", "y")])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_tightness_ratio_guard(self):
+        m = make_measurement(
+            original_selectivity=0.0, envelope_selectivity=0.0
+        )
+        assert m.tightness_ratio == 1.0
