@@ -10,6 +10,10 @@ Scale is controlled by ``REPRO_BENCH_SCALE``:
   suite runs in a few minutes and reproduces the paper's *shapes*,
 * ``default`` — the library's default experiment scale (~40k rows),
 * ``paper``  — >1M-row tables and full training sizes, as in the paper.
+
+Parallelism is controlled by ``REPRO_JOBS`` (e.g. ``REPRO_JOBS=4`` or
+``REPRO_JOBS=auto``): the sweep's independent (dataset, model-family)
+tasks run across that many worker processes and merge deterministically.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from repro.experiments.config import (
     DEFAULT_CONFIG,
     PAPER_SCALE,
     ExperimentConfig,
+    default_jobs,
 )
 from repro.experiments.harness import run_all
 
@@ -57,6 +62,12 @@ def config() -> ExperimentConfig:
 
 
 @pytest.fixture(scope="session")
-def sweep(config):
+def jobs() -> int:
+    """Sweep worker count (``REPRO_JOBS``, default 1 = serial)."""
+    return default_jobs()
+
+
+@pytest.fixture(scope="session")
+def sweep(config, jobs):
     """The full measurement sweep (one run per session, then cached)."""
-    return run_all(config)
+    return run_all(config, jobs=jobs)

@@ -8,6 +8,8 @@ Usage::
     python -m repro ablations           # A1-A3 ablations
     python -m repro all                 # everything above
     python -m repro tables --scale smoke|default|paper
+    python -m repro tables --jobs 4     # parallel sweep (or REPRO_JOBS=4)
+    python -m repro bench-parallel      # serial-vs-parallel sweep timings
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ def main(argv: list[str] | None = None) -> int:
             "overhead",
             "ablations",
             "report",
+            "bench-parallel",
             "all",
         ),
         help="which experiment group to run",
@@ -53,8 +56,27 @@ def main(argv: list[str] | None = None) -> int:
         default="default",
         help="experiment scale (default: default)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the measurement sweep "
+        "(default: REPRO_JOBS, else 1; 0 = all cores)",
+    )
     arguments = parser.parse_args(argv)
     config = _SCALES[arguments.scale]
+    if arguments.jobs is not None:
+        from repro.experiments.config import set_default_jobs
+
+        if arguments.jobs < 0:
+            parser.error(f"--jobs must be >= 0, got {arguments.jobs}")
+        jobs = arguments.jobs
+        if jobs == 0:
+            import os
+
+            jobs = os.cpu_count() or 1
+        set_default_jobs(jobs)
 
     if arguments.artifact in ("tables", "all"):
         from repro.experiments import tables
@@ -87,6 +109,31 @@ def main(argv: list[str] | None = None) -> int:
 
         target = report_doc.write_experiments_md(config=config)
         print(f"wrote {target}")
+    if arguments.artifact == "bench-parallel":
+        import os
+
+        from repro.experiments.config import default_jobs
+        from repro.experiments.parallel import benchmark_parallel_sweep
+
+        parallel_jobs = default_jobs()
+        if parallel_jobs <= 1:
+            parallel_jobs = os.cpu_count() or 1
+        report = benchmark_parallel_sweep(
+            config,
+            jobs=(1, parallel_jobs),
+            scale=arguments.scale,
+        )
+        for run in report["runs"]:
+            print(
+                f"jobs={run['jobs']}: {run['seconds']:.2f}s "
+                f"({run['measurements']} measurements, "
+                f"speedup {run['speedup_vs_first']:.2f}x)"
+            )
+        print(
+            "identical measurement sets: "
+            f"{report['identical_measurements']}"
+        )
+        print("wrote BENCH_parallel_sweep.json")
     return 0
 
 

@@ -5,6 +5,9 @@ from repro.experiments.config import (
     PAPER_SCALE,
     SMOKE_CONFIG,
     ExperimentConfig,
+    default_jobs,
+    resolve_jobs,
+    set_default_jobs,
 )
 from repro.experiments.harness import (
     TrainedFamily,
@@ -12,7 +15,14 @@ from repro.experiments.harness import (
     dataset_for,
     numeric_feature_columns,
     run_all,
+    run_task,
     train_family,
+)
+from repro.experiments.parallel import (
+    benchmark_parallel_sweep,
+    measurement_key,
+    run_tasks,
+    sweep_tasks,
 )
 
 __all__ = [
@@ -21,9 +31,17 @@ __all__ = [
     "PAPER_SCALE",
     "SMOKE_CONFIG",
     "TrainedFamily",
+    "benchmark_parallel_sweep",
     "clear_caches",
     "dataset_for",
+    "default_jobs",
+    "measurement_key",
     "numeric_feature_columns",
+    "resolve_jobs",
     "run_all",
+    "run_task",
+    "run_tasks",
+    "set_default_jobs",
+    "sweep_tasks",
     "train_family",
 ]

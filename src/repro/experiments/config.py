@@ -9,10 +9,59 @@ relative running-time reductions — all scale-free or ratio-based).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.data.specs import DATASETS
 from repro.workload.measurement import FAMILIES
+
+#: Programmatic default for the sweep worker count (``set_default_jobs``).
+_DEFAULT_JOBS_OVERRIDE: int | None = None
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set the process-wide default worker count (CLI ``--jobs``).
+
+    ``None`` clears the override, falling back to ``REPRO_JOBS``.
+    """
+    global _DEFAULT_JOBS_OVERRIDE
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    _DEFAULT_JOBS_OVERRIDE = jobs
+
+
+def default_jobs() -> int:
+    """Worker count for sweeps: override, then ``REPRO_JOBS``, then 1.
+
+    ``REPRO_JOBS=auto`` (or ``0``) uses every available core.
+    """
+    if _DEFAULT_JOBS_OVERRIDE is not None:
+        return _DEFAULT_JOBS_OVERRIDE
+    raw = os.environ.get("REPRO_JOBS", "").strip().lower()
+    if not raw:
+        return 1
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be an integer or 'auto', got {raw!r}"
+        ) from None
+    if jobs < 0:
+        raise ValueError(f"REPRO_JOBS must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Validate an explicit worker count or fall back to the defaults."""
+    if jobs is None:
+        return default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
 
 
 @dataclass(frozen=True)

@@ -130,45 +130,110 @@ def dataset_for(config: ExperimentConfig, name: str) -> Dataset:
     )
 
 
-def run_all(config: ExperimentConfig = DEFAULT_CONFIG) -> list[QueryMeasurement]:
+def run_task(
+    config: ExperimentConfig, name: str, family: str
+) -> list[QueryMeasurement]:
+    """Run one self-contained (dataset, family) task of the sweep grid.
+
+    The task regenerates its dataset, opens its own database, trains its
+    model, derives envelopes, and measures — no shared state, so the
+    parallel engine can run tasks in worker processes.
+    """
+    dataset = dataset_for(config, name)
+    loaded = load_dataset(dataset, config.rows_target)
+    try:
+        trained = train_family(dataset, family, config)
+        return run_family(
+            loaded,
+            family,
+            trained.model,
+            trained.envelopes,
+            selectivity_gate=config.selectivity_gate,
+            index_budget=config.index_budget,
+            repeats=config.repeats,
+        )
+    finally:
+        loaded.db.close()
+
+
+def run_all(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    jobs: int | None = None,
+) -> list[QueryMeasurement]:
     """The full measurement sweep.
 
-    Results are memoized in-process and persisted to a disk cache (see
-    :mod:`repro.experiments.persistence`) so benchmark sessions do not
-    re-run a multi-minute sweep for every invocation.
-    """
-    from repro.experiments import persistence
+    Results are memoized in-process and persisted to a sharded per-task
+    disk cache (see :mod:`repro.experiments.persistence`) so benchmark
+    sessions do not re-run a multi-minute sweep for every invocation and
+    an interrupted sweep resumes from its finished tasks.
 
+    ``jobs`` (default: ``REPRO_JOBS`` / CLI ``--jobs``, else 1) selects
+    the worker count; above 1 the independent (dataset, family) tasks run
+    across a process pool (:mod:`repro.experiments.parallel`) and are
+    merged deterministically, so the result is identical to the serial
+    path modulo wall-clock fields.
+    """
+    from repro.experiments import parallel, persistence
+    from repro.experiments.config import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
     if config in _MEASUREMENT_CACHE:
         return _MEASUREMENT_CACHE[config]
-    if persistence.cache_enabled():
+    use_cache = persistence.cache_enabled()
+    if use_cache:
         cached = persistence.load_sweep(config)
         if cached is not None:
             _MEASUREMENT_CACHE[config] = cached
             return cached
-    measurements: list[QueryMeasurement] = []
-    for name in config.datasets:
-        dataset = dataset_for(config, name)
-        loaded = load_dataset(dataset, config.rows_target)
-        try:
-            for family in config.families:
-                trained = train_family(dataset, family, config)
-                measurements.extend(
-                    run_family(
-                        loaded,
-                        family,
-                        trained.model,
-                        trained.envelopes,
-                        selectivity_gate=config.selectivity_gate,
-                        index_budget=config.index_budget,
-                        repeats=config.repeats,
-                    )
+    tasks = parallel.sweep_tasks(config)
+    results: dict[tuple[str, str], list[QueryMeasurement]] = {}
+    missing: list[tuple[str, str]] = []
+    for task in tasks:
+        entry = persistence.load_task(config, *task) if use_cache else None
+        if entry is not None:
+            results[task] = entry
+        else:
+            missing.append(task)
+    if missing:
+        def persist(task, measurements):
+            persistence.save_task(config, task[0], task[1], measurements)
+
+        on_result = persist if use_cache else None
+        if jobs > 1:
+            results.update(
+                parallel.run_tasks(
+                    config, missing, jobs=jobs, on_result=on_result
                 )
-        finally:
-            loaded.db.close()
+            )
+        else:
+            # Serial fallback: group by dataset so one expanded table is
+            # loaded once and shared by its families, as the paper runs
+            # the evaluation.
+            by_dataset: dict[str, list[str]] = {}
+            for name, family in missing:
+                by_dataset.setdefault(name, []).append(family)
+            for name, families in by_dataset.items():
+                dataset = dataset_for(config, name)
+                loaded = load_dataset(dataset, config.rows_target)
+                try:
+                    for family in families:
+                        trained = train_family(dataset, family, config)
+                        measurements = run_family(
+                            loaded,
+                            family,
+                            trained.model,
+                            trained.envelopes,
+                            selectivity_gate=config.selectivity_gate,
+                            index_budget=config.index_budget,
+                            repeats=config.repeats,
+                        )
+                        results[(name, family)] = measurements
+                        if on_result is not None:
+                            on_result((name, family), measurements)
+                finally:
+                    loaded.db.close()
+    measurements = [m for task in tasks for m in results[task]]
     _MEASUREMENT_CACHE[config] = measurements
-    if persistence.cache_enabled():
-        persistence.save_sweep(config, measurements)
     return measurements
 
 

@@ -1,17 +1,28 @@
-"""Disk persistence for measurement sweeps.
+"""Disk persistence for measurement sweeps, sharded per task.
 
 A full DEFAULT-scale sweep takes many minutes (it trains thirty models,
 derives several hundred envelopes, and loads ten doubled datasets), so the
 harness caches finished sweeps on disk keyed by a fingerprint of the
 configuration and the library version.  Delete the cache directory (or set
 ``REPRO_SWEEP_CACHE=off``) to force fresh measurements.
+
+Layout (format 3): each sweep owns a directory
+``<cache_dir>/sweep_<fingerprint>/`` holding one JSON shard per
+(dataset, model-family) task, e.g. ``task_diabetes__naive_bayes.json``.
+Shards are written atomically (tempfile + ``os.replace``) so an
+interrupted writer never leaves a half-written file behind and concurrent
+workers of the parallel engine (:mod:`repro.experiments.parallel`) can
+persist their tasks without clobbering each other.  Legacy single-file
+format-2 caches are migrated to shards on first read.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
@@ -19,8 +30,11 @@ from repro.experiments.config import ExperimentConfig
 from repro.sql.planner import AccessPath
 from repro.workload.measurement import QueryMeasurement
 
-#: Cache format version: bump when QueryMeasurement's shape changes.
-_FORMAT = 2
+#: Cache format version: bump when QueryMeasurement's shape or the shard
+#: layout changes.  Format 2 was one monolithic JSON file per sweep;
+#: format 3 shards the sweep into per-task files (see module docstring).
+_FORMAT = 3
+_LEGACY_FORMAT = 2
 
 
 def cache_enabled() -> bool:
@@ -40,16 +54,34 @@ def default_cache_dir() -> Path:
     return Path(".repro_cache")
 
 
-def config_fingerprint(config: ExperimentConfig) -> str:
+def config_fingerprint(config: ExperimentConfig, fmt: int = _FORMAT) -> str:
     """Stable hash of a configuration plus the library version."""
     from repro import __version__
 
     payload = json.dumps(
-        {"config": asdict(config), "version": __version__, "fmt": _FORMAT},
+        {"config": asdict(config), "version": __version__, "fmt": fmt},
         sort_keys=True,
         default=str,
     )
     return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+def sweep_dir(
+    config: ExperimentConfig, cache_dir: Path | None = None
+) -> Path:
+    """Directory holding one sweep's per-task shards."""
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    return directory / f"sweep_{config_fingerprint(config)}"
+
+
+def task_path(
+    config: ExperimentConfig,
+    dataset: str,
+    family: str,
+    cache_dir: Path | None = None,
+) -> Path:
+    """Shard file for one (dataset, family) task of a sweep."""
+    return sweep_dir(config, cache_dir) / f"task_{dataset}__{family}.json"
 
 
 def _measurement_to_dict(measurement: QueryMeasurement) -> dict:
@@ -64,42 +96,144 @@ def _measurement_from_dict(payload: dict) -> QueryMeasurement:
     return QueryMeasurement(**payload)
 
 
-def save_sweep(
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write JSON via a same-directory tempfile and ``os.replace``.
+
+    Readers either see the previous complete file or the new complete
+    file, never a torn write — the invariant the parallel engine's
+    concurrent workers rely on.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            stream.write(json.dumps(payload))
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+def save_task(
     config: ExperimentConfig,
+    dataset: str,
+    family: str,
     measurements: list[QueryMeasurement],
     cache_dir: Path | None = None,
 ) -> Path:
-    """Write a finished sweep to the cache; returns the file path."""
-    directory = cache_dir if cache_dir is not None else default_cache_dir()
-    directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"sweep_{config_fingerprint(config)}.json"
+    """Atomically write one task's measurements; returns the shard path."""
+    path = task_path(config, dataset, family, cache_dir)
     payload = {
         "format": _FORMAT,
-        "measurements": [
-            _measurement_to_dict(m) for m in measurements
-        ],
+        "dataset": dataset,
+        "family": family,
+        "measurements": [_measurement_to_dict(m) for m in measurements],
     }
-    path.write_text(json.dumps(payload))
+    _atomic_write_json(path, payload)
     return path
 
 
-def load_sweep(
+def load_task(
     config: ExperimentConfig,
+    dataset: str,
+    family: str,
     cache_dir: Path | None = None,
 ) -> list[QueryMeasurement] | None:
-    """Load a cached sweep for ``config``, or ``None`` if absent/stale."""
-    directory = cache_dir if cache_dir is not None else default_cache_dir()
-    path = directory / f"sweep_{config_fingerprint(config)}.json"
+    """Load one task's cached measurements, or ``None`` if absent/stale."""
+    path = task_path(config, dataset, family, cache_dir)
     if not path.exists():
         return None
     try:
         payload = json.loads(path.read_text())
-        if payload.get("format") != _FORMAT:
+        if (
+            payload.get("format") != _FORMAT
+            or payload.get("dataset") != dataset
+            or payload.get("family") != family
+        ):
             return None
         return [
             _measurement_from_dict(entry)
             for entry in payload["measurements"]
         ]
     except (ValueError, KeyError, TypeError):
-        # A corrupt cache entry is treated as a miss, never an error.
+        # A corrupt or torn shard is treated as a miss, never an error.
         return None
+
+
+def save_sweep(
+    config: ExperimentConfig,
+    measurements: list[QueryMeasurement],
+    cache_dir: Path | None = None,
+) -> Path:
+    """Write a finished sweep as per-task shards; returns the sweep dir."""
+    by_task: dict[tuple[str, str], list[QueryMeasurement]] = {}
+    for measurement in measurements:
+        key = (measurement.dataset, measurement.family)
+        by_task.setdefault(key, []).append(measurement)
+    for (dataset, family), task_measurements in by_task.items():
+        save_task(config, dataset, family, task_measurements, cache_dir)
+    return sweep_dir(config, cache_dir)
+
+
+def load_sweep(
+    config: ExperimentConfig,
+    cache_dir: Path | None = None,
+) -> list[QueryMeasurement] | None:
+    """Load a complete cached sweep for ``config``, or ``None``.
+
+    A sweep is complete when every (dataset, family) task of the
+    configuration has a valid shard; otherwise the harness re-runs only
+    the missing tasks via :func:`load_task`.  A legacy format-2 single
+    file is migrated to shards on first read.
+    """
+    measurements: list[QueryMeasurement] = []
+    for dataset in config.datasets:
+        for family in config.families:
+            entry = load_task(config, dataset, family, cache_dir)
+            if entry is None:
+                return _migrate_legacy(config, cache_dir)
+            measurements.extend(entry)
+    return measurements
+
+
+def _migrate_legacy(
+    config: ExperimentConfig,
+    cache_dir: Path | None = None,
+) -> list[QueryMeasurement] | None:
+    """Split a format-2 monolithic sweep file into format-3 shards."""
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    legacy = (
+        directory
+        / f"sweep_{config_fingerprint(config, fmt=_LEGACY_FORMAT)}.json"
+    )
+    if not legacy.exists():
+        return None
+    try:
+        payload = json.loads(legacy.read_text())
+        if payload.get("format") != _LEGACY_FORMAT:
+            return None
+        loaded = [
+            _measurement_from_dict(entry)
+            for entry in payload["measurements"]
+        ]
+    except (ValueError, KeyError, TypeError):
+        return None
+    # Reassemble in configuration order and require completeness before
+    # committing any shard, so a truncated legacy file stays a miss.
+    by_task: dict[tuple[str, str], list[QueryMeasurement]] = {}
+    for measurement in loaded:
+        key = (measurement.dataset, measurement.family)
+        by_task.setdefault(key, []).append(measurement)
+    ordered: list[QueryMeasurement] = []
+    for dataset in config.datasets:
+        for family in config.families:
+            entry = by_task.get((dataset, family))
+            if not entry:
+                return None
+            ordered.extend(entry)
+    for (dataset, family), task_measurements in by_task.items():
+        save_task(config, dataset, family, task_measurements, cache_dir)
+    return ordered

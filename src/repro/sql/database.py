@@ -211,18 +211,28 @@ class Database:
     def sample_rows(self, table: str, limit: int, seed: int = 0) -> list[Row]:
         """Deterministic pseudo-random sample used for statistics building.
 
-        Uses a hash of the rowid so repeated calls return the same sample
-        regardless of insertion batching.
+        Rows are ranked by a two-stage multiplicative hash of the rowid
+        (Knuth's 2654435761 then the ANSI-C LCG multiplier, each reduced
+        by a different prime — the second stage makes the seed reshuffle
+        the ranking instead of merely shifting hash values) and the
+        ``limit`` best-ranked rows are returned.  The hash scatters
+        selections uniformly over the whole rowid range, so the sample is
+        identical regardless of insertion batching and never aliases with
+        the period of a repeated-doubling table the way stride sampling
+        does, nor truncates to a table prefix.
         """
         total = self.row_count(table)
         if total <= limit:
             return self.query_rows(
                 f"SELECT * FROM {quote_identifier(table)}"
             )
-        step = max(total // limit, 1)
+        rank = (
+            f"((rowid * 2654435761 + {seed}) % 2147483647) "
+            f"* 1103515245 % 4294967291"
+        )
         return self.query_rows(
             f"SELECT * FROM {quote_identifier(table)} "
-            f"WHERE (rowid + {seed}) % {step} = 0 LIMIT {limit}"
+            f"ORDER BY {rank}, rowid LIMIT {limit}"
         )
 
 

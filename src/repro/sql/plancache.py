@@ -43,13 +43,42 @@ class PlanCache:
         self.stats = PlanCacheStats()
 
     @staticmethod
-    def _fingerprint(query: MiningQuery) -> tuple:
+    def _canonical_kwargs(optimize_kwargs: dict) -> tuple:
+        """Order-independent, hashable form of the optimizer settings.
+
+        The settings are part of the plan's identity: a query optimized
+        with one disjunct threshold must not be replayed for a call with
+        different settings.
+        """
+
+        def freeze(value: object) -> object:
+            if isinstance(value, dict):
+                return tuple(
+                    sorted((k, freeze(v)) for k, v in value.items())
+                )
+            if isinstance(value, (list, tuple)):
+                return tuple(freeze(v) for v in value)
+            if isinstance(value, (set, frozenset)):
+                return tuple(sorted((freeze(v) for v in value), key=repr))
+            try:
+                hash(value)
+            except TypeError:
+                return repr(value)
+            return value
+
+        return tuple(
+            sorted((name, freeze(value)) for name, value in optimize_kwargs.items())
+        )
+
+    @staticmethod
+    def _fingerprint(query: MiningQuery, optimize_kwargs: dict) -> tuple:
         return (
             query.table,
             repr(query.relational_predicate),
             tuple(
                 predicate.describe() for predicate in query.mining_predicates
             ),
+            PlanCache._canonical_kwargs(optimize_kwargs),
         )
 
     @staticmethod
@@ -75,9 +104,12 @@ class PlanCache:
 
         A version mismatch counts as an *invalidation* (the stale entry is
         evicted) and the query is re-optimized against the current
-        envelopes.
+        envelopes.  The ``optimize_kwargs`` are folded into the cache key,
+        so the same query under different optimizer settings is a *miss*
+        (re-optimized), never a silent replay of a plan built with other
+        settings.
         """
-        key = self._fingerprint(query)
+        key = self._fingerprint(query, optimize_kwargs)
         versions = self._model_versions(query, catalog)
         cached = self._entries.get(key)
         if cached is not None:

@@ -1,4 +1,7 @@
-"""Tests for sweep disk persistence."""
+"""Tests for sweep disk persistence (sharded per-task cache, format 3)."""
+
+import json
+import os
 
 import pytest
 
@@ -6,16 +9,21 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.persistence import (
     config_fingerprint,
     load_sweep,
+    load_task,
     save_sweep,
+    save_task,
+    task_path,
 )
 from repro.sql.planner import AccessPath
 from repro.workload.measurement import QueryMeasurement
 
 
-def make_measurement() -> QueryMeasurement:
+def make_measurement(
+    dataset: str = "diabetes", family: str = "decision_tree"
+) -> QueryMeasurement:
     return QueryMeasurement(
-        dataset="d",
-        family="decision_tree",
+        dataset=dataset,
+        family=family,
         model_name="m",
         class_label="c",
         original_selectivity=0.1,
@@ -34,18 +42,28 @@ def make_measurement() -> QueryMeasurement:
     )
 
 
-CONFIG = ExperimentConfig(datasets=("diabetes",))
+CONFIG = ExperimentConfig(
+    datasets=("diabetes",), families=("decision_tree", "naive_bayes")
+)
+
+
+def full_sweep(config: ExperimentConfig) -> list[QueryMeasurement]:
+    return [
+        make_measurement(dataset, family)
+        for dataset in config.datasets
+        for family in config.families
+    ]
 
 
 class TestPersistence:
     def test_round_trip(self, tmp_path):
-        measurements = [make_measurement()]
+        measurements = full_sweep(CONFIG)
         save_sweep(CONFIG, measurements, cache_dir=tmp_path)
         loaded = load_sweep(CONFIG, cache_dir=tmp_path)
         assert loaded == measurements
 
     def test_miss_for_other_config(self, tmp_path):
-        save_sweep(CONFIG, [make_measurement()], cache_dir=tmp_path)
+        save_sweep(CONFIG, full_sweep(CONFIG), cache_dir=tmp_path)
         other = ExperimentConfig(datasets=("chess",))
         assert load_sweep(other, cache_dir=tmp_path) is None
 
@@ -54,13 +72,192 @@ class TestPersistence:
             ExperimentConfig(datasets=("diabetes",), rows_target=999)
         )
 
-    def test_corrupt_cache_is_a_miss(self, tmp_path):
-        path = save_sweep(CONFIG, [make_measurement()], cache_dir=tmp_path)
-        path.write_text("not json at all {")
+    def test_corrupt_shard_is_a_miss(self, tmp_path):
+        save_sweep(CONFIG, full_sweep(CONFIG), cache_dir=tmp_path)
+        shard = task_path(
+            CONFIG, "diabetes", "decision_tree", cache_dir=tmp_path
+        )
+        shard.write_text("not json at all {")
         assert load_sweep(CONFIG, cache_dir=tmp_path) is None
+        assert (
+            load_task(
+                CONFIG, "diabetes", "decision_tree", cache_dir=tmp_path
+            )
+            is None
+        )
 
     def test_enum_survives_round_trip(self, tmp_path):
-        save_sweep(CONFIG, [make_measurement()], cache_dir=tmp_path)
+        save_sweep(CONFIG, full_sweep(CONFIG), cache_dir=tmp_path)
         loaded = load_sweep(CONFIG, cache_dir=tmp_path)
         assert loaded is not None
         assert loaded[0].access_path is AccessPath.INDEX_SEARCH
+
+
+class TestTaskShards:
+    def test_task_round_trip(self, tmp_path):
+        measurements = [make_measurement()]
+        save_task(
+            CONFIG,
+            "diabetes",
+            "decision_tree",
+            measurements,
+            cache_dir=tmp_path,
+        )
+        assert (
+            load_task(
+                CONFIG, "diabetes", "decision_tree", cache_dir=tmp_path
+            )
+            == measurements
+        )
+        # The other task of the sweep is still a miss.
+        assert (
+            load_task(CONFIG, "diabetes", "naive_bayes", cache_dir=tmp_path)
+            is None
+        )
+        assert load_sweep(CONFIG, cache_dir=tmp_path) is None
+
+    def test_partial_sweep_keeps_good_shards(self, tmp_path):
+        """A corrupt shard is a per-task miss: intact shards still load."""
+        save_sweep(CONFIG, full_sweep(CONFIG), cache_dir=tmp_path)
+        bad = task_path(
+            CONFIG, "diabetes", "naive_bayes", cache_dir=tmp_path
+        )
+        bad.write_text("{ torn")
+        assert (
+            load_task(
+                CONFIG, "diabetes", "decision_tree", cache_dir=tmp_path
+            )
+            is not None
+        )
+
+    def test_shard_rejects_mismatched_task(self, tmp_path):
+        """A shard renamed onto another task's path must not be trusted."""
+        source = save_task(
+            CONFIG,
+            "diabetes",
+            "decision_tree",
+            [make_measurement()],
+            cache_dir=tmp_path,
+        )
+        target = task_path(
+            CONFIG, "diabetes", "naive_bayes", cache_dir=tmp_path
+        )
+        target.write_text(source.read_text())
+        assert (
+            load_task(CONFIG, "diabetes", "naive_bayes", cache_dir=tmp_path)
+            is None
+        )
+
+
+class TestAtomicWrites:
+    def test_torn_write_is_a_miss_then_recoverable(self, tmp_path):
+        """Regression: a half-written shard must read as a miss, and a
+        subsequent save must repair it — with the old bare ``write_text``
+        an interrupted writer left a permanently corrupt entry."""
+        measurements = [make_measurement()]
+        path = save_task(
+            CONFIG,
+            "diabetes",
+            "decision_tree",
+            measurements,
+            cache_dir=tmp_path,
+        )
+        complete = path.read_text()
+        path.write_text(complete[: len(complete) // 2])  # simulated tear
+        assert (
+            load_task(
+                CONFIG, "diabetes", "decision_tree", cache_dir=tmp_path
+            )
+            is None
+        )
+        save_task(
+            CONFIG,
+            "diabetes",
+            "decision_tree",
+            measurements,
+            cache_dir=tmp_path,
+        )
+        assert (
+            load_task(
+                CONFIG, "diabetes", "decision_tree", cache_dir=tmp_path
+            )
+            == measurements
+        )
+
+    def test_interrupted_replace_preserves_previous_entry(
+        self, tmp_path, monkeypatch
+    ):
+        """A writer dying before ``os.replace`` leaves the old complete
+        file in place and no stray temp files that parse as shards."""
+        measurements = [make_measurement()]
+        save_task(
+            CONFIG,
+            "diabetes",
+            "decision_tree",
+            measurements,
+            cache_dir=tmp_path,
+        )
+
+        def boom(src, dst):
+            raise OSError("killed mid-write")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            save_task(
+                CONFIG,
+                "diabetes",
+                "decision_tree",
+                [make_measurement("diabetes", "decision_tree")],
+                cache_dir=tmp_path,
+            )
+        monkeypatch.undo()
+        assert (
+            load_task(
+                CONFIG, "diabetes", "decision_tree", cache_dir=tmp_path
+            )
+            == measurements
+        )
+        leftovers = [
+            p
+            for p in tmp_path.rglob("*.tmp")
+            if p.is_file()
+        ]
+        assert leftovers == []
+
+
+class TestLegacyMigration:
+    def _write_legacy(self, tmp_path, measurements) -> None:
+        from dataclasses import asdict
+
+        payload = {
+            "format": 2,
+            "measurements": [
+                {**asdict(m), "access_path": m.access_path.value}
+                for m in measurements
+            ],
+        }
+        legacy = (
+            tmp_path / f"sweep_{config_fingerprint(CONFIG, fmt=2)}.json"
+        )
+        legacy.write_text(json.dumps(payload))
+
+    def test_format2_file_migrates_to_shards(self, tmp_path):
+        measurements = full_sweep(CONFIG)
+        self._write_legacy(tmp_path, measurements)
+        assert load_sweep(CONFIG, cache_dir=tmp_path) == measurements
+        # Migration materialized per-task shards.
+        for dataset in CONFIG.datasets:
+            for family in CONFIG.families:
+                assert (
+                    load_task(CONFIG, dataset, family, cache_dir=tmp_path)
+                    is not None
+                )
+
+    def test_incomplete_legacy_file_is_a_miss(self, tmp_path):
+        # Only one of the two tasks present: never migrate half a sweep.
+        self._write_legacy(tmp_path, [make_measurement()])
+        assert load_sweep(CONFIG, cache_dir=tmp_path) is None
+        assert (
+            load_task(CONFIG, "diabetes", "naive_bayes", cache_dir=tmp_path)
+            is None
+        )

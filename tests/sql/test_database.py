@@ -102,6 +102,9 @@ class TestQueries:
     def test_sample_rows_deterministic(self, db):
         assert db.sample_rows("t", 10) == db.sample_rows("t", 10)
 
+    def test_sample_rows_exact_size_when_subsampling(self, db):
+        assert len(db.sample_rows("t", 10)) == 10
+
     def test_empty_table_selectivity_raises(self):
         with Database() as database:
             database.create_table(
@@ -125,3 +128,68 @@ class TestQueries:
             )
             assert inserted == 12_345
             assert database.row_count("big") == 12_345
+
+
+class TestSampleRowsHashing:
+    """Regression tests for the rowid-hash sampler.
+
+    The old implementation stride-sampled with ``LIMIT``: on a
+    repeated-doubling table whose period aligns with the stride it
+    resampled the same few seed rows, and the ``LIMIT`` truncated the
+    sample to a table prefix.
+    """
+
+    @staticmethod
+    def _int_table(database: Database, name: str, values: list[int]) -> None:
+        database.create_table(
+            TableSchema(name, (Column("i", ColumnType.INTEGER),))
+        )
+        database.insert_rows(name, ({"i": v} for v in values))
+
+    def test_identical_across_insert_batchings(self):
+        values = list(range(5000))
+        with Database() as one_shot, Database() as chunked:
+            self._int_table(one_shot, "s", values)
+            chunked.create_table(
+                TableSchema("s", (Column("i", ColumnType.INTEGER),))
+            )
+            for start in range(0, len(values), 7):
+                chunked.insert_rows(
+                    "s", ({"i": v} for v in values[start : start + 7])
+                )
+            assert one_shot.sample_rows("s", 200) == chunked.sample_rows(
+                "s", 200
+            )
+
+    def test_covers_full_rowid_range(self):
+        """No prefix truncation: the sample spans the whole table."""
+        with Database() as database:
+            self._int_table(database, "s", list(range(5000)))
+            sampled = [r["i"] for r in database.sample_rows("s", 200)]
+            assert len(sampled) == 200
+            assert min(sampled) < 500
+            assert max(sampled) > 4500
+            upper_half = sum(1 for v in sampled if v >= 2500)
+            assert 50 <= upper_half <= 150
+
+    def test_no_aliasing_on_repeated_doubling(self):
+        """A doubled table must not resample the same seed rows.
+
+        8000 rows = 500 originals repeated 16 times.  The old stride
+        (8000 // 200 = 40) shares a factor with the period 500, so it
+        revisited only 25 distinct originals; a hash sample draws from
+        (nearly) the full original population."""
+        originals = 500
+        values = [i % originals for i in range(8000)]
+        with Database() as database:
+            self._int_table(database, "d", values)
+            sampled = [r["i"] for r in database.sample_rows("d", 200)]
+            assert len(sampled) == 200
+            assert len(set(sampled)) > 100
+
+    def test_seed_changes_the_sample(self):
+        with Database() as database:
+            self._int_table(database, "s", list(range(5000)))
+            base = database.sample_rows("s", 100, seed=0)
+            other = database.sample_rows("s", 100, seed=12345)
+            assert base != other

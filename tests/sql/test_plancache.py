@@ -79,6 +79,41 @@ class TestPlanCache:
         cache.get_or_optimize(QUERY, catalog)
         assert cache.stats.hits == 0
 
+    def test_kwargs_mismatch_is_a_miss(self, catalog):
+        """Regression: optimizer settings are part of the plan's identity.
+
+        A plan optimized with one disjunct threshold must not be replayed
+        for a call with different settings — that is a miss (re-optimize),
+        not a hit."""
+        cache = PlanCache()
+        first = cache.get_or_optimize(QUERY, catalog, max_disjuncts=128)
+        second = cache.get_or_optimize(QUERY, catalog, max_disjuncts=1)
+        assert second is not first
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 0
+        assert cache.stats.invalidations == 0
+        # Repeating either settings combination is a hit again.
+        assert (
+            cache.get_or_optimize(QUERY, catalog, max_disjuncts=1)
+            is second
+        )
+        assert (
+            cache.get_or_optimize(QUERY, catalog, max_disjuncts=128)
+            is first
+        )
+        assert cache.stats.hits == 2
+
+    def test_kwargs_order_is_canonicalized(self, catalog):
+        cache = PlanCache()
+        first = cache.get_or_optimize(
+            QUERY, catalog, max_disjuncts=64, max_iterations=2
+        )
+        second = cache.get_or_optimize(
+            QUERY, catalog, max_iterations=2, max_disjuncts=64
+        )
+        assert second is first
+        assert cache.stats.hits == 1
+
     def test_clear(self, catalog):
         cache = PlanCache()
         cache.get_or_optimize(QUERY, catalog)

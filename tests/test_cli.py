@@ -24,6 +24,17 @@ class TestCLI:
         assert main(["report", "--scale", "smoke"]) == 0
         assert (tmp_path / "EXPERIMENTS.md").exists()
 
+    def test_jobs_flag(self, capsys):
+        from repro.experiments.config import default_jobs, set_default_jobs
+
+        try:
+            assert main(["tables", "--scale", "smoke", "--jobs", "2"]) == 0
+            assert default_jobs() == 2
+        finally:
+            set_default_jobs(None)
+        output = capsys.readouterr().out
+        assert "Average reduction in running time" in output
+
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["tables", "--scale", "galactic"])
