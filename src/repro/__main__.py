@@ -10,6 +10,7 @@ Usage::
     python -m repro tables --scale smoke|default|paper
     python -m repro tables --jobs 4     # parallel sweep (or REPRO_JOBS=4)
     python -m repro bench-parallel      # serial-vs-parallel sweep timings
+    python -m repro bench-vectorized    # scalar-vs-vectorized scoring
 """
 
 from __future__ import annotations
@@ -46,6 +47,7 @@ def main(argv: list[str] | None = None) -> int:
             "ablations",
             "report",
             "bench-parallel",
+            "bench-vectorized",
             "all",
         ),
         help="which experiment group to run",
@@ -63,6 +65,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for the measurement sweep "
         "(default: REPRO_JOBS, else 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="rows per columnar batch for bench-vectorized (default: 2048)",
     )
     arguments = parser.parse_args(argv)
     config = _SCALES[arguments.scale]
@@ -134,6 +143,37 @@ def main(argv: list[str] | None = None) -> int:
             f"{report['identical_measurements']}"
         )
         print("wrote BENCH_parallel_sweep.json")
+    if arguments.artifact == "bench-vectorized":
+        from repro.experiments.bench_vectorized import (
+            benchmark_vectorized_scoring,
+        )
+
+        if arguments.batch_size < 1:
+            parser.error(
+                f"--batch-size must be >= 1, got {arguments.batch_size}"
+            )
+        report = benchmark_vectorized_scoring(
+            config,
+            scale=arguments.scale,
+            batch_size=arguments.batch_size,
+        )
+        for entry in report["families"]:
+            speedup = entry["speedup"]
+            shown = f"{speedup:.2f}x" if speedup is not None else "n/a"
+            print(
+                f"{entry['family']}: scalar "
+                f"{entry['scalar_model_seconds']:.3f}s, vectorized "
+                f"{entry['vectorized_model_seconds']:.3f}s "
+                f"(speedup {shown}, rows identical: "
+                f"{entry['rows_identical']})"
+            )
+        overall = report["overall_speedup"]
+        shown = f"{overall:.2f}x" if overall is not None else "n/a"
+        print(
+            f"overall speedup {shown}; all rows identical: "
+            f"{report['all_rows_identical']}"
+        )
+        print("wrote BENCH_vectorized_scoring.json")
     return 0
 
 

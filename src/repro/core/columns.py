@@ -1,0 +1,170 @@
+"""Columnar batch representation of fetched rows.
+
+The paper's central cost observation is that *model application* dominates
+mining-query execution, and our residual filter used to pay that cost
+row-at-a-time in pure Python.  :class:`ColumnBatch` turns a sequence of
+fetched rows into per-column NumPy arrays **once per batch**, so that
+
+* the predicate algebra (:meth:`repro.core.predicates.Predicate.evaluate_batch`)
+  can evaluate comparisons as whole-array operations producing boolean
+  masks, and
+* every model family's ``predict_batch`` can score all rows with matrix
+  arithmetic instead of a Python loop.
+
+Columns materialize lazily: only columns a predicate or model actually
+touches are converted, and each is converted at most once per batch.  Two
+views of a column exist — the *object* view (original Python values,
+exact for equality tests and label joins) and the *numeric* view (a
+``float64`` cast for ordered comparisons and distance math).  Row
+identity is preserved throughout: filtering selects the original row
+mappings, so a vectorized execution returns byte-identical rows to the
+scalar path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import PredicateError
+
+#: A data row: column name -> value (matches :data:`repro.mining.base.Row`).
+Row = Mapping[str, object]
+
+
+class ColumnBatch:
+    """A read-only columnar view over a sequence of rows.
+
+    Construction is O(1): no column is touched until requested.  Use
+    :meth:`take` to restrict the batch to a subset of rows — already
+    materialized columns are sliced with NumPy fancy indexing rather than
+    rebuilt, which is what makes short-circuit masking cheap.
+    """
+
+    __slots__ = ("_rows", "_objects", "_numeric_cache", "_kinds")
+
+    def __init__(self, rows: Sequence[Row]) -> None:
+        self._rows: Sequence[Row] = rows
+        self._objects: dict[str, np.ndarray] = {}
+        self._numeric_cache: dict[str, np.ndarray] = {}
+        self._kinds: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Sequence[Row]:
+        """The underlying row mappings, in batch order."""
+        return self._rows
+
+    def has_column(self, name: str) -> bool:
+        """Whether the batch's rows carry ``name`` (vacuously true if empty)."""
+        if not self._rows:
+            return True
+        return name in self._rows[0]
+
+    def column(self, name: str) -> np.ndarray:
+        """Object-dtype array of the raw column values.
+
+        Raises :class:`~repro.exceptions.PredicateError` for a missing
+        column, mirroring scalar :func:`repro.core.predicates._lookup`.
+        """
+        cached = self._objects.get(name)
+        if cached is not None:
+            return cached
+        values = np.empty(len(self._rows), dtype=object)
+        try:
+            for i, row in enumerate(self._rows):
+                values[i] = row[name]
+        except KeyError:
+            raise PredicateError(f"row has no column {name!r}") from None
+        self._objects[name] = values
+        return values
+
+    def kind(self, name: str) -> str:
+        """Value kind of a column: ``numeric``, ``string`` or ``mixed``.
+
+        An empty batch reports ``numeric`` (there is nothing to contradict
+        it, and every mask over it is empty anyway).
+        """
+        kind = self._kinds.get(name)
+        if kind is None:
+            has_str = has_num = False
+            for value in self.column(name):
+                if isinstance(value, str):
+                    has_str = True
+                else:
+                    has_num = True
+            if has_str:
+                kind = "mixed" if has_num else "string"
+            else:
+                kind = "numeric"
+            self._kinds[name] = kind
+        return kind
+
+    def is_numeric(self, name: str) -> bool:
+        """True when no value in the column is a string."""
+        return self.kind(name) == "numeric"
+
+    def numeric(self, name: str) -> np.ndarray:
+        """``float64`` view of a numeric column.
+
+        Raises :class:`~repro.exceptions.PredicateError` when the column
+        holds strings — an ordered comparison against it would be a schema
+        mismatch, exactly as in the scalar algebra.
+        """
+        cached = self._numeric_cache.get(name)
+        if cached is not None:
+            return cached
+        if not self.is_numeric(name):
+            raise PredicateError(
+                f"column {name!r} holds strings; cannot use it numerically"
+            )
+        converted = self.column(name).astype(np.float64)
+        self._numeric_cache[name] = converted
+        return converted
+
+    def matrix(self, names: Sequence[str]) -> np.ndarray:
+        """``(len(batch), len(names))`` float matrix of feature columns.
+
+        Values are converted with ``float()`` semantics (the same cast the
+        scalar ``predict`` implementations apply per row), so numeric
+        strings convert and non-numeric ones raise.
+        """
+        if not names:
+            return np.zeros((len(self._rows), 0), dtype=float)
+        stacked = np.empty((len(self._rows), len(names)), dtype=float)
+        for j, name in enumerate(names):
+            stacked[:, j] = self.column(name).astype(np.float64)
+        return stacked
+
+    def take(self, indices: np.ndarray) -> "ColumnBatch":
+        """A sub-batch of the given row positions (in the given order).
+
+        Materialized column caches carry over as NumPy slices, so
+        narrowing an already-scored batch costs O(selected) per touched
+        column instead of a rebuild.
+        """
+        rows = self._rows
+        child = ColumnBatch([rows[i] for i in indices])
+        child._objects = {
+            name: values[indices] for name, values in self._objects.items()
+        }
+        child._numeric_cache = {
+            name: values[indices]
+            for name, values in self._numeric_cache.items()
+        }
+        # Pure kinds carry over; a subset of a mixed column may shed one of
+        # its kinds, so "mixed" verdicts are recomputed on demand.
+        child._kinds = {
+            name: kind
+            for name, kind in self._kinds.items()
+            if kind != "mixed"
+        }
+        return child
+
+    def select(self, mask: np.ndarray) -> list[Row]:
+        """The original row mappings where ``mask`` is true."""
+        rows = self._rows
+        return [rows[i] for i in np.flatnonzero(mask)]

@@ -24,11 +24,20 @@ envelopes (often thousands of nodes before simplification) small.
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
-from typing import Union
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
 
 from repro.exceptions import PredicateError
+
+if TYPE_CHECKING:
+    from repro.core.columns import ColumnBatch
+
+#: Optional per-predicate selectivity estimate (fraction of rows satisfying
+#: the predicate) used to order connective operands for short-circuiting.
+SelectivityEstimator = Callable[["Predicate"], float]
 
 #: Scalar values a predicate may compare against.  ``bool`` deliberately
 #: excluded: SQLite has no boolean type, booleans are stored as 0/1 integers.
@@ -104,6 +113,23 @@ class Predicate:
         """
         raise NotImplementedError
 
+    def evaluate_batch(
+        self,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None = None,
+    ) -> np.ndarray:
+        """Truth values of this predicate over a whole columnar batch.
+
+        Returns a boolean mask with one entry per batch row, equal to a
+        loop of :meth:`evaluate` over the rows.  Connectives evaluate
+        their operands in estimated-selectivity order when ``estimator``
+        is given (most-eliminating first for AND, most-admitting first
+        for OR) and restrict later operands to still-undecided rows, so
+        expensive sub-predicates never run on rows the mask has already
+        settled.
+        """
+        raise NotImplementedError
+
     def columns(self) -> frozenset[str]:
         """The set of column names referenced by this predicate."""
         raise NotImplementedError
@@ -142,12 +168,42 @@ def _comparable(a: Value, b: Value) -> bool:
     return a_num == b_num
 
 
+def _ordered_column(
+    batch: "ColumnBatch", column: str, value: Value
+) -> np.ndarray:
+    """The column view to use for an ordered comparison against ``value``.
+
+    Mirrors the scalar comparability rule: strings order only against
+    string columns, numbers only against numeric columns; anything else is
+    schema drift and raises :class:`~repro.exceptions.PredicateError`.
+    """
+    kind = batch.kind(column)
+    if isinstance(value, str):
+        if kind != "string":
+            raise PredicateError(
+                f"cannot order column {column!r} values against {value!r}"
+            )
+        return batch.column(column)
+    if kind != "numeric":
+        raise PredicateError(
+            f"cannot order column {column!r} values against {value!r}"
+        )
+    return batch.numeric(column)
+
+
 @dataclass(frozen=True, slots=True)
 class TruePredicate(Predicate):
     """The constant TRUE (an empty conjunction)."""
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return True
+
+    def evaluate_batch(
+        self,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None = None,
+    ) -> np.ndarray:
+        return np.ones(len(batch), dtype=bool)
 
     def columns(self) -> frozenset[str]:
         return frozenset()
@@ -166,6 +222,13 @@ class FalsePredicate(Predicate):
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return False
+
+    def evaluate_batch(
+        self,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None = None,
+    ) -> np.ndarray:
+        return np.zeros(len(batch), dtype=bool)
 
     def columns(self) -> frozenset[str]:
         return frozenset()
@@ -215,6 +278,33 @@ class Comparison(Predicate):
             return actual > self.value
         return actual >= self.value
 
+    def evaluate_batch(
+        self,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None = None,
+    ) -> np.ndarray:
+        if len(batch) == 0:
+            return np.zeros(0, dtype=bool)
+        value_is_str = isinstance(self.value, str)
+        if self.op is Op.EQ or self.op is Op.NE:
+            if batch.is_numeric(self.column):
+                if value_is_str:
+                    # A numeric column never equals a string constant.
+                    mask = np.zeros(len(batch), dtype=bool)
+                else:
+                    mask = batch.numeric(self.column) == self.value
+            else:
+                mask = batch.column(self.column) == self.value
+            return mask if self.op is Op.EQ else ~mask
+        actual = _ordered_column(batch, self.column, self.value)
+        if self.op is Op.LT:
+            return actual < self.value
+        if self.op is Op.LE:
+            return actual <= self.value
+        if self.op is Op.GT:
+            return actual > self.value
+        return actual >= self.value
+
     def columns(self) -> frozenset[str]:
         return frozenset((self.column,))
 
@@ -245,6 +335,26 @@ class InSet(Predicate):
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return _lookup(row, self.column) in self.values
+
+    def evaluate_batch(
+        self,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None = None,
+    ) -> np.ndarray:
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        mask = np.zeros(n, dtype=bool)
+        if batch.is_numeric(self.column):
+            actual = batch.numeric(self.column)
+            for value in self.values:
+                if not isinstance(value, str):
+                    mask |= actual == value
+        else:
+            actual = batch.column(self.column)
+            for value in self.values:
+                mask |= actual == value
+        return mask
 
     def columns(self) -> frozenset[str]:
         return frozenset((self.column,))
@@ -320,6 +430,29 @@ class Interval(Predicate):
                 return False
         return True
 
+    def evaluate_batch(
+        self,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None = None,
+    ) -> np.ndarray:
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        mask = np.ones(n, dtype=bool)
+        if self.low is not None:
+            actual = _ordered_column(batch, self.column, self.low)
+            if self.low_closed:
+                mask &= actual >= self.low
+            else:
+                mask &= actual > self.low
+        if self.high is not None:
+            actual = _ordered_column(batch, self.column, self.high)
+            if self.high_closed:
+                mask &= actual <= self.high
+            else:
+                mask &= actual < self.high
+        return mask
+
     def columns(self) -> frozenset[str]:
         return frozenset((self.column,))
 
@@ -348,6 +481,37 @@ class And(Predicate):
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return all(operand.evaluate(row) for operand in self.operands)
 
+    def evaluate_batch(
+        self,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None = None,
+    ) -> np.ndarray:
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        operands: Iterable[Predicate] = self.operands
+        if estimator is not None:
+            # Most-selective conjunct first: it eliminates the most rows,
+            # so later (possibly expensive) conjuncts see the smallest
+            # surviving batch.
+            operands = sorted(self.operands, key=estimator)
+        alive: np.ndarray | None = None
+        current = batch
+        for operand in operands:
+            mask = operand.evaluate_batch(current, estimator)
+            if mask.all():
+                continue
+            keep = np.flatnonzero(mask)
+            alive = keep if alive is None else alive[keep]
+            if keep.size == 0:
+                break
+            current = current.take(keep)
+        if alive is None:
+            return np.ones(n, dtype=bool)
+        out = np.zeros(n, dtype=bool)
+        out[alive] = True
+        return out
+
     def columns(self) -> frozenset[str]:
         return frozenset().union(*(o.columns() for o in self.operands))
 
@@ -370,6 +534,35 @@ class Or(Predicate):
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return any(operand.evaluate(row) for operand in self.operands)
+
+    def evaluate_batch(
+        self,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None = None,
+    ) -> np.ndarray:
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        operands: Iterable[Predicate] = self.operands
+        if estimator is not None:
+            # Most-admitting disjunct first: it settles the most rows to
+            # TRUE, so later disjuncts run on the fewest undecided rows.
+            operands = sorted(self.operands, key=estimator, reverse=True)
+        out = np.zeros(n, dtype=bool)
+        pending: np.ndarray | None = None
+        current = batch
+        for operand in operands:
+            mask = operand.evaluate_batch(current, estimator)
+            if pending is None:
+                out |= mask
+                pending = np.flatnonzero(~mask)
+            else:
+                out[pending[mask]] = True
+                pending = pending[~mask]
+            if pending.size == 0:
+                break
+            current = batch.take(pending)
+        return out
 
     def columns(self) -> frozenset[str]:
         return frozenset().union(*(o.columns() for o in self.operands))
@@ -394,6 +587,13 @@ class Not(Predicate):
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return not self.operand.evaluate(row)
+
+    def evaluate_batch(
+        self,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None = None,
+    ) -> np.ndarray:
+        return ~self.operand.evaluate_batch(batch, estimator)
 
     def columns(self) -> frozenset[str]:
         return self.operand.columns()

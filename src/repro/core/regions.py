@@ -27,6 +27,8 @@ import math
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.predicates import (
     TRUE,
     Comparison,
@@ -71,6 +73,19 @@ class Dimension:
         domain of a discrete dimension.
         """
         raise NotImplementedError
+
+    def members_for_values(self, values: Sequence[Value]) -> np.ndarray:
+        """Vectorized :meth:`member_for_value` over a column of raw values.
+
+        Returns an ``int64`` array of member indices; the default walks the
+        scalar mapping, subclasses override with array operations where the
+        mapping vectorizes (binned dimensions use ``searchsorted``).
+        """
+        return np.fromiter(
+            (self.member_for_value(v) for v in values),
+            dtype=np.int64,
+            count=len(values),
+        )
 
     def member_label(self, member: int) -> str:
         """Human-readable label of one member (for reports and repr)."""
@@ -291,6 +306,26 @@ class BinnedDimension(Dimension):
             if number < cut:
                 return i
         return len(self.cuts)
+
+    def members_for_values(self, values: Sequence[Value]) -> np.ndarray:
+        array = np.asarray(values)
+        if array.dtype == object:
+            for value in array:
+                if not isinstance(value, (int, float)):
+                    raise RegionError(
+                        f"binned dimension {self.name!r} needs numeric "
+                        f"values, got {value!r}"
+                    )
+            array = array.astype(np.float64)
+        elif not np.issubdtype(array.dtype, np.number):
+            raise RegionError(
+                f"binned dimension {self.name!r} needs numeric values"
+            )
+        # side='right' counts cuts <= value: exactly the scalar rule that a
+        # value on a cut belongs to the bin to the cut's right.
+        return np.searchsorted(
+            np.asarray(self.cuts, dtype=np.float64), array, side="right"
+        ).astype(np.int64)
 
     def member_label(self, member: int) -> str:
         low, high = self.bounds(member)
@@ -524,8 +559,6 @@ def coarsen_regions(
     merges through *low-probability* space and barely dilutes the
     envelope's data selectivity.  Without weights, volume is the cell count.
     """
-    import numpy as _np
-
     if max_regions < 1:
         raise RegionError("max_regions must be >= 1")
     if len(regions) <= max_regions:
@@ -535,17 +568,17 @@ def coarsen_regions(
         max(r.members[d][-1] for r in regions) + 1 for d in range(n_dims)
     ]
     if member_weights is None:
-        weights = [_np.ones(size) for size in sizes]
+        weights = [np.ones(size) for size in sizes]
     else:
         weights = [
-            _np.asarray(member_weights[d], dtype=float)[: sizes[d]]
+            np.asarray(member_weights[d], dtype=float)[: sizes[d]]
             if len(member_weights[d]) >= sizes[d]
-            else _np.ones(sizes[d])
+            else np.ones(sizes[d])
             for d in range(n_dims)
         ]
     # Boolean membership matrices, one per dimension.
     membership = [
-        _np.zeros((len(regions), sizes[d]), dtype=bool)
+        np.zeros((len(regions), sizes[d]), dtype=bool)
         for d in range(n_dims)
     ]
     for r, region in enumerate(regions):
@@ -555,12 +588,12 @@ def coarsen_regions(
     alive = list(range(len(regions)))
     while len(alive) > max_regions:
         live = [membership[d][alive] for d in range(n_dims)]
-        own = _np.ones(len(alive))
+        own = np.ones(len(alive))
         for d in range(n_dims):
             own *= live[d] @ weights[d]
         best: tuple[float, int, int] | None = None
         for i in range(len(alive) - 1):
-            union_volume = _np.ones(len(alive) - i - 1)
+            union_volume = np.ones(len(alive) - i - 1)
             for d in range(n_dims):
                 union = live[d][i] | live[d][i + 1:]
                 union_volume *= union @ weights[d]
@@ -578,7 +611,7 @@ def coarsen_regions(
     result = []
     for r in alive:
         members = tuple(
-            tuple(_np.flatnonzero(membership[d][r]).tolist())
+            tuple(np.flatnonzero(membership[d][r]).tolist())
             for d in range(n_dims)
         )
         result.append(Region(members))

@@ -21,10 +21,13 @@ those semantics on random rows.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import MutableMapping, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.catalog import ModelCatalog
+from repro.core.columns import ColumnBatch
 from repro.core.normalize import allowed_values
 from repro.core.predicates import (
     FALSE,
@@ -38,6 +41,37 @@ from repro.core.predicates import (
 from repro.exceptions import RewriteError
 from repro.mining.base import Row
 
+#: Per-row prediction memo: model name -> predicted label for that row.
+RowPredictionCache = MutableMapping[str, Value]
+#: Per-batch prediction memo: model name -> object array of predictions.
+BatchPredictionCache = MutableMapping[str, np.ndarray]
+
+
+def _row_prediction(
+    model_name: str,
+    row: Row,
+    catalog: ModelCatalog,
+    cache: RowPredictionCache,
+) -> Value:
+    """The model's prediction for ``row``, computed at most once."""
+    if model_name not in cache:
+        cache[model_name] = catalog.model(model_name).predict(row)
+    return cache[model_name]
+
+
+def _batch_predictions(
+    model_name: str,
+    batch: ColumnBatch,
+    catalog: ModelCatalog,
+    cache: BatchPredictionCache,
+) -> np.ndarray:
+    """The model's predictions for a whole batch, computed at most once."""
+    predictions = cache.get(model_name)
+    if predictions is None:
+        predictions = catalog.model(model_name).predict_batch(batch)
+        cache[model_name] = predictions
+    return predictions
+
 
 class MiningPredicate:
     """A predicate over a model's prediction column (abstract base)."""
@@ -49,6 +83,43 @@ class MiningPredicate:
     def evaluate(self, row: Row, catalog: ModelCatalog) -> bool:
         """Reference semantics: apply the model(s) to the row."""
         raise NotImplementedError
+
+    def evaluate_cached(
+        self,
+        row: Row,
+        catalog: ModelCatalog,
+        cache: RowPredictionCache,
+    ) -> bool:
+        """:meth:`evaluate` with per-row prediction memoization.
+
+        ``cache`` maps model name to that model's prediction for this row;
+        a query with several mining predicates on the same model shares one
+        cache per row so the model runs once.  The base implementation
+        ignores the cache (exotic subclasses stay correct); the built-in
+        forms all route their predictions through it.
+        """
+        return self.evaluate(row, catalog)
+
+    def evaluate_batch(
+        self,
+        batch: ColumnBatch,
+        catalog: ModelCatalog,
+        cache: BatchPredictionCache,
+    ) -> np.ndarray:
+        """Boolean mask over ``batch`` rows, memoizing model predictions.
+
+        ``cache`` maps model name to the model's object-array predictions
+        for this batch — callers that compact the batch must slice the
+        cached arrays in lockstep.  Equivalent to evaluating
+        :meth:`evaluate` per row.  The base implementation is that scalar
+        loop; the built-in forms override it with array comparisons over
+        :meth:`repro.mining.base.MiningModel.predict_batch` output.
+        """
+        return np.fromiter(
+            (self.evaluate(row, catalog) for row in batch.rows()),
+            dtype=bool,
+            count=len(batch),
+        )
 
     def envelope(
         self,
@@ -74,6 +145,28 @@ class PredictionEquals(MiningPredicate):
 
     def evaluate(self, row: Row, catalog: ModelCatalog) -> bool:
         return catalog.model(self.model_name).predict(row) == self.label
+
+    def evaluate_cached(
+        self,
+        row: Row,
+        catalog: ModelCatalog,
+        cache: RowPredictionCache,
+    ) -> bool:
+        return (
+            _row_prediction(self.model_name, row, catalog, cache)
+            == self.label
+        )
+
+    def evaluate_batch(
+        self,
+        batch: ColumnBatch,
+        catalog: ModelCatalog,
+        cache: BatchPredictionCache,
+    ) -> np.ndarray:
+        predictions = _batch_predictions(
+            self.model_name, batch, catalog, cache
+        )
+        return np.asarray(predictions == self.label, dtype=bool)
 
     def envelope(
         self,
@@ -109,6 +202,31 @@ class PredictionIn(MiningPredicate):
     def evaluate(self, row: Row, catalog: ModelCatalog) -> bool:
         return catalog.model(self.model_name).predict(row) in self.labels
 
+    def evaluate_cached(
+        self,
+        row: Row,
+        catalog: ModelCatalog,
+        cache: RowPredictionCache,
+    ) -> bool:
+        return (
+            _row_prediction(self.model_name, row, catalog, cache)
+            in self.labels
+        )
+
+    def evaluate_batch(
+        self,
+        batch: ColumnBatch,
+        catalog: ModelCatalog,
+        cache: BatchPredictionCache,
+    ) -> np.ndarray:
+        predictions = _batch_predictions(
+            self.model_name, batch, catalog, cache
+        )
+        mask = np.zeros(len(batch), dtype=bool)
+        for label in self.labels:
+            mask |= np.asarray(predictions == label, dtype=bool)
+        return mask
+
     def envelope(
         self,
         catalog: ModelCatalog,
@@ -140,6 +258,26 @@ class PredictionJoinPrediction(MiningPredicate):
         return catalog.model(self.model_a).predict(row) == catalog.model(
             self.model_b
         ).predict(row)
+
+    def evaluate_cached(
+        self,
+        row: Row,
+        catalog: ModelCatalog,
+        cache: RowPredictionCache,
+    ) -> bool:
+        return _row_prediction(
+            self.model_a, row, catalog, cache
+        ) == _row_prediction(self.model_b, row, catalog, cache)
+
+    def evaluate_batch(
+        self,
+        batch: ColumnBatch,
+        catalog: ModelCatalog,
+        cache: BatchPredictionCache,
+    ) -> np.ndarray:
+        predictions_a = _batch_predictions(self.model_a, batch, catalog, cache)
+        predictions_b = _batch_predictions(self.model_b, batch, catalog, cache)
+        return np.asarray(predictions_a == predictions_b, dtype=bool)
 
     def envelope(
         self,
@@ -181,6 +319,30 @@ class PredictionJoinColumn(MiningPredicate):
 
     def evaluate(self, row: Row, catalog: ModelCatalog) -> bool:
         return catalog.model(self.model_name).predict(row) == row[self.column]
+
+    def evaluate_cached(
+        self,
+        row: Row,
+        catalog: ModelCatalog,
+        cache: RowPredictionCache,
+    ) -> bool:
+        return (
+            _row_prediction(self.model_name, row, catalog, cache)
+            == row[self.column]
+        )
+
+    def evaluate_batch(
+        self,
+        batch: ColumnBatch,
+        catalog: ModelCatalog,
+        cache: BatchPredictionCache,
+    ) -> np.ndarray:
+        predictions = _batch_predictions(
+            self.model_name, batch, catalog, cache
+        )
+        return np.asarray(
+            predictions == batch.column(self.column), dtype=bool
+        )
 
     def restricted_labels(
         self,

@@ -268,6 +268,22 @@ def render_experiments_md(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
         "sharply for a bounded selectivity dilution — the Section 4.2 "
         "complexity/tightness trade made measurable.\n"
     )
+
+    sections.append(
+        "## Execution knobs\n\n"
+        "- **Vectorized residual scoring** "
+        "(`PredictionJoinExecutor(vectorized=..., batch_size=...)`): the "
+        "residual model filter scores fetched rows in columnar batches "
+        "(default 2048 rows) through each family's `predict_batch`; "
+        "`vectorized=False` restores the scalar row-at-a-time path. Both "
+        "paths return byte-identical rows — `python -m repro "
+        "bench-vectorized` (optionally `--batch-size N`) measures the "
+        "speedup per model family and asserts the identity into "
+        "`BENCH_vectorized_scoring.json`.\n"
+        "- **Parallel sweep** (`--jobs`/`REPRO_JOBS`): shards the "
+        "measurement grid across worker processes; `python -m repro "
+        "bench-parallel` records serial-vs-parallel timings.\n"
+    )
     return "\n".join(sections)
 
 

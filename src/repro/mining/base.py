@@ -18,6 +18,9 @@ import enum
 from collections.abc import Iterable, Mapping, Sequence
 from typing import Any
 
+import numpy as np
+
+from repro.core.columns import ColumnBatch
 from repro.core.predicates import Value
 from repro.exceptions import ModelError, NotFittedError
 
@@ -76,9 +79,42 @@ class MiningModel:
         """Predicted class (or cluster) label for one row."""
         raise NotImplementedError
 
+    def predict_batch(self, batch: ColumnBatch) -> np.ndarray:
+        """Predicted labels for a whole :class:`ColumnBatch` at once.
+
+        Contract: the result is an object-dtype array of length
+        ``len(batch)`` whose ``i``-th element **equals** (``==`` and same
+        semantics under dict/set use) ``self.predict(batch.rows()[i])``.
+        The scalar :meth:`predict` is the oracle — a family overrides this
+        method only with matrix math proven to reduce in the same order as
+        its scalar code, so predictions stay bit-identical.
+
+        The base implementation is the scalar loop itself, which keeps
+        every model usable through the batch interface.
+        """
+        out = np.empty(len(batch), dtype=object)
+        for i, row in enumerate(batch.rows()):
+            out[i] = self.predict(row)
+        return out
+
+    def supports_batch(self) -> bool:
+        """Whether this model overrides :meth:`predict_batch`."""
+        return type(self).predict_batch is not MiningModel.predict_batch
+
     def predict_many(self, rows: Iterable[Row]) -> list[Value]:
-        """Vectorized convenience wrapper over :meth:`predict`."""
-        return [self.predict(row) for row in rows]
+        """Predicted labels for many rows.
+
+        Contract: equivalent to ``[self.predict(r) for r in rows]`` — same
+        labels, same order, same errors on malformed rows.  When the model
+        provides a vectorized :meth:`predict_batch`, the default delegates
+        to it (building one :class:`ColumnBatch` over the rows) so callers
+        get batch speed without opting in explicitly; otherwise it falls
+        back to the scalar loop.
+        """
+        materialized = rows if isinstance(rows, Sequence) else list(rows)
+        if materialized and self.supports_batch():
+            return list(self.predict_batch(ColumnBatch(materialized)))
+        return [self.predict(row) for row in materialized]
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable model content (our PMML stand-in)."""

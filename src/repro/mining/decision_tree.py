@@ -18,6 +18,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any, Union
 
+import numpy as np
+
+from repro.core.columns import ColumnBatch
 from repro.core.predicates import Comparison, Op, Predicate, Value, equals
 from repro.exceptions import ModelError
 from repro.mining.base import MiningModel, ModelKind, Row, extract_column
@@ -128,6 +131,51 @@ class DecisionTreeModel(MiningModel):
             node = node.left if node.test.matches(row) else node.right
         return node.label
 
+    def predict_batch(self, batch: ColumnBatch) -> np.ndarray:
+        """Batch prediction via iterative node masks.
+
+        Rows are routed through the tree level by level: each internal
+        node evaluates its test once over the index set that reached it,
+        so the work per node is one vectorized comparison instead of
+        ``len(batch)`` Python branch walks.
+        """
+        out = np.empty(len(batch), dtype=object)
+        if len(batch) == 0:
+            return out
+        missing = [c for c in self.feature_columns if not batch.has_column(c)]
+        if missing:
+            raise ModelError(
+                f"model {self.name!r} requires columns {missing} "
+                "absent from the row"
+            )
+        if any(
+            isinstance(test, NumericTest) and not batch.is_numeric(test.column)
+            for test in _iter_tests(self.root)
+        ):
+            # A string value would hit a numeric node; the scalar oracle
+            # raises per offending row, so let it.
+            for i, row in enumerate(batch.rows()):
+                out[i] = self.predict(row)
+            return out
+        stack: list[tuple[Node, np.ndarray]] = [
+            (self.root, np.arange(len(batch), dtype=np.int64))
+        ]
+        while stack:
+            node, indices = stack.pop()
+            if indices.size == 0:
+                continue
+            if isinstance(node, Leaf):
+                out[indices] = node.label
+                continue
+            test = node.test
+            if isinstance(test, NumericTest):
+                mask = batch.numeric(test.column)[indices] <= test.threshold
+            else:
+                mask = batch.column(test.column)[indices] == test.value
+            stack.append((node.left, indices[mask]))
+            stack.append((node.right, indices[~mask]))
+        return out
+
     def leaf_count(self) -> int:
         return sum(1 for _ in iter_leaves(self.root))
 
@@ -174,6 +222,14 @@ class DecisionTreeModel(MiningModel):
             "feature_columns": list(self._feature_columns),
             "root": node_dict(self.root),
         }
+
+
+def _iter_tests(node: Node):
+    """Yield every internal-node test in the tree."""
+    if isinstance(node, Internal):
+        yield node.test
+        yield from _iter_tests(node.left)
+        yield from _iter_tests(node.right)
 
 
 def iter_leaves(node: Node, path: tuple[Predicate, ...] = ()):
@@ -223,8 +279,6 @@ class DecisionTreeLearner:
         self.prediction_column = prediction_column or f"predicted_{target_column}"
 
     def fit(self, rows: Sequence[Row]) -> DecisionTreeModel:
-        import numpy as np
-
         if not rows:
             raise ModelError("cannot fit a tree on an empty training set")
         labels_raw = extract_column(rows, self.target_column)
@@ -264,8 +318,6 @@ class DecisionTreeLearner:
     # -- induction ---------------------------------------------------------
 
     def _build(self, indices, depth: int) -> Node:
-        import numpy as np
-
         counts = np.bincount(
             self._labels[indices], minlength=len(self._class_values)
         )
@@ -299,16 +351,12 @@ class DecisionTreeLearner:
     @staticmethod
     def _entropy_of(counts, totals) -> "float":
         """Vectorized entropy of stacked count rows (base 2)."""
-        import numpy as np
-
         with np.errstate(divide="ignore", invalid="ignore"):
             p = counts / totals[..., None]
             terms = np.where(p > 0, p * np.log2(p), 0.0)
         return -terms.sum(axis=-1)
 
     def _best_split(self, indices, counts):
-        import numpy as np
-
         total = len(indices)
         base_entropy = float(self._entropy_of(counts, np.array([total]))[0])
         labels = self._labels[indices]

@@ -21,6 +21,9 @@ from collections import deque
 from collections.abc import Sequence
 from typing import Any
 
+import numpy as np
+
+from repro.core.columns import ColumnBatch
 from repro.core.predicates import Value
 from repro.core.regions import AttributeSpace
 from repro.exceptions import ModelError
@@ -62,6 +65,7 @@ class DensityClusterModel(MiningModel):
         for label, cells in zip(self._cluster_labels, self.cluster_cells):
             for cell in cells:
                 self._cell_to_label[cell] = label
+        self._code_map: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
     def kind(self) -> ModelKind:
@@ -95,6 +99,61 @@ class DensityClusterModel(MiningModel):
         self._require_columns(row)
         cell = self.space.point_for_row(row)
         return self._cell_to_label.get(cell, NOISE_LABEL)
+
+    def _cluster_code_map(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted linear codes of every cluster cell, with their labels.
+
+        The grid may be astronomically larger than the handful of dense
+        cells (``bins ** n_dims``), so the lookup is sparse: cluster
+        cells are linearized in C order, sorted once, and batch codes are
+        matched with a binary search.  Built lazily on first use.
+        """
+        if self._code_map is not None:
+            return self._code_map
+        codes = np.empty(len(self._cell_to_label), dtype=np.int64)
+        labels = np.empty(len(self._cell_to_label), dtype=object)
+        for i, (cell, label) in enumerate(self._cell_to_label.items()):
+            code = 0
+            for member, dim in zip(cell, self.space.dimensions):
+                code = code * dim.size + member
+            codes[i] = code
+            labels[i] = label
+        order = np.argsort(codes)
+        self._code_map = (codes[order], labels[order])
+        return self._code_map
+
+    def predict_batch(self, batch: ColumnBatch) -> np.ndarray:
+        """Batch prediction: vectorized binning + sparse cell lookup."""
+        if len(batch) == 0:
+            return np.empty(0, dtype=object)
+        missing = [c for c in self.feature_columns if not batch.has_column(c)]
+        if missing:
+            raise ModelError(
+                f"model {self.name!r} requires columns {missing} "
+                "absent from the row"
+            )
+        grid_size = 1
+        for dim in self.space.dimensions:
+            grid_size *= dim.size
+        if grid_size >= 2**62:
+            # Linear codes would overflow int64; defer to the scalar rule.
+            out = np.empty(len(batch), dtype=object)
+            for i, row in enumerate(batch.rows()):
+                out[i] = self.predict(row)
+            return out
+        codes = np.zeros(len(batch), dtype=np.int64)
+        for dim in self.space.dimensions:
+            members = dim.members_for_values(batch.column(dim.name))
+            codes = codes * dim.size + members
+        cell_codes, cell_labels = self._cluster_code_map()
+        out = np.empty(len(batch), dtype=object)
+        out[:] = NOISE_LABEL
+        if cell_codes.size:
+            positions = np.searchsorted(cell_codes, codes)
+            positions[positions == cell_codes.size] = 0
+            hits = cell_codes[positions] == codes
+            out[hits] = cell_labels[positions[hits]]
+        return out
 
     def to_dict(self) -> dict[str, Any]:
         from repro.mining.interchange import dimension_to_dict

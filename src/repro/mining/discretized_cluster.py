@@ -21,6 +21,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.columns import ColumnBatch
 from repro.core.predicates import Value
 from repro.core.regions import AttributeSpace, BinnedDimension
 from repro.exceptions import ModelError
@@ -91,6 +92,37 @@ class DiscretizedClusterModel(MiningModel):
         self._require_columns(row)
         cell = self.space.point_for_row(row)
         return self.class_labels[self.predict_cell(cell)]
+
+    def predict_batch(self, batch: ColumnBatch) -> np.ndarray:
+        """Batch prediction: vectorized binning, then one base assignment.
+
+        Each row maps to its cell's representative point (vectorized per
+        dimension) and the base model's ``assign_batch`` scores all
+        representatives at once with the same arithmetic as scalar
+        ``assign``.
+        """
+        if len(batch) == 0:
+            return np.empty(0, dtype=object)
+        missing = [c for c in self.feature_columns if not batch.has_column(c)]
+        if missing:
+            raise ModelError(
+                f"model {self.name!r} requires columns {missing} "
+                "absent from the row"
+            )
+        dims = self.space.dimensions
+        points = np.empty((len(batch), len(dims)), dtype=float)
+        for j, dim in enumerate(dims):
+            members = dim.members_for_values(batch.column(dim.name))
+            representatives = np.fromiter(
+                (dim.representative(m) for m in range(dim.size)),
+                dtype=float,
+                count=dim.size,
+            )
+            points[:, j] = representatives[members]
+        winners = self.base.assign_batch(points)
+        labels = np.empty(len(self.class_labels), dtype=object)
+        labels[:] = self.class_labels
+        return labels[winners]
 
     def to_dict(self) -> dict[str, Any]:
         from repro.mining.interchange import dimension_to_dict

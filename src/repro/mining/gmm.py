@@ -16,6 +16,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.columns import ColumnBatch
 from repro.core.predicates import Value
 from repro.exceptions import ModelError
 from repro.mining.base import MiningModel, ModelKind, Row
@@ -92,8 +93,26 @@ class GaussianMixtureModel(MiningModel):
         ).sum(axis=1)
         return np.log(self.mixing) + log_density
 
+    def component_log_scores_batch(self, points: np.ndarray) -> np.ndarray:
+        """Per-component log scores, shape ``(len(points), K)``.
+
+        The inner per-dimension sum runs over the last contiguous axis —
+        the same reduction :meth:`component_log_scores` performs — so each
+        row matches the scalar score vector bit for bit.
+        """
+        deltas = points[:, None, :] - self.means[None, :, :]
+        log_density = -0.5 * (
+            np.log(2.0 * np.pi * self.variances)[None, :, :]
+            + deltas * deltas / self.variances[None, :, :]
+        ).sum(axis=2)
+        return np.log(self.mixing)[None, :] + log_density
+
     def assign(self, point: np.ndarray) -> int:
         return int(np.argmax(self.component_log_scores(point)))
+
+    def assign_batch(self, points: np.ndarray) -> np.ndarray:
+        """Most likely component per point (lowest index wins ties)."""
+        return self.component_log_scores_batch(points).argmax(axis=1)
 
     def predict(self, row: Row) -> Value:
         self._require_columns(row)
@@ -101,6 +120,23 @@ class GaussianMixtureModel(MiningModel):
             [float(row[c]) for c in self._feature_columns], dtype=float
         )
         return self._class_labels[self.assign(point)]
+
+    def predict_batch(self, batch: ColumnBatch) -> np.ndarray:
+        """Batch prediction as one likelihood-matrix computation."""
+        if len(batch) == 0:
+            return np.empty(0, dtype=object)
+        missing = [
+            c for c in self._feature_columns if not batch.has_column(c)
+        ]
+        if missing:
+            raise ModelError(
+                f"model {self.name!r} requires columns {missing} "
+                "absent from the row"
+            )
+        winners = self.assign_batch(batch.matrix(self._feature_columns))
+        labels = np.empty(self.n_components, dtype=object)
+        labels[:] = self._class_labels
+        return labels[winners]
 
     def to_dict(self) -> dict[str, Any]:
         return {

@@ -18,6 +18,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.columns import ColumnBatch
 from repro.core.predicates import Value
 from repro.exceptions import ModelError
 from repro.mining.base import MiningModel, ModelKind, Row
@@ -85,12 +86,43 @@ class KMeansModel(MiningModel):
         """Index of the closest centroid (lowest index wins ties)."""
         return int(np.argmin(self.distances(point)))
 
+    def distances_batch(self, points: np.ndarray) -> np.ndarray:
+        """Weighted squared distances, shape ``(len(points), K)``.
+
+        The reduction runs over the last (contiguous) axis exactly like
+        :meth:`distances`, so each row of the result is bit-identical to
+        the scalar distance vector for that point.
+        """
+        deltas = points[:, None, :] - self.centroids[None, :, :]
+        return (self.weights[None, :, :] * deltas * deltas).sum(axis=2)
+
+    def assign_batch(self, points: np.ndarray) -> np.ndarray:
+        """Closest-centroid index per point (lowest index wins ties)."""
+        return self.distances_batch(points).argmin(axis=1)
+
     def predict(self, row: Row) -> Value:
         self._require_columns(row)
         point = np.array(
             [float(row[c]) for c in self._feature_columns], dtype=float
         )
         return self._class_labels[self.assign(point)]
+
+    def predict_batch(self, batch: ColumnBatch) -> np.ndarray:
+        """Batch prediction as one distance-matrix computation."""
+        if len(batch) == 0:
+            return np.empty(0, dtype=object)
+        missing = [
+            c for c in self._feature_columns if not batch.has_column(c)
+        ]
+        if missing:
+            raise ModelError(
+                f"model {self.name!r} requires columns {missing} "
+                "absent from the row"
+            )
+        winners = self.assign_batch(batch.matrix(self._feature_columns))
+        labels = np.empty(self.n_clusters, dtype=object)
+        labels[:] = self._class_labels
+        return labels[winners]
 
     def to_dict(self) -> dict[str, Any]:
         return {

@@ -15,6 +15,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.columns import ColumnBatch
 from repro.core.predicates import Value
 from repro.core.regions import AttributeSpace, Dimension
 from repro.exceptions import ModelError
@@ -112,6 +113,34 @@ class NaiveBayesModel(MiningModel):
         self._require_columns(row)
         cell = self.space.point_for_row(row)
         return self._class_labels[self.predict_cell(cell)]
+
+    def predict_batch(self, batch: ColumnBatch) -> np.ndarray:
+        """Batch prediction as log-probability matrix arithmetic.
+
+        Per-class scores accumulate dimension by dimension in the same
+        order as :meth:`cell_log_scores`, so each row's score vector is
+        bit-identical to the scalar one; ties resolve through the same
+        prior ranking via an ``argmin`` over masked ranks.
+        """
+        if len(batch) == 0:
+            return np.empty(0, dtype=object)
+        missing = [c for c in self.feature_columns if not batch.has_column(c)]
+        if missing:
+            raise ModelError(
+                f"model {self.name!r} requires columns {missing} "
+                "absent from the row"
+            )
+        scores = np.tile(self.log_priors, (len(batch), 1))
+        for table, dim in zip(self.log_conditionals, self.space.dimensions):
+            members = dim.members_for_values(batch.column(dim.name))
+            scores = scores + table.T[members]
+        ties = scores == scores.max(axis=1)[:, None]
+        ranks = np.asarray(self._tie_rank, dtype=np.int64)
+        masked = np.where(ties, ranks[None, :], self.n_classes)
+        winners = masked.argmin(axis=1)
+        labels = np.empty(self.n_classes, dtype=object)
+        labels[:] = self._class_labels
+        return labels[winners]
 
     def to_dict(self) -> dict[str, Any]:
         from repro.mining.interchange import dimension_to_dict

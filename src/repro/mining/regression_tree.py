@@ -20,6 +20,7 @@ from typing import Any, Union
 
 import numpy as np
 
+from repro.core.columns import ColumnBatch
 from repro.core.predicates import Predicate, Value
 from repro.exceptions import ModelError
 from repro.mining.base import MiningModel, ModelKind, Row, extract_column
@@ -87,6 +88,43 @@ class RegressionTreeModel(MiningModel):
             node = node.left if node.test.matches(row) else node.right
         return node.value
 
+    def predict_batch(self, batch: ColumnBatch) -> np.ndarray:
+        """Batch prediction via iterative node masks (as for class trees)."""
+        out = np.empty(len(batch), dtype=object)
+        if len(batch) == 0:
+            return out
+        missing = [c for c in self.feature_columns if not batch.has_column(c)]
+        if missing:
+            raise ModelError(
+                f"model {self.name!r} requires columns {missing} "
+                "absent from the row"
+            )
+        if any(
+            isinstance(test, NumericTest) and not batch.is_numeric(test.column)
+            for test in _iter_regression_tests(self.root)
+        ):
+            for i, row in enumerate(batch.rows()):
+                out[i] = self.predict(row)
+            return out
+        stack: list[tuple[RegressionNode, np.ndarray]] = [
+            (self.root, np.arange(len(batch), dtype=np.int64))
+        ]
+        while stack:
+            node, indices = stack.pop()
+            if indices.size == 0:
+                continue
+            if isinstance(node, RegressionLeaf):
+                out[indices] = node.value
+                continue
+            test = node.test
+            if isinstance(test, NumericTest):
+                mask = batch.numeric(test.column)[indices] <= test.threshold
+            else:
+                mask = batch.column(test.column)[indices] == test.value
+            stack.append((node.left, indices[mask]))
+            stack.append((node.right, indices[~mask]))
+        return out
+
     def leaf_count(self) -> int:
         return sum(1 for _ in iter_regression_leaves(self.root))
 
@@ -129,6 +167,14 @@ class RegressionTreeModel(MiningModel):
             "feature_columns": list(self._feature_columns),
             "root": node_dict(self.root),
         }
+
+
+def _iter_regression_tests(node: RegressionNode):
+    """Yield every internal-node test in the tree."""
+    if isinstance(node, RegressionInternal):
+        yield node.test
+        yield from _iter_regression_tests(node.left)
+        yield from _iter_regression_tests(node.right)
 
 
 def iter_regression_leaves(

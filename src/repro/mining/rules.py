@@ -19,6 +19,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Any
 
+import numpy as np
+
+from repro.core.columns import ColumnBatch
 from repro.core.predicates import (
     Comparison,
     Op,
@@ -88,6 +91,45 @@ class RuleSetModel(MiningModel):
             if rule.matches(row):
                 return rule.head
         return self.default_label
+
+    def predict_batch(self, batch: ColumnBatch) -> np.ndarray:
+        """Batch prediction with vectorized bodies, first match wins.
+
+        Each rule's body evaluates as a boolean mask over the rows no
+        earlier rule claimed; claimed rows are compacted away, so later
+        rules only touch still-undecided rows — the vectorized analogue of
+        the scalar sequential-order resolution.
+        """
+        size = len(batch)
+        if size == 0:
+            return np.empty(0, dtype=object)
+        missing = [
+            c for c in self._feature_columns if not batch.has_column(c)
+        ]
+        if missing:
+            raise ModelError(
+                f"model {self.name!r} requires columns {missing} "
+                "absent from the row"
+            )
+        out = np.empty(size, dtype=object)
+        out[:] = self.default_label
+        undecided = np.arange(size, dtype=np.int64)
+        current = batch
+        for rule in self.rules:
+            if undecided.size == 0:
+                break
+            mask = np.ones(len(current), dtype=bool)
+            for atom in rule.body:
+                mask &= atom.evaluate_batch(current)
+                if not mask.any():
+                    break
+            if not mask.any():
+                continue
+            out[undecided[mask]] = rule.head
+            keep = np.flatnonzero(~mask)
+            undecided = undecided[keep]
+            current = current.take(keep)
+        return out
 
     def rules_for(self, label: Value) -> tuple[Rule, ...]:
         """Rules whose head is ``label`` (possibly empty)."""

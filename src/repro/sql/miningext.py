@@ -21,16 +21,28 @@ plan, which is exactly the effect the paper measures.
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.catalog import ModelCatalog
+from repro.core.columns import ColumnBatch
 from repro.core.optimizer import (
     DEFAULT_MAX_DISJUNCTS,
     MiningQuery,
     OptimizedQuery,
     optimize,
 )
-from repro.core.predicates import TRUE, Value
+from repro.core.predicates import (
+    TRUE,
+    Predicate,
+    SelectivityEstimator,
+    TruePredicate,
+    Value,
+)
+from repro.core.rewrite import MiningPredicate
+from repro.exceptions import ModelError
 from repro.sql.compiler import select_statement
 from repro.sql.database import Database, Row
 from repro.sql.planner import (
@@ -79,6 +91,12 @@ class PredictionJoinExecutor:
     predicates (the paper observes the optimizer "rarely selects indexes"
     above roughly 10% selectivity).  Set it to ``None`` to always push the
     envelope regardless of selectivity.
+
+    ``vectorized`` selects the residual-filter implementation: the default
+    scores fetched rows in columnar batches of ``batch_size`` rows through
+    each model's ``predict_batch``; ``False`` falls back to the scalar
+    row-at-a-time path.  Both paths memoize predictions per (model, row),
+    and both return identical rows — the knob trades nothing but speed.
     """
 
     def __init__(
@@ -88,13 +106,29 @@ class PredictionJoinExecutor:
         selectivity_gate: float | None = 0.2,
         stats_sample: int = 10_000,
         plan_cache: "PlanCache | None" = None,
+        vectorized: bool = True,
+        batch_size: int = 2048,
     ) -> None:
+        if batch_size < 1:
+            raise ModelError(f"batch_size must be >= 1, got {batch_size}")
         self._db = db
         self._catalog = catalog
         self._selectivity_gate = selectivity_gate
         self._stats_sample = stats_sample
         self._stats_cache: dict[str, TableStats] = {}
         self._plan_cache = plan_cache
+        self._vectorized = vectorized
+        self._batch_size = batch_size
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the residual filter runs in columnar batches."""
+        return self._vectorized
+
+    @property
+    def batch_size(self) -> int:
+        """Rows per columnar batch on the vectorized path."""
+        return self._batch_size
 
     def _table_stats(self, table: str) -> TableStats:
         if table not in self._stats_cache:
@@ -103,6 +137,88 @@ class PredictionJoinExecutor:
                 table, sample, row_count=self._db.row_count(table)
             )
         return self._stats_cache[table]
+
+    # -- residual model application ---------------------------------------
+
+    def _apply_mining_predicates(
+        self,
+        fetched: Sequence[Row],
+        predicates: Sequence[MiningPredicate],
+        envelopes: Sequence[Predicate] | None = None,
+        estimator: SelectivityEstimator | None = None,
+    ) -> tuple[Row, ...]:
+        """Rows of ``fetched`` satisfying every mining predicate.
+
+        ``envelopes``, when given, holds each predicate's upper envelope
+        (positionally aligned).  An envelope is a superset of its
+        predicate, so rows failing it cannot pass the predicate — it is
+        applied first as a cheap columnar prefilter before the model runs.
+        The executor only passes envelopes that were *not* pushed into
+        SQL; a pushed envelope has already filtered the fetch.
+
+        Both the vectorized and scalar paths memoize predictions per
+        (model, row), so several predicates over one model score each row
+        once.
+        """
+        if not predicates:
+            return tuple(fetched)
+        if not self._vectorized:
+            selected = []
+            for row in fetched:
+                cache: dict[str, Value] = {}
+                if all(
+                    predicate.evaluate_cached(row, self._catalog, cache)
+                    for predicate in predicates
+                ):
+                    selected.append(row)
+            return tuple(selected)
+        survivors: list[Row] = []
+        step = self._batch_size
+        for start in range(0, len(fetched), step):
+            survivors.extend(
+                self._filter_batch(
+                    fetched[start : start + step],
+                    predicates,
+                    envelopes,
+                    estimator,
+                )
+            )
+        return tuple(survivors)
+
+    def _filter_batch(
+        self,
+        chunk: Sequence[Row],
+        predicates: Sequence[MiningPredicate],
+        envelopes: Sequence[Predicate] | None,
+        estimator: SelectivityEstimator | None,
+    ) -> list[Row]:
+        """Vectorized filter of one batch with short-circuit compaction.
+
+        After each predicate, rows already ruled out are compacted away
+        (``ColumnBatch.take``), and the per-model prediction memo is
+        sliced in lockstep so cached predictions stay row-aligned.
+        """
+        batch = ColumnBatch(chunk)
+        cache: dict[str, np.ndarray] = {}
+        alive: np.ndarray | None = None  # chunk indices still in play
+        for index, predicate in enumerate(predicates):
+            envelope = (
+                envelopes[index] if envelopes is not None else None
+            )
+            if envelope is not None and not isinstance(
+                envelope, TruePredicate
+            ):
+                mask = envelope.evaluate_batch(batch, estimator)
+                batch, cache, alive = _compact(batch, cache, alive, mask)
+                if len(batch) == 0:
+                    return []
+            mask = predicate.evaluate_batch(batch, self._catalog, cache)
+            batch, cache, alive = _compact(batch, cache, alive, mask)
+            if len(batch) == 0:
+                return []
+        if alive is None:
+            return list(chunk)
+        return [chunk[i] for i in alive]
 
     def execute_naive(self, query: MiningQuery) -> ExecutionReport:
         """Extract-and-mine: SQL evaluates only the relational predicate."""
@@ -115,13 +231,8 @@ class PredictionJoinExecutor:
         sql_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        rows = tuple(
-            row
-            for row in fetched
-            if all(
-                predicate.evaluate(row, self._catalog)
-                for predicate in query.mining_predicates
-            )
+        rows = self._apply_mining_predicates(
+            fetched, query.mining_predicates
         )
         model_seconds = time.perf_counter() - started
         return ExecutionReport(
@@ -165,14 +276,29 @@ class PredictionJoinExecutor:
                 optimized=optimized,
             )
         pushable = optimized.pushable_predicate
+        envelopes: list[Predicate] | None = None
+        estimator: SelectivityEstimator | None = None
         if self._selectivity_gate is not None:
             stats = self._table_stats(query.table)
             estimated = estimate_selectivity(stats, pushable)
             if estimated > self._selectivity_gate:
                 # The envelope is too unselective to buy an index plan;
                 # strip it (paper Section 4.2: "the upper envelope can be
-                # removed at the end of the optimization").
+                # removed at the end of the optimization").  It still
+                # holds as a predicate-level superset, so the residual
+                # filter reuses it as a columnar prefilter ahead of model
+                # scoring.  The first len(residual) injections align
+                # positionally with the residual predicates.
                 pushable = optimized.query.relational_predicate
+                envelopes = [
+                    injection.envelope
+                    for injection in optimized.injections[
+                        : len(optimized.residual_predicates)
+                    ]
+                ]
+                estimator = lambda predicate: estimate_selectivity(
+                    stats, predicate
+                )
         sql = select_statement(query.table, pushable)
         plan = capture_plan(self._db, query.table, pushable)
         started = time.perf_counter()
@@ -180,13 +306,11 @@ class PredictionJoinExecutor:
         sql_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
-        rows = tuple(
-            row
-            for row in fetched
-            if all(
-                predicate.evaluate(row, self._catalog)
-                for predicate in optimized.residual_predicates
-            )
+        rows = self._apply_mining_predicates(
+            fetched,
+            optimized.residual_predicates,
+            envelopes=envelopes,
+            estimator=estimator,
         )
         model_seconds = time.perf_counter() - started
         return ExecutionReport(
@@ -222,14 +346,34 @@ class PredictionJoinExecutor:
             for name in predicate.models():
                 if name not in model_names:
                     model_names.append(name)
-        augmented = []
-        for row in report.rows:
-            enriched = dict(row)
-            for name in model_names:
-                model = self._catalog.model(name)
-                enriched[model.prediction_column] = model.predict(row)
-            augmented.append(enriched)
+        augmented = [dict(row) for row in report.rows]
+        for name in model_names:
+            model = self._catalog.model(name)
+            labels = model.predict_many(report.rows)
+            for enriched, label in zip(augmented, labels):
+                enriched[model.prediction_column] = label
         return augmented
+
+
+def _compact(
+    batch: ColumnBatch,
+    cache: dict[str, np.ndarray],
+    alive: np.ndarray | None,
+    mask: np.ndarray,
+) -> tuple[ColumnBatch, dict[str, np.ndarray], np.ndarray | None]:
+    """Narrow a batch to the rows where ``mask`` holds.
+
+    Cached prediction arrays are sliced with the same index set so they
+    stay aligned with the surviving rows; ``alive`` tracks positions in
+    the original chunk (``None`` means every row is still alive).
+    """
+    if mask.all():
+        return batch, cache, alive
+    keep = np.flatnonzero(mask)
+    alive = keep if alive is None else alive[keep]
+    batch = batch.take(keep)
+    cache = {name: values[keep] for name, values in cache.items()}
+    return batch, cache, alive
 
 
 def baseline_full_scan(db: Database, table: str) -> ExecutionReport:

@@ -106,8 +106,8 @@ def original_selectivities(
     distribution over the training rows *is* the test-table distribution.
     """
     counts: dict[Value, int] = {label: 0 for label in model.class_labels}
-    for row in dataset.train_rows:
-        counts[model.predict(row)] = counts.get(model.predict(row), 0) + 1
+    for label in model.predict_many(dataset.train_rows):
+        counts[label] = counts.get(label, 0) + 1
     total = len(dataset.train_rows)
     return {label: counts.get(label, 0) / total for label in model.class_labels}
 
@@ -227,8 +227,7 @@ def verify_envelope_soundness(
     rows: Sequence = dataset.train_rows
     if sample is not None:
         rows = rows[:sample]
-    for row in rows:
-        label = model.predict(row)
+    for row, label in zip(rows, model.predict_many(rows)):
         envelope = envelopes.get(label)
         if envelope is None:
             raise WorkloadError(

@@ -1,0 +1,136 @@
+"""Unit tests for the columnar batch representation."""
+
+import numpy as np
+import pytest
+
+from repro.core.columns import ColumnBatch
+from repro.exceptions import PredicateError
+
+ROWS = [
+    {"age": 30, "income": 50_000.0, "city": "north"},
+    {"age": 61, "income": 90_000.0, "city": "south"},
+    {"age": 25, "income": 15_000.0, "city": "north"},
+    {"age": 44, "income": 72_500.0, "city": "east"},
+]
+
+
+class TestBasics:
+    def test_len_and_rows_preserve_identity(self):
+        batch = ColumnBatch(ROWS)
+        assert len(batch) == 4
+        # Row mappings are the originals, not copies: the executor relies
+        # on this to return byte-identical rows after filtering.
+        assert all(a is b for a, b in zip(batch.rows(), ROWS))
+
+    def test_column_is_object_dtype_with_raw_values(self):
+        batch = ColumnBatch(ROWS)
+        ages = batch.column("age")
+        assert ages.dtype == object
+        assert list(ages) == [30, 61, 25, 44]
+        assert all(isinstance(v, int) for v in ages)
+
+    def test_column_is_cached(self):
+        batch = ColumnBatch(ROWS)
+        assert batch.column("city") is batch.column("city")
+
+    def test_missing_column_raises_predicate_error(self):
+        batch = ColumnBatch(ROWS)
+        with pytest.raises(PredicateError):
+            batch.column("nope")
+
+    def test_has_column(self):
+        batch = ColumnBatch(ROWS)
+        assert batch.has_column("age")
+        assert not batch.has_column("nope")
+        # Empty batches carry every column vacuously: all masks over them
+        # are empty, so no lookup can go wrong.
+        assert ColumnBatch([]).has_column("anything")
+
+
+class TestKinds:
+    def test_kind_classification(self):
+        rows = [{"n": 1, "s": "x", "m": 2}, {"n": 2.5, "s": "y", "m": "z"}]
+        batch = ColumnBatch(rows)
+        assert batch.kind("n") == "numeric"
+        assert batch.kind("s") == "string"
+        assert batch.kind("m") == "mixed"
+        assert batch.is_numeric("n")
+        assert not batch.is_numeric("s")
+        assert not batch.is_numeric("m")
+
+    def test_empty_batch_reports_numeric(self):
+        batch = ColumnBatch([])
+        assert batch.kind("whatever") == "numeric"
+        assert batch.numeric("whatever").shape == (0,)
+
+    def test_numeric_view_is_float64_and_cached(self):
+        batch = ColumnBatch(ROWS)
+        ages = batch.numeric("age")
+        assert ages.dtype == np.float64
+        assert list(ages) == [30.0, 61.0, 25.0, 44.0]
+        assert batch.numeric("age") is ages
+
+    def test_numeric_on_string_column_raises(self):
+        batch = ColumnBatch(ROWS)
+        with pytest.raises(PredicateError):
+            batch.numeric("city")
+
+    def test_numeric_on_mixed_column_raises(self):
+        batch = ColumnBatch([{"m": 1}, {"m": "one"}])
+        with pytest.raises(PredicateError):
+            batch.numeric("m")
+
+
+class TestMatrix:
+    def test_matrix_shape_and_values(self):
+        batch = ColumnBatch(ROWS)
+        m = batch.matrix(["age", "income"])
+        assert m.shape == (4, 2)
+        assert m.dtype == np.float64
+        assert list(m[:, 0]) == [30.0, 61.0, 25.0, 44.0]
+        assert list(m[:, 1]) == [50_000.0, 90_000.0, 15_000.0, 72_500.0]
+
+    def test_matrix_no_columns(self):
+        assert ColumnBatch(ROWS).matrix([]).shape == (4, 0)
+        assert ColumnBatch([]).matrix([]).shape == (0, 0)
+
+
+class TestTakeAndSelect:
+    def test_take_subsets_in_given_order(self):
+        batch = ColumnBatch(ROWS)
+        child = batch.take(np.array([2, 0]))
+        assert len(child) == 2
+        assert child.rows()[0] is ROWS[2]
+        assert child.rows()[1] is ROWS[0]
+        assert list(child.column("age")) == [25, 30]
+
+    def test_take_carries_materialized_caches(self):
+        batch = ColumnBatch(ROWS)
+        batch.column("city")
+        batch.numeric("income")
+        child = batch.take(np.array([1, 3]))
+        assert list(child.column("city")) == ["south", "east"]
+        assert list(child.numeric("income")) == [90_000.0, 72_500.0]
+
+    def test_take_of_mixed_column_recomputes_kind(self):
+        rows = [{"m": 1}, {"m": "one"}, {"m": 3}]
+        batch = ColumnBatch(rows)
+        assert batch.kind("m") == "mixed"
+        # Only the numeric rows survive: the child must not inherit the
+        # stale "mixed" verdict, or numeric() would wrongly refuse.
+        child = batch.take(np.array([0, 2]))
+        assert child.kind("m") == "numeric"
+        assert list(child.numeric("m")) == [1.0, 3.0]
+
+    def test_take_empty(self):
+        child = ColumnBatch(ROWS).take(np.array([], dtype=np.int64))
+        assert len(child) == 0
+        assert list(child.rows()) == []
+
+    def test_select_returns_original_mappings(self):
+        batch = ColumnBatch(ROWS)
+        mask = np.array([True, False, False, True])
+        selected = batch.select(mask)
+        assert selected[0] is ROWS[0]
+        assert selected[1] is ROWS[3]
+        assert batch.select(np.zeros(4, dtype=bool)) == []

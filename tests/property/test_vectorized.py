@@ -1,0 +1,254 @@
+"""Property tests: vectorized evaluation equals the scalar oracle.
+
+Two families of properties, both with hypothesis-randomized inputs:
+
+* every registered model family's ``predict_batch`` over a
+  :class:`ColumnBatch` equals the scalar ``predict`` loop (including the
+  empty and single-row batches), and
+* ``Predicate.evaluate_batch`` equals a loop of ``Predicate.evaluate``,
+  with and without a selectivity estimator reordering the connectives.
+
+The scalar implementations are the semantics; the vectorized kernels are
+only allowed to be faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.columns import ColumnBatch
+from repro.core.predicates import (
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Predicate,
+    conjunction,
+    disjunction,
+)
+from repro.core.regions import AttributeSpace
+from repro.mining.decision_tree import DecisionTreeLearner
+from repro.mining.density import DensityClusterLearner
+from repro.mining.discretize import infer_space_dimensions
+from repro.mining.discretized_cluster import DiscretizedClusterModel
+from repro.mining.fuzzy import FuzzyCMeansLearner
+from repro.mining.gmm import GaussianMixtureLearner
+from repro.mining.kmeans import KMeansLearner
+from repro.mining.naive_bayes import NaiveBayesLearner
+from repro.mining.regression_tree import RegressionTreeLearner
+from repro.mining.rules import RuleLearner
+
+from tests.conftest import CUSTOMER_FEATURES, make_customer_rows
+
+GENDERS = ("female", "male")
+REGIONS = ("north", "south", "east", "west")
+NUMERIC_FEATURES = ("age", "income")
+
+
+@pytest.fixture(scope="module")
+def trained_models():
+    """One fitted model per family, all sharing the customer schema."""
+    rows = make_customer_rows(300, seed=11)
+    kmeans = KMeansLearner(NUMERIC_FEATURES, 3, name="pk").fit(rows)
+    gmm = GaussianMixtureLearner(NUMERIC_FEATURES, 2, name="pg").fit(rows)
+    space = AttributeSpace(
+        tuple(infer_space_dimensions(rows, NUMERIC_FEATURES, bins=5))
+    )
+    return {
+        "decision_tree": DecisionTreeLearner(
+            CUSTOMER_FEATURES, "risk", max_depth=6, name="pt"
+        ).fit(rows),
+        "regression_tree": RegressionTreeLearner(
+            ("age", "gender", "region"), "income", max_depth=5, name="pr"
+        ).fit(rows),
+        "naive_bayes": NaiveBayesLearner(
+            CUSTOMER_FEATURES, "risk", bins=5, name="pn"
+        ).fit(rows),
+        "rules": RuleLearner(CUSTOMER_FEATURES, "risk", name="pu").fit(rows),
+        "kmeans": kmeans,
+        "fuzzy": FuzzyCMeansLearner(NUMERIC_FEATURES, 3, name="pf").fit(rows),
+        "gmm": gmm,
+        "density": DensityClusterLearner(
+            NUMERIC_FEATURES, bins=6, density_threshold=2, name="pd"
+        ).fit(rows),
+        "discretized_kmeans": DiscretizedClusterModel(kmeans, space),
+        "discretized_gmm": DiscretizedClusterModel(gmm, space),
+    }
+
+
+FAMILIES = (
+    "decision_tree",
+    "regression_tree",
+    "naive_bayes",
+    "rules",
+    "kmeans",
+    "fuzzy",
+    "gmm",
+    "density",
+    "discretized_kmeans",
+    "discretized_gmm",
+)
+
+
+@st.composite
+def customer_like_rows(draw):
+    """Rows over the customer schema, including out-of-training extremes."""
+    age = draw(
+        st.one_of(
+            st.integers(-5, 120),
+            st.sampled_from((0, 18, 79, -(10**6), 10**9)),
+        )
+    )
+    income = draw(
+        st.one_of(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e12,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            st.sampled_from((0.0, -0.0, 5e-324, 1e300, -1e300)),
+        )
+    )
+    return {
+        "age": age,
+        "income": income,
+        "gender": draw(st.sampled_from(GENDERS)),
+        "region": draw(st.sampled_from(REGIONS)),
+    }
+
+
+class TestModelBatchEqualsScalar:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @given(sample=st.lists(customer_like_rows(), min_size=0, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_predict_batch_matches_predict(
+        self, trained_models, family, sample
+    ):
+        model = trained_models[family]
+        got = model.predict_batch(ColumnBatch(sample))
+        want = [model.predict(row) for row in sample]
+        assert got.dtype == object
+        assert len(got) == len(want)
+        # Exact equality, floats included: the batch kernels are required
+        # to reduce in the same order as the scalar code.
+        assert all(a == b for a, b in zip(got, want))
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_empty_and_single_row_batches(self, trained_models, family):
+        model = trained_models[family]
+        assert len(model.predict_batch(ColumnBatch([]))) == 0
+        row = make_customer_rows(1, seed=5)[0]
+        out = model.predict_batch(ColumnBatch([row]))
+        assert len(out) == 1
+        assert out[0] == model.predict(row)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @given(sample=st.lists(customer_like_rows(), min_size=0, max_size=10))
+    @settings(max_examples=15, deadline=None)
+    def test_predict_many_matches_scalar_loop(
+        self, trained_models, family, sample
+    ):
+        model = trained_models[family]
+        assert model.predict_many(sample) == [
+            model.predict(row) for row in sample
+        ]
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_family_overrides_batch(self, trained_models, family):
+        # Every built-in family must provide a real vectorized kernel, not
+        # inherit the scalar fallback.
+        assert trained_models[family].supports_batch()
+
+
+# --- predicate algebra --------------------------------------------------
+
+COLUMNS = ("a", "b", "c")
+
+
+@st.composite
+def atoms(draw) -> Predicate:
+    column = draw(st.sampled_from(COLUMNS))
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        op = draw(st.sampled_from(list(Op)))
+        value = draw(st.integers(0, 10))
+        return Comparison(column, op, value)
+    if kind == 1:
+        values = draw(
+            st.lists(st.integers(0, 10), min_size=1, max_size=4, unique=True)
+        )
+        return InSet(column, tuple(values))
+    low = draw(st.integers(0, 8))
+    high = draw(st.integers(low, 10))
+    return Interval(
+        column,
+        low,
+        high,
+        low_closed=draw(st.booleans()),
+        high_closed=draw(st.booleans()),
+    )
+
+
+def predicates():
+    return st.recursive(
+        atoms(),
+        lambda children: st.one_of(
+            st.builds(
+                lambda xs: conjunction(xs),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(
+                lambda xs: disjunction(xs),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(Not, children),
+        ),
+        max_leaves=8,
+    )
+
+
+@st.composite
+def rows(draw):
+    return {c: draw(st.integers(-2, 12)) for c in COLUMNS}
+
+
+def _fake_estimator(pred: Predicate) -> float:
+    """A deterministic but arbitrary selectivity; ordering must not matter."""
+    return (hash(pred) % 97) / 97.0
+
+
+class TestPredicateBatchEqualsScalar:
+    @given(predicates(), st.lists(rows(), min_size=0, max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_evaluate_batch_matches_evaluate(self, pred, sample):
+        mask = pred.evaluate_batch(ColumnBatch(sample))
+        assert mask.dtype == np.bool_
+        assert list(mask) == [pred.evaluate(row) for row in sample]
+
+    @given(predicates(), st.lists(rows(), min_size=0, max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_estimator_reordering_preserves_semantics(self, pred, sample):
+        mask = pred.evaluate_batch(
+            ColumnBatch(sample), estimator=_fake_estimator
+        )
+        assert list(mask) == [pred.evaluate(row) for row in sample]
+
+    @given(st.lists(st.sampled_from(GENDERS + REGIONS), min_size=0,
+                    max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_string_columns(self, values):
+        sample = [{"s": v} for v in values]
+        batch = ColumnBatch(sample)
+        for pred in (
+            Comparison("s", Op.EQ, "north"),
+            Comparison("s", Op.NE, "female"),
+            Comparison("s", Op.GE, "n"),
+            InSet("s", ("north", "male")),
+            Interval("s", "e", "s", high_closed=False),
+        ):
+            got = list(pred.evaluate_batch(batch))
+            assert got == [pred.evaluate(row) for row in sample]
