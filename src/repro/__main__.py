@@ -9,13 +9,18 @@ Usage::
     python -m repro all                 # everything above
     python -m repro tables --scale smoke|default|paper
     python -m repro tables --jobs 4     # parallel sweep (or REPRO_JOBS=4)
+    python -m repro run                 # one (dataset, family) lifecycle
+    python -m repro sweep               # the full measurement sweep
     python -m repro bench-parallel      # serial-vs-parallel sweep timings
     python -m repro bench-vectorized    # scalar-vs-vectorized scoring
+    python -m repro run --trace DIR     # write JSON-lines traces to DIR
+    python -m repro trace-report --trace DIR   # summarize a trace dir
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.config import (
@@ -46,6 +51,9 @@ def main(argv: list[str] | None = None) -> int:
             "overhead",
             "ablations",
             "report",
+            "run",
+            "sweep",
+            "trace-report",
             "bench-parallel",
             "bench-vectorized",
             "all",
@@ -73,8 +81,26 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="rows per columnar batch for bench-vectorized (default: 2048)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="write JSON-lines traces to DIR (for trace-report: the "
+        "directory to summarize; default: REPRO_TRACE_DIR)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="trace-report: fail on malformed trace lines",
+    )
     arguments = parser.parse_args(argv)
     config = _SCALES[arguments.scale]
+    if arguments.artifact == "trace-report":
+        return _trace_report(parser, arguments)
+    if arguments.trace is not None:
+        from repro import obs
+
+        obs.configure(arguments.trace)
     if arguments.jobs is not None:
         from repro.experiments.config import set_default_jobs
 
@@ -118,6 +144,19 @@ def main(argv: list[str] | None = None) -> int:
 
         target = report_doc.write_experiments_md(config=config)
         print(f"wrote {target}")
+    if arguments.artifact == "run":
+        _run_lifecycle(config)
+    if arguments.artifact == "sweep":
+        from repro.experiments import harness
+
+        measurements = harness.run_all(config)
+        changed = sum(1 for m in measurements if m.plan_changed)
+        print(
+            f"{len(measurements)} measurements across "
+            f"{len(config.datasets)} datasets x "
+            f"{len(config.families)} families "
+            f"({changed} plan changes)"
+        )
     if arguments.artifact == "bench-parallel":
         import os
 
@@ -174,6 +213,95 @@ def main(argv: list[str] | None = None) -> int:
             f"{report['all_rows_identical']}"
         )
         print("wrote BENCH_vectorized_scoring.json")
+    if arguments.trace is not None:
+        from repro import obs
+
+        obs.flush()
+        print(f"traces written to {arguments.trace}")
+    return 0
+
+
+def _run_lifecycle(config: ExperimentConfig) -> None:
+    """One full query lifecycle: train, derive, load, optimize, execute.
+
+    Runs every class of the first (dataset, family) cell through both
+    execution strategies — the smallest demo that exercises each phase
+    the tracer instruments (derivation, optimization, plan capture,
+    statistics, SQL fetch, residual model application).
+    """
+    from repro.core.catalog import ModelCatalog
+    from repro.core.optimizer import MiningQuery
+    from repro.core.rewrite import PredictionEquals
+    from repro.experiments import harness
+    from repro.sql.miningext import PredictionJoinExecutor
+    from repro.sql.plancache import PlanCache
+    from repro.workload.runner import load_dataset
+
+    name, family = config.datasets[0], config.families[0]
+    dataset = harness.dataset_for(config, name)
+    trained = harness.train_family(dataset, family, config)
+    loaded = load_dataset(dataset, config.rows_target)
+    try:
+        catalog = ModelCatalog()
+        catalog.register(trained.model, envelopes=trained.envelopes)
+        executor = PredictionJoinExecutor(
+            loaded.db,
+            catalog,
+            selectivity_gate=config.selectivity_gate,
+            plan_cache=PlanCache(),
+        )
+        for label in trained.model.class_labels:
+            query = MiningQuery(
+                loaded.table,
+                mining_predicates=(
+                    PredictionEquals(trained.model.name, label),
+                ),
+            )
+            optimized = executor.execute_optimized(query)
+            naive = executor.execute_naive(query)
+            print(
+                f"{name}/{family} class={label!r}: "
+                f"{optimized.rows_returned}/{loaded.rows_total} rows, "
+                f"path={optimized.plan.access_path.value}, "
+                f"fetched {optimized.rows_fetched} "
+                f"(naive {naive.rows_fetched}), optimized "
+                f"{optimized.total_seconds:.4f}s vs naive "
+                f"{naive.total_seconds:.4f}s"
+            )
+            if optimized.rows_returned != naive.rows_returned:
+                raise SystemExit(
+                    f"strategy mismatch for class {label!r}: "
+                    f"{optimized.rows_returned} != {naive.rows_returned}"
+                )
+        print(
+            f"{len(trained.model.class_labels)} queries executed; "
+            "strategies agree"
+        )
+    finally:
+        loaded.db.close()
+
+
+def _trace_report(
+    parser: argparse.ArgumentParser, arguments: argparse.Namespace
+) -> int:
+    """Summarize a trace directory; nonzero exit on malformed lines."""
+    from repro import obs
+
+    directory = arguments.trace or os.environ.get(obs.ENV_TRACE_DIR)
+    if directory is None:
+        parser.error("trace-report needs --trace DIR (or REPRO_TRACE_DIR)")
+    try:
+        summary = obs.summarize(directory, strict=arguments.strict)
+    except obs.TraceError as error:
+        print(f"trace-report: {error}", file=sys.stderr)
+        return 1
+    print(obs.format_report(summary))
+    if summary.malformed:
+        print(
+            f"trace-report: {len(summary.malformed)} malformed line(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro import obs
 from repro.core.cluster_envelope import (
     clustering_envelopes,
     density_envelopes,
@@ -18,7 +19,7 @@ from repro.core.cluster_envelope import (
 from repro.core.envelope import UpperEnvelope
 from repro.core.nb_bounds import BoundsMode
 from repro.core.nb_envelope import DEFAULT_MAX_NODES, derive_envelope
-from repro.core.predicates import Value
+from repro.core.predicates import Value, atom_count, disjunct_count
 from repro.core.rule_envelope import rule_envelopes
 from repro.core.score_model import ScoreTable
 from repro.core.tree_envelope import tree_envelopes
@@ -95,6 +96,41 @@ def derive_envelopes(
     clustering, whose continuous features must be discretized to define the
     region grid; every other family derives straight from model content.
     """
+    with obs.span(
+        "derive.envelopes",
+        model=model.name,
+        family=model.kind.value,
+        max_nodes=max_nodes,
+    ) as sp:
+        envelopes = _dispatch_derivation(
+            model,
+            rows=rows,
+            max_nodes=max_nodes,
+            bins=bins,
+            tighten_rules=tighten_rules,
+        )
+        if obs.enabled():
+            predicates = [e.predicate for e in envelopes.values()]
+            sp.update(
+                classes=len(envelopes),
+                atoms_total=sum(atom_count(p) for p in predicates),
+                clauses_total=sum(disjunct_count(p) for p in predicates),
+                exact=sum(1 for e in envelopes.values() if e.exact),
+                false_envelopes=sum(
+                    1 for e in envelopes.values() if e.is_false
+                ),
+            )
+        return envelopes
+
+
+def _dispatch_derivation(
+    model: MiningModel,
+    rows: Sequence[Row] | None,
+    max_nodes: int,
+    bins: int,
+    tighten_rules: bool,
+) -> dict[Value, UpperEnvelope]:
+    """Family dispatch for :func:`derive_envelopes`."""
     if isinstance(model, DecisionTreeModel):
         return tree_envelopes(model)
     if isinstance(model, RuleSetModel):

@@ -28,12 +28,14 @@ import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.catalog import ModelCatalog
 from repro.core.normalize import simplify, to_dnf
 from repro.core.predicates import (
     TRUE,
     FalsePredicate,
     Predicate,
+    TruePredicate,
     conjunction,
     disjunct_count,
 )
@@ -117,61 +119,88 @@ def optimize(
     started = time.perf_counter()
     notes: list[str] = []
 
-    # Step 1: traditional normalization of the relational predicate.
-    relational = simplify(query.relational_predicate)
+    with obs.span(
+        "optimize",
+        table=query.table,
+        mining_predicates=len(query.mining_predicates),
+        max_disjuncts=max_disjuncts,
+    ) as sp:
+        # Step 1: traditional normalization of the relational predicate.
+        relational = simplify(query.relational_predicate)
 
-    predicates: list[MiningPredicate] = list(query.mining_predicates)
-    all_inferred: list[MiningPredicate] = []
-    for _ in range(max_iterations):
-        inferred = infer_mining_predicates(predicates)
-        if not inferred:
-            break
-        for predicate in inferred:
-            notes.append(f"inferred mining predicate: {predicate.describe()}")
-        predicates.extend(inferred)
-        all_inferred.extend(inferred)
+        predicates: list[MiningPredicate] = list(query.mining_predicates)
+        all_inferred: list[MiningPredicate] = []
+        for _ in range(max_iterations):
+            inferred = infer_mining_predicates(predicates)
+            if not inferred:
+                break
+            for predicate in inferred:
+                notes.append(
+                    f"inferred mining predicate: {predicate.describe()}"
+                )
+            predicates.extend(inferred)
+            all_inferred.extend(inferred)
 
-    # Step 2: derive and inject one envelope per mining predicate.
-    injections: list[EnvelopeInjection] = []
-    envelope_parts: list[Predicate] = []
-    for predicate in predicates:
-        envelope = predicate.envelope(catalog, relational)
-        if simplify_envelopes:
-            envelope = simplify(envelope)
-        disjuncts = _disjunct_count_dnf(envelope)
-        thresholded = False
-        if disjuncts > max_disjuncts:
-            # Complexity threshold (Section 4.2): drop the envelope rather
-            # than hand the engine an expression it cannot exploit.
-            notes.append(
-                f"envelope for {predicate.describe()} thresholded "
-                f"({disjuncts} > {max_disjuncts} disjuncts)"
+        # Step 2: derive and inject one envelope per mining predicate.
+        injections: list[EnvelopeInjection] = []
+        envelope_parts: list[Predicate] = []
+        for predicate in predicates:
+            envelope = predicate.envelope(catalog, relational)
+            if simplify_envelopes:
+                envelope = simplify(envelope)
+            disjuncts = _disjunct_count_dnf(envelope)
+            thresholded = False
+            if disjuncts > max_disjuncts:
+                # Complexity threshold (Section 4.2): drop the envelope
+                # rather than hand the engine an expression it cannot
+                # exploit.
+                notes.append(
+                    f"envelope for {predicate.describe()} thresholded "
+                    f"({disjuncts} > {max_disjuncts} disjuncts)"
+                )
+                envelope = TRUE
+                thresholded = True
+            injections.append(
+                EnvelopeInjection(
+                    predicate_description=predicate.describe(),
+                    envelope=envelope,
+                    disjuncts=disjuncts,
+                    thresholded=thresholded,
+                )
             )
-            envelope = TRUE
-            thresholded = True
-        injections.append(
-            EnvelopeInjection(
-                predicate_description=predicate.describe(),
-                envelope=envelope,
+            envelope_parts.append(envelope)
+            obs.event(
+                "optimize.injection",
+                predicate=predicate.describe(),
                 disjuncts=disjuncts,
                 thresholded=thresholded,
             )
+
+        # Step 3: final normalization of the combined pushable predicate.
+        pushable = conjunction([relational] + envelope_parts)
+        pushable = simplify(pushable)
+
+        if obs.enabled():
+            sp.update(
+                injected=sum(
+                    1
+                    for i in injections
+                    if not isinstance(i.envelope, TruePredicate)
+                ),
+                thresholded=sum(1 for i in injections if i.thresholded),
+                inferred=len(all_inferred),
+                constant_false=isinstance(pushable, FalsePredicate),
+            )
+
+        return OptimizedQuery(
+            query=query,
+            pushable_predicate=pushable,
+            residual_predicates=tuple(query.mining_predicates),
+            injections=tuple(injections),
+            inferred_predicates=tuple(all_inferred),
+            optimize_seconds=time.perf_counter() - started,
+            notes=tuple(notes),
         )
-        envelope_parts.append(envelope)
-
-    # Step 3: final normalization of the combined pushable predicate.
-    pushable = conjunction([relational] + envelope_parts)
-    pushable = simplify(pushable)
-
-    return OptimizedQuery(
-        query=query,
-        pushable_predicate=pushable,
-        residual_predicates=tuple(query.mining_predicates),
-        injections=tuple(injections),
-        inferred_predicates=tuple(all_inferred),
-        optimize_seconds=time.perf_counter() - started,
-        notes=tuple(notes),
-    )
 
 
 def _disjunct_count_dnf(pred: Predicate) -> int:

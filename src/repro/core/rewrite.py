@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.catalog import ModelCatalog
 from repro.core.columns import ColumnBatch
 from repro.core.normalize import allowed_values
@@ -55,7 +56,10 @@ def _row_prediction(
 ) -> Value:
     """The model's prediction for ``row``, computed at most once."""
     if model_name not in cache:
+        obs.add_counter("prediction.row_memo.miss")
         cache[model_name] = catalog.model(model_name).predict(row)
+    else:
+        obs.add_counter("prediction.row_memo.hit")
     return cache[model_name]
 
 
@@ -68,8 +72,11 @@ def _batch_predictions(
     """The model's predictions for a whole batch, computed at most once."""
     predictions = cache.get(model_name)
     if predictions is None:
+        obs.add_counter("prediction.batch_memo.miss")
         predictions = catalog.model(model_name).predict_batch(batch)
         cache[model_name] = predictions
+    else:
+        obs.add_counter("prediction.batch_memo.hit")
     return predictions
 
 

@@ -12,10 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.derive import (
-    derive_envelopes,
-    naive_bayes_envelopes,
-)
+from repro.core.derive import derive_envelopes
 from repro.core.envelope import UpperEnvelope
 from repro.core.predicates import Value
 from repro.data.generators import Dataset, generate
@@ -87,7 +84,7 @@ def train_family(
             name=f"nb_{dataset.name}",
         ).fit(dataset.train_rows)
         train_seconds = time.perf_counter() - started
-        envelopes = naive_bayes_envelopes(model, max_nodes=config.max_nodes)
+        envelopes = derive_envelopes(model, max_nodes=config.max_nodes)
     elif family == FAMILY_CLUSTERING:
         columns = numeric_feature_columns(dataset)
         if not columns:

@@ -31,6 +31,7 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 
+from repro import obs
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.workload.measurement import QueryMeasurement
 
@@ -63,12 +64,29 @@ def measurement_key(measurement: QueryMeasurement) -> tuple:
 
 
 def _execute_task(
-    config: ExperimentConfig, dataset: str, family: str
+    config: ExperimentConfig,
+    dataset: str,
+    family: str,
+    trace_dir: str | None = None,
 ) -> list[QueryMeasurement]:
-    """Worker entry point: run one self-contained (dataset, family) task."""
+    """Worker entry point: run one self-contained (dataset, family) task.
+
+    When the parent session is tracing, each worker writes its own
+    per-task trace file (``trace_task_<dataset>__<family>.jsonl``) into
+    the shared trace directory — the same shard-per-task layout as the
+    sweep cache, merged deterministically by the reader's sorted-filename
+    walk (:func:`repro.obs.trace_files`).
+    """
     from repro.experiments import harness
 
-    return harness.run_task(config, dataset, family)
+    if trace_dir is not None:
+        obs.configure(trace_dir, label=f"task_{dataset}__{family}")
+    try:
+        with obs.span("sweep.task", dataset=dataset, family=family):
+            return harness.run_task(config, dataset, family)
+    finally:
+        if trace_dir is not None:
+            obs.flush()
 
 
 def run_tasks(
@@ -94,12 +112,15 @@ def run_tasks(
             if on_result is not None:
                 on_result((dataset, family), measurements)
         return results
+    # Workers cannot inherit the parent's tracer (the fork-safety guard
+    # drops their writes), so hand them the directory and let each open
+    # its own per-task file.
+    trace_dir = obs.trace_directory()
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
         futures = {
-            pool.submit(_execute_task, config, dataset, family): (
-                dataset,
-                family,
-            )
+            pool.submit(
+                _execute_task, config, dataset, family, trace_dir
+            ): (dataset, family)
             for dataset, family in tasks
         }
         for future in as_completed(futures):

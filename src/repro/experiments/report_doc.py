@@ -283,6 +283,19 @@ def render_experiments_md(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
         "- **Parallel sweep** (`--jobs`/`REPRO_JOBS`): shards the "
         "measurement grid across worker processes; `python -m repro "
         "bench-parallel` records serial-vs-parallel timings.\n"
+        "- **Tracing** (`--trace DIR`/`REPRO_TRACE_DIR`): every "
+        "derivation/optimization/execution phase is traced to JSON-lines "
+        "files (one per process; sweep workers write per-task shards). "
+        "`python -m repro trace-report --trace DIR` summarizes them. Read "
+        "the *estimator accuracy* section as estimate-vs-reality feedback "
+        "for the selectivity gate: each record pairs the independence-model "
+        "estimate of a pushed predicate with its measured selectivity, and "
+        "the report prints absolute-error quantiles (p50/p90/max). Errors "
+        "near the gate threshold (default 0.2) matter most — an "
+        "overestimate there strips an envelope that would have paid off, "
+        "an underestimate pushes one that won't; large p90 error is the "
+        "signal to revisit the histogram resolution or the independence "
+        "assumption before trusting gate-sensitive measurements.\n"
     )
     return "\n".join(sections)
 

@@ -1,0 +1,57 @@
+"""Query-lifecycle observability: span tracing, metrics, trace reports.
+
+Instrumented code imports this package as ``from repro import obs`` and
+calls :func:`obs.span` / :func:`obs.add_counter` / :func:`obs.record`;
+all of it is a no-op until :func:`obs.configure` (or the CLI's
+``--trace DIR`` / the ``REPRO_TRACE_DIR`` environment variable) turns
+tracing on.  See :mod:`repro.obs.trace` for the tracer and
+:mod:`repro.obs.report` for the ``trace-report`` summarizer.
+"""
+
+from repro.obs.trace import (
+    ENV_TRACE_DIR,
+    Span,
+    Tracer,
+    add_counter,
+    configure,
+    counters_snapshot,
+    current,
+    enabled,
+    event,
+    flush,
+    record,
+    set_gauge,
+    span,
+    trace_directory,
+)
+from repro.obs.report import (
+    SpanSummary,
+    TraceError,
+    TraceSummary,
+    format_report,
+    summarize,
+    trace_files,
+)
+
+__all__ = [
+    "ENV_TRACE_DIR",
+    "Span",
+    "SpanSummary",
+    "TraceError",
+    "TraceSummary",
+    "Tracer",
+    "add_counter",
+    "configure",
+    "counters_snapshot",
+    "current",
+    "enabled",
+    "event",
+    "flush",
+    "format_report",
+    "record",
+    "set_gauge",
+    "span",
+    "summarize",
+    "trace_directory",
+    "trace_files",
+]

@@ -1,0 +1,283 @@
+"""Trace-directory summarization (the ``trace-report`` CLI).
+
+Reads every ``*.jsonl`` file of a trace directory in sorted-filename order
+(deterministic, like the sweep cache's shard merge) and aggregates:
+
+* **spans** — per-name count, total/mean/max seconds, ranked by total time,
+* **counters** — summed per name, with hit rates derived from every
+  ``<name>.hit`` / ``<name>.miss`` pair (plan cache, prediction memos),
+* **gauges** — last value per name,
+* **estimator accuracy** — absolute-error quantiles over the
+  ``estimator_accuracy`` records the executor emits (estimated vs. actual
+  selectivity of the pushed predicate),
+* **malformed lines** — counted, and fatal under ``strict``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.obs.trace import TRACE_SUFFIX
+
+
+class TraceError(ReproError):
+    """A trace directory is missing, empty, or (under strict) malformed."""
+
+
+@dataclass
+class SpanSummary:
+    """Aggregate over all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``trace-report`` prints, as plain data."""
+
+    files: int
+    lines: int
+    malformed: list[str]
+    spans: dict[str, SpanSummary]
+    counters: dict[str, float]
+    gauges: dict[str, float]
+    events: dict[str, int]
+    estimator_records: int = 0
+    estimator_error_quantiles: dict[str, float] = field(default_factory=dict)
+
+    def top_spans(self, limit: int = 10) -> list[SpanSummary]:
+        ranked = sorted(
+            self.spans.values(),
+            key=lambda s: (-s.total_seconds, s.name),
+        )
+        return ranked[:limit]
+
+    def hit_rates(self) -> dict[str, float]:
+        """Hit rate per ``<name>.hit``/``<name>.miss`` counter pair."""
+        rates: dict[str, float] = {}
+        for name, hits in sorted(self.counters.items()):
+            if not name.endswith(".hit"):
+                continue
+            base = name[: -len(".hit")]
+            misses = self.counters.get(base + ".miss", 0.0)
+            total = hits + misses
+            if total > 0:
+                rates[base] = hits / total
+        return rates
+
+
+def trace_files(directory: str | Path) -> list[Path]:
+    """Trace files of a directory, in deterministic (sorted) order."""
+    root = Path(directory)
+    if not root.is_dir():
+        raise TraceError(f"trace directory {root} does not exist")
+    return sorted(root.glob(f"*{TRACE_SUFFIX}"))
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted list."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def summarize(directory: str | Path, strict: bool = False) -> TraceSummary:
+    """Aggregate a trace directory; ``strict`` raises on malformed lines."""
+    files = trace_files(directory)
+    if not files:
+        raise TraceError(f"no {TRACE_SUFFIX} trace files in {directory}")
+    lines = 0
+    malformed: list[str] = []
+    spans: dict[str, SpanSummary] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    events: dict[str, int] = {}
+    errors: list[float] = []
+    for path in files:
+        with path.open(encoding="utf-8") as stream:
+            for line_number, line in enumerate(stream, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                lines += 1
+                where = f"{path.name}:{line_number}"
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    malformed.append(f"{where}: not valid JSON")
+                    continue
+                problem = _ingest(
+                    payload, spans, counters, gauges, events, errors
+                )
+                if problem is not None:
+                    malformed.append(f"{where}: {problem}")
+    if strict and malformed:
+        shown = "; ".join(malformed[:5])
+        raise TraceError(
+            f"{len(malformed)} malformed trace line(s), e.g. {shown}"
+        )
+    ordered_errors = sorted(errors)
+    quantiles = {}
+    if ordered_errors:
+        quantiles = {
+            "p50": _quantile(ordered_errors, 0.50),
+            "p90": _quantile(ordered_errors, 0.90),
+            "max": ordered_errors[-1],
+        }
+    return TraceSummary(
+        files=len(files),
+        lines=lines,
+        malformed=malformed,
+        spans=spans,
+        counters=counters,
+        gauges=gauges,
+        events=events,
+        estimator_records=len(errors),
+        estimator_error_quantiles=quantiles,
+    )
+
+
+def _ingest(
+    payload: object,
+    spans: dict[str, SpanSummary],
+    counters: dict[str, float],
+    gauges: dict[str, float],
+    events: dict[str, int],
+    errors: list[float],
+) -> str | None:
+    """Fold one parsed line into the aggregates; describe any defect."""
+    if not isinstance(payload, dict):
+        return "line is not a JSON object"
+    kind = payload.get("type")
+    if not isinstance(kind, str):
+        return "missing 'type' field"
+    if kind == "span":
+        name = payload.get("name")
+        seconds = payload.get("seconds")
+        if not isinstance(name, str) or not isinstance(
+            seconds, (int, float)
+        ):
+            return "span needs string 'name' and numeric 'seconds'"
+        summary = spans.get(name)
+        if summary is None:
+            summary = spans[name] = SpanSummary(name)
+        summary.count += 1
+        summary.total_seconds += float(seconds)
+        summary.max_seconds = max(summary.max_seconds, float(seconds))
+        return None
+    if kind == "counter":
+        name = payload.get("name")
+        value = payload.get("value")
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            return "counter needs string 'name' and numeric 'value'"
+        counters[name] = counters.get(name, 0.0) + float(value)
+        return None
+    if kind == "gauge":
+        name = payload.get("name")
+        value = payload.get("value")
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            return "gauge needs string 'name' and numeric 'value'"
+        gauges[name] = float(value)
+        return None
+    if kind == "event":
+        name = payload.get("name")
+        if not isinstance(name, str):
+            return "event needs a string 'name'"
+        events[name] = events.get(name, 0) + 1
+        return None
+    if kind == "estimator_accuracy":
+        estimated = payload.get("estimated")
+        actual = payload.get("actual")
+        if not isinstance(estimated, (int, float)) or not isinstance(
+            actual, (int, float)
+        ):
+            return (
+                "estimator_accuracy needs numeric 'estimated' and 'actual'"
+            )
+        errors.append(abs(float(estimated) - float(actual)))
+        return None
+    # Unknown record types are forward-compatible, not malformed.
+    return None
+
+
+def format_report(summary: TraceSummary, top: int = 10) -> str:
+    """Human-readable rendering of a :class:`TraceSummary`."""
+    out: list[str] = []
+    out.append(
+        f"trace files: {summary.files}   lines: {summary.lines}   "
+        f"malformed: {len(summary.malformed)}"
+    )
+    out.append("")
+    out.append(f"Top spans by total time (of {len(summary.spans)} names):")
+    if summary.spans:
+        width = max(len(s.name) for s in summary.top_spans(top))
+        for entry in summary.top_spans(top):
+            out.append(
+                f"  {entry.name:<{width}}  n={entry.count:<6d} "
+                f"total={entry.total_seconds:9.4f}s "
+                f"mean={entry.mean_seconds:9.6f}s "
+                f"max={entry.max_seconds:9.6f}s"
+            )
+    else:
+        out.append("  (none)")
+    out.append("")
+    out.append(
+        f"Estimator accuracy ({summary.estimator_records} records):"
+    )
+    if summary.estimator_error_quantiles:
+        quantiles = summary.estimator_error_quantiles
+        out.append(
+            "  |estimated - actual| "
+            f"p50={quantiles['p50']:.4f} "
+            f"p90={quantiles['p90']:.4f} "
+            f"max={quantiles['max']:.4f}"
+        )
+    else:
+        out.append("  (none)")
+    out.append("")
+    rates = summary.hit_rates()
+    out.append("Cache hit rates:")
+    if rates:
+        for name, rate in rates.items():
+            hits = summary.counters.get(name + ".hit", 0.0)
+            misses = summary.counters.get(name + ".miss", 0.0)
+            out.append(
+                f"  {name}: {rate:6.1%} "
+                f"({int(hits)} hits / {int(misses)} misses)"
+            )
+    else:
+        out.append("  (none)")
+    if summary.counters:
+        out.append("")
+        out.append("Counters:")
+        for name in sorted(summary.counters):
+            out.append(f"  {name} = {summary.counters[name]:g}")
+    if summary.gauges:
+        out.append("")
+        out.append("Gauges:")
+        for name in sorted(summary.gauges):
+            out.append(f"  {name} = {summary.gauges[name]:g}")
+    if summary.malformed:
+        out.append("")
+        out.append("Malformed lines:")
+        for description in summary.malformed[:10]:
+            out.append(f"  {description}")
+        if len(summary.malformed) > 10:
+            out.append(f"  ... {len(summary.malformed) - 10} more")
+    return "\n".join(out)

@@ -1,0 +1,337 @@
+"""Zero-dependency span tracer and metrics registry.
+
+The query lifecycle (envelope derivation, optimization, plan capture,
+statistics, execution) emits *spans* — named, timed, optionally nested
+intervals with free-form attributes — plus *counters* (monotonic sums),
+*gauges* (last value wins), and typed *records* (e.g. the
+estimator-accuracy records compared by ``trace-report``).  Everything
+serializes to JSON-lines files, one file per process, so the parallel
+sweep's worker processes never contend on a shared sink and a trace
+directory can be merged by reading its files in sorted order (the same
+per-task sharding the sweep cache uses).
+
+Tracing is **off by default** and the disabled path is engineered to cost
+nothing measurable: :func:`span` returns a shared no-op context manager,
+and :func:`add_counter` / :func:`record` return after one global check.
+Enable it with :func:`configure` (the CLI's ``--trace DIR``) or the
+``REPRO_TRACE_DIR`` environment variable.
+
+Span ids are unique across threads and processes (``pid.thread.seq``);
+nesting is tracked per thread, and durations come from
+``time.perf_counter`` (monotonic), never the wall clock.  A tracer
+inherited through ``fork`` refuses to write to its parent's file — worker
+processes must configure their own sink, which
+:mod:`repro.experiments.parallel` does per task.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import json
+import os
+import threading
+import time
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, TextIO
+
+#: Environment variable naming the trace directory (same as ``--trace``).
+ENV_TRACE_DIR = "REPRO_TRACE_DIR"
+
+#: Suffix of every trace file a tracer writes.
+TRACE_SUFFIX = ".jsonl"
+
+
+class Span:
+    """One live span; set attributes via :meth:`set` before it closes."""
+
+    __slots__ = ("name", "span_id", "parent_id", "attrs", "seconds")
+
+    def __init__(
+        self, name: str, span_id: str, parent_id: str | None, attrs: dict
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.seconds = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attrs[key] = value
+
+    def update(self, **attrs: Any) -> None:
+        """Attach several attributes at once."""
+        self.attrs.update(attrs)
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def update(self, **attrs: Any) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _NoopContext:
+    """Reusable context manager yielding the no-op span (no generator)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_CONTEXT = _NoopContext()
+
+
+class Tracer:
+    """Writes spans, counters, gauges, and records to one JSON-lines file.
+
+    Counters accumulate in memory and are written as delta records by
+    :meth:`flush` (called automatically by :meth:`close`, which runs at
+    interpreter exit); everything else is written as it happens.  All
+    methods are thread-safe; writes from a forked child are dropped so a
+    tracer never corrupts its parent's file.
+    """
+
+    def __init__(self, directory: str | Path, label: str | None = None) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._pid = os.getpid()
+        self.label = label if label is not None else f"pid{self._pid}"
+        self.path = self.directory / f"trace_{self.label}{TRACE_SUFFIX}"
+        self._lock = threading.Lock()
+        self._file: TextIO | None = None
+        self._closed = False
+        self._counters: dict[str, float] = {}
+        self._sequence = itertools.count(1)
+        self._local = threading.local()
+        atexit.register(self.close)
+
+    # -- identity ----------------------------------------------------------
+
+    def _next_span_id(self) -> str:
+        return (
+            f"{self._pid:x}.{threading.get_ident():x}."
+            f"{next(self._sequence):x}"
+        )
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, payload: dict) -> None:
+        if self._closed or os.getpid() != self._pid:
+            # Forked child inherited this tracer: never write to the
+            # parent's file.  The child must configure its own sink.
+            return
+        line = json.dumps(payload, default=str, separators=(",", ":"))
+        with self._lock:
+            if self._closed:
+                return
+            if self._file is None:
+                self._file = self.path.open("a", encoding="utf-8")
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        stack = self._stack()
+        parent_id = stack[-1] if stack else None
+        live = Span(name, self._next_span_id(), parent_id, attrs)
+        stack.append(live.span_id)
+        started = time.perf_counter()
+        try:
+            yield live
+        finally:
+            live.seconds = time.perf_counter() - started
+            stack.pop()
+            payload = {
+                "type": "span",
+                "name": live.name,
+                "span_id": live.span_id,
+                "ts": time.time(),
+                "seconds": live.seconds,
+            }
+            if live.parent_id is not None:
+                payload["parent_id"] = live.parent_id
+            if live.attrs:
+                payload["attrs"] = live.attrs
+            self._emit(payload)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        payload: dict[str, Any] = {
+            "type": "event",
+            "name": name,
+            "ts": time.time(),
+        }
+        stack = self._stack()
+        if stack:
+            payload["parent_id"] = stack[-1]
+        if attrs:
+            payload["attrs"] = attrs
+        self._emit(payload)
+
+    def record(self, record_type: str, **fields: Any) -> None:
+        payload: dict[str, Any] = {"type": record_type, "ts": time.time()}
+        payload.update(fields)
+        self._emit(payload)
+
+    def add_counter(self, name: str, amount: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._emit({"type": "gauge", "name": name, "value": value})
+
+    def flush(self) -> None:
+        """Write accumulated counter deltas and sync the file."""
+        with self._lock:
+            deltas = dict(self._counters)
+            self._counters.clear()
+        for name in sorted(deltas):
+            self._emit(
+                {"type": "counter", "name": name, "value": deltas[name]}
+            )
+
+    def close(self) -> None:
+        """Flush and close; safe to call more than once."""
+        if self._closed:
+            return
+        self.flush()
+        with self._lock:
+            self._closed = True
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+# ---------------------------------------------------------------------------
+# Module-level API (what instrumented code calls)
+# ---------------------------------------------------------------------------
+
+_TRACER: Tracer | None = None
+_ENV_CHECKED = False
+_STATE_LOCK = threading.Lock()
+
+
+def configure(
+    directory: str | Path | None, label: str | None = None
+) -> Tracer | None:
+    """Enable tracing into ``directory`` (``None`` disables it).
+
+    The previous tracer, if any, is flushed and closed.  Returns the new
+    tracer (or ``None`` when disabling).
+    """
+    global _TRACER, _ENV_CHECKED
+    with _STATE_LOCK:
+        previous = _TRACER
+        _ENV_CHECKED = True  # explicit configuration beats the env var
+        _TRACER = None
+    if previous is not None:
+        previous.close()
+    if directory is None:
+        return None
+    tracer = Tracer(directory, label=label)
+    with _STATE_LOCK:
+        _TRACER = tracer
+    return tracer
+
+
+def current() -> Tracer | None:
+    """The active tracer, initializing from ``REPRO_TRACE_DIR`` once."""
+    global _ENV_CHECKED
+    tracer = _TRACER
+    if tracer is not None or _ENV_CHECKED:
+        return tracer
+    with _STATE_LOCK:
+        _ENV_CHECKED = True
+    directory = os.environ.get(ENV_TRACE_DIR)
+    if not directory:
+        return None
+    return configure(directory)
+
+
+def enabled() -> bool:
+    """Whether tracing is active (one cheap check; safe on hot paths)."""
+    return current() is not None
+
+
+def trace_directory() -> Path | None:
+    """Directory of the active tracer (workers inherit it per task)."""
+    tracer = current()
+    return tracer.directory if tracer is not None else None
+
+
+def span(name: str, **attrs: Any):
+    """Context manager timing one lifecycle phase as a span.
+
+    Disabled tracing returns a shared, allocation-free no-op context; the
+    yielded object always supports ``set``/``update``.
+    """
+    tracer = current()
+    if tracer is None:
+        return _NOOP_CONTEXT
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit a point-in-time event (no duration)."""
+    tracer = current()
+    if tracer is not None:
+        tracer.event(name, **attrs)
+
+
+def record(record_type: str, **fields: Any) -> None:
+    """Emit a typed record (e.g. ``estimator_accuracy``)."""
+    tracer = current()
+    if tracer is not None:
+        tracer.record(record_type, **fields)
+
+
+def add_counter(name: str, amount: float = 1) -> None:
+    """Accumulate a counter delta (written on flush)."""
+    tracer = current()
+    if tracer is not None:
+        tracer.add_counter(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge (last value wins in reports)."""
+    tracer = current()
+    if tracer is not None:
+        tracer.set_gauge(name, value)
+
+
+def flush() -> None:
+    """Flush the active tracer's accumulated counters, if any."""
+    tracer = current()
+    if tracer is not None:
+        tracer.flush()
+
+
+def counters_snapshot() -> Mapping[str, float]:
+    """Unflushed counter values of the active tracer (tests/debugging)."""
+    tracer = current()
+    if tracer is None:
+        return {}
+    with tracer._lock:
+        return dict(tracer._counters)

@@ -21,11 +21,12 @@ plan, which is exactly the effect the paper measures.
 from __future__ import annotations
 
 import time
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.catalog import ModelCatalog
 from repro.core.columns import ColumnBatch
 from repro.core.optimizer import (
@@ -51,7 +52,15 @@ from repro.sql.planner import (
     capture_plan,
 )
 from repro.sql.plancache import PlanCache
-from repro.sql.stats import TableStats, build_table_stats, estimate_selectivity
+from repro.sql.stats import (
+    TableStats,
+    build_table_stats,
+    estimate_selectivity,
+    record_estimator_accuracy,
+)
+
+#: Per-model predicted labels aligned positionally with a result row set.
+PredictionStore = Mapping[str, tuple[Value, ...]]
 
 
 @dataclass(frozen=True)
@@ -71,6 +80,11 @@ class ExecutionReport:
     model_seconds: float
     plan: Plan
     optimized: OptimizedQuery | None = None
+    #: Model predictions memoized during the residual filter, keyed by
+    #: model name and aligned with ``rows`` — so downstream consumers
+    #: (e.g. :meth:`PredictionJoinExecutor.predictions`) never re-score
+    #: rows the executor already scored.
+    predictions: PredictionStore | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -146,8 +160,9 @@ class PredictionJoinExecutor:
         predicates: Sequence[MiningPredicate],
         envelopes: Sequence[Predicate] | None = None,
         estimator: SelectivityEstimator | None = None,
-    ) -> tuple[Row, ...]:
-        """Rows of ``fetched`` satisfying every mining predicate.
+    ) -> tuple[tuple[Row, ...], dict[str, tuple[Value, ...]]]:
+        """Rows of ``fetched`` satisfying every mining predicate, plus the
+        per-model predictions memoized for the surviving rows.
 
         ``envelopes``, when given, holds each predicate's upper envelope
         (positionally aligned).  An envelope is a superset of its
@@ -158,12 +173,15 @@ class PredictionJoinExecutor:
 
         Both the vectorized and scalar paths memoize predictions per
         (model, row), so several predicates over one model score each row
-        once.
+        once.  The second return value surfaces those memos (model name ->
+        labels aligned with the surviving rows) so callers that need
+        prediction columns never invoke the models again.
         """
         if not predicates:
-            return tuple(fetched)
+            return tuple(fetched), {}
         if not self._vectorized:
-            selected = []
+            selected: list[Row] = []
+            row_caches: list[dict[str, Value]] = []
             for row in fetched:
                 cache: dict[str, Value] = {}
                 if all(
@@ -171,19 +189,47 @@ class PredictionJoinExecutor:
                     for predicate in predicates
                 ):
                     selected.append(row)
-            return tuple(selected)
+                    row_caches.append(cache)
+            self._count_residual(len(fetched), len(selected))
+            return tuple(selected), _collect_row_predictions(row_caches)
         survivors: list[Row] = []
+        predictions: dict[str, list[Value]] | None = None
         step = self._batch_size
         for start in range(0, len(fetched), step):
-            survivors.extend(
-                self._filter_batch(
-                    fetched[start : start + step],
-                    predicates,
-                    envelopes,
-                    estimator,
-                )
+            batch_rows, batch_predictions = self._filter_batch(
+                fetched[start : start + step],
+                predicates,
+                envelopes,
+                estimator,
             )
-        return tuple(survivors)
+            if not batch_rows:
+                continue
+            survivors.extend(batch_rows)
+            if predictions is None:
+                predictions = batch_predictions
+            else:
+                # A model memoized in one chunk but not another (possible
+                # only with exotic predicates that bypass the cache) cannot
+                # be stitched back together; drop it and let callers
+                # re-score.
+                for name in list(predictions):
+                    chunk_values = batch_predictions.get(name)
+                    if chunk_values is None:
+                        del predictions[name]
+                    else:
+                        predictions[name].extend(chunk_values)
+        self._count_residual(len(fetched), len(survivors))
+        store = {
+            name: tuple(values)
+            for name, values in (predictions or {}).items()
+            if len(values) == len(survivors)
+        }
+        return tuple(survivors), store
+
+    def _count_residual(self, rows_in: int, rows_out: int) -> None:
+        if obs.enabled():
+            obs.add_counter("executor.residual.rows_in", rows_in)
+            obs.add_counter("executor.residual.rows_out", rows_out)
 
     def _filter_batch(
         self,
@@ -191,12 +237,13 @@ class PredictionJoinExecutor:
         predicates: Sequence[MiningPredicate],
         envelopes: Sequence[Predicate] | None,
         estimator: SelectivityEstimator | None,
-    ) -> list[Row]:
+    ) -> tuple[list[Row], dict[str, list[Value]]]:
         """Vectorized filter of one batch with short-circuit compaction.
 
         After each predicate, rows already ruled out are compacted away
         (``ColumnBatch.take``), and the per-model prediction memo is
-        sliced in lockstep so cached predictions stay row-aligned.
+        sliced in lockstep so cached predictions stay row-aligned.  The
+        surviving slice of that memo is returned alongside the rows.
         """
         batch = ColumnBatch(chunk)
         cache: dict[str, np.ndarray] = {}
@@ -211,38 +258,55 @@ class PredictionJoinExecutor:
                 mask = envelope.evaluate_batch(batch, estimator)
                 batch, cache, alive = _compact(batch, cache, alive, mask)
                 if len(batch) == 0:
-                    return []
+                    return [], {}
             mask = predicate.evaluate_batch(batch, self._catalog, cache)
             batch, cache, alive = _compact(batch, cache, alive, mask)
             if len(batch) == 0:
-                return []
+                return [], {}
+        # ``cache`` arrays were sliced in lockstep with every compaction,
+        # so they are aligned with the surviving rows.
+        predictions = {name: list(values) for name, values in cache.items()}
         if alive is None:
-            return list(chunk)
-        return [chunk[i] for i in alive]
+            return list(chunk), predictions
+        return [chunk[i] for i in alive], predictions
 
     def execute_naive(self, query: MiningQuery) -> ExecutionReport:
         """Extract-and-mine: SQL evaluates only the relational predicate."""
-        sql = select_statement(query.table, query.relational_predicate)
-        plan = capture_plan(
-            self._db, query.table, query.relational_predicate
-        )
-        started = time.perf_counter()
-        fetched = self._db.query_rows(sql)
-        sql_seconds = time.perf_counter() - started
+        with obs.span(
+            "execute.naive", table=query.table
+        ) as execute_span:
+            sql = select_statement(query.table, query.relational_predicate)
+            plan = capture_plan(
+                self._db, query.table, query.relational_predicate
+            )
+            with obs.span("execute.sql", table=query.table) as sql_span:
+                started = time.perf_counter()
+                fetched = self._db.query_rows(sql)
+                sql_seconds = time.perf_counter() - started
+                sql_span.set("rows_fetched", len(fetched))
 
-        started = time.perf_counter()
-        rows = self._apply_mining_predicates(
-            fetched, query.mining_predicates
-        )
-        model_seconds = time.perf_counter() - started
-        return ExecutionReport(
-            strategy="extract-and-mine",
-            rows=rows,
-            rows_fetched=len(fetched),
-            sql_seconds=sql_seconds,
-            model_seconds=model_seconds,
-            plan=plan,
-        )
+            with obs.span("execute.model", table=query.table) as model_span:
+                started = time.perf_counter()
+                rows, predictions = self._apply_mining_predicates(
+                    fetched, query.mining_predicates
+                )
+                model_seconds = time.perf_counter() - started
+                model_span.update(rows_in=len(fetched), rows_out=len(rows))
+            execute_span.update(
+                rows_fetched=len(fetched),
+                rows_returned=len(rows),
+                sql_seconds=sql_seconds,
+                model_seconds=model_seconds,
+            )
+            return ExecutionReport(
+                strategy="extract-and-mine",
+                rows=rows,
+                rows_fetched=len(fetched),
+                sql_seconds=sql_seconds,
+                model_seconds=model_seconds,
+                plan=plan,
+                predictions=predictions,
+            )
 
     def execute_optimized(
         self,
@@ -255,73 +319,108 @@ class PredictionJoinExecutor:
         envelopes; a FALSE pushable predicate returns immediately with a
         constant-scan plan and zero data access.
         """
-        if self._plan_cache is not None:
-            optimized = self._plan_cache.get_or_optimize(
-                query, self._catalog, max_disjuncts=max_disjuncts
+        with obs.span(
+            "execute.optimized", table=query.table
+        ) as execute_span:
+            if self._plan_cache is not None:
+                optimized = self._plan_cache.get_or_optimize(
+                    query, self._catalog, max_disjuncts=max_disjuncts
+                )
+            else:
+                optimized = optimize(
+                    query, self._catalog, max_disjuncts=max_disjuncts
+                )
+            if optimized.constant_false:
+                execute_span.update(constant_false=True, rows_returned=0)
+                return ExecutionReport(
+                    strategy="optimized",
+                    rows=(),
+                    rows_fetched=0,
+                    sql_seconds=0.0,
+                    model_seconds=0.0,
+                    plan=capture_plan(
+                        self._db, query.table, optimized.pushable_predicate
+                    ),
+                    optimized=optimized,
+                    predictions={},
+                )
+            pushable = optimized.pushable_predicate
+            envelopes: list[Predicate] | None = None
+            estimator: SelectivityEstimator | None = None
+            stats: TableStats | None = None
+            if self._selectivity_gate is not None:
+                stats = self._table_stats(query.table)
+                estimated = estimate_selectivity(stats, pushable)
+                if estimated > self._selectivity_gate:
+                    # The envelope is too unselective to buy an index plan;
+                    # strip it (paper Section 4.2: "the upper envelope can
+                    # be removed at the end of the optimization").  It
+                    # still holds as a predicate-level superset, so the
+                    # residual filter reuses it as a columnar prefilter
+                    # ahead of model scoring.  The first len(residual)
+                    # injections align positionally with the residual
+                    # predicates.
+                    obs.event(
+                        "execute.envelope_stripped",
+                        table=query.table,
+                        estimated=estimated,
+                        gate=self._selectivity_gate,
+                    )
+                    pushable = optimized.query.relational_predicate
+                    envelopes = [
+                        injection.envelope
+                        for injection in optimized.injections[
+                            : len(optimized.residual_predicates)
+                        ]
+                    ]
+                    estimator = lambda predicate: estimate_selectivity(
+                        stats, predicate
+                    )
+            sql = select_statement(query.table, pushable)
+            plan = capture_plan(self._db, query.table, pushable)
+            with obs.span("execute.sql", table=query.table) as sql_span:
+                started = time.perf_counter()
+                fetched = self._db.query_rows(sql)
+                sql_seconds = time.perf_counter() - started
+                sql_span.set("rows_fetched", len(fetched))
+            if obs.enabled() and stats is not None and stats.row_count > 0:
+                # Estimator-accuracy feedback: the estimate the optimizer
+                # acted on versus the measured selectivity of the same
+                # (final) pushed predicate.
+                record_estimator_accuracy(
+                    query.table,
+                    pushable,
+                    estimate_selectivity(stats, pushable),
+                    len(fetched) / stats.row_count,
+                    stats.row_count,
+                )
+
+            with obs.span("execute.model", table=query.table) as model_span:
+                started = time.perf_counter()
+                rows, predictions = self._apply_mining_predicates(
+                    fetched,
+                    optimized.residual_predicates,
+                    envelopes=envelopes,
+                    estimator=estimator,
+                )
+                model_seconds = time.perf_counter() - started
+                model_span.update(rows_in=len(fetched), rows_out=len(rows))
+            execute_span.update(
+                rows_fetched=len(fetched),
+                rows_returned=len(rows),
+                sql_seconds=sql_seconds,
+                model_seconds=model_seconds,
             )
-        else:
-            optimized = optimize(
-                query, self._catalog, max_disjuncts=max_disjuncts
-            )
-        if optimized.constant_false:
             return ExecutionReport(
                 strategy="optimized",
-                rows=(),
-                rows_fetched=0,
-                sql_seconds=0.0,
-                model_seconds=0.0,
-                plan=capture_plan(
-                    self._db, query.table, optimized.pushable_predicate
-                ),
+                rows=rows,
+                rows_fetched=len(fetched),
+                sql_seconds=sql_seconds,
+                model_seconds=model_seconds,
+                plan=plan,
                 optimized=optimized,
+                predictions=predictions,
             )
-        pushable = optimized.pushable_predicate
-        envelopes: list[Predicate] | None = None
-        estimator: SelectivityEstimator | None = None
-        if self._selectivity_gate is not None:
-            stats = self._table_stats(query.table)
-            estimated = estimate_selectivity(stats, pushable)
-            if estimated > self._selectivity_gate:
-                # The envelope is too unselective to buy an index plan;
-                # strip it (paper Section 4.2: "the upper envelope can be
-                # removed at the end of the optimization").  It still
-                # holds as a predicate-level superset, so the residual
-                # filter reuses it as a columnar prefilter ahead of model
-                # scoring.  The first len(residual) injections align
-                # positionally with the residual predicates.
-                pushable = optimized.query.relational_predicate
-                envelopes = [
-                    injection.envelope
-                    for injection in optimized.injections[
-                        : len(optimized.residual_predicates)
-                    ]
-                ]
-                estimator = lambda predicate: estimate_selectivity(
-                    stats, predicate
-                )
-        sql = select_statement(query.table, pushable)
-        plan = capture_plan(self._db, query.table, pushable)
-        started = time.perf_counter()
-        fetched = self._db.query_rows(sql)
-        sql_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        rows = self._apply_mining_predicates(
-            fetched,
-            optimized.residual_predicates,
-            envelopes=envelopes,
-            estimator=estimator,
-        )
-        model_seconds = time.perf_counter() - started
-        return ExecutionReport(
-            strategy="optimized",
-            rows=rows,
-            rows_fetched=len(fetched),
-            sql_seconds=sql_seconds,
-            model_seconds=model_seconds,
-            plan=plan,
-            optimized=optimized,
-        )
 
     def execute(
         self, query: MiningQuery, optimize_query: bool = True
@@ -339,6 +438,11 @@ class PredictionJoinExecutor:
         This mirrors the shape of the paper's DMX example output
         (``SELECT D.Customer_ID, M.Risk ...``): every referenced model
         contributes its prediction column to the returned rows.
+
+        The residual filter already scored (and memoized) every surviving
+        row, so the labels come straight from the execution report; a
+        model is re-scored only if its memo is unavailable (exotic
+        predicates that bypass the prediction cache).
         """
         report = self.execute(query, optimize_query=optimize_query)
         model_names: list[str] = []
@@ -347,12 +451,34 @@ class PredictionJoinExecutor:
                 if name not in model_names:
                     model_names.append(name)
         augmented = [dict(row) for row in report.rows]
+        memoized = report.predictions or {}
         for name in model_names:
             model = self._catalog.model(name)
-            labels = model.predict_many(report.rows)
+            labels: Sequence[Value] | None = memoized.get(name)
+            if labels is None or len(labels) != len(report.rows):
+                labels = model.predict_many(report.rows)
             for enriched, label in zip(augmented, labels):
                 enriched[model.prediction_column] = label
         return augmented
+
+
+def _collect_row_predictions(
+    caches: Sequence[Mapping[str, Value]],
+) -> dict[str, tuple[Value, ...]]:
+    """Stitch per-row prediction memos into per-model label columns.
+
+    Only models memoized for *every* surviving row are kept — a predicate
+    that bypasses the cache would otherwise leave misaligned columns.
+    """
+    if not caches:
+        return {}
+    names = set(caches[0])
+    for cache in caches[1:]:
+        names &= cache.keys()
+    return {
+        name: tuple(cache[name] for cache in caches)
+        for name in sorted(names)
+    }
 
 
 def _compact(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.catalog import ModelCatalog
 from repro.core.optimizer import MiningQuery, OptimizedQuery, optimize
 
@@ -117,10 +118,13 @@ class PlanCache:
             if cached_versions == versions:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                obs.add_counter("plan_cache.hit")
                 return plan
             del self._entries[key]
             self.stats.invalidations += 1
+            obs.add_counter("plan_cache.invalidation")
         self.stats.misses += 1
+        obs.add_counter("plan_cache.miss")
         plan = optimize(query, catalog, **optimize_kwargs)
         self._entries[key] = (versions, plan)
         if len(self._entries) > self._capacity:

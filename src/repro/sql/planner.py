@@ -15,6 +15,7 @@ import enum
 import re
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.predicates import FalsePredicate, Predicate
 from repro.sql.compiler import select_statement
 from repro.sql.database import Database
@@ -71,10 +72,18 @@ def capture_plan(db: Database, table: str, predicate: Predicate) -> Plan:
     engine — the optimizer knows the envelope is empty from the catalog and
     never needs the data (paper Section 5.2.1 case (b)).
     """
-    if isinstance(predicate, FalsePredicate):
-        return CONSTANT_SCAN_PLAN
-    sql = select_statement(table, predicate)
-    return parse_explain(db.explain(sql))
+    with obs.span("plan.capture", table=table) as sp:
+        if isinstance(predicate, FalsePredicate):
+            plan = CONSTANT_SCAN_PLAN
+        else:
+            sql = select_statement(table, predicate)
+            plan = parse_explain(db.explain(sql))
+        if obs.enabled():
+            sp.update(
+                access_path=plan.access_path.value,
+                indexes=list(plan.index_names),
+            )
+        return plan
 
 
 def parse_explain(rows: list[tuple[int, int, int, str]]) -> Plan:

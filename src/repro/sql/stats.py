@@ -15,6 +15,7 @@ import bisect
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.predicates import (
     And,
     Comparison,
@@ -34,6 +35,14 @@ from repro.exceptions import DatabaseError
 _BUCKETS = 32
 #: How many most-common values to track exactly.
 _TOP_VALUES = 24
+#: Fallback selectivity when a predicate cannot use column statistics
+#: (non-numeric histogram, mixed-type bounds).
+_GENERIC_SELECTIVITY = 0.3
+
+
+def _is_numeric(value: object) -> bool:
+    """True for int/float values, excluding bool (a subclass of int)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 @dataclass(frozen=True)
@@ -52,7 +61,15 @@ class ColumnStats:
             return self.top_values[value]
         if self.distinct == 0:
             return 0.0
-        return min(1.0 / self.distinct, 1.0)
+        # A value absent from the sample can only claim the probability
+        # mass the tracked common values do *not* account for, spread over
+        # the distinct values beyond them.  When the sample enumerates the
+        # column fully, that leftover mass is ~0 — the old 1/distinct
+        # answer grossly overestimated and misordered operands sorted by
+        # selectivity.
+        leftover = max(0.0, 1.0 - sum(self.top_values.values()))
+        unseen = max(self.distinct - len(self.top_values), 1)
+        return min(leftover / unseen, 1.0)
 
     def range_selectivity(
         self,
@@ -63,17 +80,25 @@ class ColumnStats:
     ) -> float:
         if self.boundaries is None or not self.boundaries:
             # Non-numeric column: fall back to a generic guess.
-            return 0.3
+            return _GENERIC_SELECTIVITY
+        if (low is not None and not _is_numeric(low)) or (
+            high is not None and not _is_numeric(high)
+        ):
+            # A non-numeric bound on a numeric column cannot be located in
+            # the histogram.  Treating it as unbounded silently returned
+            # the open side's selectivity; the honest answer is the same
+            # generic guess used when no histogram applies.
+            return _GENERIC_SELECTIVITY
         points = self.boundaries
         n = len(points)
         lo_index = 0
-        if low is not None and isinstance(low, (int, float)):
+        if low is not None:
             if low_closed:
                 lo_index = bisect.bisect_left(points, float(low))
             else:
                 lo_index = bisect.bisect_right(points, float(low))
         hi_index = n
-        if high is not None and isinstance(high, (int, float)):
+        if high is not None:
             if high_closed:
                 hi_index = bisect.bisect_right(points, float(high))
             else:
@@ -112,7 +137,9 @@ def build_column_stats(name: str, values: Sequence[Value]) -> ColumnStats:
     top_values = {
         value: count / total for value, count in common[:_TOP_VALUES]
     }
-    numeric = [v for v in values if isinstance(v, (int, float))]
+    # Booleans are ints to isinstance() but not to a histogram: a column
+    # of True/False must not masquerade as numeric boundaries.
+    numeric = [v for v in values if _is_numeric(v)]
     boundaries: tuple[float, ...] | None = None
     if len(numeric) == total:
         ordered = sorted(float(v) for v in numeric)
@@ -141,15 +168,17 @@ def build_table_stats(
     """Build full-table statistics from a row sample."""
     if not rows:
         raise DatabaseError(f"no sample rows for table {table!r}")
-    columns = {}
-    for column in rows[0]:
-        values = [row[column] for row in rows]
-        columns[column] = build_column_stats(column, values)
-    return TableStats(
-        table=table,
-        row_count=row_count if row_count is not None else len(rows),
-        columns=columns,
-    )
+    with obs.span("stats.build", table=table) as sp:
+        columns = {}
+        for column in rows[0]:
+            values = [row[column] for row in rows]
+            columns[column] = build_column_stats(column, values)
+        sp.update(sample_size=len(rows), columns=len(columns))
+        return TableStats(
+            table=table,
+            row_count=row_count if row_count is not None else len(rows),
+            columns=columns,
+        )
 
 
 def estimate_selectivity(stats: TableStats, pred: Predicate) -> float:
@@ -187,6 +216,32 @@ def estimate_selectivity(stats: TableStats, pred: Predicate) -> float:
             miss *= 1.0 - estimate_selectivity(stats, operand)
         return 1.0 - miss
     raise DatabaseError(f"cannot estimate selectivity of {pred!r}")
+
+
+def record_estimator_accuracy(
+    table: str,
+    predicate: Predicate,
+    estimated: float,
+    actual: float,
+    rows_total: int,
+) -> None:
+    """Log one estimated-vs-actual selectivity pair to the trace.
+
+    ``estimated`` comes from :func:`estimate_selectivity` before execution;
+    ``actual`` is the measured fraction of rows satisfying ``predicate``
+    after execution.  ``trace-report`` aggregates the absolute errors into
+    quantiles — the estimate-vs-actual feedback loop semantic-predicate
+    optimizers use to reorder expensive predicates.
+    """
+    obs.record(
+        "estimator_accuracy",
+        table=table,
+        predicate=repr(predicate),
+        estimated=float(estimated),
+        actual=float(actual),
+        rows_total=int(rows_total),
+        abs_error=abs(float(estimated) - float(actual)),
+    )
 
 
 def _comparison_selectivity(stats: TableStats, pred: Comparison) -> float:

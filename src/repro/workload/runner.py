@@ -38,8 +38,13 @@ from repro.sql.planner import (
     CONSTANT_SCAN_PLAN,
     capture_plan,
 )
+from repro import obs
 from repro.sql.schema import TableSchema
-from repro.sql.stats import build_table_stats, estimate_selectivity
+from repro.sql.stats import (
+    build_table_stats,
+    estimate_selectivity,
+    record_estimator_accuracy,
+)
 from repro.workload.measurement import QueryMeasurement
 
 
@@ -175,6 +180,16 @@ def run_family(
                     db, select_statement(table, predicate), repeats
                 )
             envelope_selectivity = db.selectivity(table, envelope.predicate)
+            if obs.enabled():
+                # The estimate that drove the gate decision versus the
+                # measured selectivity of the same envelope predicate.
+                record_estimator_accuracy(
+                    table,
+                    envelope.predicate,
+                    estimated,
+                    envelope_selectivity,
+                    loaded.rows_total,
+                )
         plan_changed = (
             plan.is_constant or plan.access_path is not baseline_plan_path
         )

@@ -163,6 +163,47 @@ class TestPerTaskCacheResume:
         assert run_all(TINY, jobs=1) == first
 
 
+class TestPerTaskTracing:
+    @pytest.fixture
+    def clean_obs(self):
+        from repro import obs
+
+        yield
+        obs.configure(None)
+
+    def test_workers_write_per_task_trace_files(self, tmp_path, clean_obs):
+        """Each parallel worker traces into its own per-task file."""
+        from repro import obs
+
+        trace_dir = tmp_path / "traces"
+        obs.configure(trace_dir, label="parent")
+        tasks = [
+            ("diabetes", FAMILY_DECISION_TREE),
+            ("balance_scale", FAMILY_DECISION_TREE),
+        ]
+        run_tasks(TINY, tasks, jobs=2)
+        obs.configure(None)
+        names = sorted(p.name for p in trace_dir.glob("*.jsonl"))
+        for dataset, family in tasks:
+            assert f"trace_task_{dataset}__{family}.jsonl" in names
+        summary = obs.summarize(trace_dir, strict=True)
+        task_spans = summary.spans["sweep.task"]
+        assert task_spans.count == len(tasks)
+
+    def test_serial_path_traces_into_parent_file(self, tmp_path, clean_obs):
+        from repro import obs
+
+        trace_dir = tmp_path / "traces"
+        tracer = obs.configure(trace_dir, label="parent")
+        run_tasks(TINY, [("diabetes", FAMILY_DECISION_TREE)], jobs=1)
+        obs.configure(None)
+        assert [p.name for p in trace_dir.glob("*.jsonl")] == [
+            tracer.path.name
+        ]
+        summary = obs.summarize(trace_dir, strict=True)
+        assert summary.spans["sweep.task"].count == 1
+
+
 class TestBenchmarkEmitter:
     def test_report_shape_and_invariant(self, tmp_path):
         import json

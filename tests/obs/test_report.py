@@ -1,0 +1,162 @@
+"""Unit tests for trace-directory summarization (``trace-report``)."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+def write_trace(path, payloads):
+    path.write_text(
+        "".join(json.dumps(p) + "\n" for p in payloads), encoding="utf-8"
+    )
+
+
+class TestSummarize:
+    def test_aggregates_all_record_types(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_a.jsonl",
+            [
+                {"type": "span", "name": "optimize", "seconds": 0.5},
+                {"type": "span", "name": "optimize", "seconds": 1.5},
+                {"type": "span", "name": "derive", "seconds": 0.1},
+                {"type": "counter", "name": "memo.hit", "value": 3},
+                {"type": "counter", "name": "memo.miss", "value": 1},
+                {"type": "gauge", "name": "g", "value": 7},
+                {"type": "event", "name": "stripped"},
+                {
+                    "type": "estimator_accuracy",
+                    "estimated": 0.2,
+                    "actual": 0.3,
+                },
+            ],
+        )
+        summary = obs.summarize(tmp_path)
+        assert summary.files == 1
+        assert summary.lines == 8
+        assert summary.malformed == []
+        optimize = summary.spans["optimize"]
+        assert optimize.count == 2
+        assert optimize.total_seconds == pytest.approx(2.0)
+        assert optimize.mean_seconds == pytest.approx(1.0)
+        assert optimize.max_seconds == pytest.approx(1.5)
+        assert summary.counters == {"memo.hit": 3, "memo.miss": 1}
+        assert summary.gauges == {"g": 7}
+        assert summary.events == {"stripped": 1}
+        assert summary.estimator_records == 1
+        assert summary.estimator_error_quantiles["max"] == pytest.approx(0.1)
+
+    def test_merges_files_and_sums_counters(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_task_b.jsonl",
+            [{"type": "counter", "name": "c", "value": 2}],
+        )
+        write_trace(
+            tmp_path / "trace_task_a.jsonl",
+            [{"type": "counter", "name": "c", "value": 5}],
+        )
+        summary = obs.summarize(tmp_path)
+        assert summary.files == 2
+        assert summary.counters == {"c": 7}
+        files = obs.trace_files(tmp_path)
+        assert [f.name for f in files] == sorted(f.name for f in files)
+
+    def test_top_spans_ranked_by_total_time(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_a.jsonl",
+            [
+                {"type": "span", "name": "fast", "seconds": 0.1},
+                {"type": "span", "name": "slow", "seconds": 9.0},
+                {"type": "span", "name": "mid", "seconds": 1.0},
+            ],
+        )
+        summary = obs.summarize(tmp_path)
+        assert [s.name for s in summary.top_spans(2)] == ["slow", "mid"]
+
+    def test_hit_rates_derived_from_counter_pairs(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_a.jsonl",
+            [
+                {"type": "counter", "name": "memo.hit", "value": 3},
+                {"type": "counter", "name": "memo.miss", "value": 1},
+                {"type": "counter", "name": "lonely.hit", "value": 2},
+                {"type": "counter", "name": "unrelated", "value": 9},
+            ],
+        )
+        rates = obs.summarize(tmp_path).hit_rates()
+        assert rates == {"memo": 0.75, "lonely": 1.0}
+
+    def test_unknown_record_types_are_forward_compatible(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_a.jsonl",
+            [{"type": "novelty", "payload": 1}],
+        )
+        summary = obs.summarize(tmp_path)
+        assert summary.malformed == []
+        assert summary.lines == 1
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "bad_line",
+        [
+            "{not json",
+            '["a", "list"]',
+            '{"no": "type"}',
+            '{"type": "span", "name": "x"}',
+            '{"type": "counter", "name": "x", "value": "NaNish"}',
+            '{"type": "estimator_accuracy", "estimated": 0.1}',
+        ],
+    )
+    def test_bad_lines_counted(self, tmp_path, bad_line):
+        (tmp_path / "trace_a.jsonl").write_text(
+            bad_line + "\n" + '{"type": "gauge", "name": "g", "value": 1}\n'
+        )
+        summary = obs.summarize(tmp_path)
+        assert len(summary.malformed) == 1
+        assert summary.gauges == {"g": 1}
+
+    def test_strict_raises(self, tmp_path):
+        (tmp_path / "trace_a.jsonl").write_text("nope\n")
+        with pytest.raises(obs.TraceError):
+            obs.summarize(tmp_path, strict=True)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(obs.TraceError):
+            obs.summarize(tmp_path / "absent")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(obs.TraceError):
+            obs.summarize(tmp_path)
+
+
+class TestFormatReport:
+    def test_report_mentions_every_section(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_a.jsonl",
+            [
+                {"type": "span", "name": "optimize", "seconds": 0.5},
+                {"type": "counter", "name": "memo.hit", "value": 3},
+                {"type": "counter", "name": "memo.miss", "value": 1},
+                {
+                    "type": "estimator_accuracy",
+                    "estimated": 0.2,
+                    "actual": 0.25,
+                },
+            ],
+        )
+        text = obs.format_report(obs.summarize(tmp_path))
+        assert "Top spans" in text
+        assert "optimize" in text
+        assert "Estimator accuracy (1 records)" in text
+        assert "p50=0.0500" in text
+        assert "memo: " in text and "75.0%" in text
+
+    def test_report_renders_empty_summary(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_a.jsonl",
+            [{"type": "event", "name": "only"}],
+        )
+        text = obs.format_report(obs.summarize(tmp_path))
+        assert "(none)" in text

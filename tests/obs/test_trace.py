@@ -1,0 +1,197 @@
+"""Unit tests for the span tracer and metrics registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import trace as trace_module
+
+
+@pytest.fixture
+def clean_obs():
+    """Isolate the module-level tracer state around each test."""
+    obs.configure(None)
+    yield
+    obs.configure(None)
+
+
+def read_lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestDisabled:
+    def test_disabled_by_default(self, clean_obs):
+        assert not obs.enabled()
+        assert obs.current() is None
+        assert obs.trace_directory() is None
+
+    def test_disabled_span_is_shared_noop(self, clean_obs):
+        first = obs.span("anything")
+        second = obs.span("else")
+        assert first is second  # no allocation on the disabled path
+        with first as sp:
+            sp.set("k", 1)
+            sp.update(a=2)  # must not raise
+
+    def test_disabled_metrics_are_noops(self, clean_obs):
+        obs.add_counter("x")
+        obs.set_gauge("g", 1.0)
+        obs.record("estimator_accuracy", estimated=0.1, actual=0.1)
+        obs.event("e")
+        obs.flush()
+        assert obs.counters_snapshot() == {}
+
+
+class TestSpans:
+    def test_span_emits_json_line(self, clean_obs, tmp_path):
+        tracer = obs.configure(tmp_path, label="t")
+        with obs.span("phase.one", table="T") as sp:
+            sp.set("rows", 7)
+        lines = read_lines(tracer.path)
+        assert len(lines) == 1
+        payload = lines[0]
+        assert payload["type"] == "span"
+        assert payload["name"] == "phase.one"
+        assert payload["seconds"] >= 0.0
+        assert payload["attrs"] == {"table": "T", "rows": 7}
+        assert "parent_id" not in payload
+
+    def test_nested_spans_record_parentage(self, clean_obs, tmp_path):
+        tracer = obs.configure(tmp_path)
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        inner, outer = read_lines(tracer.path)
+        # The inner span closes (and is written) first.
+        assert inner["name"] == "inner"
+        assert outer["name"] == "outer"
+        assert inner["parent_id"] == outer["span_id"]
+        assert "parent_id" not in outer
+
+    def test_span_ids_unique_across_threads(self, clean_obs, tmp_path):
+        tracer = obs.configure(tmp_path)
+
+        def work():
+            for _ in range(20):
+                with obs.span("threaded"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = [line["span_id"] for line in read_lines(tracer.path)]
+        assert len(ids) == 80
+        assert len(set(ids)) == 80
+
+    def test_span_closes_on_exception(self, clean_obs, tmp_path):
+        tracer = obs.configure(tmp_path)
+        with pytest.raises(ValueError):
+            with obs.span("failing"):
+                raise ValueError("boom")
+        (line,) = read_lines(tracer.path)
+        assert line["name"] == "failing"
+
+
+class TestCountersAndRecords:
+    def test_counters_accumulate_and_flush_as_deltas(
+        self, clean_obs, tmp_path
+    ):
+        tracer = obs.configure(tmp_path)
+        obs.add_counter("memo.hit")
+        obs.add_counter("memo.hit", 2)
+        obs.add_counter("memo.miss")
+        assert obs.counters_snapshot() == {"memo.hit": 3, "memo.miss": 1}
+        obs.flush()
+        assert obs.counters_snapshot() == {}
+        lines = read_lines(tracer.path)
+        assert {
+            (line["name"], line["value"]) for line in lines
+        } == {("memo.hit", 3), ("memo.miss", 1)}
+        # A second flush with nothing accumulated writes nothing.
+        obs.flush()
+        assert len(read_lines(tracer.path)) == 2
+
+    def test_record_and_gauge_written_immediately(self, clean_obs, tmp_path):
+        tracer = obs.configure(tmp_path)
+        obs.record("estimator_accuracy", estimated=0.25, actual=0.5)
+        obs.set_gauge("batch.size", 2048)
+        accuracy, gauge = read_lines(tracer.path)
+        assert accuracy["type"] == "estimator_accuracy"
+        assert accuracy["estimated"] == 0.25
+        assert accuracy["actual"] == 0.5
+        assert gauge == {"type": "gauge", "name": "batch.size", "value": 2048}
+
+    def test_unserializable_attrs_stringified(self, clean_obs, tmp_path):
+        tracer = obs.configure(tmp_path)
+        with obs.span("s", weird={1, 2}):
+            pass
+        (line,) = read_lines(tracer.path)  # json.dumps(default=str)
+        assert isinstance(line["attrs"]["weird"], str)
+
+
+class TestLifecycle:
+    def test_configure_none_disables(self, clean_obs, tmp_path):
+        obs.configure(tmp_path)
+        assert obs.enabled()
+        obs.configure(None)
+        assert not obs.enabled()
+
+    def test_reconfigure_closes_previous(self, clean_obs, tmp_path):
+        first = obs.configure(tmp_path / "a")
+        obs.add_counter("pending")
+        obs.configure(tmp_path / "b")
+        # The old tracer was flushed on close: the counter reached disk.
+        (line,) = read_lines(first.path)
+        assert line == {"type": "counter", "name": "pending", "value": 1}
+        assert first._closed
+
+    def test_env_var_enables_lazily(self, clean_obs, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.ENV_TRACE_DIR, str(tmp_path))
+        monkeypatch.setattr(trace_module, "_ENV_CHECKED", False)
+        assert obs.enabled()
+        assert obs.trace_directory() == tmp_path
+
+    def test_explicit_configure_beats_env(
+        self, clean_obs, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(obs.ENV_TRACE_DIR, str(tmp_path / "env"))
+        obs.configure(tmp_path / "explicit")
+        assert obs.trace_directory() == tmp_path / "explicit"
+
+    def test_forked_child_never_writes_parent_file(
+        self, clean_obs, tmp_path
+    ):
+        tracer = obs.configure(tmp_path)
+        with obs.span("parent.before"):
+            pass
+        before = tracer.path.read_text()
+        # Simulate the fork: the inherited tracer's recorded pid no longer
+        # matches the current process.
+        tracer._pid += 1
+        with obs.span("child.after"):
+            pass
+        tracer.set_gauge("g", 1)
+        assert tracer.path.read_text() == before
+
+    def test_close_is_idempotent(self, clean_obs, tmp_path):
+        tracer = obs.configure(tmp_path)
+        obs.add_counter("c")
+        tracer.close()
+        tracer.close()
+        (line,) = read_lines(tracer.path)
+        assert line["name"] == "c"
+        # Emissions after close are dropped, not errors.
+        tracer.set_gauge("late", 1)
+        assert len(read_lines(tracer.path)) == 1
+
+    def test_label_names_the_file(self, clean_obs, tmp_path):
+        tracer = obs.configure(tmp_path, label="task_adult__tree")
+        assert tracer.path.name == "trace_task_adult__tree.jsonl"

@@ -1,0 +1,154 @@
+"""Property tests for selectivity estimation and its accuracy records.
+
+Three families of properties over hypothesis-generated tables and
+predicate trees:
+
+* :func:`estimate_selectivity` always lands in ``[0, 1]``;
+* strengthening a predicate with AND never raises its estimate
+  (monotonicity under the independence model);
+* the obs layer's estimator-accuracy records reproduce the measured
+  actual selectivity *exactly* — the trace is evidence, not an estimate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.core.predicates import (
+    Comparison,
+    InSet,
+    Not,
+    Op,
+    conjunction,
+)
+from repro.sql.stats import (
+    build_table_stats,
+    estimate_selectivity,
+    record_estimator_accuracy,
+)
+
+COLUMNS = ("a", "b", "flag")
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    rows = [
+        {
+            "a": draw(st.integers(min_value=-5, max_value=5)),
+            "b": draw(
+                st.floats(
+                    min_value=-10.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            ),
+            "flag": draw(st.booleans()),
+        }
+        for _ in range(n)
+    ]
+    return rows
+
+
+def atom_strategy():
+    numeric_comparison = st.builds(
+        Comparison,
+        st.sampled_from(COLUMNS),
+        st.sampled_from(list(Op)),
+        st.integers(min_value=-6, max_value=6),
+    )
+    # Ordered comparison against a string raises on evaluation (schema
+    # drift), so string constants only appear under (in)equality.
+    string_equality = st.builds(
+        Comparison,
+        st.sampled_from(COLUMNS),
+        st.sampled_from([Op.EQ, Op.NE]),
+        st.just("stray"),
+    )
+    inset = st.builds(
+        InSet,
+        st.sampled_from(COLUMNS),
+        st.frozensets(
+            st.integers(min_value=-6, max_value=6), min_size=1, max_size=4
+        ),
+    )
+    return st.one_of(numeric_comparison, string_equality, inset)
+
+
+def predicate_strategy():
+    return st.recursive(
+        atom_strategy(),
+        lambda children: st.one_of(
+            st.builds(Not, children),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda ops: conjunction(ops)
+            ),
+        ),
+        max_leaves=6,
+    )
+
+
+class TestEstimateBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(rows=tables(), predicate=predicate_strategy())
+    def test_estimate_within_unit_interval(self, rows, predicate):
+        stats = build_table_stats("t", rows)
+        estimate = estimate_selectivity(stats, predicate)
+        assert 0.0 <= estimate <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=tables(),
+        predicate=predicate_strategy(),
+        strengthener=atom_strategy(),
+    )
+    def test_and_strengthening_never_raises_estimate(
+        self, rows, predicate, strengthener
+    ):
+        stats = build_table_stats("t", rows)
+        weaker = estimate_selectivity(stats, predicate)
+        stronger = estimate_selectivity(
+            stats, conjunction([predicate, strengthener])
+        )
+        assert stronger <= weaker + 1e-12
+
+
+class TestAccuracyRecords:
+    @settings(max_examples=25, deadline=None)
+    @given(rows=tables(), predicate=predicate_strategy())
+    def test_record_reproduces_measured_actual_exactly(
+        self, rows, predicate, tmp_path_factory
+    ):
+        directory = tmp_path_factory.mktemp("trace")
+        stats = build_table_stats("t", rows)
+        estimated = estimate_selectivity(stats, predicate)
+        actual = sum(
+            1 for row in rows if predicate.evaluate(row)
+        ) / len(rows)
+        tracer = obs.configure(directory, label="prop")
+        try:
+            record_estimator_accuracy(
+                "t", predicate, estimated, actual, len(rows)
+            )
+        finally:
+            obs.configure(None)
+        (line,) = [
+            json.loads(text)
+            for text in tracer.path.read_text().splitlines()
+        ]
+        assert line["type"] == "estimator_accuracy"
+        assert line["actual"] == actual  # bit-exact, not approximate
+        assert line["estimated"] == estimated
+        assert line["rows_total"] == len(rows)
+        assert line["abs_error"] == abs(estimated - actual)
+        # And the report layer aggregates the same error.
+        summary = obs.summarize(directory, strict=True)
+        assert summary.estimator_records == 1
+        assert summary.estimator_error_quantiles["max"] == pytest.approx(
+            abs(estimated - actual), abs=0.0
+        )

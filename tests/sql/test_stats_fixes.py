@@ -1,0 +1,168 @@
+"""Regression tests for the selectivity-estimator bugfixes.
+
+Three distinct defects, each with a test that fails on the old code:
+
+* ``equality_selectivity`` returned ``1/distinct`` for values absent from
+  the sample even when the tracked common values already accounted for all
+  probability mass;
+* ``range_selectivity`` silently treated a non-numeric bound on a numeric
+  column as unbounded;
+* ``build_column_stats`` admitted ``bool`` values into numeric histogram
+  boundaries (``isinstance(True, int)`` is true in Python).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.columns import ColumnBatch
+from repro.core.predicates import And, Comparison, Op, Predicate, equals
+from repro.sql.stats import (
+    _GENERIC_SELECTIVITY,
+    build_column_stats,
+    build_table_stats,
+    estimate_selectivity,
+)
+
+
+class TestEqualitySelectivity:
+    def test_unseen_value_in_fully_enumerated_column_estimates_zero(self):
+        # Five distinct values, all tracked: the sample enumerates the
+        # column fully, so an unseen value has no mass left to claim.
+        stats = build_column_stats("c", ["a", "b", "c", "d", "e"] * 20)
+        assert stats.distinct == 5
+        assert stats.equality_selectivity("unseen") == 0.0
+
+    def test_unseen_value_shares_leftover_mass(self):
+        # 30 distinct values but only 24 tracked: the untracked 6 values
+        # hold the leftover mass, so an unseen value claims its share of
+        # it — not a full 1/30.
+        values = ["common"] * 70 + [f"rare_{i}" for i in range(30)]
+        stats = build_column_stats("c", values)
+        assert stats.distinct == 31
+        leftover = 1.0 - sum(stats.top_values.values())
+        expected = leftover / (stats.distinct - len(stats.top_values))
+        assert stats.equality_selectivity("unseen") == pytest.approx(
+            expected
+        )
+        assert stats.equality_selectivity("unseen") < 1 / stats.distinct
+
+    def test_seen_value_still_uses_tracked_frequency(self):
+        stats = build_column_stats("c", ["a"] * 75 + ["b"] * 25)
+        assert stats.equality_selectivity("a") == pytest.approx(0.75)
+        assert stats.equality_selectivity("b") == pytest.approx(0.25)
+
+    def test_regression_old_overestimate_misordered_and_operands(self):
+        """The estimator-sorted AND must run the unseen-value EQ first.
+
+        ``fruit`` is fully enumerated (4 distinct), so ``fruit = 'kiwi'``
+        is truly impossible (actual selectivity 0).  The old ``1/distinct``
+        estimate (0.25) exceeded the other conjunct's 0.2, so
+        ``And.evaluate_batch`` ran the wrong operand first and the
+        expensive conjunct saw the full batch instead of zero rows.
+        """
+        rows = [
+            {"fruit": ["apple", "pear", "plum", "fig"][i % 4], "n": i % 5}
+            for i in range(200)
+        ]
+        stats = build_table_stats("t", rows)
+        impossible = equals("fruit", "kiwi")
+        other = equals("n", 0)  # selectivity 0.2
+        assert estimate_selectivity(stats, impossible) == 0.0
+        assert estimate_selectivity(stats, impossible) < estimate_selectivity(
+            stats, other
+        )
+
+        seen: list[int] = []
+
+        class Counting(Predicate):
+            """Wraps a predicate, recording how many rows it evaluates."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def evaluate(self, row):
+                return self.inner.evaluate(row)
+
+            def evaluate_batch(self, batch, estimator=None):
+                seen.append(len(batch))
+                return self.inner.evaluate_batch(batch, estimator)
+
+            def columns(self):
+                return self.inner.columns()
+
+        def estimator(predicate):
+            if isinstance(predicate, Counting):
+                predicate = predicate.inner
+            return estimate_selectivity(stats, predicate)
+
+        conjunction = And((Counting(other), impossible))
+        mask = conjunction.evaluate_batch(ColumnBatch(rows), estimator)
+        assert not mask.any()
+        # The impossible conjunct sorted first and emptied the batch, so
+        # the (nominally expensive) other conjunct never saw a row.
+        assert seen == []
+
+
+class TestRangeSelectivity:
+    @pytest.fixture
+    def numeric_stats(self):
+        return build_column_stats("n", list(range(100)))
+
+    def test_non_numeric_low_bound_falls_back_to_generic(
+        self, numeric_stats
+    ):
+        got = numeric_stats.range_selectivity("abc", None, True, True)
+        assert got == _GENERIC_SELECTIVITY
+
+    def test_non_numeric_high_bound_falls_back_to_generic(
+        self, numeric_stats
+    ):
+        got = numeric_stats.range_selectivity(None, "abc", True, True)
+        assert got == _GENERIC_SELECTIVITY
+
+    def test_old_behavior_would_return_open_side(self, numeric_stats):
+        # The defect: a string low bound was ignored, returning the
+        # selectivity of ``n <= 49`` alone (~0.5); worse, an unbounded
+        # string-only range returned ~1.0.
+        assert numeric_stats.range_selectivity(
+            "abc", 49, True, True
+        ) == _GENERIC_SELECTIVITY
+        assert numeric_stats.range_selectivity(
+            "abc", None, True, True
+        ) != pytest.approx(1.0)
+
+    def test_numeric_bounds_still_use_histogram(self, numeric_stats):
+        got = numeric_stats.range_selectivity(None, 49, True, True)
+        assert got == pytest.approx(0.5, abs=0.05)
+
+    def test_bool_bound_on_numeric_column_is_generic(self, numeric_stats):
+        # bool is an int subclass, but a True/False bound on a numeric
+        # histogram is a type confusion, not a number.
+        got = numeric_stats.range_selectivity(True, None, True, True)
+        assert got == _GENERIC_SELECTIVITY
+
+    def test_comparison_estimate_uses_fallback(self):
+        rows = [{"n": i} for i in range(50)]
+        stats = build_table_stats("t", rows)
+        pred = Comparison("n", Op.GT, "zzz")
+        assert estimate_selectivity(stats, pred) == _GENERIC_SELECTIVITY
+
+
+class TestBoolColumns:
+    def test_bool_column_builds_no_numeric_boundaries(self):
+        stats = build_column_stats("flag", [True, False] * 50)
+        assert stats.boundaries is None
+
+    def test_mixed_bool_and_int_column_is_not_numeric(self):
+        stats = build_column_stats("m", [True, 1, 2, 3] * 25)
+        assert stats.boundaries is None
+
+    def test_int_column_still_numeric(self):
+        stats = build_column_stats("n", list(range(100)))
+        assert stats.boundaries is not None
+        assert len(stats.boundaries) == 32
+
+    def test_bool_column_range_falls_back_to_generic(self):
+        stats = build_column_stats("flag", [True, False] * 50)
+        got = stats.range_selectivity(0, 1, True, True)
+        assert got == _GENERIC_SELECTIVITY

@@ -1,8 +1,18 @@
 """Integration tests for the ``python -m repro`` command line."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.__main__ import main
+
+
+@pytest.fixture
+def clean_obs():
+    """Disable tracing after tests that pass ``--trace``."""
+    yield
+    obs.configure(None)
 
 
 class TestCLI:
@@ -38,3 +48,90 @@ class TestCLI:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["tables", "--scale", "galactic"])
+
+    def test_run_smoke(self, capsys):
+        assert main(["run", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "strategies agree" in output
+
+    def test_sweep_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "off")
+        assert main(["sweep", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "measurements across" in output
+
+
+class TestTraceCLI:
+    def test_traced_run_round_trip(self, capsys, tmp_path, clean_obs):
+        from repro.experiments import harness
+
+        # A trained-model cache hit would skip (and so not trace) the
+        # derivation phase this test asserts on.
+        harness.clear_caches()
+        trace_dir = tmp_path / "traces"
+        assert main(
+            ["run", "--scale", "smoke", "--trace", str(trace_dir)]
+        ) == 0
+        obs.configure(None)  # close the file before reading it back
+        assert list(trace_dir.glob("*.jsonl"))
+
+        assert main(
+            ["trace-report", "--trace", str(trace_dir), "--strict"]
+        ) == 0
+        output = capsys.readouterr().out
+        # Every lifecycle phase shows up as a span.
+        for phase in (
+            "derive.envelopes",
+            "optimize",
+            "plan.capture",
+            "stats.build",
+            "execute.optimized",
+            "execute.sql",
+            "execute.model",
+        ):
+            assert phase in output
+        assert "Estimator accuracy" in output
+
+    def test_estimator_records_carry_both_selectivities(
+        self, tmp_path, clean_obs
+    ):
+        trace_dir = tmp_path / "traces"
+        assert main(
+            ["run", "--scale", "smoke", "--trace", str(trace_dir)]
+        ) == 0
+        obs.configure(None)
+        records = [
+            payload
+            for path in trace_dir.glob("*.jsonl")
+            for line in path.read_text().splitlines()
+            for payload in [json.loads(line)]
+            if payload["type"] == "estimator_accuracy"
+        ]
+        assert records
+        for record in records:
+            assert 0.0 <= record["estimated"] <= 1.0
+            assert 0.0 <= record["actual"] <= 1.0
+
+    def test_trace_report_fails_on_malformed_lines(
+        self, capsys, tmp_path
+    ):
+        (tmp_path / "trace_bad.jsonl").write_text("{broken\n")
+        assert main(["trace-report", "--trace", str(tmp_path)]) == 1
+        assert main(
+            ["trace-report", "--trace", str(tmp_path), "--strict"]
+        ) == 1
+
+    def test_trace_report_requires_directory(self, monkeypatch):
+        monkeypatch.delenv(obs.ENV_TRACE_DIR, raising=False)
+        with pytest.raises(SystemExit):
+            main(["trace-report"])
+
+    def test_trace_report_reads_env_var(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        (tmp_path / "trace_a.jsonl").write_text(
+            '{"type": "span", "name": "s", "seconds": 0.1}\n'
+        )
+        monkeypatch.setenv(obs.ENV_TRACE_DIR, str(tmp_path))
+        assert main(["trace-report"]) == 0
+        assert "trace files: 1" in capsys.readouterr().out
