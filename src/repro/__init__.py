@@ -103,6 +103,16 @@ from repro.core.rewrite import (
 )
 from repro.core.rule_envelope import rule_envelope, rule_envelopes
 from repro.core.tree_envelope import tree_envelope, tree_envelopes
+from repro.ir import (
+    PassPipeline,
+    PredicateTransformer,
+    PredicateVisitor,
+    default_pipeline,
+    fingerprint,
+    intern,
+    intern_stats,
+    simplify_pipeline,
+)
 from repro.data import (
     DATASETS,
     Dataset,
@@ -154,7 +164,7 @@ from repro.sql import (
     tune_for_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AgglomerativeClusterLearner",
@@ -196,6 +206,7 @@ __all__ = [
     "OptimizedQuery",
     "Or",
     "OrdinalDimension",
+    "PassPipeline",
     "Plan",
     "PlanCache",
     "PredictionBetween",
@@ -205,6 +216,8 @@ __all__ = [
     "PredictionJoinColumn",
     "PredictionJoinExecutor",
     "PredictionJoinPrediction",
+    "PredicateTransformer",
+    "PredicateVisitor",
     "Region",
     "RegressionTreeLearner",
     "RegressionTreeModel",
@@ -226,6 +239,7 @@ __all__ = [
     "conjunction",
     "cover_cells",
     "dataset_spec",
+    "default_pipeline",
     "density_envelopes",
     "derive_all_envelopes",
     "derive_envelope",
@@ -236,10 +250,13 @@ __all__ = [
     "equals",
     "execute_reference",
     "expand_rows",
+    "fingerprint",
     "generate",
     "generate_all",
     "gmm_score_table",
     "in_set",
+    "intern",
+    "intern_stats",
     "kmeans_score_table",
     "load_model",
     "load_table",
@@ -258,6 +275,7 @@ __all__ = [
     "score_table_from_naive_bayes",
     "select_statement",
     "simplify",
+    "simplify_pipeline",
     "to_dnf",
     "to_nnf",
     "tree_envelope",

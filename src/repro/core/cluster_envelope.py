@@ -32,6 +32,7 @@ from repro.core.score_model import (
     quadratic_range,
 )
 from repro.exceptions import EnvelopeError
+from repro.ir import intern
 from repro.mining.base import Row
 from repro.mining.density import NOISE_LABEL, DensityClusterModel
 from repro.mining.discretize import BinningMethod, make_binned_dimension
@@ -350,7 +351,7 @@ def density_envelopes(
         started = time.perf_counter()
         cells = model.cells_for(label)
         regions = cover_cells(model.space, cells)
-        predicate = regions_to_predicate(regions, model.space)
+        predicate = intern(regions_to_predicate(regions, model.space))
         envelopes[label] = UpperEnvelope(
             model_name=model.name,
             model_kind=model.kind,
@@ -381,7 +382,7 @@ def _noise_envelope(model: DensityClusterModel) -> UpperEnvelope:
             if cell not in clustered
         ]
         regions = cover_cells(model.space, noise_cells)
-        predicate = regions_to_predicate(regions, model.space)
+        predicate = intern(regions_to_predicate(regions, model.space))
         exact = True
     return UpperEnvelope(
         model_name=model.name,

@@ -45,6 +45,7 @@ from repro.core.nb_bounds import (
 )
 from repro.core.score_model import ScoreTable
 from repro.exceptions import EnvelopeError
+from repro.ir import intern
 
 #: Default node-expansion budget (the paper's *Threshold* input).
 DEFAULT_MAX_NODES = 512
@@ -240,6 +241,7 @@ def derive_envelope(
         predicate = simplified
     else:
         predicate = raw
+    predicate = intern(predicate)
     return EnvelopeResult(
         class_label=class_label,
         regions=tuple(regions),
@@ -385,7 +387,7 @@ def enumerate_envelope(
         if predict_cell(cell) == target
     ]
     regions = cover_cells(space, winning)
-    predicate = regions_to_predicate(regions, space)
+    predicate = intern(regions_to_predicate(regions, space))
     return EnvelopeResult(
         class_label=class_label,
         regions=tuple(regions),

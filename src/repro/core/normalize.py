@@ -16,6 +16,13 @@ fragment of :mod:`repro.core.predicates`:
   column may take under a predicate, used to turn a prediction-to-data-column
   join plus a column restriction into an IN mining predicate (Section 4.1).
 
+The simplification machinery is decomposed into named stages —
+:func:`to_nnf`, :func:`dnf_of_nnf`, :func:`solve_dnf`, :func:`absorb`,
+:func:`factor` — which :mod:`repro.ir.passes` registers as the
+individually-traced passes of the standard pipeline; :func:`simplify`
+is a thin wrapper that runs that pipeline (and therefore returns
+interned nodes).
+
 All rewrites are meaning-preserving; the property-based tests check them by
 evaluating the input and output on random rows.
 """
@@ -118,8 +125,18 @@ def to_dnf(pred: Predicate, max_terms: int = DEFAULT_DNF_BUDGET) -> Predicate:
     conjuncts would exceed ``max_terms``; callers that cannot tolerate the
     failure (e.g. the optimizer) catch it and keep the original predicate.
     """
-    nnf = to_nnf(pred)
-    terms = _dnf_terms(nnf, max_terms)
+    return dnf_of_nnf(to_nnf(pred), max_terms)
+
+
+def dnf_of_nnf(
+    pred: Predicate, max_terms: int = DEFAULT_DNF_BUDGET
+) -> Predicate:
+    """DNF of an already negation-normal predicate (the ``dnf`` pass).
+
+    Same contract as :func:`to_dnf` minus the NNF step, so the pass
+    pipeline can run (and trace) the two stages separately.
+    """
+    terms = _dnf_terms(pred, max_terms)
     if terms is None:
         return TRUE
     return disjunction([conjunction(term) for term in terms])
@@ -364,22 +381,18 @@ def _atom_set(conjunct: Predicate) -> frozenset[Predicate]:
     return frozenset((conjunct,))
 
 
-def simplify(
-    pred: Predicate, max_terms: int = DEFAULT_DNF_BUDGET
-) -> Predicate:
-    """Normalize to DNF, solve each conjunct, and absorb redundant disjuncts.
+def solve_dnf(pred: Predicate) -> Predicate:
+    """Per-column constraint solving of each DNF conjunct (``solve`` pass).
 
-    Returns a semantically equivalent predicate; if the DNF budget is
-    exceeded the original predicate is returned unchanged (simplification is
-    an optimization, never a requirement).
+    Expects DNF input (constants, one conjunct, or an OR of conjuncts):
+    every conjunct is solved by :class:`_ColumnConstraint` accumulation —
+    range intersection, IN-set intersection, contradiction detection —
+    and contradictory conjuncts drop while a vacuous conjunct collapses
+    the whole predicate to TRUE (via :func:`disjunction`).
     """
-    try:
-        dnf = to_dnf(pred, max_terms=max_terms)
-    except NormalizationError:
+    if isinstance(pred, (TruePredicate, FalsePredicate)):
         return pred
-    if isinstance(dnf, (TruePredicate, FalsePredicate)):
-        return dnf
-    conjuncts = dnf.operands if isinstance(dnf, Or) else (dnf,)
+    conjuncts = pred.operands if isinstance(pred, Or) else (pred,)
     solved: list[Predicate] = []
     for conjunct in conjuncts:
         atoms = conjunct.operands if isinstance(conjunct, And) else (conjunct,)
@@ -388,28 +401,60 @@ def simplify(
             return TRUE
         if not isinstance(result, FalsePredicate):
             solved.append(result)
-    if not solved:
-        return FALSE
-    # Absorption: drop any conjunct whose atoms are a superset of another's
-    # (A or (A and B)) == A.  Also deduplicates identical conjuncts.
-    atom_sets = [_atom_set(c) for c in solved]
-    keep: list[Predicate] = []
-    kept_sets: list[frozenset[Predicate]] = []
-    for i, conjunct in enumerate(solved):
-        absorbed = False
-        for j, other_atoms in enumerate(atom_sets):
-            if i == j:
-                continue
-            if other_atoms < atom_sets[i]:
-                absorbed = True
-                break
-            if other_atoms == atom_sets[i] and j < i:
-                absorbed = True
-                break
-        if not absorbed:
-            keep.append(conjunct)
-            kept_sets.append(atom_sets[i])
-    return _factor_common_atoms(keep, kept_sets)
+    return disjunction(solved)
+
+
+def absorb(pred: Predicate) -> Predicate:
+    """Absorption between disjuncts (``absorb`` pass).
+
+    Drops any disjunct whose atom set strictly contains another's:
+    ``A OR (A AND B)`` is ``A``.  Exact duplicates cannot occur —
+    :func:`disjunction` deduplicates and canonical operand ordering makes
+    equal atom sets equal predicates.  Non-OR input has nothing to absorb.
+    """
+    if not isinstance(pred, Or):
+        return pred
+    atom_sets = [_atom_set(c) for c in pred.operands]
+    keep = [
+        conjunct
+        for i, conjunct in enumerate(pred.operands)
+        if not any(
+            other < atom_sets[i]
+            for j, other in enumerate(atom_sets)
+            if j != i
+        )
+    ]
+    return disjunction(keep)
+
+
+def factor(pred: Predicate) -> Predicate:
+    """Hoist atoms common to every disjunct (``factor`` pass).
+
+    See :func:`_factor_common_atoms`; non-OR input is returned unchanged.
+    """
+    if not isinstance(pred, Or):
+        return pred
+    conjuncts = list(pred.operands)
+    return _factor_common_atoms(conjuncts, [_atom_set(c) for c in conjuncts])
+
+
+def simplify(
+    pred: Predicate, max_terms: int = DEFAULT_DNF_BUDGET
+) -> Predicate:
+    """Normalize to DNF, solve each conjunct, and absorb redundant disjuncts.
+
+    Returns a semantically equivalent, interned predicate; if the DNF
+    budget is exceeded the original predicate is returned unchanged
+    (simplification is an optimization, never a requirement).
+
+    This is the staged pass pipeline of :mod:`repro.ir.passes`
+    (``nnf -> dnf -> solve -> absorb -> factor``) behind the historic
+    one-call API; import here is deferred because :mod:`repro.ir`
+    builds on this module's stage functions.
+    """
+    from repro.ir.passes import simplify_pipeline
+
+    return simplify_pipeline(pred, max_terms=max_terms)
 
 
 def _factor_common_atoms(

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 from repro import obs
 from repro.core.catalog import ModelCatalog
-from repro.core.normalize import simplify, to_dnf
+from repro.core.normalize import to_dnf
 from repro.core.predicates import (
     TRUE,
     FalsePredicate,
@@ -41,6 +41,7 @@ from repro.core.predicates import (
 )
 from repro.core.rewrite import MiningPredicate, infer_mining_predicates
 from repro.exceptions import NormalizationError, RewriteError
+from repro.ir import simplify_pipeline
 from repro.mining.base import Row
 
 #: Default ceiling on the disjunct count of one injected envelope.
@@ -126,7 +127,7 @@ def optimize(
         max_disjuncts=max_disjuncts,
     ) as sp:
         # Step 1: traditional normalization of the relational predicate.
-        relational = simplify(query.relational_predicate)
+        relational = simplify_pipeline(query.relational_predicate)
 
         predicates: list[MiningPredicate] = list(query.mining_predicates)
         all_inferred: list[MiningPredicate] = []
@@ -147,7 +148,7 @@ def optimize(
         for predicate in predicates:
             envelope = predicate.envelope(catalog, relational)
             if simplify_envelopes:
-                envelope = simplify(envelope)
+                envelope = simplify_pipeline(envelope)
             disjuncts = _disjunct_count_dnf(envelope)
             thresholded = False
             if disjuncts > max_disjuncts:
@@ -178,7 +179,7 @@ def optimize(
 
         # Step 3: final normalization of the combined pushable predicate.
         pushable = conjunction([relational] + envelope_parts)
-        pushable = simplify(pushable)
+        pushable = simplify_pipeline(pushable)
 
         if obs.enabled():
             sp.update(

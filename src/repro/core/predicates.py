@@ -19,6 +19,14 @@ source of truth used by the tests to check that every rewrite in
 The smart constructors :func:`conjunction` and :func:`disjunction` flatten
 nested connectives and fold constants, which keeps machine-generated
 envelopes (often thousands of nodes before simplification) small.
+
+``And``/``Or`` canonicalize their operand order at construction, so
+commutative-equivalent predicates (``And(a, b)`` vs ``And(b, a)``) are equal
+as values, hash identically, and produce the same
+:func:`repro.ir.fingerprint` — the property the plan cache and the intern
+table of :mod:`repro.ir` key on.  Batch evaluation lowers through
+:mod:`repro.ir.batch`; the scalar :meth:`Predicate.evaluate` below remains
+the semantic source of truth.
 """
 
 from __future__ import annotations
@@ -28,11 +36,11 @@ from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Union
 
-import numpy as np
-
 from repro.exceptions import PredicateError
 
 if TYPE_CHECKING:
+    import numpy as np
+
     from repro.core.columns import ColumnBatch
 
 #: Optional per-predicate selectivity estimate (fraction of rows satisfying
@@ -127,8 +135,16 @@ class Predicate:
         for OR) and restrict later operands to still-undecided rows, so
         expensive sub-predicates never run on rows the mask has already
         settled.
+
+        The kernels live in :mod:`repro.ir.batch` (the batch lowering of
+        the predicate IR); this base method dispatches there, and
+        subclasses outside the IR may still override it — connective
+        kernels recurse through ``operand.evaluate_batch`` so such
+        overrides are honored.
         """
-        raise NotImplementedError
+        from repro.ir import batch as _batch_lowering
+
+        return _batch_lowering.evaluate_batch(self, batch, estimator)
 
     def columns(self) -> frozenset[str]:
         """The set of column names referenced by this predicate."""
@@ -168,42 +184,12 @@ def _comparable(a: Value, b: Value) -> bool:
     return a_num == b_num
 
 
-def _ordered_column(
-    batch: "ColumnBatch", column: str, value: Value
-) -> np.ndarray:
-    """The column view to use for an ordered comparison against ``value``.
-
-    Mirrors the scalar comparability rule: strings order only against
-    string columns, numbers only against numeric columns; anything else is
-    schema drift and raises :class:`~repro.exceptions.PredicateError`.
-    """
-    kind = batch.kind(column)
-    if isinstance(value, str):
-        if kind != "string":
-            raise PredicateError(
-                f"cannot order column {column!r} values against {value!r}"
-            )
-        return batch.column(column)
-    if kind != "numeric":
-        raise PredicateError(
-            f"cannot order column {column!r} values against {value!r}"
-        )
-    return batch.numeric(column)
-
-
 @dataclass(frozen=True, slots=True)
 class TruePredicate(Predicate):
     """The constant TRUE (an empty conjunction)."""
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return True
-
-    def evaluate_batch(
-        self,
-        batch: "ColumnBatch",
-        estimator: SelectivityEstimator | None = None,
-    ) -> np.ndarray:
-        return np.ones(len(batch), dtype=bool)
 
     def columns(self) -> frozenset[str]:
         return frozenset()
@@ -222,13 +208,6 @@ class FalsePredicate(Predicate):
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return False
-
-    def evaluate_batch(
-        self,
-        batch: "ColumnBatch",
-        estimator: SelectivityEstimator | None = None,
-    ) -> np.ndarray:
-        return np.zeros(len(batch), dtype=bool)
 
     def columns(self) -> frozenset[str]:
         return frozenset()
@@ -278,33 +257,6 @@ class Comparison(Predicate):
             return actual > self.value
         return actual >= self.value
 
-    def evaluate_batch(
-        self,
-        batch: "ColumnBatch",
-        estimator: SelectivityEstimator | None = None,
-    ) -> np.ndarray:
-        if len(batch) == 0:
-            return np.zeros(0, dtype=bool)
-        value_is_str = isinstance(self.value, str)
-        if self.op is Op.EQ or self.op is Op.NE:
-            if batch.is_numeric(self.column):
-                if value_is_str:
-                    # A numeric column never equals a string constant.
-                    mask = np.zeros(len(batch), dtype=bool)
-                else:
-                    mask = batch.numeric(self.column) == self.value
-            else:
-                mask = batch.column(self.column) == self.value
-            return mask if self.op is Op.EQ else ~mask
-        actual = _ordered_column(batch, self.column, self.value)
-        if self.op is Op.LT:
-            return actual < self.value
-        if self.op is Op.LE:
-            return actual <= self.value
-        if self.op is Op.GT:
-            return actual > self.value
-        return actual >= self.value
-
     def columns(self) -> frozenset[str]:
         return frozenset((self.column,))
 
@@ -335,26 +287,6 @@ class InSet(Predicate):
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return _lookup(row, self.column) in self.values
-
-    def evaluate_batch(
-        self,
-        batch: "ColumnBatch",
-        estimator: SelectivityEstimator | None = None,
-    ) -> np.ndarray:
-        n = len(batch)
-        if n == 0:
-            return np.zeros(0, dtype=bool)
-        mask = np.zeros(n, dtype=bool)
-        if batch.is_numeric(self.column):
-            actual = batch.numeric(self.column)
-            for value in self.values:
-                if not isinstance(value, str):
-                    mask |= actual == value
-        else:
-            actual = batch.column(self.column)
-            for value in self.values:
-                mask |= actual == value
-        return mask
 
     def columns(self) -> frozenset[str]:
         return frozenset((self.column,))
@@ -430,29 +362,6 @@ class Interval(Predicate):
                 return False
         return True
 
-    def evaluate_batch(
-        self,
-        batch: "ColumnBatch",
-        estimator: SelectivityEstimator | None = None,
-    ) -> np.ndarray:
-        n = len(batch)
-        if n == 0:
-            return np.zeros(0, dtype=bool)
-        mask = np.ones(n, dtype=bool)
-        if self.low is not None:
-            actual = _ordered_column(batch, self.column, self.low)
-            if self.low_closed:
-                mask &= actual >= self.low
-            else:
-                mask &= actual > self.low
-        if self.high is not None:
-            actual = _ordered_column(batch, self.column, self.high)
-            if self.high_closed:
-                mask &= actual <= self.high
-            else:
-                mask &= actual < self.high
-        return mask
-
     def columns(self) -> frozenset[str]:
         return frozenset((self.column,))
 
@@ -464,12 +373,27 @@ class Interval(Predicate):
         return f"({self.column} in {left}{lo}, {hi}{right})"
 
 
+def _canonical_operands(
+    operands: tuple[Predicate, ...],
+) -> tuple[Predicate, ...]:
+    """Operands in canonical (repr-sorted) order.
+
+    ``repr`` is a total, deterministic key over predicate trees, so sorting
+    by it makes commutative-equivalent connectives (``And(a, b)`` vs
+    ``And(b, a)``) equal as values — the property hash-consing and the plan
+    cache fingerprint rely on.  The sort is stable, so already-canonical
+    tuples come back unchanged.
+    """
+    return tuple(sorted(operands, key=repr))
+
+
 @dataclass(frozen=True, slots=True)
 class And(Predicate):
     """Conjunction of two or more predicates.
 
     Use :func:`conjunction` to build conjunctions; the raw constructor
     rejects degenerate arities so every ``And`` in a tree is meaningful.
+    Operand order is canonicalized at construction (commutativity).
     """
 
     operands: tuple[Predicate, ...]
@@ -477,40 +401,12 @@ class And(Predicate):
     def __post_init__(self) -> None:
         if len(self.operands) < 2:
             raise PredicateError("And requires >= 2 operands; use conjunction()")
+        ordered = _canonical_operands(self.operands)
+        if ordered != self.operands:
+            object.__setattr__(self, "operands", ordered)
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return all(operand.evaluate(row) for operand in self.operands)
-
-    def evaluate_batch(
-        self,
-        batch: "ColumnBatch",
-        estimator: SelectivityEstimator | None = None,
-    ) -> np.ndarray:
-        n = len(batch)
-        if n == 0:
-            return np.zeros(0, dtype=bool)
-        operands: Iterable[Predicate] = self.operands
-        if estimator is not None:
-            # Most-selective conjunct first: it eliminates the most rows,
-            # so later (possibly expensive) conjuncts see the smallest
-            # surviving batch.
-            operands = sorted(self.operands, key=estimator)
-        alive: np.ndarray | None = None
-        current = batch
-        for operand in operands:
-            mask = operand.evaluate_batch(current, estimator)
-            if mask.all():
-                continue
-            keep = np.flatnonzero(mask)
-            alive = keep if alive is None else alive[keep]
-            if keep.size == 0:
-                break
-            current = current.take(keep)
-        if alive is None:
-            return np.ones(n, dtype=bool)
-        out = np.zeros(n, dtype=bool)
-        out[alive] = True
-        return out
 
     def columns(self) -> frozenset[str]:
         return frozenset().union(*(o.columns() for o in self.operands))
@@ -524,45 +420,22 @@ class And(Predicate):
 
 @dataclass(frozen=True, slots=True)
 class Or(Predicate):
-    """Disjunction of two or more predicates (see :func:`disjunction`)."""
+    """Disjunction of two or more predicates (see :func:`disjunction`).
+
+    Operand order is canonicalized at construction (commutativity).
+    """
 
     operands: tuple[Predicate, ...]
 
     def __post_init__(self) -> None:
         if len(self.operands) < 2:
             raise PredicateError("Or requires >= 2 operands; use disjunction()")
+        ordered = _canonical_operands(self.operands)
+        if ordered != self.operands:
+            object.__setattr__(self, "operands", ordered)
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return any(operand.evaluate(row) for operand in self.operands)
-
-    def evaluate_batch(
-        self,
-        batch: "ColumnBatch",
-        estimator: SelectivityEstimator | None = None,
-    ) -> np.ndarray:
-        n = len(batch)
-        if n == 0:
-            return np.zeros(0, dtype=bool)
-        operands: Iterable[Predicate] = self.operands
-        if estimator is not None:
-            # Most-admitting disjunct first: it settles the most rows to
-            # TRUE, so later disjuncts run on the fewest undecided rows.
-            operands = sorted(self.operands, key=estimator, reverse=True)
-        out = np.zeros(n, dtype=bool)
-        pending: np.ndarray | None = None
-        current = batch
-        for operand in operands:
-            mask = operand.evaluate_batch(current, estimator)
-            if pending is None:
-                out |= mask
-                pending = np.flatnonzero(~mask)
-            else:
-                out[pending[mask]] = True
-                pending = pending[~mask]
-            if pending.size == 0:
-                break
-            current = batch.take(pending)
-        return out
 
     def columns(self) -> frozenset[str]:
         return frozenset().union(*(o.columns() for o in self.operands))
@@ -587,13 +460,6 @@ class Not(Predicate):
 
     def evaluate(self, row: Mapping[str, Value]) -> bool:
         return not self.operand.evaluate(row)
-
-    def evaluate_batch(
-        self,
-        batch: "ColumnBatch",
-        estimator: SelectivityEstimator | None = None,
-    ) -> np.ndarray:
-        return ~self.operand.evaluate_batch(batch, estimator)
 
     def columns(self) -> frozenset[str]:
         return self.operand.columns()

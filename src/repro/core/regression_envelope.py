@@ -29,6 +29,7 @@ from repro.core.predicates import (
 )
 from repro.core.rewrite import MiningPredicate
 from repro.exceptions import EnvelopeError, RewriteError
+from repro.ir import intern
 from repro.mining.base import Row
 from repro.mining.regression_tree import (
     RegressionTreeModel,
@@ -60,6 +61,7 @@ def regression_range_envelope(
     predicate = disjunction(disjuncts)
     if simplify_result:
         predicate = simplify(predicate)
+    predicate = intern(predicate)
     label = f"[{low if low is not None else '-inf'}, " \
             f"{high if high is not None else '+inf'}]"
     return UpperEnvelope(

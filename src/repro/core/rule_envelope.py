@@ -26,6 +26,7 @@ from repro.core.predicates import (
     disjunction,
     negate,
 )
+from repro.ir import intern
 from repro.mining.rules import RuleSetModel
 
 
@@ -65,6 +66,7 @@ def rule_envelope(
     predicate = disjunction(disjuncts)
     if simplify_result:
         predicate = simplify(predicate)
+    predicate = intern(predicate)
     return UpperEnvelope(
         model_name=model.name,
         model_kind=model.kind,

@@ -13,6 +13,7 @@ from repro.core.envelope import UpperEnvelope
 from repro.core.normalize import simplify
 from repro.core.predicates import Predicate, Value, conjunction, disjunction
 from repro.exceptions import EnvelopeError
+from repro.ir import intern
 from repro.mining.decision_tree import DecisionTreeModel, iter_leaves
 
 
@@ -42,6 +43,7 @@ def tree_envelope(
     predicate = disjunction(paths)
     if simplify_result:
         predicate = simplify(predicate)
+    predicate = intern(predicate)
     return UpperEnvelope(
         model_name=model.name,
         model_kind=model.kind,

@@ -186,9 +186,6 @@ def _sample_attribute(
 ) -> list[Value]:
     size = len(assignments)
     separation = spec.separation
-    signature_mask = np.isin(
-        assignments, np.array(sorted(signature_classes), dtype=int)
-    ) if signature_classes else np.zeros(size, dtype=bool)
 
     if attribute.kind is AttributeKind.BINARY:
         # Background rate shared by all classes; signature classes commit

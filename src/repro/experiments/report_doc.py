@@ -207,7 +207,10 @@ def render_experiments_md(config: ExperimentConfig = DEFAULT_CONFIG) -> str:
         if p.envelope_selectivity > max(2 * p.original_selectivity, 0.1)
     ]
     tight = [p for p in points if p not in loose]
-    mean = lambda xs: sum(xs) / len(xs) if xs else float("nan")
+
+    def mean(xs):
+        return sum(xs) / len(xs) if xs else float("nan")
+
     loose_mean = mean([p.original_selectivity for p in loose])
     tight_mean = mean([p.original_selectivity for p in tight])
     sections.append("## Figure 7 — tightness of approximation\n")

@@ -1,0 +1,56 @@
+"""The predicate intermediate representation (IR).
+
+Every layer of the reproduction manipulates one object — the upper
+envelope, an AND/OR expression over data columns (paper Section 3) — and
+this package is the single canonical home for working with it:
+
+* :mod:`repro.ir.interning` — hash-consing: :func:`intern` maps every
+  predicate tree to one canonical instance (O(1) ``is`` equality between
+  interned nodes) and :func:`fingerprint` gives a stable structural
+  digest, the key the plan cache and any cross-query sharing use.
+* :mod:`repro.ir.visitor` — :class:`PredicateVisitor` /
+  :class:`PredicateTransformer`, the one dispatch mechanism shared by
+  every traversal (simplification passes, SQL lowering, batch lowering).
+* :mod:`repro.ir.passes` — the staged simplification pipeline:
+  :class:`Pass`, :class:`PassPipeline`, and :func:`simplify_pipeline`,
+  the named, individually-traced decomposition of the old monolithic
+  ``simplify``.
+* :mod:`repro.ir.batch` — vectorized evaluation as a lowering from the
+  same IR (the kernels behind ``Predicate.evaluate_batch``).
+
+The node classes themselves stay in :mod:`repro.core.predicates` (they
+predate this package and everything imports them); ``repro.ir`` layers
+identity, traversal, and transformation on top without a parallel node
+hierarchy.
+"""
+
+from repro.ir.interning import (
+    clear_intern_table,
+    fingerprint,
+    intern,
+    intern_stats,
+)
+from repro.ir.passes import (
+    Pass,
+    PassAbort,
+    PassPipeline,
+    PassResult,
+    default_pipeline,
+    simplify_pipeline,
+)
+from repro.ir.visitor import PredicateTransformer, PredicateVisitor
+
+__all__ = [
+    "Pass",
+    "PassAbort",
+    "PassPipeline",
+    "PassResult",
+    "PredicateTransformer",
+    "PredicateVisitor",
+    "clear_intern_table",
+    "default_pipeline",
+    "fingerprint",
+    "intern",
+    "intern_stats",
+    "simplify_pipeline",
+]

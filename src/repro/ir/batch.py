@@ -1,0 +1,250 @@
+"""Vectorized (columnar) evaluation as a lowering from the predicate IR.
+
+This module holds the batch kernels behind
+:meth:`repro.core.predicates.Predicate.evaluate_batch`: a boolean mask
+per batch row, bit-identical to a loop of scalar ``evaluate`` calls.
+Structuring them as a :class:`~repro.ir.visitor.PredicateVisitor` makes
+batch evaluation one more *lowering* of the same IR that the SQL
+compiler lowers to text — one dispatch mechanism, two targets.
+
+Connective kernels recurse through ``operand.evaluate_batch`` (virtual
+dispatch) rather than ``self.visit``: predicate subclasses outside the
+closed IR algebra may override ``evaluate_batch`` (instrumentation
+wrappers in the tests do), and the lowering must honor those overrides.
+The short-circuit compaction strategy is unchanged from the previous
+in-class kernels: operands are sorted by estimated selectivity when an
+estimator is given, and later operands only see still-undecided rows
+(`take`-compacted batches carry their column caches along).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    SelectivityEstimator,
+    TruePredicate,
+    Value,
+)
+from repro.exceptions import PredicateError
+from repro.ir.visitor import PredicateVisitor
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+
+    from repro.core.columns import ColumnBatch
+
+
+def _ordered_column(
+    batch: "ColumnBatch", column: str, value: Value
+) -> np.ndarray:
+    """The column view to use for an ordered comparison against ``value``.
+
+    Mirrors the scalar comparability rule: strings order only against
+    string columns, numbers only against numeric columns; anything else is
+    schema drift and raises :class:`~repro.exceptions.PredicateError`.
+    """
+    kind = batch.kind(column)
+    if isinstance(value, str):
+        if kind != "string":
+            raise PredicateError(
+                f"cannot order column {column!r} values against {value!r}"
+            )
+        return batch.column(column)
+    if kind != "numeric":
+        raise PredicateError(
+            f"cannot order column {column!r} values against {value!r}"
+        )
+    return batch.numeric(column)
+
+
+class BatchLowering(PredicateVisitor):
+    """Lower an IR predicate to a boolean mask over a column batch.
+
+    Stateless — per-call context (batch, estimator) passes through the
+    visitor's ``*args``; one shared instance serves every call.
+    """
+
+    __slots__ = ()
+
+    def visit_true(
+        self,
+        pred: TruePredicate,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None,
+    ) -> np.ndarray:
+        return np.ones(len(batch), dtype=bool)
+
+    def visit_false(
+        self,
+        pred: FalsePredicate,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None,
+    ) -> np.ndarray:
+        return np.zeros(len(batch), dtype=bool)
+
+    def visit_comparison(
+        self,
+        pred: Comparison,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None,
+    ) -> np.ndarray:
+        if len(batch) == 0:
+            return np.zeros(0, dtype=bool)
+        if pred.op is Op.EQ or pred.op is Op.NE:
+            if batch.is_numeric(pred.column):
+                if isinstance(pred.value, str):
+                    # A numeric column never equals a string constant.
+                    mask = np.zeros(len(batch), dtype=bool)
+                else:
+                    mask = batch.numeric(pred.column) == pred.value
+            else:
+                mask = batch.column(pred.column) == pred.value
+            return mask if pred.op is Op.EQ else ~mask
+        actual = _ordered_column(batch, pred.column, pred.value)
+        if pred.op is Op.LT:
+            return actual < pred.value
+        if pred.op is Op.LE:
+            return actual <= pred.value
+        if pred.op is Op.GT:
+            return actual > pred.value
+        return actual >= pred.value
+
+    def visit_in_set(
+        self,
+        pred: InSet,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None,
+    ) -> np.ndarray:
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        mask = np.zeros(n, dtype=bool)
+        if batch.is_numeric(pred.column):
+            actual = batch.numeric(pred.column)
+            for value in pred.values:
+                if not isinstance(value, str):
+                    mask |= actual == value
+        else:
+            actual = batch.column(pred.column)
+            for value in pred.values:
+                mask |= actual == value
+        return mask
+
+    def visit_interval(
+        self,
+        pred: Interval,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None,
+    ) -> np.ndarray:
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        mask = np.ones(n, dtype=bool)
+        if pred.low is not None:
+            actual = _ordered_column(batch, pred.column, pred.low)
+            if pred.low_closed:
+                mask &= actual >= pred.low
+            else:
+                mask &= actual > pred.low
+        if pred.high is not None:
+            actual = _ordered_column(batch, pred.column, pred.high)
+            if pred.high_closed:
+                mask &= actual <= pred.high
+            else:
+                mask &= actual < pred.high
+        return mask
+
+    def visit_and(
+        self,
+        pred: And,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None,
+    ) -> np.ndarray:
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        operands: Iterable[Predicate] = pred.operands
+        if estimator is not None:
+            # Most-selective conjunct first: it eliminates the most rows,
+            # so later (possibly expensive) conjuncts see the smallest
+            # surviving batch.
+            operands = sorted(pred.operands, key=estimator)
+        alive: np.ndarray | None = None
+        current = batch
+        for operand in operands:
+            mask = operand.evaluate_batch(current, estimator)
+            if mask.all():
+                continue
+            keep = np.flatnonzero(mask)
+            alive = keep if alive is None else alive[keep]
+            if keep.size == 0:
+                break
+            current = current.take(keep)
+        if alive is None:
+            return np.ones(n, dtype=bool)
+        out = np.zeros(n, dtype=bool)
+        out[alive] = True
+        return out
+
+    def visit_or(
+        self,
+        pred: Or,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None,
+    ) -> np.ndarray:
+        n = len(batch)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        operands: Iterable[Predicate] = pred.operands
+        if estimator is not None:
+            # Most-admitting disjunct first: it settles the most rows to
+            # TRUE, so later disjuncts run on the fewest undecided rows.
+            operands = sorted(pred.operands, key=estimator, reverse=True)
+        out = np.zeros(n, dtype=bool)
+        pending: np.ndarray | None = None
+        current = batch
+        for operand in operands:
+            mask = operand.evaluate_batch(current, estimator)
+            if pending is None:
+                out |= mask
+                pending = np.flatnonzero(~mask)
+            else:
+                out[pending[mask]] = True
+                pending = pending[~mask]
+            if pending.size == 0:
+                break
+            current = batch.take(pending)
+        return out
+
+    def visit_not(
+        self,
+        pred: Not,
+        batch: "ColumnBatch",
+        estimator: SelectivityEstimator | None,
+    ) -> np.ndarray:
+        return ~pred.operand.evaluate_batch(batch, estimator)
+
+
+#: Shared stateless lowering instance behind ``Predicate.evaluate_batch``.
+_LOWERING = BatchLowering()
+
+
+def evaluate_batch(
+    pred: Predicate,
+    batch: "ColumnBatch",
+    estimator: SelectivityEstimator | None = None,
+) -> np.ndarray:
+    """Boolean mask of ``pred`` over ``batch`` (the IR batch lowering)."""
+    return _LOWERING.visit(pred, batch, estimator)

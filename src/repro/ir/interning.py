@@ -1,0 +1,207 @@
+"""Hash-consing and structural fingerprints for predicate IR nodes.
+
+:func:`intern` maps any predicate tree to a *canonical instance*: two
+structurally equal trees (after the constructors' canonical operand
+ordering) intern to the very same object, so equality between interned
+nodes is a pointer comparison (``a is b``) and shared substructure is
+stored once.  Envelope derivation interns every published predicate;
+the simplification pipeline interns its output; downstream layers may
+therefore rely on interned inputs being cheap to compare, hash, and
+deduplicate.
+
+:func:`fingerprint` is the stable structural digest built on top: a
+SHA-256 over a tagged, length-prefixed serialization of the tree.  It is
+deterministic across processes and runs (unlike ``hash()``, which is
+salted for strings), which is what lets the plan cache — and eventually
+cross-query envelope sharing — key on predicate *structure* instead of
+``repr`` text.  Fingerprints are memoized per canonical instance, so
+repeated cache lookups pay the O(size) serialization once.
+
+The intern table is bounded (:data:`MAX_INTERN_ENTRIES`): when full it is
+cleared wholesale (with the memoized fingerprints, whose id-keyed memo is
+only valid while the table holds its nodes strongly) and a ``resets``
+statistic is incremented.  Predicate workloads here derive from model
+content, so the table stays far below the bound in practice; the bound is
+a leak backstop, not an LRU.
+
+Hit/miss traffic is exposed through :func:`intern_stats` and, when
+tracing is enabled, the ``ir.intern.hit`` / ``ir.intern.miss`` counters
+(``trace-report`` derives the hit ratio automatically).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro import obs
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Interval,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    Value,
+)
+from repro.exceptions import PredicateError
+
+#: Ceiling on intern-table entries; the table is cleared wholesale when
+#: a miss would push it past this (a leak backstop, not an LRU).
+MAX_INTERN_ENTRIES = 65536
+
+_TABLE: dict[Predicate, Predicate] = {}
+_FINGERPRINTS: dict[int, str] = {}
+_STATS = {"hits": 0, "misses": 0, "resets": 0}
+
+#: Node types the interner understands.  Subclassed predicates outside
+#: the closed IR algebra (tests wrap nodes for instrumentation) pass
+#: through :func:`intern` untouched rather than polluting the table.
+_IR_TYPES = (
+    TruePredicate,
+    FalsePredicate,
+    Comparison,
+    InSet,
+    Interval,
+    And,
+    Or,
+    Not,
+)
+_IR_TYPE_SET = frozenset(_IR_TYPES)
+
+
+def intern(pred: Predicate) -> Predicate:
+    """The canonical instance structurally equal to ``pred``.
+
+    Children are interned recursively, so equal subtrees of different
+    envelopes collapse to shared objects.  Interned nodes satisfy
+    ``intern(a) is intern(b)`` iff ``a == b`` — O(1) structural equality.
+    Non-IR predicate subclasses are returned unchanged.
+    """
+    if type(pred) not in _IR_TYPE_SET:
+        return pred
+    if isinstance(pred, TruePredicate):
+        return TRUE
+    if isinstance(pred, FalsePredicate):
+        return FALSE
+    cached = _TABLE.get(pred)
+    if cached is not None:
+        _STATS["hits"] += 1
+        obs.add_counter("ir.intern.hit")
+        return cached
+    _STATS["misses"] += 1
+    obs.add_counter("ir.intern.miss")
+    canonical = _intern_children(pred)
+    if len(_TABLE) >= MAX_INTERN_ENTRIES:
+        clear_intern_table()
+        _STATS["resets"] += 1
+        obs.add_counter("ir.intern.reset")
+    _TABLE[canonical] = canonical
+    return canonical
+
+
+def _intern_children(pred: Predicate) -> Predicate:
+    """Rebuild ``pred`` over interned children (identity when unchanged)."""
+    if isinstance(pred, (And, Or)):
+        kids = tuple(intern(o) for o in pred.operands)
+        if all(a is b for a, b in zip(kids, pred.operands)):
+            return pred
+        return type(pred)(kids)
+    if isinstance(pred, Not):
+        kid = intern(pred.operand)
+        return pred if kid is pred.operand else Not(kid)
+    return pred
+
+
+def fingerprint(pred: Predicate) -> str:
+    """Stable structural digest of ``pred`` (64 hex chars).
+
+    Interns ``pred`` first so the digest is memoized on the canonical
+    instance; equal predicates — including commutative-equivalent
+    connectives, which canonical operand ordering makes equal — share one
+    fingerprint, and the digest is identical across processes.
+    """
+    canonical = intern(pred)
+    memo = _FINGERPRINTS.get(id(canonical))
+    if memo is not None:
+        return memo
+    out: list[str] = []
+    _serialize(canonical, out)
+    digest = hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
+    if canonical in _TABLE:
+        # Memoize by object id — safe only while the intern table keeps
+        # the node alive (the memo is cleared together with the table).
+        _FINGERPRINTS[id(canonical)] = digest
+    return digest
+
+
+def _value_token(value: Value) -> str:
+    """Serialize one comparison constant, respecting numeric equality.
+
+    ``5 == 5.0`` in Python (and in the dataclass equality of the nodes),
+    so integral floats serialize like ints — equal nodes must never
+    produce different digests.
+    """
+    if isinstance(value, str):
+        return f"s{len(value)}:{value}"
+    if isinstance(value, float) and not value.is_integer():
+        return f"f{value!r}"
+    return f"i{int(value)}"
+
+
+def _serialize(pred: Predicate, out: list[str]) -> None:
+    """Append a tagged, length-prefixed encoding of ``pred`` to ``out``."""
+    if isinstance(pred, TruePredicate):
+        out.append("T")
+    elif isinstance(pred, FalsePredicate):
+        out.append("F")
+    elif isinstance(pred, Comparison):
+        out.append(
+            f"C{pred.op.value};{len(pred.column)}:{pred.column};"
+            f"{_value_token(pred.value)}"
+        )
+    elif isinstance(pred, InSet):
+        out.append(f"S{len(pred.column)}:{pred.column};{len(pred.values)}[")
+        for value in pred.values:
+            out.append(_value_token(value))
+            out.append(",")
+        out.append("]")
+    elif isinstance(pred, Interval):
+        low = "_" if pred.low is None else _value_token(pred.low)
+        high = "_" if pred.high is None else _value_token(pred.high)
+        closed = ("[" if pred.low_closed else "(") + (
+            "]" if pred.high_closed else ")"
+        )
+        out.append(
+            f"I{len(pred.column)}:{pred.column};{low};{high};{closed}"
+        )
+    elif isinstance(pred, (And, Or)):
+        out.append(("A" if isinstance(pred, And) else "O"))
+        out.append(f"{len(pred.operands)}(")
+        for operand in pred.operands:
+            _serialize(operand, out)
+            out.append(",")
+        out.append(")")
+    elif isinstance(pred, Not):
+        out.append("N(")
+        _serialize(pred.operand, out)
+        out.append(")")
+    else:
+        raise PredicateError(
+            f"cannot fingerprint non-IR node {type(pred).__name__}"
+        )
+
+
+def intern_stats() -> dict[str, int]:
+    """Lifetime hit/miss/reset counts and the current table size."""
+    return {**_STATS, "size": len(_TABLE)}
+
+
+def clear_intern_table() -> None:
+    """Drop every interned node and memoized fingerprint (tests, resets)."""
+    _TABLE.clear()
+    _FINGERPRINTS.clear()

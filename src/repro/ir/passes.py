@@ -1,0 +1,223 @@
+"""The staged simplification pipeline over the predicate IR.
+
+Historically ``normalize.simplify`` was one opaque call; this module
+splits it into named passes — the same machinery, now individually
+composable, traceable, and measurable:
+
+``nnf``
+    negation normal form (:func:`repro.core.normalize.to_nnf`),
+``dnf``
+    budgeted disjunctive normal form
+    (:func:`repro.core.normalize.dnf_of_nnf`); a budget overflow raises
+    :class:`PassAbort`, which makes the pipeline keep its *input*
+    predicate — simplification is an optimization, never a requirement,
+``solve``
+    per-conjunct column-constraint solving
+    (:func:`repro.core.normalize.solve_dnf`),
+``absorb``
+    subsumption between disjuncts (:func:`repro.core.normalize.absorb`),
+``factor``
+    common-atom hoisting (:func:`repro.core.normalize.factor`).
+
+Each pass runs inside an ``ir.pass.<pipeline>.<name>`` span with
+``atoms_before``/``atoms_after``/``changed`` attributes and accumulates
+``ir.pass.<name>.runs`` / ``.rewrites`` / ``.atoms_before`` /
+``.atoms_after`` counters, so ``trace-report`` shows where envelope
+simplification spends its time and which passes actually rewrite.
+Pipeline output is always interned (:func:`repro.ir.interning.intern`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.core import normalize
+from repro.core.normalize import DEFAULT_DNF_BUDGET
+from repro.core.predicates import Predicate, atom_count
+from repro.exceptions import NormalizationError
+from repro.ir.interning import intern
+
+#: A pass body: ``(predicate, context) -> predicate``.  ``context`` is the
+#: read-only keyword mapping given to :meth:`PassPipeline.run` (e.g. the
+#: DNF budget); passes must be pure in the predicate.
+PassFn = Callable[[Predicate, Mapping[str, Any]], Predicate]
+
+
+class PassAbort(Exception):
+    """A pass declining to run (e.g. DNF budget overflow).
+
+    Aborting is not an error: the pipeline stops and returns the
+    predicate it was *given*, interned but otherwise untouched, exactly
+    the historic ``simplify`` contract on budget overflow.
+    """
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One named, traceable rewrite stage."""
+
+    name: str
+    fn: PassFn
+
+    def __call__(
+        self, pred: Predicate, context: Mapping[str, Any]
+    ) -> Predicate:
+        return self.fn(pred, context)
+
+
+@dataclass(frozen=True)
+class PassResult:
+    """Per-pass outcome of one :meth:`PassPipeline.run_detailed` call."""
+
+    name: str
+    atoms_before: int
+    atoms_after: int
+    seconds: float
+    changed: bool
+    aborted: bool = False
+
+
+class PassPipeline:
+    """An ordered sequence of passes run under observability.
+
+    The pipeline is immutable once built; :func:`default_pipeline`
+    returns the standard simplification pipeline, and callers composing
+    custom pipelines (e.g. a lowering prefixed by ``nnf`` only) construct
+    their own.
+    """
+
+    def __init__(self, name: str, passes: Sequence[Pass]) -> None:
+        self.name = name
+        self.passes = tuple(passes)
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.name for p in self.passes)
+        return f"PassPipeline({self.name!r}: {names})"
+
+    def run(self, pred: Predicate, **context: Any) -> Predicate:
+        """Run every pass in order; the result is interned.
+
+        A :class:`PassAbort` from any pass returns the interned *input*
+        predicate (rewrites from earlier passes are discarded too: a
+        half-simplified predicate is no better than the original, and
+        returning the input keeps the contract trivial to reason about).
+        """
+        result, _ = self._execute(pred, context, detailed=False)
+        return result
+
+    def run_detailed(
+        self, pred: Predicate, **context: Any
+    ) -> tuple[Predicate, list[PassResult]]:
+        """Like :meth:`run`, also returning per-pass rewrite statistics."""
+        return self._execute(pred, context, detailed=True)
+
+    def _execute(
+        self,
+        pred: Predicate,
+        context: Mapping[str, Any],
+        detailed: bool,
+    ) -> tuple[Predicate, list[PassResult]]:
+        original = pred
+        results: list[PassResult] = []
+        traced = obs.enabled()
+        for stage in self.passes:
+            measured = traced or detailed
+            before = atom_count(pred) if measured else 0
+            started = time.perf_counter() if detailed else 0.0
+            with obs.span(
+                f"ir.pass.{self.name}.{stage.name}", atoms_before=before
+            ) as sp:
+                try:
+                    out = stage(pred, context)
+                except PassAbort:
+                    sp.update(aborted=True)
+                    obs.add_counter(f"ir.pass.{stage.name}.aborted")
+                    if detailed:
+                        results.append(
+                            PassResult(
+                                name=stage.name,
+                                atoms_before=before,
+                                atoms_after=before,
+                                seconds=time.perf_counter() - started,
+                                changed=False,
+                                aborted=True,
+                            )
+                        )
+                    return intern(original), results
+                if measured:
+                    after = atom_count(out)
+                    changed = out != pred
+                    sp.update(atoms_after=after, changed=changed)
+                    obs.add_counter(f"ir.pass.{stage.name}.runs")
+                    if changed:
+                        obs.add_counter(f"ir.pass.{stage.name}.rewrites")
+                    obs.add_counter(
+                        f"ir.pass.{stage.name}.atoms_before", before
+                    )
+                    obs.add_counter(
+                        f"ir.pass.{stage.name}.atoms_after", after
+                    )
+                    if detailed:
+                        results.append(
+                            PassResult(
+                                name=stage.name,
+                                atoms_before=before,
+                                atoms_after=after,
+                                seconds=time.perf_counter() - started,
+                                changed=changed,
+                            )
+                        )
+            pred = out
+        return intern(pred), results
+
+
+def _nnf_pass(pred: Predicate, context: Mapping[str, Any]) -> Predicate:
+    return normalize.to_nnf(pred)
+
+
+def _dnf_pass(pred: Predicate, context: Mapping[str, Any]) -> Predicate:
+    max_terms = context.get("max_terms", DEFAULT_DNF_BUDGET)
+    try:
+        return normalize.dnf_of_nnf(pred, max_terms)
+    except NormalizationError as exc:
+        raise PassAbort(str(exc)) from exc
+
+
+def _solve_pass(pred: Predicate, context: Mapping[str, Any]) -> Predicate:
+    return normalize.solve_dnf(pred)
+
+
+def _absorb_pass(pred: Predicate, context: Mapping[str, Any]) -> Predicate:
+    return normalize.absorb(pred)
+
+
+def _factor_pass(pred: Predicate, context: Mapping[str, Any]) -> Predicate:
+    return normalize.factor(pred)
+
+
+_DEFAULT = PassPipeline(
+    "simplify",
+    (
+        Pass("nnf", _nnf_pass),
+        Pass("dnf", _dnf_pass),
+        Pass("solve", _solve_pass),
+        Pass("absorb", _absorb_pass),
+        Pass("factor", _factor_pass),
+    ),
+)
+
+
+def default_pipeline() -> PassPipeline:
+    """The standard simplification pipeline (shared, immutable)."""
+    return _DEFAULT
+
+
+def simplify_pipeline(
+    pred: Predicate, max_terms: int = DEFAULT_DNF_BUDGET
+) -> Predicate:
+    """Run the standard pipeline — the engine behind ``simplify``."""
+    return _DEFAULT.run(pred, max_terms=max_terms)

@@ -1,0 +1,121 @@
+"""Generic traversal over predicate IR trees.
+
+Before this module existed, every consumer of the predicate algebra —
+normalization, SQL compilation, batch evaluation, envelope derivation —
+re-implemented its own ``isinstance`` ladder.  :class:`PredicateVisitor`
+centralizes that dispatch: subclasses implement ``visit_<node>`` methods
+and call :meth:`PredicateVisitor.visit`, which routes on the concrete
+node type.  Extra positional arguments pass through untouched, so
+lowerings can thread per-call context (a column batch, a selectivity
+estimator) without instance state.
+
+:class:`PredicateTransformer` adds the standard bottom-up rewrite
+skeleton: the default methods rebuild connectives through the smart
+constructors (:func:`~repro.core.predicates.conjunction` etc.), so a
+transformer that only overrides, say, ``visit_comparison`` gets
+flattening and constant folding of the rewritten tree for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Interval,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjunction,
+    disjunction,
+)
+from repro.exceptions import PredicateError
+
+#: Concrete node type -> visitor method name.  Keyed by exact type, not
+#: ``isinstance``: IR nodes form a closed algebra, and exact-type dispatch
+#: is what makes the visit loop cheap.
+_DISPATCH: dict[type, str] = {
+    TruePredicate: "visit_true",
+    FalsePredicate: "visit_false",
+    Comparison: "visit_comparison",
+    InSet: "visit_in_set",
+    Interval: "visit_interval",
+    And: "visit_and",
+    Or: "visit_or",
+    Not: "visit_not",
+}
+
+
+class PredicateVisitor:
+    """Dispatch a predicate tree to per-node-type ``visit_*`` methods.
+
+    Unhandled node types fall through to :meth:`generic_visit`, which
+    raises; a visitor therefore fails loudly on nodes it does not know
+    rather than silently mis-lowering them.
+    """
+
+    __slots__ = ()
+
+    def visit(self, pred: Predicate, *args: Any) -> Any:
+        """Route ``pred`` to its ``visit_<node>`` method."""
+        name = _DISPATCH.get(type(pred))
+        if name is None:
+            return self.generic_visit(pred, *args)
+        return getattr(self, name)(pred, *args)
+
+    def generic_visit(self, pred: Predicate, *args: Any) -> Any:
+        raise PredicateError(
+            f"{type(self).__name__} has no rule for "
+            f"{type(pred).__name__} nodes"
+        )
+
+
+class PredicateTransformer(PredicateVisitor):
+    """Bottom-up predicate-to-predicate rewriter.
+
+    The default implementation is the identity transform: atoms and
+    constants return themselves, connectives rebuild from transformed
+    children via the smart constructors (which flatten and constant-fold),
+    and an unchanged child set returns the original node — transformers
+    preserve object identity wherever they do not rewrite, which keeps
+    interned trees interned.
+    """
+
+    __slots__ = ()
+
+    def visit_true(self, pred: TruePredicate, *args: Any) -> Predicate:
+        return pred
+
+    def visit_false(self, pred: FalsePredicate, *args: Any) -> Predicate:
+        return pred
+
+    def visit_comparison(self, pred: Comparison, *args: Any) -> Predicate:
+        return pred
+
+    def visit_in_set(self, pred: InSet, *args: Any) -> Predicate:
+        return pred
+
+    def visit_interval(self, pred: Interval, *args: Any) -> Predicate:
+        return pred
+
+    def visit_and(self, pred: And, *args: Any) -> Predicate:
+        rewritten = [self.visit(o, *args) for o in pred.operands]
+        if all(a is b for a, b in zip(rewritten, pred.operands)):
+            return pred
+        return conjunction(rewritten)
+
+    def visit_or(self, pred: Or, *args: Any) -> Predicate:
+        rewritten = [self.visit(o, *args) for o in pred.operands]
+        if all(a is b for a, b in zip(rewritten, pred.operands)):
+            return pred
+        return disjunction(rewritten)
+
+    def visit_not(self, pred: Not, *args: Any) -> Predicate:
+        inner = self.visit(pred.operand, *args)
+        if inner is pred.operand:
+            return pred
+        return Not(inner)

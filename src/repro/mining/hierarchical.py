@@ -108,7 +108,6 @@ class AgglomerativeClusterLearner:
         # average linkage over squared distances the Lance-Williams update
         # reduces to a size-weighted centroid merge, which is what we use.
         while len(active) > self.n_clusters:
-            best = None
             stacked = centroids[active]
             deltas = stacked[:, None, :] - stacked[None, :, :]
             distances = (scale * deltas * deltas).sum(axis=2)

@@ -5,7 +5,11 @@ Reads every ``*.jsonl`` file of a trace directory in sorted-filename order
 
 * **spans** — per-name count, total/mean/max seconds, ranked by total time,
 * **counters** — summed per name, with hit rates derived from every
-  ``<name>.hit`` / ``<name>.miss`` pair (plan cache, prediction memos),
+  ``<name>.hit`` / ``<name>.miss`` pair (plan cache, prediction memos,
+  the IR intern table),
+* **simplification passes** — per-pass rewrite statistics from the
+  ``ir.pass.<pass>.*`` counters the pass pipeline emits (runs, rewrites,
+  atoms in/out, aborts),
 * **gauges** — last value per name,
 * **estimator accuracy** — absolute-error quantiles over the
   ``estimator_accuracy`` records the executor emits (estimated vs. actual
@@ -74,6 +78,26 @@ class TraceSummary:
             if total > 0:
                 rates[base] = hits / total
         return rates
+
+    def pass_rewrites(self) -> dict[str, dict[str, float]]:
+        """Per-pass rewrite statistics from the ``ir.pass.*`` counters.
+
+        Keyed by pass name; each row holds the summed ``runs``,
+        ``rewrites``, ``atoms_before``, ``atoms_after``, and ``aborted``
+        counters the pipeline emits (missing counters default to 0).
+        """
+        prefix = "ir.pass."
+        fields = ("runs", "rewrites", "atoms_before", "atoms_after", "aborted")
+        passes: dict[str, dict[str, float]] = {}
+        for name, value in self.counters.items():
+            if not name.startswith(prefix):
+                continue
+            base, _, metric = name[len(prefix):].rpartition(".")
+            if not base or metric not in fields:
+                continue
+            row = passes.setdefault(base, {f: 0.0 for f in fields})
+            row[metric] += value
+        return dict(sorted(passes.items()))
 
 
 def trace_files(directory: str | Path) -> list[Path]:
@@ -251,6 +275,25 @@ def format_report(summary: TraceSummary, top: int = 10) -> str:
     else:
         out.append("  (none)")
     out.append("")
+    passes = summary.pass_rewrites()
+    if passes:
+        out.append("Simplification passes:")
+        width = max(len(name) for name in passes)
+        for name, row in passes.items():
+            atoms = ""
+            if row["atoms_before"] or row["atoms_after"]:
+                atoms = (
+                    f" atoms {int(row['atoms_before'])}"
+                    f"->{int(row['atoms_after'])}"
+                )
+            aborted = (
+                f" aborted={int(row['aborted'])}" if row["aborted"] else ""
+            )
+            out.append(
+                f"  {name:<{width}}  runs={int(row['runs']):<6d} "
+                f"rewrites={int(row['rewrites']):<6d}{atoms}{aborted}"
+            )
+        out.append("")
     rates = summary.hit_rates()
     out.append("Cache hit rates:")
     if rates:

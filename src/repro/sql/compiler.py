@@ -1,10 +1,33 @@
-"""Compile predicate ASTs to SQLite WHERE-clause text.
+"""Compile predicate IR to SQLite WHERE-clause text (the SQL lowering).
 
 Upper envelopes are AND/OR expressions of simple selection predicates; this
 module renders them in exactly the shape SQLite's planner can exploit for
 index seeks and multi-index OR plans.  Literals are rendered inline (with
 strict escaping) rather than as bind parameters so that ``EXPLAIN QUERY
 PLAN`` output corresponds one-to-one with the executed statement.
+
+The compiler is a :class:`~repro.ir.visitor.PredicateVisitor` — the same
+dispatch mechanism the batch lowering uses, with SQL text as the target.
+
+NULL semantics.  ``Predicate.evaluate`` is the semantic source of truth,
+and it is two-valued: a ``None`` value is simply a value that equals
+nothing (``!=`` and ``NOT IN`` hold, ``=`` and ``IN`` do not).  SQL's
+three-valued logic instead makes every comparison against NULL unknown,
+silently *excluding* NULL rows from negated atoms — which would make a
+pushed-down envelope drop rows the model still predicts on, an
+unsoundness, not a style difference.  The lowering therefore maintains
+*truth parity* (the SQL expression is TRUE exactly when ``evaluate``
+returns True) on every node:
+
+* ``col != v``   lowers to ``(col != v OR col IS NULL)``,
+* ``NOT IN``     lowers to ``(col NOT IN (...) OR col IS NULL)``,
+* generic ``NOT`` lowers to ``(inner) IS NOT TRUE`` — unlike ``NOT``,
+  ``IS NOT TRUE`` maps unknown to true, matching the negation of a
+  two-valued inner predicate.
+
+Ordered comparisons (``<``, intervals) are exempt: ``evaluate`` raises on
+a ``None`` ordered against a bound, so there is no defined behavior to
+match and the bare SQL form (which excludes NULLs) is kept.
 """
 
 from __future__ import annotations
@@ -23,6 +46,7 @@ from repro.core.predicates import (
     Value,
 )
 from repro.exceptions import PredicateError
+from repro.ir.visitor import PredicateVisitor
 from repro.sql.schema import check_identifier
 
 
@@ -52,65 +76,90 @@ def render_literal(value: Value) -> str:
     raise PredicateError(f"cannot render literal {value!r}")
 
 
-def compile_predicate(pred: Predicate) -> str:
-    """Render a predicate tree as a SQL boolean expression."""
-    if isinstance(pred, TruePredicate):
+class SQLLowering(PredicateVisitor):
+    """Lower an IR predicate to a SQLite boolean expression.
+
+    Stateless; one shared instance serves every :func:`compile_predicate`
+    call.  Each method returns an expression string whose truth value
+    matches ``Predicate.evaluate`` row by row (see the module docstring
+    for the NULL-parity contract).
+    """
+
+    __slots__ = ()
+
+    def visit_true(self, pred: TruePredicate) -> str:
         return "1=1"
-    if isinstance(pred, FalsePredicate):
+
+    def visit_false(self, pred: FalsePredicate) -> str:
         return "1=0"
-    if isinstance(pred, Comparison):
+
+    def visit_comparison(self, pred: Comparison) -> str:
         column = quote_identifier(pred.column)
-        return f"{column} {pred.op.value} {render_literal(pred.value)}"
-    if isinstance(pred, InSet):
+        literal = render_literal(pred.value)
+        if pred.op is Op.NE:
+            # evaluate() treats None as unequal to every constant; SQL's
+            # NULL != v is unknown and would drop the row.  The rendered
+            # form self-parenthesizes because it is an OR expression.
+            return f"({column} != {literal} OR {column} IS NULL)"
+        return f"{column} {pred.op.value} {literal}"
+
+    def visit_in_set(self, pred: InSet) -> str:
         column = quote_identifier(pred.column)
         values = ", ".join(render_literal(v) for v in pred.values)
         return f"{column} IN ({values})"
-    if isinstance(pred, Interval):
-        return _compile_interval(pred)
-    if isinstance(pred, Not):
+
+    def visit_interval(self, pred: Interval) -> str:
+        column = quote_identifier(pred.column)
+        if (
+            pred.low is not None
+            and pred.high is not None
+            and pred.low_closed
+            and pred.high_closed
+        ):
+            low = render_literal(pred.low)
+            high = render_literal(pred.high)
+            return f"{column} BETWEEN {low} AND {high}"
+        parts = []
+        if pred.low is not None:
+            op = Op.GE if pred.low_closed else Op.GT
+            parts.append(f"{column} {op.value} {render_literal(pred.low)}")
+        if pred.high is not None:
+            op = Op.LE if pred.high_closed else Op.LT
+            parts.append(f"{column} {op.value} {render_literal(pred.high)}")
+        return " AND ".join(parts)
+
+    def visit_not(self, pred: Not) -> str:
         if isinstance(pred.operand, InSet):
             inner = pred.operand
             column = quote_identifier(inner.column)
             values = ", ".join(render_literal(v) for v in inner.values)
-            return f"{column} NOT IN ({values})"
-        return f"NOT ({compile_predicate(pred.operand)})"
-    if isinstance(pred, And):
-        return " AND ".join(
-            _parenthesize(operand) for operand in pred.operands
-        )
-    if isinstance(pred, Or):
-        return " OR ".join(
-            _parenthesize(operand) for operand in pred.operands
-        )
-    raise PredicateError(f"cannot compile predicate node {pred!r}")
+            # None is a member of no set, so evaluate() holds on NULL
+            # rows; bare NOT IN would exclude them.
+            return f"({column} NOT IN ({values}) OR {column} IS NULL)"
+        # IS NOT TRUE maps unknown to true: the negation of a two-valued
+        # inner predicate, where NOT (...) would map unknown to unknown
+        # and silently exclude the row.
+        return f"({self.visit(pred.operand)}) IS NOT TRUE"
+
+    def visit_and(self, pred: And) -> str:
+        return " AND ".join(self._parenthesize(o) for o in pred.operands)
+
+    def visit_or(self, pred: Or) -> str:
+        return " OR ".join(self._parenthesize(o) for o in pred.operands)
+
+    def _parenthesize(self, pred: Predicate) -> str:
+        text = self.visit(pred)
+        if isinstance(pred, (And, Or)):
+            return f"({text})"
+        return text
 
 
-def _parenthesize(pred: Predicate) -> str:
-    text = compile_predicate(pred)
-    if isinstance(pred, (And, Or)):
-        return f"({text})"
-    return text
+_LOWERING = SQLLowering()
 
 
-def _compile_interval(interval: Interval) -> str:
-    column = quote_identifier(interval.column)
-    if (
-        interval.low is not None
-        and interval.high is not None
-        and interval.low_closed
-        and interval.high_closed
-    ):
-        low = render_literal(interval.low)
-        high = render_literal(interval.high)
-        return f"{column} BETWEEN {low} AND {high}"
-    parts = []
-    if interval.low is not None:
-        op = Op.GE if interval.low_closed else Op.GT
-        parts.append(f"{column} {op.value} {render_literal(interval.low)}")
-    if interval.high is not None:
-        op = Op.LE if interval.high_closed else Op.LT
-        parts.append(f"{column} {op.value} {render_literal(interval.high)}")
-    return " AND ".join(parts)
+def compile_predicate(pred: Predicate) -> str:
+    """Render a predicate tree as a SQL boolean expression."""
+    return _LOWERING.visit(pred)
 
 
 def select_statement(

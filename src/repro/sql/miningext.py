@@ -373,9 +373,9 @@ class PredictionJoinExecutor:
                             : len(optimized.residual_predicates)
                         ]
                     ]
-                    estimator = lambda predicate: estimate_selectivity(
-                        stats, predicate
-                    )
+
+                    def estimator(predicate):
+                        return estimate_selectivity(stats, predicate)
             sql = select_statement(query.table, pushable)
             plan = capture_plan(self._db, query.table, pushable)
             with obs.span("execute.sql", table=query.table) as sql_span:

@@ -10,6 +10,12 @@ fingerprint of the mining query *plus the versions of every referenced
 model* (from the catalog).  Re-registering a model bumps its version, so a
 cached plan built against stale envelopes can never be replayed —
 correctness, not just staleness, is at stake, exactly as the paper notes.
+
+The relational predicate enters the key through
+:func:`repro.ir.fingerprint` — a digest of predicate *structure*, under
+which commutative-equivalent predicates (``And(a, b)`` vs ``And(b, a)``)
+share one entry.  The previous ``repr``-text key missed on such logically
+identical queries and re-optimized them from scratch.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from dataclasses import dataclass
 from repro import obs
 from repro.core.catalog import ModelCatalog
 from repro.core.optimizer import MiningQuery, OptimizedQuery, optimize
+from repro.ir import fingerprint as ir_fingerprint
 
 
 @dataclass
@@ -75,7 +82,7 @@ class PlanCache:
     def _fingerprint(query: MiningQuery, optimize_kwargs: dict) -> tuple:
         return (
             query.table,
-            repr(query.relational_predicate),
+            ir_fingerprint(query.relational_predicate),
             tuple(
                 predicate.describe() for predicate in query.mining_predicates
             ),

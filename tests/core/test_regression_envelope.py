@@ -78,7 +78,10 @@ class TestLearner:
         # exploit it somewhere.
         center = [r for r in house_rows if r["district"] == "center"]
         other = [r for r in house_rows if r["district"] != "center"]
-        mean = lambda rs: sum(price_model.predict(r) for r in rs) / len(rs)
+
+        def mean(rs):
+            return sum(price_model.predict(r) for r in rs) / len(rs)
+
         assert mean(center) > mean(other)
 
 

@@ -7,7 +7,6 @@ optimized execution returns *exactly* the rows of the extract-and-mine
 baseline, while never fetching more rows than it.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.catalog import ModelCatalog
@@ -106,7 +105,10 @@ def test_pipeline_equivalence(dataset, loaded, family):
         )
         optimized = executor.execute_optimized(query)
         naive = executor.execute_naive(query)
-        key = lambda r: tuple(sorted(r.items()))
+
+        def key(r):
+            return tuple(sorted(r.items()))
+
         assert sorted(map(key, optimized.rows)) == sorted(
             map(key, naive.rows)
         ), (family, label)

@@ -1,0 +1,158 @@
+"""Unit tests for hash-consing and structural fingerprints."""
+
+import pytest
+
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    TruePredicate,
+    equals,
+)
+from repro.exceptions import PredicateError
+from repro.ir import clear_intern_table, fingerprint, intern, intern_stats
+from repro.ir import interning as interning_module
+
+
+@pytest.fixture(autouse=True)
+def fresh_table():
+    """Start each test from an empty intern table."""
+    clear_intern_table()
+    yield
+    clear_intern_table()
+
+
+class TestCanonicalOrdering:
+    def test_and_is_order_insensitive(self):
+        a, b = equals("x", 1), equals("y", 2)
+        assert And((a, b)) == And((b, a))
+        assert hash(And((a, b))) == hash(And((b, a)))
+
+    def test_or_is_order_insensitive(self):
+        a, b, c = equals("x", 1), equals("y", 2), Comparison("z", Op.GT, 3)
+        assert Or((a, b, c)) == Or((c, b, a))
+
+    def test_nested_commutative_forms_are_equal(self):
+        a, b, c = equals("x", 1), equals("y", 2), equals("z", 3)
+        left = Or((And((a, b)), c))
+        right = Or((c, And((b, a))))
+        assert left == right
+
+    def test_duplicates_are_preserved(self):
+        # Canonicalization sorts; it must not silently dedupe.
+        a = equals("x", 1)
+        assert len(And((a, a)).operands) == 2
+
+
+class TestIntern:
+    def test_identity_for_equal_trees(self):
+        a, b = equals("x", 1), equals("y", 2)
+        assert intern(And((a, b))) is intern(And((b, a)))
+
+    def test_interning_is_idempotent(self):
+        pred = intern(Or((equals("x", 1), equals("y", 2))))
+        assert intern(pred) is pred
+
+    def test_shared_subtrees_collapse(self):
+        atom = Interval("x", 0, 10)
+        first = intern(And((atom, equals("y", 1))))
+        second = intern(Or((Interval("x", 0, 10), equals("z", 2))))
+        shared = [o for o in second.operands if isinstance(o, Interval)]
+        assert shared[0] is first.operands[0] or shared[0] is first.operands[1]
+
+    def test_constants_intern_to_singletons(self):
+        assert intern(TruePredicate()) is TRUE
+        assert intern(FalsePredicate()) is FALSE
+        assert intern(TRUE) is TRUE
+
+    def test_non_ir_subclass_passes_through(self):
+        class Custom(Predicate):
+            def evaluate(self, row):
+                return True
+
+            def columns(self):
+                return frozenset()
+
+        custom = Custom()
+        assert intern(custom) is custom
+        assert intern_stats()["size"] == 0
+
+    def test_stats_count_hits_and_misses(self):
+        pred = And((equals("x", 1), equals("y", 2)))
+        intern(pred)
+        before = intern_stats()
+        intern(And((equals("y", 2), equals("x", 1))))
+        after = intern_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["size"] == before["size"]
+
+    def test_table_bound_triggers_reset(self, monkeypatch):
+        monkeypatch.setattr(interning_module, "MAX_INTERN_ENTRIES", 4)
+        for i in range(10):
+            intern(equals("x", i))
+        stats = intern_stats()
+        assert stats["resets"] >= 1
+        assert stats["size"] <= 4
+        # Interning still works after a wholesale clear.
+        assert intern(equals("x", 1)) is intern(equals("x", 1))
+
+
+class TestFingerprint:
+    def test_stable_hex_digest(self):
+        digest = fingerprint(equals("age", 30))
+        assert len(digest) == 64
+        assert digest == fingerprint(equals("age", 30))
+
+    def test_commutative_forms_share_a_fingerprint(self):
+        a, b = Interval("age", 18, 65), InSet("city", ("paris", "rome"))
+        assert fingerprint(And((a, b))) == fingerprint(And((b, a)))
+
+    def test_distinct_structures_differ(self):
+        a, b = equals("x", 1), equals("y", 2)
+        assert fingerprint(And((a, b))) != fingerprint(Or((a, b)))
+        assert fingerprint(a) != fingerprint(b)
+        assert fingerprint(Not(a)) != fingerprint(a)
+
+    def test_connective_arity_is_unambiguous(self):
+        a, b, c = equals("x", 1), equals("y", 2), equals("z", 3)
+        nested = And((And((a, b)), c))
+        flat = And((a, b, c))
+        assert fingerprint(nested) != fingerprint(flat)
+
+    def test_numeric_equality_respected(self):
+        # 5 == 5.0, so the (equal) nodes must share a digest.
+        assert fingerprint(equals("x", 5)) == fingerprint(equals("x", 5.0))
+        assert fingerprint(equals("x", 5)) != fingerprint(equals("x", 5.5))
+
+    def test_string_vs_numeric_values_differ(self):
+        assert fingerprint(equals("x", 5)) != fingerprint(equals("x", "5"))
+
+    def test_interval_openness_matters(self):
+        closed = Interval("x", 0, 1)
+        open_high = Interval("x", 0, 1, high_closed=False)
+        assert fingerprint(closed) != fingerprint(open_high)
+
+    def test_memoized_on_canonical_instance(self):
+        pred = And((equals("x", 1), equals("y", 2)))
+        first = fingerprint(pred)
+        # Second call hits the memo (and must agree).
+        assert fingerprint(And((equals("y", 2), equals("x", 1)))) == first
+
+    def test_non_ir_node_raises(self):
+        class Custom(Predicate):
+            def evaluate(self, row):
+                return True
+
+            def columns(self):
+                return frozenset()
+
+        with pytest.raises(PredicateError):
+            fingerprint(Custom())

@@ -1,0 +1,183 @@
+"""Unit tests for the staged simplification pass pipeline."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.normalize import simplify
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    Not,
+    Op,
+    Or,
+    equals,
+)
+from repro.ir import (
+    Pass,
+    PassAbort,
+    PassPipeline,
+    default_pipeline,
+    intern,
+    simplify_pipeline,
+)
+
+
+@pytest.fixture
+def clean_obs():
+    obs.configure(None)
+    yield
+    obs.configure(None)
+
+
+A = equals("x", 1)
+B = equals("y", 2)
+C = Comparison("z", Op.GT, 3)
+
+
+class TestDefaultPipeline:
+    def test_absorption(self):
+        # (a AND b) OR a simplifies to a.
+        assert simplify_pipeline(Or((And((A, B)), A))) == A
+
+    def test_contradiction_collapses_to_false(self):
+        pred = And((A, equals("x", 2)))
+        assert simplify_pipeline(pred) is FALSE
+
+    def test_negation_pushdown(self):
+        # NOT(NOT a) simplifies to a.
+        assert simplify_pipeline(Not(Not(A))) == A
+
+    def test_constants_pass_through(self):
+        assert simplify_pipeline(TRUE) is TRUE
+        assert simplify_pipeline(FALSE) is FALSE
+
+    def test_output_is_interned(self):
+        out = simplify_pipeline(Or((And((A, B)), And((A, C)))))
+        assert intern(out) is out
+
+    def test_matches_simplify_facade(self):
+        preds = [
+            Or((And((A, B)), A)),
+            Not(Or((A, B))),
+            And((A, Or((B, C)))),
+            Or((And((A, B)), And((B, A)))),
+        ]
+        for pred in preds:
+            assert simplify(pred) == simplify_pipeline(pred)
+
+    def test_budget_overflow_returns_input(self):
+        # 3 disjuncts x 3 disjuncts exceeds a budget of 4 mid-expansion;
+        # the pipeline must keep the predicate it was given.
+        wide = And((
+            Or((A, B, C)),
+            Or((equals("x", 7), equals("y", 8), equals("z", 9))),
+        ))
+        out = simplify_pipeline(wide, max_terms=4)
+        assert out == wide
+        assert intern(out) is out
+
+    def test_default_pipeline_is_shared(self):
+        assert default_pipeline() is default_pipeline()
+        names = [p.name for p in default_pipeline().passes]
+        assert names == ["nnf", "dnf", "solve", "absorb", "factor"]
+
+
+class TestRunDetailed:
+    def test_per_pass_results(self):
+        pipeline = default_pipeline()
+        out, results = pipeline.run_detailed(Or((And((A, B)), A)))
+        assert out == A
+        assert [r.name for r in results] == [
+            "nnf", "dnf", "solve", "absorb", "factor",
+        ]
+        by_name = {r.name: r for r in results}
+        # Absorption is the pass that drops the subsumed disjunct.
+        assert by_name["absorb"].changed
+        assert by_name["absorb"].atoms_after < by_name["absorb"].atoms_before
+        assert not by_name["nnf"].changed
+        assert all(r.seconds >= 0.0 for r in results)
+        assert not any(r.aborted for r in results)
+
+    def test_abort_is_reported(self):
+        wide = And((
+            Or((A, B, C)),
+            Or((equals("x", 7), equals("y", 8), equals("z", 9))),
+        ))
+        out, results = default_pipeline().run_detailed(wide, max_terms=4)
+        assert out == wide
+        assert results[-1].name == "dnf"
+        assert results[-1].aborted
+        assert not results[-1].changed
+
+
+class TestCustomPipelines:
+    def test_pass_order_is_respected(self):
+        seen = []
+
+        def record(name):
+            def fn(pred, context):
+                seen.append(name)
+                return pred
+
+            return fn
+
+        pipeline = PassPipeline(
+            "probe", (Pass("one", record("one")), Pass("two", record("two")))
+        )
+        pipeline.run(A)
+        assert seen == ["one", "two"]
+
+    def test_context_reaches_passes(self):
+        def fn(pred, context):
+            assert context["max_terms"] == 7
+            return pred
+
+        PassPipeline("probe", (Pass("check", fn),)).run(A, max_terms=7)
+
+    def test_abort_discards_earlier_rewrites(self):
+        def rewrite(pred, context):
+            return B
+
+        def abort(pred, context):
+            raise PassAbort("no")
+
+        pipeline = PassPipeline(
+            "probe", (Pass("rewrite", rewrite), Pass("abort", abort))
+        )
+        assert pipeline.run(A) == A
+
+
+class TestObservability:
+    def test_counters_and_spans_emitted(self, clean_obs, tmp_path):
+        tracer = obs.configure(tmp_path, label="passes")
+        simplify_pipeline(Or((And((A, B)), A)))
+        snapshot = obs.counters_snapshot()
+        assert snapshot["ir.pass.absorb.runs"] == 1
+        assert snapshot["ir.pass.absorb.rewrites"] == 1
+        assert snapshot["ir.pass.nnf.runs"] == 1
+        assert "ir.pass.nnf.rewrites" not in snapshot
+        assert snapshot["ir.pass.absorb.atoms_before"] >= 1
+        obs.flush()
+        lines = [
+            json.loads(line)
+            for line in tracer.path.read_text().splitlines()
+            if line.strip()
+        ]
+        span_names = {
+            p["name"] for p in lines if p.get("type") == "span"
+        }
+        assert "ir.pass.simplify.nnf" in span_names
+        assert "ir.pass.simplify.absorb" in span_names
+
+    def test_abort_counter(self, clean_obs, tmp_path):
+        obs.configure(tmp_path)
+        wide = And((
+            Or((A, B, C)),
+            Or((equals("x", 7), equals("y", 8), equals("z", 9))),
+        ))
+        simplify_pipeline(wide, max_terms=4)
+        assert obs.counters_snapshot()["ir.pass.dnf.aborted"] == 1

@@ -1,0 +1,121 @@
+"""Unit tests for the IR visitor / transformer dispatch."""
+
+import pytest
+
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    equals,
+)
+from repro.exceptions import PredicateError
+from repro.ir import PredicateTransformer, PredicateVisitor
+
+
+class NodeNamer(PredicateVisitor):
+    def visit_true(self, pred):
+        return "true"
+
+    def visit_false(self, pred):
+        return "false"
+
+    def visit_comparison(self, pred):
+        return f"cmp:{pred.column}"
+
+    def visit_in_set(self, pred):
+        return f"in:{pred.column}"
+
+    def visit_interval(self, pred):
+        return f"range:{pred.column}"
+
+    def visit_and(self, pred):
+        return "and(" + ",".join(self.visit(o) for o in pred.operands) + ")"
+
+    def visit_or(self, pred):
+        return "or(" + ",".join(self.visit(o) for o in pred.operands) + ")"
+
+    def visit_not(self, pred):
+        return f"not({self.visit(pred.operand)})"
+
+
+class TestVisitor:
+    def test_dispatch_per_node_type(self):
+        namer = NodeNamer()
+        assert namer.visit(TRUE) == "true"
+        assert namer.visit(FALSE) == "false"
+        assert namer.visit(equals("a", 1)) == "cmp:a"
+        assert namer.visit(InSet("b", (1, 2))) == "in:b"
+        assert namer.visit(Interval("c", 0, 9)) == "range:c"
+        assert namer.visit(Not(equals("a", 1))) == "not(cmp:a)"
+
+    def test_recursive_dispatch(self):
+        pred = Or((And((equals("a", 1), equals("b", 2))), equals("c", 3)))
+        # Operands appear in canonical (constructor-sorted) order.
+        assert NodeNamer().visit(pred) == "or(and(cmp:a,cmp:b),cmp:c)"
+
+    def test_extra_args_are_passed_through(self):
+        class Scaled(PredicateVisitor):
+            def visit_comparison(self, pred, factor):
+                return pred.value * factor
+
+        assert Scaled().visit(equals("a", 3), 10) == 30
+
+    def test_unknown_node_raises(self):
+        class Custom(Predicate):
+            def evaluate(self, row):
+                return True
+
+            def columns(self):
+                return frozenset()
+
+        with pytest.raises(PredicateError):
+            NodeNamer().visit(Custom())
+
+
+class TestTransformer:
+    def test_identity_preserves_object(self):
+        pred = Or((And((equals("a", 1), equals("b", 2))), Not(equals("c", 3))))
+        assert PredicateTransformer().visit(pred) is pred
+
+    def test_leaf_rewrite_rebuilds_spine(self):
+        class RenameColumn(PredicateTransformer):
+            def visit_comparison(self, pred):
+                if pred.column == "a":
+                    return Comparison("z", pred.op, pred.value)
+                return pred
+
+        pred = And((equals("a", 1), Or((equals("b", 2), equals("a", 3)))))
+        out = RenameColumn().visit(pred)
+        assert out.columns() == frozenset({"z", "b"})
+        assert out != pred
+
+    def test_untouched_branches_keep_identity(self):
+        class DropNots(PredicateTransformer):
+            def visit_not(self, pred):
+                return self.visit(pred.operand)
+
+        kept = And((equals("a", 1), equals("b", 2)))
+        pred = Or((kept, Not(equals("c", 3))))
+        out = DropNots().visit(pred)
+        assert any(o is kept for o in out.operands)
+        assert equals("c", 3) in out.operands
+
+    def test_rewrite_to_constant(self):
+        class FalseOut(PredicateTransformer):
+            def visit_comparison(self, pred):
+                return FALSE if pred.column == "dead" else pred
+
+        out = FalseOut().visit(And((equals("dead", 1), equals("x", 2))))
+        # The smart constructor collapses a FALSE conjunct.
+        assert out is FALSE
+
+    def test_comparison_ne_round_trip(self):
+        pred = Comparison("a", Op.NE, 5)
+        assert PredicateTransformer().visit(pred) is pred

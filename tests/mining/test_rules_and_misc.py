@@ -1,6 +1,5 @@
 """Unit tests for the rule learner, discretization, interchange, metrics."""
 
-import math
 
 import numpy as np
 import pytest

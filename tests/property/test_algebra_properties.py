@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.covering import cover_cells
@@ -13,7 +12,6 @@ from repro.core.predicates import (
     Interval,
     Not,
     Op,
-    Or,
     Predicate,
     conjunction,
     disjunction,

@@ -58,7 +58,11 @@ class TestCompile:
 
     def test_not_in_set(self):
         sql = compile_predicate(Not(InSet("city", ("paris",))))
-        assert sql == "[city] NOT IN ('paris')"
+        assert sql == "([city] NOT IN ('paris') OR [city] IS NULL)"
+
+    def test_not_equal_keeps_null_rows(self):
+        sql = compile_predicate(Comparison("city", Op.NE, "paris"))
+        assert sql == "([city] != 'paris' OR [city] IS NULL)"
 
     def test_closed_interval_becomes_between(self):
         sql = compile_predicate(Interval("age", 18, 65))
@@ -88,7 +92,9 @@ class TestCompile:
     def test_generic_not(self):
         pred = Not(conjunction([equals("a", 1), equals("b", 2)]))
         sql = compile_predicate(pred)
-        assert sql.startswith("NOT (")
+        # IS NOT TRUE (not bare NOT): unknown inner results must negate
+        # to true, matching the two-valued Predicate.evaluate.
+        assert sql.endswith(") IS NOT TRUE")
 
     def test_injection_resistant_identifiers(self):
         with pytest.raises(Exception):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.catalog import ModelCatalog
 from repro.core.optimizer import MiningQuery
-from repro.core.predicates import Comparison, Op, equals
+from repro.core.predicates import Comparison, Op
 from repro.core.rewrite import (
     PredictionEquals,
     PredictionIn,
@@ -74,7 +74,10 @@ class TestEquivalence:
         )
         optimized = executor.execute_optimized(query)
         naive = executor.execute_naive(query)
-        key = lambda r: tuple(sorted(r.items()))
+
+        def key(r):
+            return tuple(sorted(r.items()))
+
         assert sorted(map(key, optimized.rows)) == sorted(
             map(key, naive.rows)
         )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.catalog import ModelCatalog
 from repro.core.optimizer import MiningQuery
-from repro.core.predicates import Comparison, Op
+from repro.core.predicates import And, Comparison, Op
 from repro.core.rewrite import PredictionEquals
 from repro.mining.decision_tree import DecisionTreeLearner
 from repro.sql.plancache import PlanCache
@@ -113,6 +113,37 @@ class TestPlanCache:
         )
         assert second is first
         assert cache.stats.hits == 1
+
+    def test_commutative_equivalent_queries_share_an_entry(self, catalog):
+        """Regression: ``And(a, b)`` and ``And(b, a)`` are one plan.
+
+        The cache keys on the structural fingerprint of the relational
+        predicate; constructor-level canonical operand ordering makes the
+        two spellings equal, so the second query is a *hit* — the old
+        ``repr``-text key re-optimized it from scratch."""
+        cache = PlanCache()
+        a = Comparison("age", Op.LT, 30)
+        b = Comparison("income", Op.GE, 1000.0)
+        first = cache.get_or_optimize(
+            MiningQuery(
+                "customers",
+                relational_predicate=And((a, b)),
+                mining_predicates=(PredictionEquals("m", "high"),),
+            ),
+            catalog,
+        )
+        second = cache.get_or_optimize(
+            MiningQuery(
+                "customers",
+                relational_predicate=And((b, a)),
+                mining_predicates=(PredictionEquals("m", "high"),),
+            ),
+            catalog,
+        )
+        assert second is first
+        assert len(cache) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
 
     def test_clear(self, catalog):
         cache = PlanCache()

@@ -11,7 +11,6 @@ Three distinct defects, each with a test that fails on the old code:
   boundaries (``isinstance(True, int)`` is true in Python).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.columns import ColumnBatch

@@ -1,7 +1,6 @@
 """Vectorized residual filtering: identity with the scalar path, knobs,
 memoization, and the stripped-envelope columnar prefilter."""
 
-import numpy as np
 import pytest
 
 from repro.core.catalog import ModelCatalog

@@ -136,7 +136,7 @@ class TestVersion:
     def test_version_string(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         import repro
