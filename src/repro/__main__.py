@@ -13,6 +13,7 @@ Usage::
     python -m repro sweep               # the full measurement sweep
     python -m repro bench-parallel      # serial-vs-parallel sweep timings
     python -m repro bench-vectorized    # scalar-vs-vectorized scoring
+    python -m repro serve-bench --workers 4   # concurrent serving bench
     python -m repro run --trace DIR     # write JSON-lines traces to DIR
     python -m repro trace-report --trace DIR   # summarize a trace dir
 """
@@ -56,6 +57,7 @@ def main(argv: list[str] | None = None) -> int:
             "trace-report",
             "bench-parallel",
             "bench-vectorized",
+            "serve-bench",
             "all",
         ),
         help="which experiment group to run",
@@ -80,6 +82,20 @@ def main(argv: list[str] | None = None) -> int:
         default=2048,
         metavar="N",
         help="rows per columnar batch for bench-vectorized (default: 2048)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="serve-bench: maximum service worker count (default: 4)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=400,
+        metavar="N",
+        help="serve-bench: requests per run (default: 400)",
     )
     parser.add_argument(
         "--trace",
@@ -213,6 +229,53 @@ def main(argv: list[str] | None = None) -> int:
             f"{report['all_rows_identical']}"
         )
         print("wrote BENCH_vectorized_scoring.json")
+    if arguments.artifact == "serve-bench":
+        import json
+
+        from repro.serve.bench import run_serving_bench
+
+        if arguments.workers < 1:
+            parser.error(
+                f"--workers must be >= 1, got {arguments.workers}"
+            )
+        if arguments.requests < 1:
+            parser.error(
+                f"--requests must be >= 1, got {arguments.requests}"
+            )
+        worker_counts = tuple(
+            sorted({1, 2, arguments.workers} - {0})
+        )
+        worker_counts = tuple(
+            w for w in worker_counts if w <= arguments.workers
+        )
+        report = run_serving_bench(
+            config,
+            workers=worker_counts,
+            requests=arguments.requests,
+        )
+        serial = report["serial"]
+        print(
+            f"serial: {serial['seconds']:.2f}s "
+            f"({serial['throughput_rps']:.1f} req/s, "
+            f"p50 {serial['p50_ms']:.1f}ms)"
+        )
+        for run in report["runs"]:
+            print(
+                f"workers={run['workers']}: {run['seconds']:.2f}s "
+                f"({run['throughput_rps']:.1f} req/s, "
+                f"speedup {run['speedup_vs_serial']:.2f}x, "
+                f"collapsed {run['collapsed']}, "
+                f"coalesced {run['batch_coalesced']}, "
+                f"identical: {run['identical_to_serial']})"
+            )
+        print(
+            f"best speedup vs serial: "
+            f"{report['best_speedup_vs_serial']:.2f}x"
+        )
+        with open("BENCH_serving.json", "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print("wrote BENCH_serving.json")
     if arguments.trace is not None:
         from repro import obs
 

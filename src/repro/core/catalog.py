@@ -74,6 +74,22 @@ class ModelCatalog:
         self._entries[model.name] = entry
         return entry
 
+    def unregister(self, name: str) -> CatalogEntry:
+        """Remove a model; later lookups raise :class:`CatalogError`.
+
+        The serving registry uses this to *retire* a deployment.  Cached
+        plans referencing the model become unusable by construction: the
+        plan cache re-reads the catalog entry on every lookup, and a
+        missing entry raises rather than replaying a stale plan.
+        """
+        try:
+            return self._entries.pop(name)
+        except KeyError:
+            raise CatalogError(
+                f"no model named {name!r} in the catalog; "
+                f"registered: {self.model_names()}"
+            ) from None
+
     def model(self, name: str) -> MiningModel:
         return self._entry(name).model
 

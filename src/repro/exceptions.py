@@ -54,3 +54,27 @@ class DatabaseError(ReproError):
 
 class WorkloadError(ReproError):
     """Workload construction or execution failed."""
+
+
+class ServeError(ReproError):
+    """Base class for failures of the concurrent serving layer."""
+
+
+class RegistryError(ServeError):
+    """A model registry operation referenced an unknown name or version."""
+
+
+class AdmissionError(ServeError):
+    """A request was refused by admission control."""
+
+
+class QueueFullError(AdmissionError):
+    """The bounded request queue is full; the request was shed."""
+
+
+class RequestTimeoutError(ServeError):
+    """A request exceeded its deadline before completing."""
+
+
+class ServiceStoppedError(ServeError):
+    """The service is draining or stopped and accepts no new work."""

@@ -32,6 +32,7 @@ tracing is enabled, the ``ir.intern.hit`` / ``ir.intern.miss`` counters
 from __future__ import annotations
 
 import hashlib
+import threading
 
 from repro import obs
 from repro.core.predicates import (
@@ -57,6 +58,12 @@ MAX_INTERN_ENTRIES = 65536
 _TABLE: dict[Predicate, Predicate] = {}
 _FINGERPRINTS: dict[int, str] = {}
 _STATS = {"hits": 0, "misses": 0, "resets": 0}
+
+#: Guards the intern table, fingerprint memo, and statistics.  The serving
+#: layer interns predicates from many worker threads at once; a reentrant
+#: lock is required because :func:`intern` recurses through
+#: :func:`_intern_children`.
+_LOCK = threading.RLock()
 
 #: Node types the interner understands.  Subclassed predicates outside
 #: the closed IR algebra (tests wrap nodes for instrumentation) pass
@@ -88,20 +95,21 @@ def intern(pred: Predicate) -> Predicate:
         return TRUE
     if isinstance(pred, FalsePredicate):
         return FALSE
-    cached = _TABLE.get(pred)
-    if cached is not None:
-        _STATS["hits"] += 1
-        obs.add_counter("ir.intern.hit")
-        return cached
-    _STATS["misses"] += 1
-    obs.add_counter("ir.intern.miss")
-    canonical = _intern_children(pred)
-    if len(_TABLE) >= MAX_INTERN_ENTRIES:
-        clear_intern_table()
-        _STATS["resets"] += 1
-        obs.add_counter("ir.intern.reset")
-    _TABLE[canonical] = canonical
-    return canonical
+    with _LOCK:
+        cached = _TABLE.get(pred)
+        if cached is not None:
+            _STATS["hits"] += 1
+            obs.add_counter("ir.intern.hit")
+            return cached
+        _STATS["misses"] += 1
+        obs.add_counter("ir.intern.miss")
+        canonical = _intern_children(pred)
+        if len(_TABLE) >= MAX_INTERN_ENTRIES:
+            clear_intern_table()
+            _STATS["resets"] += 1
+            obs.add_counter("ir.intern.reset")
+        _TABLE[canonical] = canonical
+        return canonical
 
 
 def _intern_children(pred: Predicate) -> Predicate:
@@ -126,16 +134,18 @@ def fingerprint(pred: Predicate) -> str:
     fingerprint, and the digest is identical across processes.
     """
     canonical = intern(pred)
-    memo = _FINGERPRINTS.get(id(canonical))
+    with _LOCK:
+        memo = _FINGERPRINTS.get(id(canonical))
     if memo is not None:
         return memo
     out: list[str] = []
     _serialize(canonical, out)
     digest = hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
-    if canonical in _TABLE:
-        # Memoize by object id — safe only while the intern table keeps
-        # the node alive (the memo is cleared together with the table).
-        _FINGERPRINTS[id(canonical)] = digest
+    with _LOCK:
+        if canonical in _TABLE:
+            # Memoize by object id — safe only while the intern table keeps
+            # the node alive (the memo is cleared together with the table).
+            _FINGERPRINTS[id(canonical)] = digest
     return digest
 
 
@@ -198,10 +208,12 @@ def _serialize(pred: Predicate, out: list[str]) -> None:
 
 def intern_stats() -> dict[str, int]:
     """Lifetime hit/miss/reset counts and the current table size."""
-    return {**_STATS, "size": len(_TABLE)}
+    with _LOCK:
+        return {**_STATS, "size": len(_TABLE)}
 
 
 def clear_intern_table() -> None:
     """Drop every interned node and memoized fingerprint (tests, resets)."""
-    _TABLE.clear()
-    _FINGERPRINTS.clear()
+    with _LOCK:
+        _TABLE.clear()
+        _FINGERPRINTS.clear()

@@ -79,6 +79,37 @@ class TraceSummary:
                 rates[base] = hits / total
         return rates
 
+    def serving(self) -> dict[str, float]:
+        """Serving-layer statistics from the ``serve.*`` telemetry.
+
+        Empty when no serving ran.  Request counters come from
+        ``serve.request.*``, batching from ``serve.batch.*``; the
+        coalescing factor is scoring requests per underlying
+        ``predict_batch`` call (1.0 = no cross-request sharing).
+        """
+        stats: dict[str, float] = {}
+        request_fields = (
+            "submitted",
+            "completed",
+            "collapsed",
+            "shed",
+            "timeout",
+            "error",
+            "cancelled",
+        )
+        for metric in request_fields:
+            value = self.counters.get(f"serve.request.{metric}")
+            if value is not None:
+                stats[metric] = value
+        for metric in ("requests", "calls", "rows", "coalesced"):
+            value = self.counters.get(f"serve.batch.{metric}")
+            if value is not None:
+                stats[f"batch_{metric}"] = value
+        calls = stats.get("batch_calls", 0.0)
+        if calls:
+            stats["coalescing_factor"] = stats["batch_requests"] / calls
+        return stats
+
     def pass_rewrites(self) -> dict[str, dict[str, float]]:
         """Per-pass rewrite statistics from the ``ir.pass.*`` counters.
 
@@ -292,6 +323,40 @@ def format_report(summary: TraceSummary, top: int = 10) -> str:
             out.append(
                 f"  {name:<{width}}  runs={int(row['runs']):<6d} "
                 f"rewrites={int(row['rewrites']):<6d}{atoms}{aborted}"
+            )
+        out.append("")
+    serving = summary.serving()
+    if serving:
+        out.append("Serving:")
+        request_span = summary.spans.get("serve.request")
+        if request_span is not None:
+            out.append(
+                f"  requests: n={request_span.count} "
+                f"mean={request_span.mean_seconds:.6f}s "
+                f"max={request_span.max_seconds:.6f}s"
+            )
+        parts = []
+        for metric in (
+            "submitted",
+            "completed",
+            "collapsed",
+            "shed",
+            "timeout",
+            "error",
+            "cancelled",
+        ):
+            if metric in serving:
+                parts.append(f"{metric}={int(serving[metric])}")
+        if parts:
+            out.append("  " + "  ".join(parts))
+        if "batch_calls" in serving:
+            factor = serving.get("coalescing_factor", 1.0)
+            out.append(
+                f"  batching: {int(serving.get('batch_requests', 0))} "
+                f"scoring requests in {int(serving['batch_calls'])} "
+                f"predict_batch calls "
+                f"({int(serving.get('batch_rows', 0))} rows, "
+                f"coalescing factor {factor:.2f})"
             )
         out.append("")
     rates = summary.hit_rates()

@@ -1,0 +1,53 @@
+"""Concurrent mining-query serving layer (``repro.serve``).
+
+The ROADMAP's north star is serving mining predicates inside ordinary
+query traffic, not one-shot benchmark scripts.  This package is that
+serving path, assembled from the optimizer/executor stack the earlier
+PRs built:
+
+* :mod:`repro.serve.registry` — :class:`ModelRegistry`: versioned
+  ``register`` / ``deploy`` / ``retire`` of mining models.  Envelopes are
+  derived **once at deploy time** (the paper's training-time precompute,
+  Section 4.2), interned into the IR table, and warm-started from a
+  fingerprint-keyed cache on redeploys.
+* :mod:`repro.serve.pool` — :class:`ConnectionPool`: per-thread
+  read-only SQLite connections over one shared database, fixing the
+  single-connection :class:`~repro.sql.database.Database` thread
+  affinity.
+* :mod:`repro.serve.admission` — :class:`AdmissionController` and
+  :class:`Deadline`: a bounded request queue with typed shedding and
+  per-request timeouts.
+* :mod:`repro.serve.batcher` — :class:`MicroBatcher`: coalesces residual
+  model-scoring work from *concurrent* requests into shared
+  ``predict_batch`` calls, bit-identical to per-request scoring.
+* :mod:`repro.serve.service` — :class:`QueryService`: the worker pool
+  tying it all together, with one shared
+  :class:`~repro.sql.plancache.PlanCache`, in-flight request collapsing,
+  and a drain/shutdown protocol.
+* :mod:`repro.serve.bench` — the ``serve-bench`` CLI artifact
+  (``BENCH_serving.json``).
+
+Everything emits ``serve.*`` spans/counters/gauges through
+:mod:`repro.obs`; ``trace-report`` renders them as a dedicated
+"Serving" section.
+"""
+
+from repro.serve.admission import AdmissionController, Deadline
+from repro.serve.batcher import BatchingCatalog, MicroBatcher
+from repro.serve.pool import ConnectionPool
+from repro.serve.registry import ModelRegistry, ModelVersion, model_fingerprint
+from repro.serve.service import QueryService, ServeResult, ServiceStats
+
+__all__ = [
+    "AdmissionController",
+    "BatchingCatalog",
+    "ConnectionPool",
+    "Deadline",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelVersion",
+    "QueryService",
+    "ServeResult",
+    "ServiceStats",
+    "model_fingerprint",
+]

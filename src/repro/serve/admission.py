@@ -1,0 +1,112 @@
+"""Admission control: bounded queueing, deadlines, typed shedding.
+
+A serving system protects itself by refusing work it cannot finish in
+time rather than queueing without bound.  :class:`AdmissionController`
+enforces a hard ceiling on *pending* (admitted but unfinished) requests —
+an arrival beyond the ceiling is shed immediately with
+:class:`~repro.exceptions.QueueFullError`, which is cheap for the caller
+to retry against another replica.  :class:`Deadline` carries a
+per-request timeout: a request whose deadline lapses while queued is
+never executed (:class:`~repro.exceptions.RequestTimeoutError`), so a
+backlog drains by dropping already-dead work first.
+
+Queue depth is exported as the ``serve.queue.depth`` gauge and shed /
+timeout decisions as ``serve.request.shed`` / ``serve.request.timeout``
+counters — the signals a load balancer would watch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import obs
+from repro.exceptions import QueueFullError
+
+
+class Deadline:
+    """An absolute completion deadline derived from a relative timeout."""
+
+    __slots__ = ("expires_at", "timeout")
+
+    def __init__(self, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.timeout = timeout
+        self.expires_at = time.monotonic() + timeout
+
+    @classmethod
+    def from_timeout(cls, timeout: float | None) -> "Deadline | None":
+        """A deadline for ``timeout`` seconds, or ``None`` for no limit."""
+        return None if timeout is None else cls(timeout)
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+
+class AdmissionController:
+    """Bounded admission over the service's request queue.
+
+    Thread-safe; :meth:`admit` raises
+    :class:`~repro.exceptions.QueueFullError` when ``max_pending``
+    requests are already admitted and unfinished.  Below the limit,
+    admission never fails — the service's "zero dropped requests below
+    the admission limit" guarantee rests on exactly this.
+    """
+
+    def __init__(
+        self, max_pending: int, default_timeout: float | None = None
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError(
+                f"default_timeout must be > 0, got {default_timeout}"
+            )
+        self.max_pending = max_pending
+        self.default_timeout = default_timeout
+        self._lock = threading.Lock()
+        self._pending = 0
+
+    def deadline_for(self, timeout: float | None) -> Deadline | None:
+        """Resolve a request timeout against the service default."""
+        if timeout is None:
+            timeout = self.default_timeout
+        return Deadline.from_timeout(timeout)
+
+    def admit(self) -> None:
+        """Claim one pending slot or shed the request."""
+        with self._lock:
+            if self._pending >= self.max_pending:
+                obs.add_counter("serve.request.shed")
+                raise QueueFullError(
+                    f"request queue is full "
+                    f"({self._pending}/{self.max_pending} pending)"
+                )
+            self._pending += 1
+            depth = self._pending
+        obs.set_gauge("serve.queue.depth", depth)
+
+    def release(self) -> None:
+        """Return one pending slot (request finished, shed, or timed out)."""
+        with self._lock:
+            if self._pending <= 0:
+                raise AssertionError(
+                    "release() without a matching admit()"
+                )
+            self._pending -= 1
+            depth = self._pending
+        obs.set_gauge("serve.queue.depth", depth)
+
+    @property
+    def pending(self) -> int:
+        """Currently admitted, unfinished requests."""
+        with self._lock:
+            return self._pending

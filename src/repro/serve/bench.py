@@ -1,0 +1,292 @@
+"""Serving throughput benchmark (the ``serve-bench`` CLI artifact).
+
+Measures what the serving layer buys over the one-query-at-a-time
+executor the earlier PRs benchmarked: a *serial baseline* executes a
+request schedule through a single :class:`~repro.sql.miningext.
+PredictionJoinExecutor` loop, then the same schedule is replayed through
+a :class:`~repro.serve.service.QueryService` at increasing worker
+counts.  Every concurrent result is checked **bit-identical** to its
+serial counterpart, and the run asserts zero shed requests — the
+submission loop is closed-loop, keeping in-flight requests at or below
+the admission limit.
+
+The schedule is a deterministic hot-skewed mix (a Zipf-ish draw with a
+fixed seed) over K distinct ``(model, label)`` prediction-join queries —
+the shape of real serving traffic, where a handful of hot queries
+dominate.  On a single CPU the speedup comes from cross-request
+amortization, not parallelism: concurrent duplicates collapse onto
+in-flight executions, and the micro-batcher coalesces residual scoring
+into shared ``predict_batch`` calls.
+
+``run_serving_bench`` returns the JSON-ready payload written to
+``BENCH_serving.json`` by ``python -m repro serve-bench``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+
+import numpy as np
+
+from repro import obs
+from repro.core.optimizer import MiningQuery
+from repro.core.predicates import Comparison, Op
+from repro.core.rewrite import PredictionEquals
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import (
+    dataset_for,
+    numeric_feature_columns,
+    train_family,
+)
+from repro.exceptions import ReproError
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import QueryService, ServeResult
+from repro.sql.miningext import PredictionJoinExecutor
+from repro.sql.plancache import PlanCache
+from repro.workload.measurement import (
+    FAMILY_DECISION_TREE,
+    FAMILY_NAIVE_BAYES,
+)
+from repro.workload.runner import LoadedDataset, load_dataset
+
+#: Skew exponent of the request mix; ~Zipf, heavier than uniform but not
+#: a single-query degenerate workload.
+SKEW = 1.1
+
+
+def build_queries(
+    registry: ModelRegistry, loaded: "LoadedDataset"
+) -> list[MiningQuery]:
+    """Distinct prediction-join queries over the deployed models.
+
+    Per ``(model, label)`` pair: the bare prediction join plus variants
+    with a relational range predicate over a numeric feature column, so
+    the schedule's query space is wide enough that collapsing has to earn
+    its hits on genuinely repeated queries, not a degenerate workload.
+    """
+    cutoffs = _relational_cutoffs(loaded)
+    queries: list[MiningQuery] = []
+    for name in registry.deployed_names():
+        version = registry.deployed_version(name)
+        assert version is not None and version.envelopes is not None
+        table = loaded.table
+        for label in sorted(version.envelopes, key=str):
+            mining = (PredictionEquals(name, label),)
+            queries.append(MiningQuery(table, mining_predicates=mining))
+            for column, value in cutoffs:
+                queries.append(
+                    MiningQuery(
+                        table,
+                        relational_predicate=Comparison(
+                            column, Op.LE, value
+                        ),
+                        mining_predicates=mining,
+                    )
+                )
+    return queries
+
+
+def _relational_cutoffs(
+    loaded: "LoadedDataset",
+) -> list[tuple[str, float]]:
+    """Median cutoffs on up to two numeric feature columns."""
+    dataset = loaded.dataset
+    columns = numeric_feature_columns(dataset)[:2]
+    cutoffs = []
+    for column in columns:
+        values = sorted(row[column] for row in dataset.train_rows)
+        cutoffs.append((column, values[len(values) // 2]))
+    return cutoffs
+
+
+def build_schedule(
+    n_queries: int, requests: int, seed: int
+) -> list[int]:
+    """A deterministic hot-skewed request schedule (query indices)."""
+    ranks = np.arange(1, n_queries + 1, dtype=np.float64)
+    weights = ranks**-SKEW
+    weights /= weights.sum()
+    rng = np.random.default_rng(seed)
+    return [int(i) for i in rng.choice(n_queries, size=requests, p=weights)]
+
+
+def _percentile_ms(latencies: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies), q) * 1000.0)
+
+
+def _latency_summary(latencies: list[float]) -> dict:
+    return {
+        "p50_ms": round(_percentile_ms(latencies, 50), 3),
+        "p95_ms": round(_percentile_ms(latencies, 95), 3),
+        "p99_ms": round(_percentile_ms(latencies, 99), 3),
+    }
+
+
+def _run_serial(
+    executor: PredictionJoinExecutor,
+    queries: list[MiningQuery],
+    schedule: list[int],
+) -> tuple[list[tuple], float, list[float]]:
+    """Execute the schedule one request at a time; the baseline."""
+    results: list[tuple] = []
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for index in schedule:
+        request_started = time.perf_counter()
+        results.append(executor.execute(queries[index]).rows)
+        latencies.append(time.perf_counter() - request_started)
+    return results, time.perf_counter() - started, latencies
+
+
+def _run_service(
+    service: QueryService,
+    queries: list[MiningQuery],
+    schedule: list[int],
+    window: int,
+) -> tuple[list[ServeResult], float]:
+    """Replay the schedule closed-loop, at most ``window`` in flight."""
+    ordered: list[Future] = []
+    inflight: "deque[Future]" = deque()
+    started = time.perf_counter()
+    for index in schedule:
+        if len(inflight) >= window:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                inflight.remove(future)
+        future = service.submit(queries[index])
+        ordered.append(future)
+        inflight.append(future)
+    results = [future.result() for future in ordered]
+    return results, time.perf_counter() - started
+
+
+def run_serving_bench(
+    config: ExperimentConfig,
+    workers: tuple[int, ...] = (1, 2, 4),
+    requests: int = 400,
+    max_pending: int = 64,
+    dataset_name: str | None = None,
+) -> dict:
+    """The full benchmark: deploy, baseline, concurrent runs, verify."""
+    with obs.span("serve.bench", requests=requests):
+        name = dataset_name or config.datasets[0]
+        dataset = dataset_for(config, name)
+        loaded = load_dataset(dataset, config.rows_target)
+        db = loaded.db
+
+        registry = ModelRegistry(max_nodes=config.max_nodes)
+        deploy_seconds = 0.0
+        for family in (FAMILY_DECISION_TREE, FAMILY_NAIVE_BAYES):
+            trained = train_family(dataset, family, config)
+            deploy_started = time.perf_counter()
+            registry.register(trained.model, deploy=True)
+            deploy_seconds += time.perf_counter() - deploy_started
+
+        queries = build_queries(registry, loaded)
+        schedule = build_schedule(len(queries), requests, config.seed)
+
+        # Serial baseline: one executor, one connection, no service.
+        serial_executor = PredictionJoinExecutor(
+            db,
+            registry.catalog,
+            selectivity_gate=config.selectivity_gate,
+            plan_cache=PlanCache(256),
+        )
+        for query in queries:  # warm-up: stats + plans, off the clock
+            serial_executor.execute(query)
+        serial_rows, serial_seconds, serial_latencies = _run_serial(
+            serial_executor, queries, schedule
+        )
+        serial_throughput = requests / serial_seconds
+
+        payload: dict = {
+            "benchmark": "serving",
+            "dataset": dataset.name,
+            "rows": loaded.rows_total,
+            "models": registry.deployed_names(),
+            "distinct_queries": len(queries),
+            "requests": requests,
+            "max_pending": max_pending,
+            "skew": SKEW,
+            "deploy_seconds": round(deploy_seconds, 4),
+            "serial": {
+                "seconds": round(serial_seconds, 4),
+                "throughput_rps": round(serial_throughput, 2),
+                **_latency_summary(serial_latencies),
+            },
+            "runs": [],
+        }
+
+        for worker_count in workers:
+            service = QueryService(
+                db,
+                registry,
+                workers=worker_count,
+                max_pending=max_pending,
+                plan_cache=PlanCache(256),
+                selectivity_gate=config.selectivity_gate,
+            )
+            try:
+                for query in queries:  # warm-up this service's caches
+                    service.execute(query)
+                results, seconds = _run_service(
+                    service, queries, schedule, window=max_pending
+                )
+                stats = service.stats.snapshot()
+                batcher = service.batcher
+            finally:
+                clean = service.shutdown()
+            if not clean:
+                raise ReproError(
+                    f"serve-bench: unclean shutdown at {worker_count} workers"
+                )
+            mismatches = sum(
+                1
+                for result, expected in zip(results, serial_rows)
+                if result.rows != expected
+            )
+            if mismatches:
+                raise ReproError(
+                    f"serve-bench: {mismatches} results differ from serial "
+                    f"execution at {worker_count} workers"
+                )
+            if stats["shed"] or stats["timeouts"] or stats["errors"]:
+                raise ReproError(
+                    "serve-bench: dropped requests below the admission "
+                    f"limit at {worker_count} workers: {stats}"
+                )
+            latencies = [
+                r.queue_seconds + r.execute_seconds for r in results
+            ]
+            throughput = requests / seconds
+            payload["runs"].append(
+                {
+                    "workers": worker_count,
+                    "seconds": round(seconds, 4),
+                    "throughput_rps": round(throughput, 2),
+                    "speedup_vs_serial": round(
+                        throughput / serial_throughput, 3
+                    ),
+                    **_latency_summary(latencies),
+                    "collapsed": stats["collapsed"],
+                    "completed": stats["completed"],
+                    "shed": stats["shed"],
+                    "timeouts": stats["timeouts"],
+                    "batch_calls": batcher.calls if batcher else 0,
+                    "batch_requests": batcher.requests if batcher else 0,
+                    "batch_coalesced": batcher.coalesced if batcher else 0,
+                    "identical_to_serial": True,
+                }
+            )
+
+        by_workers = {run["workers"]: run for run in payload["runs"]}
+        best = max(run["speedup_vs_serial"] for run in payload["runs"])
+        payload["best_speedup_vs_serial"] = best
+        if 4 in by_workers:
+            payload["speedup_at_4_workers"] = by_workers[4][
+                "speedup_vs_serial"
+            ]
+        db.close()
+        return payload

@@ -1,0 +1,85 @@
+"""Per-thread connection pool over one shared database.
+
+``sqlite3`` connections are thread-affine, and the repo's
+:class:`~repro.sql.database.Database` wraps exactly one connection — fine
+for a benchmark script, fatal for a worker pool.  :class:`ConnectionPool`
+hands every thread its own sibling connection
+(:meth:`Database.for_thread`) onto the same data: the same file, or the
+same named shared-cache in-memory database.
+
+Serving connections are **read-only** by default (``PRAGMA query_only``),
+so a bug in a worker cannot mutate the data being served; writes (loads,
+index builds) go through the primary handle before serving starts.
+
+The pool tracks every sibling it created so :meth:`close_all` can tear
+them down during service shutdown; the primary handle is *not* owned by
+the pool (an in-memory database lives exactly as long as its primary
+connection, so the service's caller closes it last).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import obs
+from repro.exceptions import ServiceStoppedError
+from repro.sql.database import Database
+
+
+class ConnectionPool:
+    """Thread-local :class:`Database` handles over one shared database."""
+
+    def __init__(self, db: Database, read_only: bool = True) -> None:
+        self._primary = db
+        self._read_only = read_only
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._siblings: list[Database] = []
+        self._closed = False
+
+    @property
+    def primary(self) -> Database:
+        """The writable handle the pool was built around."""
+        return self._primary
+
+    def get(self) -> Database:
+        """This thread's connection, created on first use.
+
+        Raises :class:`~repro.exceptions.ServiceStoppedError` once the
+        pool is closed — a worker holding a stale reference must not
+        silently reopen connections onto a database being torn down.
+        """
+        if self._closed:
+            raise ServiceStoppedError("connection pool is closed")
+        handle = getattr(self._local, "db", None)
+        if handle is not None:
+            return handle
+        with self._lock:
+            if self._closed:
+                raise ServiceStoppedError("connection pool is closed")
+            handle = self._primary.for_thread(read_only=self._read_only)
+            self._siblings.append(handle)
+            obs.set_gauge("serve.pool.connections", len(self._siblings))
+        self._local.db = handle
+        return handle
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._siblings)
+
+    def close_all(self) -> None:
+        """Close every sibling connection; the primary stays open."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            siblings, self._siblings = self._siblings, []
+        for handle in siblings:
+            handle.close()
+        obs.set_gauge("serve.pool.connections", 0)
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close_all()

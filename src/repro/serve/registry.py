@@ -1,0 +1,267 @@
+"""Versioned model registry with deploy-time envelope derivation.
+
+The paper precomputes atomic upper envelopes "during training of the
+mining models" (Section 4.2); in a serving system that precompute belongs
+to *deployment*, not to every query.  :class:`ModelRegistry` keeps a
+versioned history of registered models and, on :meth:`~ModelRegistry.deploy`,
+derives the deployed model's envelopes exactly once, interns every
+envelope predicate into the IR table (so equal structures across models
+share storage and fingerprint memos), and publishes the model into the
+live :class:`~repro.core.catalog.ModelCatalog` the query service
+executes against.
+
+Derived envelopes are cached under the model's *content fingerprint*
+(:func:`model_fingerprint`, a digest of ``model.to_dict()``), so
+retire-and-redeploy cycles — and deploys of a structurally identical
+model under another version — warm-start instead of re-deriving
+(``serve.registry.warm_start.hit`` / ``.miss`` counters).
+
+Publishing into the live catalog bumps the catalog entry's version, which
+is what invalidates every cached plan built against the previous
+envelopes (see :mod:`repro.sql.plancache`); retiring removes the entry,
+so stale plans *fail* typed rather than replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
+
+from repro import obs
+from repro.core.catalog import ModelCatalog
+from repro.core.derive import derive_envelopes
+from repro.core.envelope import UpperEnvelope
+from repro.core.nb_envelope import DEFAULT_MAX_NODES
+from repro.core.predicates import Value
+from repro.exceptions import RegistryError
+from repro.ir import fingerprint as ir_fingerprint
+from repro.ir import intern
+from repro.mining.base import MiningModel, Row
+
+
+def model_fingerprint(model: MiningModel) -> str:
+    """Stable content digest of a model (its ``to_dict`` serialization).
+
+    Two models with identical content — same structure, same parameters —
+    share a fingerprint and therefore share derived envelopes in the
+    registry's warm-start cache.
+    """
+    payload = json.dumps(
+        model.to_dict(), sort_keys=True, default=str, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ModelVersion:
+    """One registered version of one model name."""
+
+    name: str
+    version: int
+    model: MiningModel
+    fingerprint: str
+    #: Training rows retained for derivation (clustering families need
+    #: them to discretize continuous features); ``None`` otherwise.
+    rows: Sequence[Row] | None = None
+    deployed: bool = False
+    #: Envelopes resolved at deploy time (``None`` until first deployed).
+    envelopes: dict[Value, UpperEnvelope] | None = field(
+        default=None, repr=False
+    )
+    derive_seconds: float = 0.0
+    #: IR fingerprints of the interned envelope predicates, per label.
+    envelope_fingerprints: dict[Value, str] = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Thread-safe register/deploy/retire lifecycle over a live catalog.
+
+    The registry owns the :class:`~repro.core.catalog.ModelCatalog` the
+    query service executes against (:attr:`catalog`); only deployed
+    versions are visible there.  All mutating operations serialize on one
+    lock; catalog reads from worker threads are lock-free (publishing an
+    entry is a single dict assignment under the GIL).
+    """
+
+    def __init__(
+        self,
+        catalog: ModelCatalog | None = None,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        bins: int = 8,
+    ) -> None:
+        self._catalog = catalog if catalog is not None else ModelCatalog()
+        self._max_nodes = max_nodes
+        self._bins = bins
+        self._lock = threading.RLock()
+        self._versions: dict[str, list[ModelVersion]] = {}
+        self._deployed: dict[str, ModelVersion] = {}
+        #: model content fingerprint -> interned envelopes (warm-start).
+        self._envelope_cache: dict[
+            str, tuple[dict[Value, UpperEnvelope], float]
+        ] = {}
+
+    @property
+    def catalog(self) -> ModelCatalog:
+        """The live catalog holding every *deployed* model."""
+        return self._catalog
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def register(
+        self,
+        model: MiningModel,
+        rows: Sequence[Row] | None = None,
+        deploy: bool = False,
+    ) -> ModelVersion:
+        """Add a new version of ``model.name``; optionally deploy it.
+
+        Registration is cheap (a fingerprint over model content); the
+        expensive envelope derivation happens at :meth:`deploy`.
+        """
+        with self._lock:
+            history = self._versions.setdefault(model.name, [])
+            entry = ModelVersion(
+                name=model.name,
+                version=len(history) + 1,
+                model=model,
+                fingerprint=model_fingerprint(model),
+                rows=rows,
+            )
+            history.append(entry)
+            obs.event(
+                "serve.registry.register",
+                model=model.name,
+                version=entry.version,
+            )
+            if deploy:
+                return self.deploy(model.name, entry.version)
+            return entry
+
+    def deploy(self, name: str, version: int | None = None) -> ModelVersion:
+        """Make one registered version live (default: the newest).
+
+        Derives and interns the version's envelopes unless a structurally
+        identical model was deployed before, in which case the envelope
+        cache warm-starts the deployment.  Publishing bumps the catalog
+        version, invalidating every cached plan against the old envelopes.
+        """
+        with self._lock:
+            entry = self._resolve(name, version)
+            with obs.span(
+                "serve.deploy", model=name, version=entry.version
+            ) as span:
+                if entry.envelopes is None:
+                    cached = self._envelope_cache.get(entry.fingerprint)
+                    if cached is not None:
+                        obs.add_counter("serve.registry.warm_start.hit")
+                        span.set("warm_start", True)
+                        entry.envelopes, entry.derive_seconds = cached
+                    else:
+                        obs.add_counter("serve.registry.warm_start.miss")
+                        span.set("warm_start", False)
+                        derived = derive_envelopes(
+                            entry.model,
+                            rows=entry.rows,
+                            max_nodes=self._max_nodes,
+                            bins=self._bins,
+                        )
+                        entry.envelopes = {
+                            label: replace(
+                                envelope,
+                                predicate=intern(envelope.predicate),
+                            )
+                            for label, envelope in derived.items()
+                        }
+                        entry.derive_seconds = sum(
+                            e.seconds for e in entry.envelopes.values()
+                        )
+                        self._envelope_cache[entry.fingerprint] = (
+                            entry.envelopes,
+                            entry.derive_seconds,
+                        )
+                    entry.envelope_fingerprints = {
+                        label: ir_fingerprint(envelope.predicate)
+                        for label, envelope in entry.envelopes.items()
+                    }
+                previous = self._deployed.get(name)
+                if previous is not None and previous is not entry:
+                    previous.deployed = False
+                self._catalog.register(
+                    entry.model, envelopes=entry.envelopes
+                )
+                entry.deployed = True
+                self._deployed[name] = entry
+                span.update(
+                    catalog_version=self._catalog.entry(name).version,
+                    labels=len(entry.envelopes),
+                )
+            return entry
+
+    def retire(self, name: str) -> ModelVersion:
+        """Remove a deployed model from serving.
+
+        Later queries referencing it fail with a typed
+        :class:`~repro.exceptions.CatalogError` (surfaced through the
+        service as a request error), and cached plans keyed on it can
+        never be replayed.  The version history is kept: the model can be
+        redeployed, warm-starting from its cached envelopes.
+        """
+        with self._lock:
+            entry = self._deployed.pop(name, None)
+            if entry is None:
+                raise RegistryError(
+                    f"model {name!r} is not deployed; "
+                    f"deployed: {self.deployed_names()}"
+                )
+            self._catalog.unregister(name)
+            entry.deployed = False
+            obs.event(
+                "serve.registry.retire", model=name, version=entry.version
+            )
+            return entry
+
+    # -- introspection -----------------------------------------------------
+
+    def versions(self, name: str) -> tuple[ModelVersion, ...]:
+        """Every registered version of ``name``, oldest first."""
+        with self._lock:
+            try:
+                return tuple(self._versions[name])
+            except KeyError:
+                raise RegistryError(
+                    f"no model named {name!r} is registered; "
+                    f"registered: {sorted(self._versions)}"
+                ) from None
+
+    def deployed_version(self, name: str) -> ModelVersion | None:
+        """The live version of ``name`` (``None`` when not deployed)."""
+        with self._lock:
+            return self._deployed.get(name)
+
+    def deployed_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._deployed)
+
+    def registered_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._versions)
+
+    def _resolve(self, name: str, version: int | None) -> ModelVersion:
+        try:
+            history = self._versions[name]
+        except KeyError:
+            raise RegistryError(
+                f"no model named {name!r} is registered; "
+                f"registered: {sorted(self._versions)}"
+            ) from None
+        if version is None:
+            return history[-1]
+        if not 1 <= version <= len(history):
+            raise RegistryError(
+                f"model {name!r} has no version {version}; "
+                f"versions: 1..{len(history)}"
+            )
+        return history[version - 1]

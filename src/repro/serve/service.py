@@ -1,0 +1,534 @@
+"""The concurrent query service: worker pool, collapsing, shared caches.
+
+:class:`QueryService` is the embedded serving front-end over the
+optimizer/executor stack: requests are admitted (bounded, with
+deadlines), queued, and executed by a pool of worker threads, each
+holding its own read-only connection from a :class:`~repro.serve.pool.
+ConnectionPool` and its own :class:`~repro.sql.miningext.
+PredictionJoinExecutor` — while everything *cacheable* is shared across
+all workers:
+
+* one thread-safe :class:`~repro.sql.plancache.PlanCache` (a query
+  optimized by any worker is a hit for every other),
+* one table-statistics cache (stats built once per table, not per
+  thread),
+* one :class:`~repro.serve.batcher.MicroBatcher` coalescing residual
+  model scoring across concurrent requests,
+* the registry's live catalog with its deploy-time envelopes.
+
+**In-flight request collapsing**: a request structurally identical to one
+*currently executing* (same table, same relational-predicate fingerprint,
+same mining predicates, same model versions, same strategy) does not
+execute again — it waits for the in-flight execution and receives the
+same result rows.  Serving workloads are heavily repetitive (hot labels,
+dashboard queries), and collapsing turns k duplicate arrivals into one
+model application.  Collapsing never changes results: the duplicates
+would have executed over the same read-only data during the same window.
+Only *executing* requests collapse — queued duplicates execute normally —
+so a single-worker service degenerates to plain serial execution.
+
+Results are **bit-identical to serial execution** by construction: every
+worker runs the same executor over the same data and shared caches are
+either keyed exactly (plans, stats) or row-independent (micro-batching);
+the stress suite verifies byte-identical row sets under concurrency,
+timeouts, and cache eviction.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, replace
+
+from repro import obs
+from repro.core.optimizer import MiningQuery
+from repro.exceptions import (
+    QueueFullError,
+    RequestTimeoutError,
+    ServiceStoppedError,
+)
+from repro.ir import fingerprint as ir_fingerprint
+from repro.serve.admission import AdmissionController, Deadline
+from repro.serve.batcher import BatchingCatalog, MicroBatcher
+from repro.serve.pool import ConnectionPool
+from repro.serve.registry import ModelRegistry
+from repro.sql.database import Database
+from repro.sql.miningext import ExecutionReport, PredictionJoinExecutor
+from repro.sql.plancache import PlanCache
+from repro.sql.stats import TableStats
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served request: result rows plus serving-side timings."""
+
+    rows: tuple
+    strategy: str
+    queue_seconds: float
+    execute_seconds: float
+    collapsed: bool
+    report: ExecutionReport | None
+
+    @property
+    def rows_returned(self) -> int:
+        return len(self.rows)
+
+
+class ServiceStats:
+    """Thread-safe lifetime counters of one service instance."""
+
+    _FIELDS = (
+        "submitted",
+        "completed",
+        "collapsed",
+        "shed",
+        "timeouts",
+        "errors",
+        "cancelled",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self._FIELDS}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += amount
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def __getattr__(self, name: str) -> int:
+        if name in ServiceStats._FIELDS:
+            with self._lock:
+                return self._counts[name]
+        raise AttributeError(name)
+
+
+class _Request:
+    """One admitted request travelling through the queue."""
+
+    __slots__ = (
+        "query",
+        "optimize",
+        "future",
+        "deadline",
+        "enqueued_at",
+        "key",
+    )
+
+    def __init__(
+        self,
+        query: MiningQuery,
+        optimize: bool,
+        future: "Future[ServeResult]",
+        deadline: Deadline | None,
+        key: tuple | None,
+    ) -> None:
+        self.query = query
+        self.optimize = optimize
+        self.future = future
+        self.deadline = deadline
+        self.enqueued_at = time.perf_counter()
+        self.key = key
+
+
+_SENTINEL = object()
+
+
+class QueryService:
+    """Embedded, thread-concurrent mining-query service.
+
+    Use as a context manager (or call :meth:`shutdown`); submitting after
+    shutdown raises :class:`~repro.exceptions.ServiceStoppedError`.  The
+    service serves **read-only** traffic over ``db``: load tables and
+    build indexes through the primary handle before constructing it.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        registry: ModelRegistry,
+        workers: int = 4,
+        max_pending: int = 128,
+        default_timeout: float | None = None,
+        plan_cache: PlanCache | None = None,
+        batching: bool = True,
+        collapsing: bool = True,
+        selectivity_gate: float | None = 0.2,
+        stats_sample: int = 10_000,
+        vectorized: bool = True,
+        batch_size: int = 2048,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._registry = registry
+        self._pool = ConnectionPool(db, read_only=True)
+        self._controller = AdmissionController(
+            max_pending, default_timeout=default_timeout
+        )
+        self._plan_cache = (
+            plan_cache if plan_cache is not None else PlanCache(256)
+        )
+        self._stats_cache: dict[str, TableStats] = {}
+        self._batcher: MicroBatcher | None = None
+        catalog = registry.catalog
+        if batching:
+            self._batcher = MicroBatcher(catalog)
+            catalog = BatchingCatalog(registry.catalog, self._batcher)
+        self._exec_catalog = catalog
+        self._collapsing = collapsing
+        self._selectivity_gate = selectivity_gate
+        self._stats_sample = stats_sample
+        self._vectorized = vectorized
+        self._batch_size = batch_size
+        self.stats = ServiceStats()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._inflight: dict[tuple, "Future[ServeResult]"] = {}
+        self._draining = False
+        self._stopped = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def registry(self) -> ModelRegistry:
+        return self._registry
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._plan_cache
+
+    @property
+    def batcher(self) -> MicroBatcher | None:
+        """The shared micro-batcher (``None`` when batching is off)."""
+        return self._batcher
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted, unfinished requests (queued plus executing)."""
+        return self._controller.pending
+
+    def submit(
+        self,
+        query: MiningQuery,
+        timeout: float | None = None,
+        optimize: bool = True,
+    ) -> "Future[ServeResult]":
+        """Admit one request; returns a future resolving to its result.
+
+        Raises :class:`~repro.exceptions.QueueFullError` when the bounded
+        queue is full and :class:`~repro.exceptions.ServiceStoppedError`
+        when draining or stopped; both are *synchronous* (the future is
+        only created for admitted requests).  A request structurally
+        identical to one currently executing collapses onto it without
+        consuming a queue slot.
+        """
+        if self._draining or self._stopped:
+            obs.add_counter("serve.request.rejected_stopped")
+            raise ServiceStoppedError("service is draining or stopped")
+        self.stats.increment("submitted")
+        obs.add_counter("serve.request.submitted")
+        key = self._collapse_key(query, optimize)
+        if key is not None:
+            with self._lock:
+                primary = self._inflight.get(key)
+                if primary is not None:
+                    return self._attach(primary)
+        try:
+            self._controller.admit()
+        except QueueFullError:
+            self.stats.increment("shed")
+            raise
+        future: "Future[ServeResult]" = Future()
+        request = _Request(
+            query,
+            optimize,
+            future,
+            self._controller.deadline_for(timeout),
+            key,
+        )
+        self._queue.put(request)
+        return future
+
+    def execute(
+        self,
+        query: MiningQuery,
+        timeout: float | None = None,
+        optimize: bool = True,
+    ) -> ServeResult:
+        """Synchronous :meth:`submit`; enforces the deadline while waiting.
+
+        A wait that outlives the request's deadline raises
+        :class:`~repro.exceptions.RequestTimeoutError`.  The underlying
+        execution is not preempted mid-flight (SQLite has no safe
+        cancellation point here); a timed-out request that was still
+        queued is dropped unexecuted by its worker.
+        """
+        deadline = self._controller.deadline_for(timeout)
+        future = self.submit(query, timeout=timeout, optimize=optimize)
+        try:
+            return future.result(
+                timeout=None if deadline is None else deadline.remaining()
+            )
+        except FutureTimeoutError:
+            self.stats.increment("timeouts")
+            obs.add_counter("serve.request.timeout")
+            raise RequestTimeoutError(
+                f"request exceeded its {deadline.timeout:.3f}s deadline"
+            ) from None
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting and wait for every admitted request to finish.
+
+        Returns ``True`` when the service fully drained, ``False`` on
+        timeout (requests may still be executing).  Draining is
+        irreversible — pair it with :meth:`shutdown`.
+        """
+        self._draining = True
+        obs.event("serve.drain", pending=self._controller.pending)
+        deadline = Deadline.from_timeout(timeout)
+        with self._done:
+            while self._controller.pending > 0:
+                remaining = (
+                    None if deadline is None else deadline.remaining()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._done.wait(
+                    timeout=0.1 if remaining is None else min(remaining, 0.1)
+                )
+        return True
+
+    def shutdown(
+        self, drain: bool = True, timeout: float | None = None
+    ) -> bool:
+        """Drain (optionally), stop the workers, release every resource.
+
+        With ``drain=False`` (or after a drain timeout) queued requests
+        fail with :class:`~repro.exceptions.ServiceStoppedError`.
+        Idempotent; returns whether shutdown was clean (fully drained).
+        """
+        if self._stopped:
+            return True
+        clean = self.drain(timeout=timeout) if drain else False
+        self._stopped = True
+        self._draining = True
+        if not clean:
+            self._fail_queued()
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            worker.join()
+        if self._batcher is not None:
+            self._batcher.stop()
+        self._pool.close_all()
+        obs.event("serve.shutdown", clean=clean)
+        return clean
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- internals ---------------------------------------------------------
+
+    def _collapse_key(
+        self, query: MiningQuery, optimize: bool
+    ) -> tuple | None:
+        """Identity under which concurrent requests may share a result.
+
+        Includes every referenced model's *catalog version*, so a request
+        racing a redeploy never collapses onto an execution against the
+        old envelopes.  ``None`` disables collapsing for this request.
+        """
+        if not self._collapsing:
+            return None
+        names: list[str] = []
+        for predicate in query.mining_predicates:
+            for name in predicate.models():
+                if name not in names:
+                    names.append(name)
+        versions = tuple(
+            (name, self._registry.catalog.entry(name).version)
+            for name in names
+        )
+        return (
+            query.table,
+            ir_fingerprint(query.relational_predicate),
+            tuple(p.describe() for p in query.mining_predicates),
+            optimize,
+            versions,
+        )
+
+    def _attach(
+        self, primary: "Future[ServeResult]"
+    ) -> "Future[ServeResult]":
+        """A dependent future resolving with the in-flight execution."""
+        self.stats.increment("collapsed")
+        obs.add_counter("serve.request.collapsed")
+        dependent: "Future[ServeResult]" = Future()
+
+        def propagate(done: "Future[ServeResult]") -> None:
+            if dependent.cancelled():
+                return
+            error = done.exception()
+            try:
+                if error is not None:
+                    dependent.set_exception(error)
+                else:
+                    dependent.set_result(
+                        replace(done.result(), collapsed=True)
+                    )
+            except Exception:
+                # The dependent was cancelled between the check and the
+                # set; its waiter already gave up.
+                pass
+
+        primary.add_done_callback(propagate)
+        return dependent
+
+    def _worker_loop(self) -> None:
+        db = self._pool.get()
+        executor = PredictionJoinExecutor(
+            db,
+            self._exec_catalog,
+            selectivity_gate=self._selectivity_gate,
+            stats_sample=self._stats_sample,
+            plan_cache=self._plan_cache,
+            vectorized=self._vectorized,
+            batch_size=self._batch_size,
+            stats_cache=self._stats_cache,
+        )
+        while True:
+            request = self._queue.get()
+            if request is _SENTINEL:
+                return
+            self._handle(request, executor)
+
+    def _handle(
+        self, request: _Request, executor: PredictionJoinExecutor
+    ) -> None:
+        try:
+            queue_seconds = time.perf_counter() - request.enqueued_at
+            if not request.future.set_running_or_notify_cancel():
+                self.stats.increment("cancelled")
+                obs.add_counter("serve.request.cancelled")
+                return
+            if request.deadline is not None and request.deadline.expired:
+                self.stats.increment("timeouts")
+                obs.add_counter("serve.request.timeout")
+                request.future.set_exception(
+                    RequestTimeoutError(
+                        "request spent its whole "
+                        f"{request.deadline.timeout:.3f}s deadline queued"
+                    )
+                )
+                return
+            if request.key is not None:
+                with self._lock:
+                    primary = self._inflight.get(request.key)
+                    if primary is None:
+                        self._inflight[request.key] = request.future
+                    else:
+                        # A duplicate was dequeued while its twin
+                        # executes: collapse at the worker, too.
+                        dependent = self._attach(primary)
+                        dependent.add_done_callback(
+                            _forward_to(request.future)
+                        )
+                        return
+            try:
+                with obs.span(
+                    "serve.request", table=request.query.table
+                ) as span:
+                    started = time.perf_counter()
+                    report = executor.execute(
+                        request.query, optimize_query=request.optimize
+                    )
+                    execute_seconds = time.perf_counter() - started
+                    span.update(
+                        queue_seconds=queue_seconds,
+                        rows_returned=report.rows_returned,
+                        strategy=report.strategy,
+                    )
+                result = ServeResult(
+                    rows=report.rows,
+                    strategy=report.strategy,
+                    queue_seconds=queue_seconds,
+                    execute_seconds=execute_seconds,
+                    collapsed=False,
+                    report=report,
+                )
+                self.stats.increment("completed")
+                obs.add_counter("serve.request.completed")
+                request.future.set_result(result)
+            except BaseException as error:
+                self.stats.increment("errors")
+                obs.add_counter("serve.request.error")
+                request.future.set_exception(error)
+            finally:
+                if request.key is not None:
+                    with self._lock:
+                        if self._inflight.get(request.key) is request.future:
+                            del self._inflight[request.key]
+        finally:
+            self._controller.release()
+            with self._done:
+                self._done.notify_all()
+
+    def _fail_queued(self) -> None:
+        """Fail every still-queued request during a non-drained shutdown."""
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if request is _SENTINEL:
+                continue
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    ServiceStoppedError("service stopped before execution")
+                )
+            self._controller.release()
+            with self._done:
+                self._done.notify_all()
+
+
+def _forward_to(target: "Future[ServeResult]"):
+    """A done-callback copying one future's outcome onto another."""
+
+    def forward(done: "Future[ServeResult]") -> None:
+        error = done.exception()
+        try:
+            if error is not None:
+                target.set_exception(error)
+            else:
+                target.set_result(done.result())
+        except Exception:
+            pass
+
+    return forward
+
+
+def serve(
+    db: Database, registry: ModelRegistry, **kwargs
+) -> QueryService:
+    """Convenience constructor mirroring ``QueryService(db, registry)``."""
+    return QueryService(db, registry, **kwargs)

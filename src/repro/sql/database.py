@@ -8,6 +8,8 @@ plans, and whose chosen plan we can introspect via ``EXPLAIN QUERY PLAN``.
 
 from __future__ import annotations
 
+import itertools
+import os
 import sqlite3
 import time
 from collections.abc import Iterable, Iterator, Mapping, Sequence
@@ -26,6 +28,26 @@ Row = dict[str, Value]
 #: Insert batch size; keeps memory flat while loading million-row tables.
 _BATCH = 5_000
 
+#: Names successive in-memory databases uniquely within one process.
+_MEMORY_SEQUENCE = itertools.count(1)
+
+
+def _memory_uri() -> str:
+    """A fresh shared-cache URI for one private in-memory database.
+
+    Plain ``:memory:`` databases are invisible to every other connection,
+    which makes them impossible to serve from a connection pool.  Naming
+    the database (``file:...?mode=memory&cache=shared``) keeps it fully
+    in-memory and private to this process while letting
+    :meth:`Database.for_thread` open sibling connections onto the same
+    data.  The pid + counter name keeps independent :class:`Database`
+    instances isolated from each other.
+    """
+    return (
+        f"file:repro-mem-{os.getpid()}-{next(_MEMORY_SEQUENCE)}"
+        "?mode=memory&cache=shared"
+    )
+
 
 class Database:
     """A thin, explicit wrapper around one SQLite connection.
@@ -33,16 +55,72 @@ class Database:
     Use as a context manager or call :meth:`close` explicitly.  All helpers
     raise :class:`~repro.exceptions.DatabaseError` with the offending SQL on
     failure.
+
+    One :class:`Database` wraps one connection and is **not** safe to share
+    across threads (sqlite3 enforces thread affinity).  For concurrent
+    serving, :meth:`for_thread` opens a sibling connection onto the same
+    data — in-memory databases are created through a named shared-cache URI
+    precisely so siblings can attach.  The sibling shares this instance's
+    schema registry by reference, so tables and indexes created through any
+    handle are visible to all of them.  An in-memory database lives as long
+    as its *primary* handle: close the primary last.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
+    def __init__(
+        self,
+        path: str = ":memory:",
+        *,
+        uri: bool = False,
+        read_only: bool = False,
+        check_same_thread: bool = True,
+    ) -> None:
+        if path == ":memory:":
+            path = _memory_uri()
+            uri = True
+        self._path = path
+        self._uri = uri
+        self.read_only = read_only
+        self._connection = sqlite3.connect(
+            path, uri=uri, check_same_thread=check_same_thread
+        )
         self._connection.row_factory = sqlite3.Row
         # Analytics workload: bigger cache, no per-statement fsync cost.
         self._connection.execute("PRAGMA cache_size = -64000")
         self._connection.execute("PRAGMA synchronous = OFF")
+        if read_only:
+            # Serving connections are read-only by contract; the pragma
+            # turns an accidental write into a hard sqlite error.
+            self._connection.execute("PRAGMA query_only = ON")
         self._tables: dict[str, TableSchema] = {}
         self._indexes: dict[str, tuple[str, tuple[str, ...]]] = {}
+
+    @property
+    def path(self) -> str:
+        """The connection target (a URI for in-memory databases)."""
+        return self._path
+
+    def for_thread(self, read_only: bool = True) -> "Database":
+        """A sibling :class:`Database` for use by another thread.
+
+        Opens a new connection onto the same underlying database (shared
+        in-memory cache or the same file) and shares this instance's
+        table/index registries by reference.  The default is a read-only
+        serving connection (``PRAGMA query_only = ON``); pass
+        ``read_only=False`` for a writable sibling.
+
+        The sibling is created with ``check_same_thread=False`` so a pool
+        coordinator may *close* it from another thread; queries must still
+        come from one thread at a time.
+        """
+        sibling = Database(
+            self._path,
+            uri=self._uri,
+            read_only=read_only,
+            check_same_thread=False,
+        )
+        sibling._tables = self._tables
+        sibling._indexes = self._indexes
+        return sibling
 
     def __enter__(self) -> "Database":
         return self

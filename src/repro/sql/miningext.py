@@ -122,6 +122,7 @@ class PredictionJoinExecutor:
         plan_cache: "PlanCache | None" = None,
         vectorized: bool = True,
         batch_size: int = 2048,
+        stats_cache: "dict[str, TableStats] | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ModelError(f"batch_size must be >= 1, got {batch_size}")
@@ -129,7 +130,13 @@ class PredictionJoinExecutor:
         self._catalog = catalog
         self._selectivity_gate = selectivity_gate
         self._stats_sample = stats_sample
-        self._stats_cache: dict[str, TableStats] = {}
+        # ``stats_cache`` may be shared between executors over the same
+        # data (the serving layer passes one dict to every worker).  Stats
+        # building is deterministic, so a racing double-build stores
+        # identical values — wasted work at worst, never divergence.
+        self._stats_cache: dict[str, TableStats] = (
+            stats_cache if stats_cache is not None else {}
+        )
         self._plan_cache = plan_cache
         self._vectorized = vectorized
         self._batch_size = batch_size

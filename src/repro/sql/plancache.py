@@ -20,6 +20,7 @@ identical queries and re-optimized them from scratch.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -31,15 +32,31 @@ from repro.ir import fingerprint as ir_fingerprint
 
 @dataclass
 class PlanCacheStats:
-    """Hit/miss/invalidation counters for observability."""
+    """Hit/miss/invalidation/eviction counters for observability."""
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get_or_optimize`` calls (every lookup hits or misses)."""
+        return self.hits + self.misses
 
 
 class PlanCache:
-    """A bounded LRU cache of optimized mining queries."""
+    """A bounded LRU cache of optimized mining queries.
+
+    All operations are thread-safe: the serving layer shares one cache
+    across every worker thread.  A cache miss releases the lock while the
+    optimizer runs (optimization is the expensive part and needs no shared
+    state), so concurrent misses on *different* queries optimize in
+    parallel; concurrent misses on the *same* query may both optimize, and
+    the second insert wins — wasted work, never a wrong plan.  The
+    hit/miss/invalidation/eviction counters are updated under the lock, so
+    ``hits + misses`` always equals the number of lookups.
+    """
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
@@ -48,6 +65,7 @@ class PlanCache:
         self._entries: OrderedDict[
             tuple, tuple[tuple[tuple[str, int], ...], OptimizedQuery]
         ] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = PlanCacheStats()
 
     @staticmethod
@@ -119,27 +137,36 @@ class PlanCache:
         """
         key = self._fingerprint(query, optimize_kwargs)
         versions = self._model_versions(query, catalog)
-        cached = self._entries.get(key)
-        if cached is not None:
-            cached_versions, plan = cached
-            if cached_versions == versions:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                obs.add_counter("plan_cache.hit")
-                return plan
-            del self._entries[key]
-            self.stats.invalidations += 1
-            obs.add_counter("plan_cache.invalidation")
-        self.stats.misses += 1
-        obs.add_counter("plan_cache.miss")
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                cached_versions, plan = cached
+                if cached_versions == versions:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    obs.add_counter("plan_cache.hit")
+                    return plan
+                del self._entries[key]
+                self.stats.invalidations += 1
+                obs.add_counter("plan_cache.invalidation")
+            self.stats.misses += 1
+            obs.add_counter("plan_cache.miss")
+        # Optimize outside the lock: misses on different queries must not
+        # serialize behind each other in the serving path.
         plan = optimize(query, catalog, **optimize_kwargs)
-        self._entries[key] = (versions, plan)
-        if len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = (versions, plan)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                obs.add_counter("plan_cache.evict")
         return plan
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,56 @@
+"""The serving section of trace-report."""
+
+import json
+
+from repro import obs
+
+
+def write_trace(path, payloads):
+    path.write_text(
+        "".join(json.dumps(p) + "\n" for p in payloads), encoding="utf-8"
+    )
+
+
+SERVING_PAYLOADS = [
+    {"type": "span", "name": "serve.request", "seconds": 0.02},
+    {"type": "span", "name": "serve.request", "seconds": 0.04},
+    {"type": "counter", "name": "serve.request.submitted", "value": 10},
+    {"type": "counter", "name": "serve.request.completed", "value": 7},
+    {"type": "counter", "name": "serve.request.collapsed", "value": 2},
+    {"type": "counter", "name": "serve.request.shed", "value": 1},
+    {"type": "counter", "name": "serve.batch.requests", "value": 6},
+    {"type": "counter", "name": "serve.batch.calls", "value": 3},
+    {"type": "counter", "name": "serve.batch.rows", "value": 600},
+    {"type": "counter", "name": "serve.batch.coalesced", "value": 4},
+    {"type": "gauge", "name": "serve.queue.depth", "value": 0},
+]
+
+
+class TestServingSection:
+    def test_serving_stats(self, tmp_path):
+        write_trace(tmp_path / "trace_a.jsonl", SERVING_PAYLOADS)
+        summary = obs.summarize(tmp_path)
+        serving = summary.serving()
+        assert serving["submitted"] == 10
+        assert serving["completed"] == 7
+        assert serving["collapsed"] == 2
+        assert serving["shed"] == 1
+        assert serving["batch_calls"] == 3
+        assert serving["coalescing_factor"] == 2.0
+
+    def test_serving_section_rendered(self, tmp_path):
+        write_trace(tmp_path / "trace_a.jsonl", SERVING_PAYLOADS)
+        report = obs.format_report(obs.summarize(tmp_path))
+        assert "Serving:" in report
+        assert "submitted=10" in report
+        assert "coalescing factor 2.00" in report
+        assert "requests: n=2" in report
+
+    def test_absent_without_serving_traffic(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_a.jsonl",
+            [{"type": "counter", "name": "plan_cache.hit", "value": 1}],
+        )
+        summary = obs.summarize(tmp_path)
+        assert summary.serving() == {}
+        assert "Serving:" not in obs.format_report(summary)

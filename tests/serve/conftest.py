@@ -1,0 +1,56 @@
+"""Serving-layer fixtures: a loaded database and a deployed registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import MiningQuery
+from repro.core.rewrite import PredictionEquals
+from repro.serve import ModelRegistry
+from repro.sql.database import Database, load_table
+
+from tests.conftest import CUSTOMER_FEATURES
+
+
+@pytest.fixture()
+def serve_db(customer_rows):
+    """A fresh customers table (features only) with two indexes."""
+    db = Database()
+    load_table(
+        db,
+        "customers",
+        [{c: row[c] for c in CUSTOMER_FEATURES} for row in customer_rows],
+    )
+    db.create_index("customers", ["age"])
+    db.create_index("customers", ["income"])
+    yield db
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def deployed_registry(customer_tree, customer_nb):
+    """Both customer models registered and deployed (envelopes derived).
+
+    Module-scoped to amortize envelope derivation; serving tests only
+    read it.  Lifecycle tests (register/retire) build their own.
+    """
+    registry = ModelRegistry(max_nodes=150)
+    registry.register(customer_tree, deploy=True)
+    registry.register(customer_nb, deploy=True)
+    return registry
+
+
+@pytest.fixture(scope="module")
+def label_queries(deployed_registry):
+    """One prediction-join query per deployed (model, label) pair."""
+    queries = []
+    for name in deployed_registry.deployed_names():
+        version = deployed_registry.deployed_version(name)
+        for label in sorted(version.envelopes, key=str):
+            queries.append(
+                MiningQuery(
+                    "customers",
+                    mining_predicates=(PredictionEquals(name, label),),
+                )
+            )
+    return queries

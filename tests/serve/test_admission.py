@@ -1,0 +1,69 @@
+"""Admission control: deadlines, bounded queueing, typed shedding."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import QueueFullError
+from repro.serve import AdmissionController, Deadline
+
+
+class TestDeadline:
+    def test_from_timeout_none(self):
+        assert Deadline.from_timeout(None) is None
+
+    def test_remaining_counts_down(self):
+        deadline = Deadline(10.0)
+        first = deadline.remaining()
+        assert 0 < first <= 10.0
+        assert deadline.remaining() <= first
+        assert not deadline.expired
+
+    def test_expiry(self):
+        deadline = Deadline(0.01)
+        time.sleep(0.02)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+
+    @pytest.mark.parametrize("bad", [0, -1.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="timeout"):
+            Deadline(bad)
+
+
+class TestAdmissionController:
+    def test_sheds_beyond_capacity(self):
+        controller = AdmissionController(max_pending=2)
+        controller.admit()
+        controller.admit()
+        assert controller.pending == 2
+        with pytest.raises(QueueFullError, match="2/2 pending"):
+            controller.admit()
+        controller.release()
+        controller.admit()  # a freed slot admits again
+        assert controller.pending == 2
+
+    def test_release_without_admit(self):
+        controller = AdmissionController(max_pending=1)
+        with pytest.raises(AssertionError):
+            controller.release()
+
+    def test_default_timeout_resolution(self):
+        controller = AdmissionController(
+            max_pending=1, default_timeout=5.0
+        )
+        assert controller.deadline_for(None).timeout == 5.0
+        assert controller.deadline_for(1.0).timeout == 1.0
+        unlimited = AdmissionController(max_pending=1)
+        assert unlimited.deadline_for(None) is None
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_bad_capacity(self, bad):
+        with pytest.raises(ValueError, match="max_pending"):
+            AdmissionController(max_pending=bad)
+
+    def test_rejects_bad_default_timeout(self):
+        with pytest.raises(ValueError, match="default_timeout"):
+            AdmissionController(max_pending=1, default_timeout=0)

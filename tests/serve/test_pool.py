@@ -1,0 +1,136 @@
+"""Connection pool and Database thread-affinity fixes."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import DatabaseError, ServiceStoppedError
+from repro.serve import ConnectionPool
+from repro.sql.database import Database, load_table
+
+ROWS = [{"x": i, "label": "a" if i % 2 else "b"} for i in range(50)]
+
+
+@pytest.fixture()
+def db():
+    handle = Database()
+    load_table(handle, "t", ROWS)
+    yield handle
+    handle.close()
+
+
+class TestConnectionPool:
+    def test_sibling_sees_data(self, db):
+        with ConnectionPool(db) as pool:
+            sibling = pool.get()
+            assert sibling is not db
+            rows = sibling.query_rows("SELECT COUNT(*) AS n FROM t")
+            assert rows[0]["n"] == len(ROWS)
+
+    def test_same_thread_reuses_handle(self, db):
+        with ConnectionPool(db) as pool:
+            assert pool.get() is pool.get()
+            assert len(pool) == 1
+
+    def test_each_thread_gets_its_own(self, db):
+        with ConnectionPool(db) as pool:
+            mine = pool.get()
+            seen: list = []
+
+            def worker() -> None:
+                handle = pool.get()
+                seen.append(handle)
+                seen.append(
+                    handle.query_rows("SELECT COUNT(*) AS n FROM t")[0]["n"]
+                )
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert seen[0] is not mine
+            assert seen[1] == len(ROWS)
+            assert len(pool) == 2
+
+    def test_read_only_blocks_writes(self, db):
+        with ConnectionPool(db, read_only=True) as pool:
+            sibling = pool.get()
+            with pytest.raises(DatabaseError):
+                sibling.execute("INSERT INTO t (x, label) VALUES (99, 'c')")
+            with pytest.raises(DatabaseError):
+                sibling.execute("CREATE TABLE other (y INTEGER)")
+
+    def test_writable_sibling_visible_to_primary(self, db):
+        with ConnectionPool(db, read_only=False) as pool:
+            sibling = pool.get()
+            sibling.execute("INSERT INTO t (x, label) VALUES (99, 'c')")
+            sibling.execute("COMMIT")
+            rows = db.query_rows("SELECT COUNT(*) AS n FROM t")
+            assert rows[0]["n"] == len(ROWS) + 1
+
+    def test_closed_pool_refuses(self, db):
+        pool = ConnectionPool(db)
+        pool.get()
+        pool.close_all()
+        with pytest.raises(ServiceStoppedError):
+            pool.get()
+        pool.close_all()  # idempotent
+        # The primary handle is not owned by the pool.
+        assert db.query_rows("SELECT COUNT(*) AS n FROM t")[0]["n"] == len(
+            ROWS
+        )
+
+
+class TestDatabaseThreadAffinity:
+    def test_primary_is_thread_bound(self, db):
+        errors: list = []
+
+        def worker() -> None:
+            try:
+                db.query_rows("SELECT COUNT(*) AS n FROM t")
+            except DatabaseError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert len(errors) == 1  # sqlite3 thread check, wrapped typed
+
+    def test_for_thread_usable_from_other_thread(self, db):
+        sibling = db.for_thread()
+        counts: list[int] = []
+
+        def worker() -> None:
+            counts.append(
+                sibling.query_rows("SELECT COUNT(*) AS n FROM t")[0]["n"]
+            )
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        sibling.close()
+        assert counts == [len(ROWS)]
+
+    def test_memory_databases_are_isolated(self):
+        a, b = Database(), Database()
+        load_table(a, "only_in_a", [{"x": 1}])
+        with pytest.raises(DatabaseError):
+            b.query_rows("SELECT * FROM only_in_a")
+        a.close()
+        b.close()
+
+    def test_file_backed_sibling(self, tmp_path):
+        path = str(tmp_path / "served.db")
+        primary = Database(path)
+        load_table(primary, "t", ROWS)
+        sibling = primary.for_thread()
+        n = sibling.query_rows("SELECT COUNT(*) AS n FROM t")[0]["n"]
+        assert n == len(ROWS)
+        sibling.close()
+        primary.close()
+
+    def test_sibling_shares_schema_registry(self, db):
+        sibling = db.for_thread()
+        assert sibling.schema("t") is db.schema("t")
+        sibling.close()

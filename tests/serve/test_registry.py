@@ -1,0 +1,105 @@
+"""Model registry lifecycle: register / deploy / retire, warm-starts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import MiningQuery
+from repro.core.rewrite import PredictionEquals
+from repro.exceptions import CatalogError, RegistryError
+from repro.ir import intern
+from repro.serve import ModelRegistry, model_fingerprint
+from repro.sql.plancache import PlanCache
+
+
+@pytest.fixture()
+def registry(customer_tree):
+    reg = ModelRegistry(max_nodes=100)
+    reg.register(customer_tree)
+    return reg
+
+
+class TestRegister:
+    def test_versions_increase(self, registry, customer_tree):
+        second = registry.register(customer_tree)
+        assert second.version == 2
+        assert [v.version for v in registry.versions("risk_tree")] == [1, 2]
+
+    def test_register_is_cheap(self, registry):
+        entry = registry.versions("risk_tree")[0]
+        assert entry.envelopes is None  # derivation deferred to deploy
+        assert not entry.deployed
+
+    def test_fingerprint_is_content_based(self, customer_tree, customer_nb):
+        assert model_fingerprint(customer_tree) == model_fingerprint(
+            customer_tree
+        )
+        assert model_fingerprint(customer_tree) != model_fingerprint(
+            customer_nb
+        )
+
+    def test_unknown_name(self, registry):
+        with pytest.raises(RegistryError, match="no model named"):
+            registry.versions("nope")
+        with pytest.raises(RegistryError, match="no model named"):
+            registry.deploy("nope")
+
+
+class TestDeploy:
+    def test_deploy_derives_and_publishes(self, registry, customer_tree):
+        entry = registry.deploy("risk_tree")
+        assert entry.deployed
+        assert entry.envelopes
+        assert set(entry.envelope_fingerprints) == set(entry.envelopes)
+        # Envelope predicates were interned: re-interning is the identity.
+        for envelope in entry.envelopes.values():
+            assert intern(envelope.predicate) is envelope.predicate
+        assert registry.catalog.entry("risk_tree").model is customer_tree
+
+    def test_deploy_specific_version(self, registry, customer_tree):
+        registry.register(customer_tree)
+        entry = registry.deploy("risk_tree", version=1)
+        assert entry.version == 1
+        assert registry.deployed_version("risk_tree") is entry
+        with pytest.raises(RegistryError, match="no version 7"):
+            registry.deploy("risk_tree", version=7)
+
+    def test_redeploy_warm_starts(self, registry, customer_tree):
+        first = registry.deploy("risk_tree")
+        registry.retire("risk_tree")
+        second_version = registry.register(customer_tree)
+        second = registry.deploy("risk_tree")
+        assert second is second_version
+        # Same model content -> the envelope cache is reused wholesale.
+        assert second.envelopes is first.envelopes
+
+    def test_redeploy_invalidates_cached_plans(
+        self, registry, customer_tree
+    ):
+        registry.deploy("risk_tree")
+        cache = PlanCache(8)
+        query = MiningQuery(
+            "customers",
+            mining_predicates=(PredictionEquals("risk_tree", "high"),),
+        )
+        cache.get_or_optimize(query, registry.catalog)
+        registry.register(customer_tree, deploy=True)  # bumps version
+        cache.get_or_optimize(query, registry.catalog)
+        assert cache.stats.invalidations == 1
+        assert cache.stats.hits == 0
+
+
+class TestRetire:
+    def test_retire_removes_from_catalog(self, registry):
+        registry.deploy("risk_tree")
+        entry = registry.retire("risk_tree")
+        assert not entry.deployed
+        assert registry.deployed_version("risk_tree") is None
+        with pytest.raises(CatalogError):
+            registry.catalog.entry("risk_tree")
+        # The history survives for redeployment.
+        assert registry.registered_names() == ["risk_tree"]
+
+    def test_retire_not_deployed(self, registry):
+        with pytest.raises(RegistryError, match="not deployed"):
+            registry.retire("risk_tree")

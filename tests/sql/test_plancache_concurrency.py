@@ -1,0 +1,99 @@
+"""PlanCache thread-safety: consistent counters and plans under load."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.catalog import ModelCatalog
+from repro.core.optimizer import MiningQuery
+from repro.core.rewrite import PredictionEquals
+from repro.ir import fingerprint as ir_fingerprint
+from repro.sql.plancache import PlanCache
+
+from tests.conftest import make_customer_rows
+from repro.mining.decision_tree import DecisionTreeLearner
+
+THREADS = 8
+ROUNDS = 30
+
+
+def _setup():
+    rows = make_customer_rows(200)
+    model = DecisionTreeLearner(
+        ("age", "income", "gender", "region"),
+        "risk",
+        max_depth=4,
+        name="risk_tree",
+    ).fit(rows)
+    catalog = ModelCatalog()
+    catalog.register(model)
+    queries = [
+        MiningQuery(
+            "customers",
+            mining_predicates=(PredictionEquals("risk_tree", label),),
+        )
+        for label in ("high", "medium", "low")
+    ]
+    return catalog, queries
+
+
+def test_concurrent_lookups_keep_counters_consistent():
+    catalog, queries = _setup()
+    cache = PlanCache(capacity=2)  # below the distinct-query count
+    results: list[list] = [[] for _ in range(THREADS)]
+    barrier = threading.Barrier(THREADS)
+
+    def worker(slot: int) -> None:
+        barrier.wait()
+        for round_number in range(ROUNDS):
+            query = queries[(slot + round_number) % len(queries)]
+            plan = cache.get_or_optimize(query, catalog)
+            results[slot].append(
+                (query.mining_predicates[0].describe(), plan)
+            )
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,))
+        for slot in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total_calls = THREADS * ROUNDS
+    stats = cache.stats
+    # Every lookup is exactly one hit or one miss — no lost updates.
+    assert stats.hits + stats.misses == total_calls
+    assert stats.lookups == total_calls
+    assert stats.invalidations == 0
+    assert stats.evictions > 0  # capacity 2 under 3 distinct queries
+    assert len(cache) <= 2
+
+    # Every thread got an equivalent plan for the same query.
+    canonical: dict[str, str] = {}
+    for slot_results in results:
+        for described, plan in slot_results:
+            digest = ir_fingerprint(plan.pushable_predicate)
+            assert canonical.setdefault(described, digest) == digest
+
+
+def test_concurrent_hits_on_single_entry():
+    catalog, queries = _setup()
+    cache = PlanCache(capacity=8)
+    cache.get_or_optimize(queries[0], catalog)  # pre-populate
+
+    def worker() -> None:
+        for _ in range(ROUNDS):
+            cache.get_or_optimize(queries[0], catalog)
+
+    threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert cache.stats.hits == THREADS * ROUNDS
+    assert cache.stats.misses == 1
+    assert cache.stats.evictions == 0
+    assert len(cache) == 1
