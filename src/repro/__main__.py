@@ -14,6 +14,7 @@ Usage::
     python -m repro bench-parallel      # serial-vs-parallel sweep timings
     python -m repro bench-vectorized    # scalar-vs-vectorized scoring
     python -m repro serve-bench --workers 4   # concurrent serving bench
+    python -m repro segment-bench --segments 1000  # shared-mask matching
     python -m repro run --trace DIR     # write JSON-lines traces to DIR
     python -m repro trace-report --trace DIR   # summarize a trace dir
 """
@@ -58,6 +59,7 @@ def main(argv: list[str] | None = None) -> int:
             "bench-parallel",
             "bench-vectorized",
             "serve-bench",
+            "segment-bench",
             "all",
         ),
         help="which experiment group to run",
@@ -96,6 +98,21 @@ def main(argv: list[str] | None = None) -> int:
         default=400,
         metavar="N",
         help="serve-bench: requests per run (default: 400)",
+    )
+    parser.add_argument(
+        "--segments",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="segment-bench: catalog size (default: 1000)",
+    )
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="segment-bench: rows streamed through matching "
+        "(default: 8192)",
     )
     parser.add_argument(
         "--trace",
@@ -276,6 +293,49 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, stream, indent=2, sort_keys=True)
             stream.write("\n")
         print("wrote BENCH_serving.json")
+    if arguments.artifact == "segment-bench":
+        import json
+
+        from repro.segments.bench import run_segment_bench
+
+        if arguments.segments < 1:
+            parser.error(
+                f"--segments must be >= 1, got {arguments.segments}"
+            )
+        if arguments.rows < 1:
+            parser.error(f"--rows must be >= 1, got {arguments.rows}")
+        report = run_segment_bench(
+            config,
+            segments=arguments.segments,
+            rows=arguments.rows,
+        )
+        print(
+            f"catalog: {report['segments']} segments "
+            f"({report['model_segments']} model-backed, "
+            f"{report['hand_written_segments']} hand-written), "
+            f"{report['rows']} rows in {report['batches']} batches"
+        )
+        print(
+            f"naive:  {report['naive']['seconds']:.2f}s "
+            f"({report['naive']['rows_per_second']:.0f} rows/s)"
+        )
+        shared = report["shared"]
+        print(
+            f"shared: {shared['seconds']:.2f}s "
+            f"({shared['rows_per_second']:.0f} rows/s, "
+            f"{shared['masks_computed']} masks computed, "
+            f"{shared['masks_shared']} shared, "
+            f"share ratio {shared['share_ratio']:.2f})"
+        )
+        print(
+            f"speedup {report['speedup']:.2f}x; memberships identical: "
+            f"{report['memberships_identical']}"
+        )
+        target = "BENCH_segment_matching.json"
+        with open(target, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {target}")
     if arguments.trace is not None:
         from repro import obs
 

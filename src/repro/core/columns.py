@@ -19,6 +19,17 @@ exact for equality tests and label joins) and the *numeric* view (a
 identity is preserved throughout: filtering selects the original row
 mappings, so a vectorized execution returns byte-identical rows to the
 scalar path.
+
+The numeric view is strict: a column holding a value that is neither
+``int`` nor ``float`` (a string, a ``None``) refuses to cast with
+:class:`~repro.exceptions.PredicateError`, mirroring the scalar
+algebra's raise on ordered comparison against such values.  NumPy would
+happily cast ``None`` to NaN, which silently *changes the answer* — a
+NULL-bearing batch must fail exactly where a loop of scalar
+``evaluate`` calls fails.  :meth:`matrix` keeps the lenient
+``float()``-style cast the model kernels documented (numeric strings
+convert), caching per column so predicate evaluation and model scoring
+share one conversion per column per batch.
 """
 
 from __future__ import annotations
@@ -43,12 +54,19 @@ class ColumnBatch:
     rebuilt, which is what makes short-circuit masking cheap.
     """
 
-    __slots__ = ("_rows", "_objects", "_numeric_cache", "_kinds")
+    __slots__ = (
+        "_rows",
+        "_objects",
+        "_numeric_cache",
+        "_lenient_cache",
+        "_kinds",
+    )
 
     def __init__(self, rows: Sequence[Row]) -> None:
         self._rows: Sequence[Row] = rows
         self._objects: dict[str, np.ndarray] = {}
         self._numeric_cache: dict[str, np.ndarray] = {}
+        self._lenient_cache: dict[str, np.ndarray] = {}
         self._kinds: dict[str, str] = {}
 
     def __len__(self) -> int:
@@ -85,41 +103,53 @@ class ColumnBatch:
     def kind(self, name: str) -> str:
         """Value kind of a column: ``numeric``, ``string`` or ``mixed``.
 
-        An empty batch reports ``numeric`` (there is nothing to contradict
-        it, and every mask over it is empty anyway).
+        ``numeric`` means *every* value is an ``int`` or ``float`` (bools
+        included — they are ints to the scalar algebra too); ``string``
+        means every value is a ``str``.  A column holding anything else —
+        a ``None``, a mix of strings and numbers — is ``mixed``, and any
+        attempt to use it as one uniform type fails loudly.  An empty
+        batch reports ``numeric`` (there is nothing to contradict it, and
+        every mask over it is empty anyway).
         """
         kind = self._kinds.get(name)
         if kind is None:
-            has_str = has_num = False
+            has_str = has_num = has_other = False
             for value in self.column(name):
                 if isinstance(value, str):
                     has_str = True
-                else:
+                elif isinstance(value, (int, float)):
                     has_num = True
-            if has_str:
-                kind = "mixed" if has_num else "string"
+                else:
+                    has_other = True
+            if has_other or (has_str and has_num):
+                kind = "mixed"
+            elif has_str:
+                kind = "string"
             else:
                 kind = "numeric"
             self._kinds[name] = kind
         return kind
 
     def is_numeric(self, name: str) -> bool:
-        """True when no value in the column is a string."""
+        """True when every value in the column is an ``int`` or ``float``."""
         return self.kind(name) == "numeric"
 
     def numeric(self, name: str) -> np.ndarray:
         """``float64`` view of a numeric column.
 
         Raises :class:`~repro.exceptions.PredicateError` when the column
-        holds strings — an ordered comparison against it would be a schema
-        mismatch, exactly as in the scalar algebra.
+        holds a string or a non-numeric value such as ``None`` — an
+        ordered comparison against it would raise in the scalar algebra,
+        and casting ``None`` to NaN would silently answer ``False``
+        where the scalar path raises.
         """
         cached = self._numeric_cache.get(name)
         if cached is not None:
             return cached
         if not self.is_numeric(name):
             raise PredicateError(
-                f"column {name!r} holds strings; cannot use it numerically"
+                f"column {name!r} holds non-numeric values; "
+                "cannot use it numerically"
             )
         converted = self.column(name).astype(np.float64)
         self._numeric_cache[name] = converted
@@ -130,14 +160,30 @@ class ColumnBatch:
 
         Values are converted with ``float()`` semantics (the same cast the
         scalar ``predict`` implementations apply per row), so numeric
-        strings convert and non-numeric ones raise.
+        strings convert and non-numeric ones raise.  Pure numeric columns
+        share the :meth:`numeric` cache — one conversion per column per
+        batch whether a column is touched by predicate evaluation, model
+        scoring, or both; columns needing the lenient cast (numeric
+        strings) are cached separately so repeated :meth:`matrix` calls
+        never re-convert either way.
         """
         if not names:
             return np.zeros((len(self._rows), 0), dtype=float)
         stacked = np.empty((len(self._rows), len(names)), dtype=float)
         for j, name in enumerate(names):
-            stacked[:, j] = self.column(name).astype(np.float64)
+            stacked[:, j] = self._feature_column(name)
         return stacked
+
+    def _feature_column(self, name: str) -> np.ndarray:
+        """One feature column as float64, cached (strict or lenient)."""
+        if self.is_numeric(name):
+            return self.numeric(name)
+        cached = self._lenient_cache.get(name)
+        if cached is not None:
+            return cached
+        converted = self.column(name).astype(np.float64)
+        self._lenient_cache[name] = converted
+        return converted
 
     def take(self, indices: np.ndarray) -> "ColumnBatch":
         """A sub-batch of the given row positions (in the given order).
@@ -154,6 +200,10 @@ class ColumnBatch:
         child._numeric_cache = {
             name: values[indices]
             for name, values in self._numeric_cache.items()
+        }
+        child._lenient_cache = {
+            name: values[indices]
+            for name, values in self._lenient_cache.items()
         }
         # Pure kinds carry over; a subset of a mixed column may shed one of
         # its kinds, so "mixed" verdicts are recomputed on demand.

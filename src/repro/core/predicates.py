@@ -178,10 +178,18 @@ def _lookup(row: Mapping[str, Value], column: str) -> Value:
 
 
 def _comparable(a: Value, b: Value) -> bool:
-    """Whether two values may be ordered against each other."""
-    a_num = isinstance(a, (int, float))
-    b_num = isinstance(b, (int, float))
-    return a_num == b_num
+    """Whether two values may be ordered against each other.
+
+    Numbers order against numbers, strings against strings; anything
+    else — notably ``None`` against either — is incomparable and must
+    raise :class:`~repro.exceptions.PredicateError` rather than leak a
+    ``TypeError`` out of the raw ``<`` operator.
+    """
+    if isinstance(a, (int, float)):
+        return isinstance(b, (int, float))
+    if isinstance(a, str):
+        return isinstance(b, str)
+    return False
 
 
 @dataclass(frozen=True, slots=True)

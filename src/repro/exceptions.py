@@ -56,6 +56,10 @@ class WorkloadError(ReproError):
     """Workload construction or execution failed."""
 
 
+class SegmentError(ReproError):
+    """A segment-catalog operation referenced an unknown or bad segment."""
+
+
 class ServeError(ReproError):
     """Base class for failures of the concurrent serving layer."""
 

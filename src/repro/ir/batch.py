@@ -46,6 +46,35 @@ if TYPE_CHECKING:
     from repro.core.columns import ColumnBatch
 
 
+#: Equality against a constant of magnitude below 2**53 may use the
+#: float64 column view: every int in that range casts exactly, and any
+#: int outside it casts to a float of magnitude >= 2**53, which can
+#: never equal a strictly smaller constant.  At or above the bound the
+#: cast rounds neighbouring ints together (float64(2**53 + 1) ==
+#: float64(2**53)) and equality must fall back to the exact object view.
+_EXACT_FLOAT_BOUND = 2.0**53
+
+
+def _equality_column(
+    batch: "ColumnBatch", column: str, value: Value
+) -> np.ndarray:
+    """The column view whose ``==`` matches scalar equality exactly.
+
+    The object view is always exact (Python's ``==`` between ints and
+    floats compares true values, and ``None == v`` is ``False`` just as
+    in scalar ``evaluate``); the float64 view is used only when it is
+    provably equivalent and therefore free to share with the ordered
+    kernels' cache.
+    """
+    if (
+        not isinstance(value, str)
+        and abs(value) < _EXACT_FLOAT_BOUND
+        and batch.is_numeric(column)
+    ):
+        return batch.numeric(column)
+    return batch.column(column)
+
+
 def _ordered_column(
     batch: "ColumnBatch", column: str, value: Value
 ) -> np.ndarray:
@@ -103,14 +132,8 @@ class BatchLowering(PredicateVisitor):
         if len(batch) == 0:
             return np.zeros(0, dtype=bool)
         if pred.op is Op.EQ or pred.op is Op.NE:
-            if batch.is_numeric(pred.column):
-                if isinstance(pred.value, str):
-                    # A numeric column never equals a string constant.
-                    mask = np.zeros(len(batch), dtype=bool)
-                else:
-                    mask = batch.numeric(pred.column) == pred.value
-            else:
-                mask = batch.column(pred.column) == pred.value
+            actual = _equality_column(batch, pred.column, pred.value)
+            mask = actual == pred.value
             return mask if pred.op is Op.EQ else ~mask
         actual = _ordered_column(batch, pred.column, pred.value)
         if pred.op is Op.LT:
@@ -131,15 +154,8 @@ class BatchLowering(PredicateVisitor):
         if n == 0:
             return np.zeros(0, dtype=bool)
         mask = np.zeros(n, dtype=bool)
-        if batch.is_numeric(pred.column):
-            actual = batch.numeric(pred.column)
-            for value in pred.values:
-                if not isinstance(value, str):
-                    mask |= actual == value
-        else:
-            actual = batch.column(pred.column)
-            for value in pred.values:
-                mask |= actual == value
+        for value in pred.values:
+            mask |= _equality_column(batch, pred.column, value) == value
         return mask
 
     def visit_interval(

@@ -110,6 +110,36 @@ class TraceSummary:
             stats["coalescing_factor"] = stats["batch_requests"] / calls
         return stats
 
+    def segments(self) -> dict[str, float]:
+        """Segment-matching statistics from the ``segments.*`` telemetry.
+
+        Empty when no segment matching ran.  Mask traffic comes from
+        ``segments.mask.computed`` / ``segments.mask.shared`` (the share
+        rate is the fraction of node evaluations answered from the
+        per-batch cache); request coalescing from ``segments.batch.*``.
+        """
+        stats: dict[str, float] = {}
+        for metric in ("computed", "shared"):
+            value = self.counters.get(f"segments.mask.{metric}")
+            if value is not None:
+                stats[f"masks_{metric}"] = value
+        skipped = self.counters.get("segments.constant.skipped")
+        if skipped is not None:
+            stats["constants_skipped"] = skipped
+        total = stats.get("masks_computed", 0.0) + stats.get(
+            "masks_shared", 0.0
+        )
+        if total:
+            stats["share_rate"] = stats.get("masks_shared", 0.0) / total
+        for metric in ("requests", "calls", "rows", "coalesced"):
+            value = self.counters.get(f"segments.batch.{metric}")
+            if value is not None:
+                stats[f"batch_{metric}"] = value
+        calls = stats.get("batch_calls", 0.0)
+        if calls:
+            stats["coalescing_factor"] = stats["batch_requests"] / calls
+        return stats
+
     def pass_rewrites(self) -> dict[str, dict[str, float]]:
         """Per-pass rewrite statistics from the ``ir.pass.*`` counters.
 
@@ -356,6 +386,38 @@ def format_report(summary: TraceSummary, top: int = 10) -> str:
                 f"scoring requests in {int(serving['batch_calls'])} "
                 f"predict_batch calls "
                 f"({int(serving.get('batch_rows', 0))} rows, "
+                f"coalescing factor {factor:.2f})"
+            )
+        out.append("")
+    segments = summary.segments()
+    if segments:
+        out.append("Segment matching:")
+        match_span = summary.spans.get("segments.match")
+        if match_span is not None:
+            out.append(
+                f"  matches: n={match_span.count} "
+                f"mean={match_span.mean_seconds:.6f}s "
+                f"max={match_span.max_seconds:.6f}s"
+            )
+        if "masks_computed" in segments or "masks_shared" in segments:
+            share = segments.get("share_rate", 0.0)
+            out.append(
+                f"  masks: {int(segments.get('masks_computed', 0))} "
+                f"computed, {int(segments.get('masks_shared', 0))} "
+                f"shared (share rate {share:.1%})"
+            )
+        if "constants_skipped" in segments:
+            out.append(
+                "  constant segments skipped: "
+                f"{int(segments['constants_skipped'])}"
+            )
+        if "batch_calls" in segments:
+            factor = segments.get("coalescing_factor", 1.0)
+            out.append(
+                f"  batching: {int(segments.get('batch_requests', 0))} "
+                f"match requests in {int(segments['batch_calls'])} "
+                f"evaluations "
+                f"({int(segments.get('batch_rows', 0))} rows, "
                 f"coalescing factor {factor:.2f})"
             )
         out.append("")

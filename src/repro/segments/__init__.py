@@ -1,0 +1,45 @@
+"""Segment matching: predicate-set evaluation with shared-mask caching.
+
+The paper's machinery carries *one* mining predicate per query; the
+inverse shape — streaming row batches against thousands of registered
+segment definitions (targeting, alerting, routing) — is the high-QPS
+serving workload this package owns:
+
+* :mod:`repro.segments.catalog` — :class:`SegmentCatalog`, a named,
+  versioned store of segment definitions: envelope-deriving for
+  model-backed segments, plain predicate IR for hand-written ones, all
+  simplified and interned at registration so equal subtrees across
+  segments are ``is``-identical.
+* :mod:`repro.segments.evaluator` — :class:`PredicateSetEvaluator`,
+  which answers "which segments does this batch belong to?" through a
+  per-batch shared-mask cache keyed on interned node identity: each
+  distinct subtree is evaluated once per batch and its mask reused by
+  every segment envelope containing it.
+* :mod:`repro.segments.batcher` — :class:`MatchBatcher`, opportunistic
+  cross-request coalescing of concurrent match calls (the serving
+  micro-batcher idiom applied to predicate-set evaluation).
+* :mod:`repro.segments.bench` — the ``segment-bench`` CLI artifact
+  comparing shared-mask against naive per-segment evaluation.
+
+The sharing is sound because batch lowering is bit-identical to scalar
+``evaluate`` (property-tested in ``tests/property``): a mask computed
+for a node under one segment is *the* truth vector of that node, so any
+other segment may reuse it.
+"""
+
+from repro.segments.batcher import MatchBatcher
+from repro.segments.catalog import SegmentCatalog, SegmentDef
+from repro.segments.evaluator import (
+    MaskCacheStats,
+    PredicateSetEvaluator,
+    SegmentMatches,
+)
+
+__all__ = [
+    "MaskCacheStats",
+    "MatchBatcher",
+    "PredicateSetEvaluator",
+    "SegmentCatalog",
+    "SegmentDef",
+    "SegmentMatches",
+]

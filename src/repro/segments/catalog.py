@@ -1,0 +1,248 @@
+"""Named, versioned segment definitions over the predicate IR.
+
+A *segment* is a reusable membership predicate — "high-risk customers in
+the north region", "cluster 2 of the spend model" — registered once and
+then matched against millions of streamed rows.  Two registration paths
+feed the same store:
+
+* **hand-written** segments register a predicate-IR tree directly
+  (:meth:`SegmentCatalog.register`), and
+* **model-backed** segments derive the upper envelope of one class of a
+  mining model (:meth:`SegmentCatalog.register_model` /
+  :meth:`register_envelope`), the paper's Section 3 machinery put to a
+  new use: the envelope *is* the segment definition.
+
+Every published predicate runs the staged simplification pipeline and is
+interned into the IR table at registration.  Interning is what makes the
+shared-mask evaluator work: equal subtrees across different segments
+collapse to one ``is``-identical object, so a mask computed for a node
+under one segment is reusable by every other segment containing it.
+Simplification also realizes constant envelopes (TRUE/FALSE), which the
+evaluator short-circuits without any per-row work.
+
+Re-registering a name bumps that segment's version; every mutation bumps
+the catalog-wide :attr:`SegmentCatalog.version`, the staleness token the
+serving layer keys evaluator caches and request collapsing on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, replace
+
+from repro import obs
+from repro.core.derive import derive_envelopes
+from repro.core.envelope import UpperEnvelope
+from repro.core.nb_envelope import DEFAULT_MAX_NODES
+from repro.core.predicates import (
+    FalsePredicate,
+    Predicate,
+    TruePredicate,
+    Value,
+    atom_count,
+)
+from repro.exceptions import SegmentError
+from repro.ir import fingerprint as ir_fingerprint
+from repro.ir import intern, simplify_pipeline
+from repro.mining.base import MiningModel, Row
+
+
+@dataclass(frozen=True)
+class SegmentDef:
+    """One registered segment: an interned membership predicate.
+
+    ``source`` tags how the predicate was produced (``"predicate"`` for
+    hand-written IR, ``"model"`` for a derived envelope); model-backed
+    segments also carry their model name and class label.  ``exact`` is
+    the envelope's exactness for model-backed segments (a decision-tree
+    envelope admits exactly the predicted rows) and always ``True`` for
+    hand-written ones (the predicate *is* the definition).
+    """
+
+    name: str
+    version: int
+    predicate: Predicate
+    fingerprint: str
+    source: str
+    model_name: str | None = None
+    class_label: Value | None = None
+    exact: bool = True
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the predicate simplified to TRUE or FALSE."""
+        return isinstance(self.predicate, (TruePredicate, FalsePredicate))
+
+    @property
+    def n_atoms(self) -> int:
+        """Atom count of the interned predicate (a complexity measure)."""
+        if self.is_constant:
+            return 0
+        return atom_count(self.predicate)
+
+
+class SegmentCatalog:
+    """Thread-safe register/retire store of :class:`SegmentDef` entries.
+
+    Iteration order of :meth:`definitions` is registration order (stable
+    across re-registrations of an existing name), so evaluation results
+    are deterministic.  All mutating operations serialize on one lock;
+    reads take it briefly to snapshot.
+    """
+
+    def __init__(
+        self,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        bins: int = 8,
+    ) -> None:
+        self._max_nodes = max_nodes
+        self._bins = bins
+        self._lock = threading.RLock()
+        self._defs: dict[str, SegmentDef] = {}
+        self._order: list[str] = []
+        self._version = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, name: str, predicate: Predicate) -> SegmentDef:
+        """Register (or replace) a hand-written segment predicate."""
+        published = intern(simplify_pipeline(predicate))
+        return self._publish(
+            SegmentDef(
+                name=name,
+                version=1,
+                predicate=published,
+                fingerprint=ir_fingerprint(published),
+                source="predicate",
+            )
+        )
+
+    def register_envelope(
+        self, name: str, envelope: UpperEnvelope
+    ) -> SegmentDef:
+        """Register a segment from an already-derived upper envelope."""
+        published = intern(simplify_pipeline(envelope.predicate))
+        return self._publish(
+            SegmentDef(
+                name=name,
+                version=1,
+                predicate=published,
+                fingerprint=ir_fingerprint(published),
+                source="model",
+                model_name=envelope.model_name,
+                class_label=envelope.class_label,
+                exact=envelope.exact,
+            )
+        )
+
+    def register_model(
+        self,
+        model: MiningModel,
+        labels: Iterable[Value] | None = None,
+        prefix: str | None = None,
+        rows: Sequence[Row] | None = None,
+    ) -> tuple[SegmentDef, ...]:
+        """Derive envelopes for ``model`` and register one segment per class.
+
+        Segments are named ``<prefix>/<label>`` (``prefix`` defaults to
+        the model name).  ``labels`` restricts registration to a subset
+        of classes; unknown labels raise :class:`SegmentError` rather
+        than silently registering nothing.
+        """
+        envelopes = derive_envelopes(
+            model,
+            rows=rows,
+            max_nodes=self._max_nodes,
+            bins=self._bins,
+        )
+        if labels is None:
+            chosen = sorted(envelopes, key=str)
+        else:
+            chosen = list(labels)
+            missing = [label for label in chosen if label not in envelopes]
+            if missing:
+                raise SegmentError(
+                    f"model {model.name!r} has no class {missing[0]!r}; "
+                    f"classes: {sorted(envelopes, key=str)}"
+                )
+        base = prefix if prefix is not None else model.name
+        return tuple(
+            self.register_envelope(f"{base}/{label}", envelopes[label])
+            for label in chosen
+        )
+
+    def _publish(self, definition: SegmentDef) -> SegmentDef:
+        with self._lock:
+            existing = self._defs.get(definition.name)
+            if existing is not None:
+                definition = replace(
+                    definition, version=existing.version + 1
+                )
+            else:
+                self._order.append(definition.name)
+            self._defs[definition.name] = definition
+            self._version += 1
+            obs.event(
+                "segments.register",
+                segment=definition.name,
+                version=definition.version,
+                source=definition.source,
+                atoms=definition.n_atoms,
+            )
+            return definition
+
+    # -- retirement --------------------------------------------------------
+
+    def retire(self, name: str) -> SegmentDef:
+        """Remove a segment; later lookups raise :class:`SegmentError`."""
+        with self._lock:
+            definition = self._defs.pop(name, None)
+            if definition is None:
+                raise SegmentError(
+                    f"no segment named {name!r}; registered: {self.names()}"
+                )
+            self._order.remove(name)
+            self._version += 1
+            obs.event("segments.retire", segment=name)
+            return definition
+
+    # -- lookup ------------------------------------------------------------
+
+    def definition(self, name: str) -> SegmentDef:
+        with self._lock:
+            try:
+                return self._defs[name]
+            except KeyError:
+                raise SegmentError(
+                    f"no segment named {name!r}; registered: {self.names()}"
+                ) from None
+
+    def definitions(
+        self, names: Sequence[str] | None = None
+    ) -> tuple[SegmentDef, ...]:
+        """Definitions in registration order, or the named subset in the
+        given order (unknown names raise)."""
+        with self._lock:
+            if names is None:
+                return tuple(self._defs[name] for name in self._order)
+        return tuple(self.definition(name) for name in names)
+
+    def names(self) -> list[str]:
+        """Registered segment names in registration order."""
+        with self._lock:
+            return list(self._order)
+
+    @property
+    def version(self) -> int:
+        """Catalog-wide mutation counter (collapse/evaluator-cache key)."""
+        with self._lock:
+            return self._version
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._defs)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._defs

@@ -1,0 +1,271 @@
+"""Predicate-set evaluation with a shared-mask cache.
+
+Evaluating a thousand segment envelopes naively costs a thousand
+independent tree walks per batch, even though machine-derived envelopes
+— wide ORs-of-ANDs built from a common atom vocabulary — overlap
+heavily: the same ``(age >= 30)`` atom, the same discretized-bin
+interval, often the same whole conjunct appears in hundreds of
+segments.  Because the :class:`~repro.segments.catalog.SegmentCatalog`
+interns every published predicate, that overlap is visible as *pointer
+identity*: equal subtrees are the very same object across segments.
+
+:class:`PredicateSetEvaluator` exploits it with a per-batch mask cache
+keyed on ``id(node)``: each distinct subtree (atom or connective) is
+evaluated once per batch, and every later segment containing it reuses
+the cached mask.  Connectives combine their children's full-batch masks
+with NumPy boolean ops — deliberately *without* the short-circuit
+compaction the single-predicate lowering applies, since a compacted
+mask is relative to a sub-batch and could not be shared.  The trade is
+right for predicate sets: compaction saves work within one predicate,
+sharing saves it across hundreds.
+
+Sharing is sound because batch kernels are bit-identical to scalar
+``evaluate`` (the parity contract property-tested in
+``tests/property``): a node's mask is *the* truth vector of that node
+over the batch, independent of which segment asked first.  The cache
+lives only for one :meth:`~PredicateSetEvaluator.match` call — ``id``
+keys are stable because the catalog holds every node alive, and a fresh
+batch gets a fresh cache.
+
+Counters: ``segments.mask.computed`` (distinct node evaluations) and
+``segments.mask.shared`` (cache hits, i.e. evaluations avoided), plus
+``segments.constant.skipped`` for TRUE/FALSE envelopes short-circuited
+without touching the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro import obs
+from repro.core.predicates import (
+    And,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.ir.batch import evaluate_batch
+from repro.segments.catalog import SegmentCatalog, SegmentDef
+
+if TYPE_CHECKING:
+    from collections.abc import Sequence
+
+    from repro.core.columns import ColumnBatch
+
+
+@dataclass
+class MaskCacheStats:
+    """Per-match cache traffic (also mirrored as obs counters)."""
+
+    computed: int = 0
+    shared: int = 0
+    constants_skipped: int = 0
+
+    @property
+    def share_ratio(self) -> float:
+        """Fraction of node evaluations answered from the cache."""
+        total = self.computed + self.shared
+        return self.shared / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class SegmentMatches:
+    """Result of matching one batch against a segment set.
+
+    ``names`` fixes the segment order; ``masks`` holds one full-batch
+    boolean mask per segment in that order; ``memberships`` is the
+    row-major view — for each row, the tuple of segment names the row
+    belongs to — which is what streaming consumers fan out on and what
+    the bench compares byte-for-byte across evaluation strategies.
+    """
+
+    names: tuple[str, ...]
+    masks: tuple[np.ndarray, ...]
+    memberships: tuple[tuple[str, ...], ...]
+    stats: MaskCacheStats
+    #: Catalog version of the evaluator snapshot that produced this.
+    catalog_version: int = 0
+
+    def mask(self, name: str) -> np.ndarray:
+        try:
+            return self.masks[self.names.index(name)]
+        except ValueError:
+            raise KeyError(name) from None
+
+    @property
+    def rows_matched(self) -> int:
+        """Rows belonging to at least one segment."""
+        return len([m for m in self.memberships if m])
+
+
+def _memberships(
+    names: tuple[str, ...], masks: tuple[np.ndarray, ...], n_rows: int
+) -> tuple[tuple[str, ...], ...]:
+    """Row-major membership tuples from per-segment masks."""
+    per_row: list[list[str]] = [[] for _ in range(n_rows)]
+    for name, mask in zip(names, masks):
+        for i in np.flatnonzero(mask):
+            per_row[i].append(name)
+    return tuple(tuple(m) for m in per_row)
+
+
+class PredicateSetEvaluator:
+    """Matches row batches against a snapshot of segment definitions.
+
+    The evaluator snapshots its segment set (and the catalog version) at
+    construction: matching is lock-free and deterministic, and the
+    serving layer builds a fresh evaluator when the catalog version
+    moves.  Constant segments (envelope simplified to TRUE/FALSE) are
+    answered with a shared all-ones/all-zeros mask and never touch the
+    cache.
+    """
+
+    def __init__(
+        self,
+        catalog: SegmentCatalog,
+        names: "Sequence[str] | None" = None,
+    ) -> None:
+        self._definitions: tuple[SegmentDef, ...] = catalog.definitions(
+            names
+        )
+        self.catalog_version = catalog.version
+        self.names: tuple[str, ...] = tuple(
+            d.name for d in self._definitions
+        )
+
+    @property
+    def definitions(self) -> tuple[SegmentDef, ...]:
+        return self._definitions
+
+    def __len__(self) -> int:
+        return len(self._definitions)
+
+    # -- matching ----------------------------------------------------------
+
+    def match(self, batch: "ColumnBatch") -> SegmentMatches:
+        """Which segments does each row of ``batch`` belong to?"""
+        n = len(batch)
+        stats = MaskCacheStats()
+        cache: dict[int, np.ndarray] = {}
+        with obs.span(
+            "segments.match", segments=len(self._definitions), rows=n
+        ) as span:
+            masks: list[np.ndarray] = []
+            true_mask: np.ndarray | None = None
+            false_mask: np.ndarray | None = None
+            for definition in self._definitions:
+                predicate = definition.predicate
+                if isinstance(predicate, TruePredicate):
+                    if true_mask is None:
+                        true_mask = np.ones(n, dtype=bool)
+                    stats.constants_skipped += 1
+                    masks.append(true_mask)
+                elif isinstance(predicate, FalsePredicate):
+                    if false_mask is None:
+                        false_mask = np.zeros(n, dtype=bool)
+                    stats.constants_skipped += 1
+                    masks.append(false_mask)
+                else:
+                    masks.append(
+                        self._mask(predicate, batch, cache, stats)
+                    )
+            span.update(
+                masks_computed=stats.computed,
+                masks_shared=stats.shared,
+                constants_skipped=stats.constants_skipped,
+            )
+        if stats.computed:
+            obs.add_counter("segments.mask.computed", stats.computed)
+        if stats.shared:
+            obs.add_counter("segments.mask.shared", stats.shared)
+        if stats.constants_skipped:
+            obs.add_counter(
+                "segments.constant.skipped", stats.constants_skipped
+            )
+        frozen = tuple(masks)
+        return SegmentMatches(
+            names=self.names,
+            masks=frozen,
+            memberships=_memberships(self.names, frozen, n),
+            stats=stats,
+            catalog_version=self.catalog_version,
+        )
+
+    def _mask(
+        self,
+        pred: Predicate,
+        batch: "ColumnBatch",
+        cache: dict[int, np.ndarray],
+        stats: MaskCacheStats,
+    ) -> np.ndarray:
+        """Full-batch truth mask of one node, memoized by identity."""
+        key = id(pred)
+        cached = cache.get(key)
+        if cached is not None:
+            stats.shared += 1
+            return cached
+        if isinstance(pred, And):
+            mask = self._mask(pred.operands[0], batch, cache, stats)
+            for operand in pred.operands[1:]:
+                mask = mask & self._mask(operand, batch, cache, stats)
+        elif isinstance(pred, Or):
+            mask = self._mask(pred.operands[0], batch, cache, stats)
+            for operand in pred.operands[1:]:
+                mask = mask | self._mask(operand, batch, cache, stats)
+        elif isinstance(pred, Not):
+            mask = ~self._mask(pred.operand, batch, cache, stats)
+        else:
+            # Atoms (and constants nested below a connective) evaluate
+            # through the standard batch lowering — one kernel set, no
+            # duplicated semantics.
+            mask = evaluate_batch(pred, batch)
+        stats.computed += 1
+        cache[key] = mask
+        return mask
+
+    # -- introspection -----------------------------------------------------
+
+    def sharing_stats(self) -> dict[str, int | float]:
+        """Static structure sharing across the snapshot's predicates.
+
+        ``nodes_total`` counts every node reachable from every segment
+        (with multiplicity); ``nodes_distinct`` counts ``is``-identical
+        nodes once.  Their gap is the work the shared-mask cache saves
+        per batch relative to naive per-segment evaluation.
+        """
+        seen: set[int] = set()
+        total = 0
+
+        def walk(pred: Predicate, count_distinct: bool) -> None:
+            nonlocal total
+            total += 1
+            if count_distinct:
+                if id(pred) in seen:
+                    return
+                seen.add(id(pred))
+            for child in pred.children():
+                walk(child, count_distinct)
+
+        for definition in self._definitions:
+            if definition.is_constant:
+                continue
+            walk(definition.predicate, count_distinct=True)
+        distinct = len(seen)
+        # Second pass for the with-multiplicity total (walk above stops
+        # at already-seen nodes, undercounting shared subtrees).
+        total = 0
+        for definition in self._definitions:
+            if definition.is_constant:
+                continue
+            walk(definition.predicate, count_distinct=False)
+        return {
+            "segments": len(self._definitions),
+            "nodes_total": total,
+            "nodes_distinct": distinct,
+            "sharing_factor": (total / distinct) if distinct else 1.0,
+        }

@@ -23,7 +23,11 @@ PRs built:
 * :mod:`repro.serve.service` — :class:`QueryService`: the worker pool
   tying it all together, with one shared
   :class:`~repro.sql.plancache.PlanCache`, in-flight request collapsing,
-  and a drain/shutdown protocol.
+  and a drain/shutdown protocol.  Given a
+  :class:`~repro.segments.catalog.SegmentCatalog`, it also serves
+  ``match_segments`` — the segment-matching workload of
+  :mod:`repro.segments` — through the same admission controller,
+  collapsing, and a dedicated match batcher.
 * :mod:`repro.serve.bench` — the ``serve-bench`` CLI artifact
   (``BENCH_serving.json``).
 
@@ -36,7 +40,12 @@ from repro.serve.admission import AdmissionController, Deadline
 from repro.serve.batcher import BatchingCatalog, MicroBatcher
 from repro.serve.pool import ConnectionPool
 from repro.serve.registry import ModelRegistry, ModelVersion, model_fingerprint
-from repro.serve.service import QueryService, ServeResult, ServiceStats
+from repro.serve.service import (
+    QueryService,
+    SegmentMatchResult,
+    ServeResult,
+    ServiceStats,
+)
 
 __all__ = [
     "AdmissionController",
@@ -47,6 +56,7 @@ __all__ = [
     "ModelRegistry",
     "ModelVersion",
     "QueryService",
+    "SegmentMatchResult",
     "ServeResult",
     "ServiceStats",
     "model_fingerprint",

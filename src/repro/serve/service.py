@@ -43,14 +43,21 @@ from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
 
+from collections.abc import Sequence
+
 from repro import obs
 from repro.core.optimizer import MiningQuery
 from repro.exceptions import (
     QueueFullError,
     RequestTimeoutError,
+    ServeError,
     ServiceStoppedError,
 )
 from repro.ir import fingerprint as ir_fingerprint
+from repro.mining.base import Row
+from repro.segments.batcher import MatchBatcher
+from repro.segments.catalog import SegmentCatalog
+from repro.segments.evaluator import MaskCacheStats
 from repro.serve.admission import AdmissionController, Deadline
 from repro.serve.batcher import BatchingCatalog, MicroBatcher
 from repro.serve.pool import ConnectionPool
@@ -75,6 +82,32 @@ class ServeResult:
     @property
     def rows_returned(self) -> int:
         return len(self.rows)
+
+
+@dataclass(frozen=True)
+class SegmentMatchResult:
+    """One served segment-match request: memberships plus timings.
+
+    ``memberships`` is the row-major answer (per input row, the tuple of
+    matching segment names); ``coalesced`` reports whether the request
+    shared its evaluation with concurrent ones through the match
+    batcher, ``collapsed`` whether it piggybacked on an identical
+    in-flight request without evaluating at all.
+    """
+
+    memberships: tuple[tuple[str, ...], ...]
+    segment_names: tuple[str, ...]
+    catalog_version: int
+    queue_seconds: float
+    match_seconds: float
+    collapsed: bool
+    coalesced: bool
+    mask_stats: MaskCacheStats
+
+    @property
+    def rows_matched(self) -> int:
+        """Rows belonging to at least one segment."""
+        return len([m for m in self.memberships if m])
 
 
 class ServiceStats:
@@ -110,7 +143,11 @@ class ServiceStats:
 
 
 class _Request:
-    """One admitted request travelling through the queue."""
+    """One admitted request travelling through the queue.
+
+    ``query`` is set for prediction-join requests; segment-match
+    requests carry ``rows``/``names`` instead (``query is None``).
+    """
 
     __slots__ = (
         "query",
@@ -119,15 +156,19 @@ class _Request:
         "deadline",
         "enqueued_at",
         "key",
+        "rows",
+        "names",
     )
 
     def __init__(
         self,
-        query: MiningQuery,
+        query: "MiningQuery | None",
         optimize: bool,
-        future: "Future[ServeResult]",
+        future: "Future",
         deadline: Deadline | None,
         key: tuple | None,
+        rows: "Sequence[Row] | None" = None,
+        names: "tuple[str, ...] | None" = None,
     ) -> None:
         self.query = query
         self.optimize = optimize
@@ -135,6 +176,8 @@ class _Request:
         self.deadline = deadline
         self.enqueued_at = time.perf_counter()
         self.key = key
+        self.rows = rows
+        self.names = names
 
 
 _SENTINEL = object()
@@ -163,10 +206,17 @@ class QueryService:
         stats_sample: int = 10_000,
         vectorized: bool = True,
         batch_size: int = 2048,
+        segment_catalog: "SegmentCatalog | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._registry = registry
+        self._segments = segment_catalog
+        self._match_batcher: MatchBatcher | None = (
+            MatchBatcher(segment_catalog)
+            if segment_catalog is not None
+            else None
+        )
         self._pool = ConnectionPool(db, read_only=True)
         self._controller = AdmissionController(
             max_pending, default_timeout=default_timeout
@@ -218,6 +268,16 @@ class QueryService:
     def batcher(self) -> MicroBatcher | None:
         """The shared micro-batcher (``None`` when batching is off)."""
         return self._batcher
+
+    @property
+    def segments(self) -> "SegmentCatalog | None":
+        """The live segment catalog (``None`` without one)."""
+        return self._segments
+
+    @property
+    def match_batcher(self) -> "MatchBatcher | None":
+        """The segment match batcher (``None`` without a catalog)."""
+        return self._match_batcher
 
     @property
     def queue_depth(self) -> int:
@@ -293,6 +353,76 @@ class QueryService:
                 f"request exceeded its {deadline.timeout:.3f}s deadline"
             ) from None
 
+    def submit_match(
+        self,
+        rows: "Sequence[Row]",
+        segments: "Sequence[str] | None" = None,
+        timeout: float | None = None,
+    ) -> "Future[SegmentMatchResult]":
+        """Admit one segment-match request; returns its future.
+
+        The request rides the same admission controller, queue, and
+        worker pool as prediction joins, so matching traffic and query
+        traffic share one backpressure budget.  Identical concurrent
+        requests (same catalog version, same segment subset, same row
+        content) collapse onto the in-flight evaluation; distinct
+        concurrent requests still coalesce inside the match batcher.
+        """
+        if self._match_batcher is None:
+            raise ServeError(
+                "service was constructed without a segment catalog; "
+                "pass segment_catalog= to enable match_segments"
+            )
+        if self._draining or self._stopped:
+            obs.add_counter("serve.request.rejected_stopped")
+            raise ServiceStoppedError("service is draining or stopped")
+        self.stats.increment("submitted")
+        obs.add_counter("serve.request.submitted")
+        names = tuple(segments) if segments is not None else None
+        key = self._match_key(rows, names)
+        if key is not None:
+            with self._lock:
+                primary = self._inflight.get(key)
+                if primary is not None:
+                    return self._attach(primary)
+        try:
+            self._controller.admit()
+        except QueueFullError:
+            self.stats.increment("shed")
+            raise
+        future: "Future[SegmentMatchResult]" = Future()
+        request = _Request(
+            None,
+            False,
+            future,
+            self._controller.deadline_for(timeout),
+            key,
+            rows=rows,
+            names=names,
+        )
+        self._queue.put(request)
+        return future
+
+    def match_segments(
+        self,
+        rows: "Sequence[Row]",
+        segments: "Sequence[str] | None" = None,
+        timeout: float | None = None,
+    ) -> SegmentMatchResult:
+        """Synchronous :meth:`submit_match`; enforces the deadline."""
+        deadline = self._controller.deadline_for(timeout)
+        future = self.submit_match(rows, segments=segments, timeout=timeout)
+        try:
+            return future.result(
+                timeout=None if deadline is None else deadline.remaining()
+            )
+        except FutureTimeoutError:
+            self.stats.increment("timeouts")
+            obs.add_counter("serve.request.timeout")
+            raise RequestTimeoutError(
+                f"request exceeded its {deadline.timeout:.3f}s deadline"
+            ) from None
+
     def drain(self, timeout: float | None = None) -> bool:
         """Stop admitting and wait for every admitted request to finish.
 
@@ -337,6 +467,8 @@ class QueryService:
             worker.join()
         if self._batcher is not None:
             self._batcher.stop()
+        if self._match_batcher is not None:
+            self._match_batcher.stop()
         self._pool.close_all()
         obs.event("serve.shutdown", clean=clean)
         return clean
@@ -375,6 +507,26 @@ class QueryService:
             tuple(p.describe() for p in query.mining_predicates),
             optimize,
             versions,
+        )
+
+    def _match_key(
+        self, rows: "Sequence[Row]", names: "tuple[str, ...] | None"
+    ) -> tuple | None:
+        """Identity under which concurrent match requests share a result.
+
+        Keyed on exact row *content* (not object identity or a hash), so
+        a collapse can never hand one request another's memberships; the
+        catalog version pins the segment definitions the answer is
+        about.  ``None`` disables collapsing for this request.
+        """
+        if not self._collapsing:
+            return None
+        assert self._segments is not None
+        return (
+            "segments",
+            self._segments.version,
+            names,
+            tuple(tuple(sorted(row.items())) for row in rows),
         )
 
     def _attach(
@@ -455,27 +607,32 @@ class QueryService:
                         )
                         return
             try:
-                with obs.span(
-                    "serve.request", table=request.query.table
-                ) as span:
-                    started = time.perf_counter()
-                    report = executor.execute(
-                        request.query, optimize_query=request.optimize
+                if request.query is None:
+                    result: object = self._execute_match(
+                        request, queue_seconds
                     )
-                    execute_seconds = time.perf_counter() - started
-                    span.update(
-                        queue_seconds=queue_seconds,
-                        rows_returned=report.rows_returned,
+                else:
+                    with obs.span(
+                        "serve.request", table=request.query.table
+                    ) as span:
+                        started = time.perf_counter()
+                        report = executor.execute(
+                            request.query, optimize_query=request.optimize
+                        )
+                        execute_seconds = time.perf_counter() - started
+                        span.update(
+                            queue_seconds=queue_seconds,
+                            rows_returned=report.rows_returned,
+                            strategy=report.strategy,
+                        )
+                    result = ServeResult(
+                        rows=report.rows,
                         strategy=report.strategy,
+                        queue_seconds=queue_seconds,
+                        execute_seconds=execute_seconds,
+                        collapsed=False,
+                        report=report,
                     )
-                result = ServeResult(
-                    rows=report.rows,
-                    strategy=report.strategy,
-                    queue_seconds=queue_seconds,
-                    execute_seconds=execute_seconds,
-                    collapsed=False,
-                    report=report,
-                )
                 self.stats.increment("completed")
                 obs.add_counter("serve.request.completed")
                 request.future.set_result(result)
@@ -492,6 +649,37 @@ class QueryService:
             self._controller.release()
             with self._done:
                 self._done.notify_all()
+
+    def _execute_match(
+        self, request: _Request, queue_seconds: float
+    ) -> SegmentMatchResult:
+        """Run one segment-match request through the match batcher."""
+        assert self._match_batcher is not None
+        assert request.rows is not None
+        with obs.span(
+            "serve.match", rows=len(request.rows)
+        ) as span:
+            started = time.perf_counter()
+            matches, coalesced = self._match_batcher.match(
+                request.rows, request.names
+            )
+            match_seconds = time.perf_counter() - started
+            span.update(
+                queue_seconds=queue_seconds,
+                segments=len(matches.names),
+                rows_matched=matches.rows_matched,
+                coalesced=coalesced,
+            )
+        return SegmentMatchResult(
+            memberships=matches.memberships,
+            segment_names=matches.names,
+            catalog_version=matches.catalog_version,
+            queue_seconds=queue_seconds,
+            match_seconds=match_seconds,
+            collapsed=False,
+            coalesced=coalesced,
+            mask_stats=matches.stats,
+        )
 
     def _fail_queued(self) -> None:
         """Fail every still-queued request during a non-drained shutdown."""

@@ -145,10 +145,17 @@ def build_column_stats(name: str, values: Sequence[Value]) -> ColumnStats:
         ordered = sorted(float(v) for v in numeric)
         if len(ordered) > _BUCKETS:
             step = len(ordered) / _BUCKETS
-            boundaries = tuple(
+            picked = [
                 ordered[min(int(i * step), len(ordered) - 1)]
                 for i in range(_BUCKETS)
-            )
+            ]
+            # Equi-depth picks land strictly below the sample maximum, so
+            # without this, `col >= max(sample)` bisects past every
+            # boundary and estimates 0.0 even when many rows hold the
+            # maximum — misordering operands sorted by selectivity.
+            if picked[-1] != ordered[-1]:
+                picked.append(ordered[-1])
+            boundaries = tuple(picked)
         else:
             boundaries = tuple(ordered)
     return ColumnStats(

@@ -94,6 +94,33 @@ class TestMatrix:
         assert ColumnBatch(ROWS).matrix([]).shape == (4, 0)
         assert ColumnBatch([]).matrix([]).shape == (0, 0)
 
+    def test_matrix_reuses_numeric_cache(self):
+        # Regression: matrix() ran a fresh astype per call, bypassing
+        # the float64 cache numeric() maintains.
+        batch = ColumnBatch(ROWS)
+        first = batch.numeric("age")
+        stacked = batch.matrix(["age"])
+        assert list(stacked[:, 0]) == list(first)
+        assert batch.matrix(["age"])[0, 0] == first[0]
+        # The per-column source array is the cached one, not a copy.
+        assert batch._feature_column("age") is first
+
+    def test_matrix_caches_lenient_conversions(self):
+        # Numeric strings take the lenient float() path; repeated
+        # matrix() calls must reuse that conversion, not redo it.
+        rows = [{"n": "1.5"}, {"n": "2.5"}]
+        batch = ColumnBatch(rows)
+        first = batch._feature_column("n")
+        assert list(first) == [1.5, 2.5]
+        assert batch._feature_column("n") is first
+
+    def test_take_carries_lenient_cache(self):
+        rows = [{"n": "1.5"}, {"n": "2.5"}, {"n": "3.5"}]
+        batch = ColumnBatch(rows)
+        batch.matrix(["n"])
+        child = batch.take(np.array([2, 0]))
+        assert list(child._feature_column("n")) == [3.5, 1.5]
+
 
 class TestTakeAndSelect:
     def test_take_subsets_in_given_order(self):

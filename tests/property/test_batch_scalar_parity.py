@@ -1,0 +1,260 @@
+"""Property suite: ``evaluate_batch`` ≡ row-wise ``evaluate``, raises included.
+
+The scalar ``Predicate.evaluate`` is the semantics; the batch lowering
+is only allowed to be faster.  That contract has two halves this suite
+pins down over adversarial payloads (None, bools, integers beyond the
+float64-exact bound 2**53, mixed-type columns):
+
+* **value parity** — when every row evaluates cleanly, the batch mask
+  equals the scalar loop element-wise, and
+* **raise parity** — when the scalar loop raises
+  :class:`~repro.exceptions.PredicateError` for some row (a None in an
+  ordered comparison, a string compared to a number), the batch call
+  raises too, instead of inventing an answer via NaN casts.
+
+Raise parity is stated *without* an estimator: reordering connectives
+by selectivity legitimately changes which operand sees a poisoned row
+first (scalar short-circuit would do the same under that order).  With
+an estimator, value parity is asserted whenever no atom raises on any
+row, where ordering provably cannot matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.columns import ColumnBatch
+from repro.core.predicates import (
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Predicate,
+    conjunction,
+    disjunction,
+)
+from repro.exceptions import PredicateError
+
+COLUMNS = ("a", "b", "c")
+
+#: Constants spanning the float64-exact integer bound: equality at or
+#: above 2**53 must not be answered through a lossy float cast.
+BOUNDARY = 2**53
+INT_CONSTANTS = (
+    0,
+    1,
+    7,
+    BOUNDARY - 1,
+    BOUNDARY,
+    BOUNDARY + 1,
+    -BOUNDARY,
+    -(BOUNDARY + 1),
+)
+
+
+def cell_values():
+    """One row cell: the full zoo the scalar algebra accepts."""
+    return st.one_of(
+        st.none(),
+        st.booleans(),
+        st.sampled_from(INT_CONSTANTS),
+        st.integers(-10, 10),
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.sampled_from(("north", "south", "x")),
+    )
+
+
+@st.composite
+def rows(draw):
+    return {c: draw(cell_values()) for c in COLUMNS}
+
+
+@st.composite
+def atoms(draw) -> Predicate:
+    column = draw(st.sampled_from(COLUMNS))
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        op = draw(st.sampled_from(list(Op)))
+        value = draw(
+            st.one_of(
+                st.sampled_from(INT_CONSTANTS),
+                st.integers(-10, 10),
+                st.floats(-100, 100, allow_nan=False),
+                st.sampled_from(("north", "south")),
+            )
+        )
+        return Comparison(column, op, value)
+    if kind == 1:
+        values = draw(
+            st.lists(
+                st.one_of(
+                    st.sampled_from(INT_CONSTANTS),
+                    st.integers(-10, 10),
+                    st.sampled_from(("north", "x")),
+                ),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            )
+        )
+        return InSet(column, tuple(values))
+    low = draw(st.integers(-5, 8))
+    high = draw(st.integers(low, 12))
+    return Interval(
+        column,
+        low,
+        high,
+        low_closed=draw(st.booleans()),
+        high_closed=draw(st.booleans()),
+    )
+
+
+def predicates():
+    return st.recursive(
+        atoms(),
+        lambda children: st.one_of(
+            st.builds(
+                lambda xs: conjunction(xs),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(
+                lambda xs: disjunction(xs),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(Not, children),
+        ),
+        max_leaves=6,
+    )
+
+
+def scalar_oracle(pred: Predicate, sample: list[dict]):
+    """``(values, None)`` on clean evaluation, ``(None, error)`` on raise."""
+    try:
+        return [pred.evaluate(row) for row in sample], None
+    except PredicateError as error:
+        return None, error
+
+
+def _all_atoms(pred: Predicate):
+    children = pred.children()
+    if not children:
+        yield pred
+        return
+    for child in children:
+        yield from _all_atoms(child)
+
+
+def _every_atom_clean(pred: Predicate, sample: list[dict]) -> bool:
+    try:
+        for atom in _all_atoms(pred):
+            for row in sample:
+                atom.evaluate(row)
+    except PredicateError:
+        return False
+    return True
+
+
+def _fake_estimator(pred: Predicate) -> float:
+    return (hash(pred) % 89) / 89.0
+
+
+class TestBatchScalarParity:
+    @given(predicates(), st.lists(rows(), min_size=0, max_size=10))
+    @settings(max_examples=200, deadline=None)
+    def test_values_and_raises_match_scalar(self, pred, sample):
+        expected, error = scalar_oracle(pred, sample)
+        batch = ColumnBatch(sample)
+        if error is not None:
+            with pytest.raises(PredicateError):
+                pred.evaluate_batch(batch)
+        else:
+            assert list(pred.evaluate_batch(batch)) == expected
+
+    @given(predicates(), st.lists(rows(), min_size=0, max_size=10))
+    @settings(max_examples=150, deadline=None)
+    def test_estimator_reordering_matches_on_clean_rows(
+        self, pred, sample
+    ):
+        if not _every_atom_clean(pred, sample):
+            # Reordering may legally change which operand raises first;
+            # raise parity is only stated for the unordered contract.
+            return
+        expected = [pred.evaluate(row) for row in sample]
+        mask = pred.evaluate_batch(
+            ColumnBatch(sample), estimator=_fake_estimator
+        )
+        assert list(mask) == expected
+
+    @given(st.lists(rows(), min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_big_integer_equality_is_exact(self, sample):
+        # The regression the float64 fast path must never reintroduce:
+        # EQ/NE/IN against constants at or beyond 2**53 decided through
+        # a lossy float cast.
+        for value in (BOUNDARY, BOUNDARY + 1, -(BOUNDARY + 1)):
+            for pred in (
+                Comparison("a", Op.EQ, value),
+                Comparison("a", Op.NE, value),
+                InSet("a", (value,)),
+            ):
+                expected, error = scalar_oracle(pred, sample)
+                assert error is None
+                got = list(pred.evaluate_batch(ColumnBatch(sample)))
+                assert got == expected, (pred, sample)
+
+    def test_regression_eq_at_exact_float_bound(self):
+        # 2**53 and 2**53 + 1 collapse to the same float64; equality
+        # decided on the float view returned [True, True].
+        sample = [{"a": BOUNDARY}, {"a": BOUNDARY + 1}]
+        pred = Comparison("a", Op.EQ, BOUNDARY)
+        assert list(pred.evaluate_batch(ColumnBatch(sample))) == [
+            True,
+            False,
+        ]
+        assert list(
+            Comparison("a", Op.NE, BOUNDARY).evaluate_batch(
+                ColumnBatch(sample)
+            )
+        ) == [False, True]
+        assert list(
+            InSet("a", (BOUNDARY,)).evaluate_batch(ColumnBatch(sample))
+        ) == [True, False]
+
+    def test_regression_none_ordered_comparison_raises_like_scalar(self):
+        # Scalar raises PredicateError on `None < 5`; the batch path
+        # NaN-cast the column and returned [True, False] instead.
+        sample = [{"a": 1}, {"a": None}]
+        pred = Comparison("a", Op.LT, 5)
+        with pytest.raises(PredicateError):
+            [pred.evaluate(row) for row in sample]
+        with pytest.raises(PredicateError):
+            pred.evaluate_batch(ColumnBatch(sample))
+
+    def test_regression_none_vs_string_raises_typed_error(self):
+        # Found by the property suite: `None >= "north"` leaked a raw
+        # TypeError out of the scalar path (``_comparable`` only checked
+        # numericness parity, and None vs str looked "comparable"),
+        # while the batch path raised PredicateError.  Both must raise
+        # the typed error.
+        sample = [{"a": None}]
+        for op in (Op.LT, Op.LE, Op.GT, Op.GE):
+            pred = Comparison("a", op, "north")
+            with pytest.raises(PredicateError):
+                pred.evaluate(sample[0])
+            with pytest.raises(PredicateError):
+                pred.evaluate_batch(ColumnBatch(sample))
+
+    def test_none_equality_matches_scalar_without_raising(self):
+        # EQ/NE over a None-bearing column is *not* an error in the
+        # scalar algebra — None simply compares unequal to numbers.
+        sample = [{"a": 1}, {"a": None}]
+        for pred in (
+            Comparison("a", Op.EQ, 1),
+            Comparison("a", Op.NE, 1),
+            InSet("a", (1, 2)),
+        ):
+            expected = [pred.evaluate(row) for row in sample]
+            got = list(pred.evaluate_batch(ColumnBatch(sample)))
+            assert got == expected

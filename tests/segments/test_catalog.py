@@ -1,0 +1,170 @@
+"""SegmentCatalog: registration, versioning, interning, retirement."""
+
+import pytest
+
+from repro.core.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Op,
+    Or,
+    TruePredicate,
+)
+from repro.exceptions import SegmentError
+from repro.mining.decision_tree import DecisionTreeLearner
+from repro.segments import SegmentCatalog
+
+from tests.conftest import CUSTOMER_FEATURES, make_customer_rows
+
+
+def adult():
+    return Comparison("age", Op.GE, 18)
+
+
+def rich():
+    return Comparison("income", Op.GE, 50_000.0)
+
+
+class TestRegistration:
+    def test_register_returns_interned_definition(self):
+        catalog = SegmentCatalog()
+        definition = catalog.register("adults", adult())
+        assert definition.name == "adults"
+        assert definition.version == 1
+        assert definition.source == "predicate"
+        assert definition.exact is True
+        assert definition.n_atoms == 1
+        assert "adults" in catalog
+        assert len(catalog) == 1
+
+    def test_reregistration_bumps_segment_version(self):
+        catalog = SegmentCatalog()
+        catalog.register("s", adult())
+        replaced = catalog.register("s", rich())
+        assert replaced.version == 2
+        assert catalog.definition("s").predicate is replaced.predicate
+        assert len(catalog) == 1
+
+    def test_catalog_version_bumps_on_every_mutation(self):
+        catalog = SegmentCatalog()
+        assert catalog.version == 0
+        catalog.register("a", adult())
+        catalog.register("b", rich())
+        assert catalog.version == 2
+        catalog.retire("a")
+        assert catalog.version == 3
+
+    def test_equal_subtrees_across_segments_are_identical(self):
+        # The property the shared-mask evaluator relies on: interning at
+        # registration makes structurally equal subtrees the same object
+        # even when callers build them independently.
+        catalog = SegmentCatalog()
+        first = catalog.register(
+            "one", And((Comparison("age", Op.GE, 18), rich()))
+        )
+        second = catalog.register(
+            "two", Or((Comparison("age", Op.GE, 18), adult()))
+        )
+        atoms_first = {repr(p): p for p in first.predicate.children()}
+        if not atoms_first:  # single-atom simplification
+            atoms_first = {repr(first.predicate): first.predicate}
+        shared = [
+            child
+            for child in (
+                second.predicate.children() or (second.predicate,)
+            )
+            if repr(child) in atoms_first
+        ]
+        assert shared, "expected an atom shared between the two segments"
+        for child in shared:
+            assert child is atoms_first[repr(child)]
+
+    def test_constant_predicates_are_flagged(self):
+        catalog = SegmentCatalog()
+        everyone = catalog.register("everyone", TruePredicate())
+        nobody = catalog.register("nobody", FalsePredicate())
+        assert everyone.is_constant and nobody.is_constant
+        assert everyone.n_atoms == 0
+
+    def test_simplification_realizes_constants(self):
+        # A contradictory conjunction simplifies to FALSE at registration.
+        catalog = SegmentCatalog()
+        contradiction = And(
+            (Comparison("age", Op.LT, 10), Comparison("age", Op.GE, 20))
+        )
+        definition = catalog.register("impossible", contradiction)
+        assert definition.is_constant
+        assert isinstance(definition.predicate, FalsePredicate)
+
+
+class TestLookup:
+    def test_definitions_in_registration_order(self):
+        catalog = SegmentCatalog()
+        catalog.register("b", adult())
+        catalog.register("a", rich())
+        catalog.register("b", rich())  # re-register keeps slot
+        assert [d.name for d in catalog.definitions()] == ["b", "a"]
+        assert catalog.names() == ["b", "a"]
+
+    def test_named_subset_preserves_given_order(self):
+        catalog = SegmentCatalog()
+        catalog.register("a", adult())
+        catalog.register("b", rich())
+        subset = catalog.definitions(["b", "a"])
+        assert [d.name for d in subset] == ["b", "a"]
+
+    def test_unknown_name_raises_segment_error(self):
+        catalog = SegmentCatalog()
+        with pytest.raises(SegmentError, match="no segment named"):
+            catalog.definition("ghost")
+        with pytest.raises(SegmentError):
+            catalog.definitions(["ghost"])
+
+    def test_retire_unknown_raises(self):
+        catalog = SegmentCatalog()
+        with pytest.raises(SegmentError):
+            catalog.retire("ghost")
+
+
+class TestModelBacked:
+    @pytest.fixture(scope="class")
+    def tree(self):
+        rows = make_customer_rows(250, seed=5)
+        return DecisionTreeLearner(
+            CUSTOMER_FEATURES, "risk", max_depth=4, name="risk_tree"
+        ).fit(rows)
+
+    def test_register_model_one_segment_per_class(self, tree):
+        catalog = SegmentCatalog()
+        definitions = catalog.register_model(tree)
+        assert {d.name for d in definitions} == {
+            f"risk_tree/{label}" for label in tree.class_labels
+        }
+        for definition in definitions:
+            assert definition.source == "model"
+            assert definition.model_name == "risk_tree"
+            assert definition.class_label in tree.class_labels
+
+    def test_register_model_prefix_and_label_subset(self, tree):
+        catalog = SegmentCatalog()
+        label = sorted(tree.class_labels, key=str)[0]
+        definitions = catalog.register_model(
+            tree, labels=[label], prefix="risk"
+        )
+        assert [d.name for d in definitions] == [f"risk/{label}"]
+
+    def test_register_model_unknown_label_raises(self, tree):
+        catalog = SegmentCatalog()
+        with pytest.raises(SegmentError, match="has no class"):
+            catalog.register_model(tree, labels=["no-such-class"])
+
+    def test_envelope_segments_admit_all_predicted_rows(self, tree):
+        # Soundness carried over from envelope derivation: every row the
+        # model predicts as class c satisfies the class-c segment.
+        catalog = SegmentCatalog()
+        catalog.register_model(tree)
+        rows = make_customer_rows(120, seed=9)
+        for row in rows:
+            label = tree.predict(row)
+            definition = catalog.definition(f"risk_tree/{label}")
+            assert definition.predicate.evaluate(row)

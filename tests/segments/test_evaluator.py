@@ -1,0 +1,159 @@
+"""PredicateSetEvaluator: shared masks equal naive and scalar answers."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.columns import ColumnBatch
+from repro.core.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+    TruePredicate,
+)
+from repro.ir.batch import evaluate_batch
+from repro.segments import PredicateSetEvaluator, SegmentCatalog
+
+from tests.conftest import make_customer_rows
+
+
+@pytest.fixture()
+def catalog():
+    age = Comparison("age", Op.GE, 40)
+    income = Comparison("income", Op.GE, 60_000.0)
+    north = Comparison("region", Op.EQ, "north")
+    women = Comparison("gender", Op.EQ, "female")
+    cat = SegmentCatalog()
+    cat.register("older", age)
+    cat.register("affluent", income)
+    cat.register("older-affluent", And((age, income)))
+    cat.register("target", Or((And((age, north)), And((income, women)))))
+    cat.register("not-north", Not(north))
+    cat.register("coastal", InSet("region", ("east", "west")))
+    cat.register("mid-age", Interval("age", 30, 50, True, False))
+    cat.register("everyone", TruePredicate())
+    cat.register("nobody", FalsePredicate())
+    return cat
+
+
+@pytest.fixture()
+def batch():
+    return ColumnBatch(make_customer_rows(200, seed=13))
+
+
+class TestCorrectness:
+    def test_matches_naive_batch_and_scalar(self, catalog, batch):
+        evaluator = PredicateSetEvaluator(catalog)
+        result = evaluator.match(batch)
+        rows = batch.rows()
+        for definition, mask in zip(evaluator.definitions, result.masks):
+            scalar = [definition.predicate.evaluate(row) for row in rows]
+            assert list(mask) == scalar, definition.name
+            if not definition.is_constant:
+                naive = evaluate_batch(definition.predicate, batch)
+                assert np.array_equal(mask, naive), definition.name
+
+    def test_memberships_are_row_major_names(self, catalog, batch):
+        evaluator = PredicateSetEvaluator(catalog)
+        result = evaluator.match(batch)
+        assert len(result.memberships) == len(batch)
+        for row, members in zip(batch.rows(), result.memberships):
+            expected = tuple(
+                d.name
+                for d in evaluator.definitions
+                if d.predicate.evaluate(row)
+            )
+            assert members == expected
+
+    def test_empty_batch(self, catalog):
+        evaluator = PredicateSetEvaluator(catalog)
+        result = evaluator.match(ColumnBatch([]))
+        assert result.memberships == ()
+        assert all(mask.shape == (0,) for mask in result.masks)
+
+    def test_named_subset_and_order(self, catalog, batch):
+        evaluator = PredicateSetEvaluator(
+            catalog, ["target", "older"]
+        )
+        result = evaluator.match(batch)
+        assert result.names == ("target", "older")
+        full = PredicateSetEvaluator(catalog).match(batch)
+        assert np.array_equal(result.mask("older"), full.mask("older"))
+
+    def test_mask_accessor_unknown_name(self, catalog, batch):
+        result = PredicateSetEvaluator(catalog).match(batch)
+        with pytest.raises(KeyError):
+            result.mask("ghost")
+
+
+class TestSharing:
+    def test_distinct_nodes_evaluated_once(self, catalog, batch):
+        evaluator = PredicateSetEvaluator(catalog)
+        result = evaluator.match(batch)
+        structure = evaluator.sharing_stats()
+        # Every distinct node is computed exactly once per batch...
+        assert result.stats.computed == structure["nodes_distinct"]
+        # ...and every additional occurrence is a cache hit.
+        assert (
+            result.stats.computed + result.stats.shared
+            == structure["nodes_total"]
+        )
+        assert result.stats.shared > 0, "fixture must overlap subtrees"
+
+    def test_constant_segments_never_touch_the_cache(self, catalog, batch):
+        result = PredicateSetEvaluator(catalog).match(batch)
+        assert result.stats.constants_skipped == 2
+        assert np.all(result.mask("everyone"))
+        assert not np.any(result.mask("nobody"))
+
+    def test_share_ratio(self):
+        cat = SegmentCatalog()
+        atom = Comparison("age", Op.GE, 30)
+        for index in range(4):
+            cat.register(f"s{index}", atom)
+        result = PredicateSetEvaluator(cat).match(
+            ColumnBatch([{"age": 35}])
+        )
+        assert result.stats.computed == 1
+        assert result.stats.shared == 3
+        assert result.stats.share_ratio == pytest.approx(0.75)
+
+    def test_counters_emitted(self, catalog, batch, tmp_path):
+        obs.configure(str(tmp_path))
+        try:
+            PredicateSetEvaluator(catalog).match(batch)
+            obs.flush()
+        finally:
+            obs.configure(None)
+        summary = obs.summarize(str(tmp_path), strict=True)
+        assert summary.counters["segments.mask.computed"] > 0
+        assert summary.counters["segments.mask.shared"] > 0
+        assert summary.counters["segments.constant.skipped"] == 2
+        assert "segments.match" in summary.spans
+        segments = summary.segments()
+        assert 0.0 < segments["share_rate"] < 1.0
+
+
+class TestSnapshots:
+    def test_snapshot_survives_catalog_mutation(self, catalog, batch):
+        evaluator = PredicateSetEvaluator(catalog)
+        before = evaluator.match(batch)
+        catalog.register("older", Comparison("age", Op.GE, 70))
+        after = evaluator.match(batch)
+        assert np.array_equal(
+            before.mask("older"), after.mask("older")
+        ), "evaluator must keep matching its construction-time snapshot"
+        fresh = PredicateSetEvaluator(catalog).match(batch)
+        assert not np.array_equal(
+            before.mask("older"), fresh.mask("older")
+        )
+
+    def test_result_carries_catalog_version(self, catalog, batch):
+        version = catalog.version
+        result = PredicateSetEvaluator(catalog).match(batch)
+        assert result.catalog_version == version

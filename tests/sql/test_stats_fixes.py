@@ -8,7 +8,9 @@ Three distinct defects, each with a test that fails on the old code:
 * ``range_selectivity`` silently treated a non-numeric bound on a numeric
   column as unbounded;
 * ``build_column_stats`` admitted ``bool`` values into numeric histogram
-  boundaries (``isinstance(True, int)`` is true in Python).
+  boundaries (``isinstance(True, int)`` is true in Python);
+* the equi-depth histogram never included the sample maximum, so
+  ``col >= max(sample)`` estimated 0.0 despite matching rows.
 """
 
 import pytest
@@ -147,6 +149,41 @@ class TestRangeSelectivity:
         assert estimate_selectivity(stats, pred) == _GENERIC_SELECTIVITY
 
 
+class TestHistogramMaximum:
+    # 128 values force the sampled (equi-depth) branch; every pick used
+    # to land strictly below the maximum.
+
+    @pytest.fixture
+    def skewed_stats(self):
+        # Heavy mass at the maximum: 40 of 128 rows hold 99.
+        values = list(range(88)) + [99] * 40
+        return build_column_stats("n", values)
+
+    def test_boundaries_include_sample_max(self, skewed_stats):
+        assert skewed_stats.boundaries is not None
+        assert skewed_stats.boundaries[-1] == 99.0
+
+    def test_ge_max_is_not_zero(self, skewed_stats):
+        # `n >= 99` matches 40/128 rows; the old histogram said 0.0,
+        # sorting the predicate as if it were free and never matching.
+        got = skewed_stats.range_selectivity(99, None, True, True)
+        assert got > 0.0
+
+    def test_point_interval_at_max_is_not_zero(self, skewed_stats):
+        got = skewed_stats.range_selectivity(99, 99, True, True)
+        assert got > 0.0
+
+    def test_above_max_still_estimates_zero(self, skewed_stats):
+        assert (
+            skewed_stats.range_selectivity(100, None, False, True) == 0.0
+        )
+
+    def test_small_unsampled_histogram_unchanged(self):
+        # <= bucket-count values keep the exact sorted boundaries.
+        stats = build_column_stats("n", list(range(10)))
+        assert stats.boundaries == tuple(float(v) for v in range(10))
+
+
 class TestBoolColumns:
     def test_bool_column_builds_no_numeric_boundaries(self):
         stats = build_column_stats("flag", [True, False] * 50)
@@ -159,7 +196,9 @@ class TestBoolColumns:
     def test_int_column_still_numeric(self):
         stats = build_column_stats("n", list(range(100)))
         assert stats.boundaries is not None
-        assert len(stats.boundaries) == 32
+        # 32 equi-depth picks plus the appended true maximum.
+        assert len(stats.boundaries) == 33
+        assert stats.boundaries[-1] == 99.0
 
     def test_bool_column_range_falls_back_to_generic(self):
         stats = build_column_stats("flag", [True, False] * 50)

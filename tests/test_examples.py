@@ -34,4 +34,5 @@ def test_all_examples_present():
         "cross_validation",
         "cluster_segments",
         "dmx_queries",
+        "streaming_segments",
     } <= names
