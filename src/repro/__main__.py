@@ -15,6 +15,7 @@ Usage::
     python -m repro bench-vectorized    # scalar-vs-vectorized scoring
     python -m repro serve-bench --workers 4   # concurrent serving bench
     python -m repro segment-bench --segments 1000  # shared-mask matching
+    python -m repro disjunction-bench   # cached vs naive OR evaluation
     python -m repro run --trace DIR     # write JSON-lines traces to DIR
     python -m repro trace-report --trace DIR   # summarize a trace dir
 """
@@ -60,6 +61,7 @@ def main(argv: list[str] | None = None) -> int:
             "bench-vectorized",
             "serve-bench",
             "segment-bench",
+            "disjunction-bench",
             "all",
         ),
         help="which experiment group to run",
@@ -111,8 +113,8 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=8192,
         metavar="N",
-        help="segment-bench: rows streamed through matching "
-        "(default: 8192)",
+        help="segment-bench/disjunction-bench: rows streamed through "
+        "evaluation (default: 8192)",
     )
     parser.add_argument(
         "--trace",
@@ -332,6 +334,37 @@ def main(argv: list[str] | None = None) -> int:
             f"{report['memberships_identical']}"
         )
         target = "BENCH_segment_matching.json"
+        with open(target, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {target}")
+    if arguments.artifact == "disjunction-bench":
+        import json
+
+        from repro.experiments.bench_disjunction import (
+            run_disjunction_bench,
+        )
+
+        if arguments.rows < 1:
+            parser.error(f"--rows must be >= 1, got {arguments.rows}")
+        report = run_disjunction_bench(config, rows=arguments.rows)
+        for envelope in report["envelopes"]:
+            print(
+                f"{envelope['family']}/{envelope['label']}: "
+                f"{envelope['disjuncts']} disjuncts, "
+                f"naive {envelope['naive_seconds']:.3f}s, "
+                f"cached {envelope['cached_seconds']:.3f}s "
+                f"({envelope['speedup']:.2f}x, share ratio "
+                f"{envelope['share_ratio']:.2f})"
+            )
+        union = report["union_lowering"]
+        print(
+            f"union lowering: flat {union['flat_access_path']} -> "
+            f"{union['branches']} branches {union['union_access_path']} "
+            f"(rows identical: {union['rows_identical']})"
+        )
+        print(f"overall speedup {report['overall']['speedup']:.2f}x")
+        target = "BENCH_disjunction.json"
         with open(target, "w", encoding="utf-8") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
             stream.write("\n")

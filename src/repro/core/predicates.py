@@ -129,18 +129,22 @@ class Predicate:
         """Truth values of this predicate over a whole columnar batch.
 
         Returns a boolean mask with one entry per batch row, equal to a
-        loop of :meth:`evaluate` over the rows.  Connectives evaluate
-        their operands in estimated-selectivity order when ``estimator``
-        is given (most-eliminating first for AND, most-admitting first
-        for OR) and restrict later operands to still-undecided rows, so
-        expensive sub-predicates never run on rows the mask has already
-        settled.
+        loop of :meth:`evaluate` over the rows.  Evaluation runs through
+        a per-batch mask cache keyed on interned-node identity
+        (:class:`repro.ir.batch.BatchLowering`): each distinct atom or
+        subtree is lowered once per batch at full width, and connectives
+        combine the cached masks bitwise.  Operand order for AND/OR is
+        planned once per (interned node, statistics version) when
+        ``estimator`` is given (most-eliminating first for AND,
+        most-admitting first for OR) and memoized across batches.
 
         The kernels live in :mod:`repro.ir.batch` (the batch lowering of
         the predicate IR); this base method dispatches there, and
-        subclasses outside the IR may still override it — connective
-        kernels recurse through ``operand.evaluate_batch`` so such
-        overrides are honored.
+        subclasses outside the IR may still override it — overriding
+        operands are evaluated through ``operand.evaluate_batch`` on
+        only the still-undecided rows (``take`` compaction), never
+        cached, so expensive model/residual predicates keep the
+        restriction guarantee and their overrides are honored.
         """
         from repro.ir import batch as _batch_lowering
 

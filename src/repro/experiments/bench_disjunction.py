@@ -1,0 +1,305 @@
+"""Disjunction-execution benchmark (the ``disjunction-bench`` CLI artifact).
+
+Measures what the interned-atom mask cache and plan-once operand
+ordering buy on the predicates this repo exists for: wide upper
+envelopes.  Naive Bayes and clustering envelopes are ORs of many
+conjunctions drawn from a small per-feature bin vocabulary, so the same
+atoms recur across disjuncts — exactly the sharing the
+:class:`~repro.ir.batch.BatchLowering` cache exploits by lowering each
+distinct atom once per batch at full width.
+
+The **naive** baseline is the pre-cache strategy preserved as
+``evaluate_batch_naive``: per-visit operand sorting and ``take``
+compaction, re-lowering every atom occurrence.  **cached** runs the
+same predicates through ``evaluate_batch``.  Both paths' masks are
+compared byte-for-byte on every batch — the speedup is only reported
+if the answers are identical.
+
+The payload also records the UNION-of-index-range SQL lowering on a
+demonstration table where SQLite's own multi-index OR declines: a
+low-cardinality indexed segment column with per-segment range guards,
+where the flat OR full-scans but each disjunct alone can seek the
+index.  ``capture_select_plan`` must adopt the union and the union's
+row multiset must match the flat query's.
+
+``run_disjunction_bench`` returns the JSON-ready payload written to
+``BENCH_disjunction.json`` by ``python -m repro disjunction-bench``.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import islice
+
+import numpy as np
+
+from repro import obs
+from repro.core.columns import ColumnBatch
+from repro.core.predicates import (
+    And,
+    Comparison,
+    Op,
+    Or,
+    Predicate,
+    atom_count,
+    disjunct_count,
+)
+from repro.exceptions import ReproError
+from repro.experiments.config import ExperimentConfig, SMOKE_CONFIG
+from repro.experiments.harness import (
+    dataset_for,
+    numeric_feature_columns,
+    train_family,
+)
+from repro.ir import intern
+from repro.ir.batch import (
+    BatchLowering,
+    evaluate_batch,
+    evaluate_batch_naive,
+    reset_plan_memo,
+)
+from repro.sql.compiler import select_statement
+from repro.sql.database import Database, load_table
+from repro.sql.planner import capture_plan, capture_select_plan
+from repro.sql.stats import build_table_stats, estimate_selectivity
+from repro.workload.measurement import (
+    FAMILY_CLUSTERING,
+    FAMILY_NAIVE_BAYES,
+)
+
+#: Segment cardinality of the union-lowering demo table.  Low enough
+#: that, with ANALYZE, SQLite prices the flat OR's summed index probes
+#: above one sequential scan and falls back to SCAN — the regime the
+#: disjoint UNION ALL lowering exists for.
+DEMO_SEGMENTS = 4
+#: Rows loaded into the demo table (dataset rows cycled).
+DEMO_ROWS = 20_000
+
+
+def _row_batches(
+    rows: list[dict], total: int, batch_size: int
+) -> list[ColumnBatch]:
+    """``total`` rows in ``batch_size`` chunks, cycling the dataset."""
+    repeats = -(-total // len(rows))
+    stream = (rows * repeats)[:total]
+    return [
+        ColumnBatch(stream[start : start + batch_size])
+        for start in range(0, total, batch_size)
+    ]
+
+
+def widest_envelopes(
+    config: ExperimentConfig, dataset_name: str
+) -> tuple[list[dict], list[dict], tuple[str, ...]]:
+    """The widest NB and clustering envelope per family, interned.
+
+    Returns ``(cases, source_rows, feature_columns)`` where each case
+    carries the family, class label, interned predicate, and structural
+    counts for the payload.  Width is the top-level disjunct count —
+    the quantity the mask cache's per-disjunct sharing scales with.
+    """
+    dataset = dataset_for(config, dataset_name)
+    columns = numeric_feature_columns(dataset)
+    if not columns:
+        raise ReproError(
+            f"dataset {dataset_name!r} has no numeric feature columns"
+        )
+    cases: list[dict] = []
+    for family in (FAMILY_NAIVE_BAYES, FAMILY_CLUSTERING):
+        trained = train_family(dataset, family, config)
+        label, envelope = max(
+            trained.envelopes.items(),
+            key=lambda kv: (disjunct_count(kv[1].predicate), str(kv[0])),
+        )
+        predicate = intern(envelope.predicate)
+        cases.append(
+            {
+                "family": family,
+                "label": str(label),
+                "predicate": predicate,
+                "disjuncts": disjunct_count(predicate),
+                "atoms": atom_count(predicate),
+            }
+        )
+    return cases, list(dataset.train_rows), columns
+
+
+def _verify_identical(
+    label: str,
+    naive_masks: list[np.ndarray],
+    cached_masks: list[np.ndarray],
+) -> None:
+    """Raise unless both strategies produced byte-identical masks."""
+    mismatched = sum(
+        1
+        for naive, cached in zip(naive_masks, cached_masks)
+        if naive.dtype != cached.dtype or not np.array_equal(naive, cached)
+    )
+    if mismatched:
+        raise ReproError(
+            f"disjunction-bench: {label}: {mismatched}/{len(naive_masks)} "
+            "batches diverge between cached and naive evaluation"
+        )
+
+
+def _bench_envelope(
+    case: dict,
+    batches: list[ColumnBatch],
+    estimator,
+) -> dict:
+    """Time naive vs cached evaluation of one envelope, verify, report."""
+    predicate = case["predicate"]
+    rows = sum(len(batch) for batch in batches)
+
+    # Warm the column caches (and the plan memo for the cached path)
+    # off the clock so neither side pays first-touch astype cost.
+    warmup = next(islice(iter(batches), 1))
+    evaluate_batch_naive(predicate, warmup, estimator)
+    evaluate_batch(predicate, warmup, estimator)
+
+    started = time.perf_counter()
+    naive_masks = [
+        evaluate_batch_naive(predicate, batch, estimator)
+        for batch in batches
+    ]
+    naive_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cached_masks = [
+        evaluate_batch(predicate, batch, estimator) for batch in batches
+    ]
+    cached_seconds = time.perf_counter() - started
+
+    _verify_identical(
+        f"{case['family']}/{case['label']}", naive_masks, cached_masks
+    )
+
+    # One instrumented pass to report the cache's sharing structure
+    # (stats collection is outside the timed loops on purpose).
+    context = BatchLowering(batches[0], estimator)
+    context.mask(predicate)
+    stats = context.stats
+    return {
+        "family": case["family"],
+        "label": case["label"],
+        "disjuncts": case["disjuncts"],
+        "atoms": case["atoms"],
+        "naive_seconds": round(naive_seconds, 4),
+        "cached_seconds": round(cached_seconds, 4),
+        "speedup": round(naive_seconds / cached_seconds, 2),
+        "rows_per_second": round(rows / cached_seconds, 1),
+        "masks_identical": True,
+        "masks_computed": stats.computed,
+        "masks_shared": stats.shared,
+        "share_ratio": round(stats.share_ratio, 4),
+    }
+
+
+def union_lowering_demo(source_rows: list[dict], feature: str) -> dict:
+    """Build the full-scan-vs-union demo table and capture both plans.
+
+    The table cycles the dataset's rows into ``DEMO_ROWS`` rows tagged
+    with a ``seg`` column of ``DEMO_SEGMENTS`` distinct values, indexed
+    and ANALYZEd.  The query ORs per-segment range guards: SQLite costs
+    the flat OR's index probes above a sequential scan (every branch
+    hits ~1/DEMO_SEGMENTS of the table) and SCANs, while each disjunct
+    alone seeks the segment index — so ``capture_select_plan`` adopts
+    the disjoint UNION ALL form.  Both forms' row multisets are
+    compared before the demo is reported.
+    """
+    values = np.asarray([float(row[feature]) for row in source_rows])
+    cuts = np.quantile(values, np.linspace(0.35, 0.65, DEMO_SEGMENTS))
+    repeats = -(-DEMO_ROWS // len(source_rows))
+    demo_rows = [
+        {"seg": i % DEMO_SEGMENTS, feature: float(row[feature])}
+        for i, row in enumerate((source_rows * repeats)[:DEMO_ROWS])
+    ]
+    table = "disjunction_demo"
+    db = Database()
+    load_table(db, table, demo_rows)
+    db.create_index(table, ["seg"])
+    db.analyze()
+
+    predicate = Or(
+        tuple(
+            And(
+                (
+                    Comparison("seg", Op.EQ, segment),
+                    Comparison(feature, Op.LT, float(cuts[segment])),
+                )
+            )
+            for segment in range(DEMO_SEGMENTS)
+        )
+    )
+    flat_plan = capture_plan(db, table, predicate)
+    select = capture_select_plan(db, table, predicate)
+    if not select.used_union:
+        raise ReproError(
+            "disjunction-bench: union lowering was not adopted for the "
+            f"demo query (flat plan: {flat_plan.access_path.value})"
+        )
+
+    flat_rows = sorted(
+        map(repr, db.query_rows(select_statement(table, predicate)))
+    )
+    union_rows = sorted(map(repr, db.query_rows(select.sql)))
+    if flat_rows != union_rows:
+        raise ReproError(
+            "disjunction-bench: union lowering changed the result "
+            f"multiset ({len(flat_rows)} flat vs {len(union_rows)} union)"
+        )
+    return {
+        "table": table,
+        "rows": len(demo_rows),
+        "segments": DEMO_SEGMENTS,
+        "branches": select.branches,
+        "flat_access_path": flat_plan.access_path.value,
+        "union_access_path": select.plan.access_path.value,
+        "used_union": select.used_union,
+        "index_names": list(select.plan.index_names),
+        "rows_matched": len(union_rows),
+        "rows_identical": True,
+    }
+
+
+def run_disjunction_bench(
+    config: ExperimentConfig | None = None,
+    dataset_name: str = "diabetes",
+    rows: int = 16_384,
+    batch_size: int = 512,
+    seed: int = 11,
+) -> dict:
+    """The full benchmark: envelopes, naive vs cached, union demo."""
+    config = config or SMOKE_CONFIG
+    with obs.span("disjunction.bench", dataset=dataset_name, rows=rows):
+        cases, source_rows, columns = widest_envelopes(config, dataset_name)
+        stats = build_table_stats("disjunction_bench", source_rows)
+
+        def estimator(predicate: Predicate) -> float:
+            return estimate_selectivity(stats, predicate)
+
+        estimator.stats_version = stats.version
+
+        reset_plan_memo()
+        batches = _row_batches(source_rows, rows, batch_size)
+        envelope_reports = [
+            _bench_envelope(case, batches, estimator) for case in cases
+        ]
+        naive_total = sum(r["naive_seconds"] for r in envelope_reports)
+        cached_total = sum(r["cached_seconds"] for r in envelope_reports)
+        union = union_lowering_demo(source_rows, columns[0])
+        return {
+            "benchmark": "disjunction_execution",
+            "dataset": dataset_name,
+            "rows": rows,
+            "batch_size": batch_size,
+            "batches": len(batches),
+            "seed": seed,
+            "envelopes": envelope_reports,
+            "overall": {
+                "naive_seconds": round(naive_total, 4),
+                "cached_seconds": round(cached_total, 4),
+                "speedup": round(naive_total / cached_total, 2),
+            },
+            "union_lowering": union,
+        }

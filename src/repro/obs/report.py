@@ -140,6 +140,40 @@ class TraceSummary:
             stats["coalescing_factor"] = stats["batch_requests"] / calls
         return stats
 
+    def disjunction(self) -> dict[str, float]:
+        """Disjunction-execution statistics from ``ir.batch.*`` and
+        ``sql.lowering.*`` telemetry.
+
+        Empty when no batch evaluation ran.  Mask traffic comes from
+        ``ir.batch.mask.computed`` / ``ir.batch.mask.shared`` (the share
+        rate is the fraction of node evaluations answered from the
+        per-batch interned-node cache), operand planning from
+        ``ir.batch.plan.hit`` / ``ir.batch.plan.miss``, and
+        ``union_lowerings`` counts SELECTs rewritten to
+        UNION-of-index-range form.
+        """
+        stats: dict[str, float] = {}
+        for metric in ("computed", "shared"):
+            value = self.counters.get(f"ir.batch.mask.{metric}")
+            if value is not None:
+                stats[f"masks_{metric}"] = value
+        total = stats.get("masks_computed", 0.0) + stats.get(
+            "masks_shared", 0.0
+        )
+        if total:
+            stats["share_rate"] = stats.get("masks_shared", 0.0) / total
+        for metric in ("hit", "miss"):
+            value = self.counters.get(f"ir.batch.plan.{metric}")
+            if value is not None:
+                stats[f"plan_{metric}"] = value
+        plans = stats.get("plan_hit", 0.0) + stats.get("plan_miss", 0.0)
+        if plans:
+            stats["plan_hit_rate"] = stats.get("plan_hit", 0.0) / plans
+        unions = self.counters.get("sql.lowering.union")
+        if unions is not None:
+            stats["union_lowerings"] = unions
+        return stats
+
     def pass_rewrites(self) -> dict[str, dict[str, float]]:
         """Per-pass rewrite statistics from the ``ir.pass.*`` counters.
 
@@ -419,6 +453,32 @@ def format_report(summary: TraceSummary, top: int = 10) -> str:
                 f"evaluations "
                 f"({int(segments.get('batch_rows', 0))} rows, "
                 f"coalescing factor {factor:.2f})"
+            )
+        out.append("")
+    disjunction = summary.disjunction()
+    if disjunction:
+        out.append("Disjunction execution:")
+        if (
+            "masks_computed" in disjunction
+            or "masks_shared" in disjunction
+        ):
+            share = disjunction.get("share_rate", 0.0)
+            out.append(
+                f"  masks: {int(disjunction.get('masks_computed', 0))} "
+                f"computed, {int(disjunction.get('masks_shared', 0))} "
+                f"shared (share rate {share:.1%})"
+            )
+        if "plan_hit" in disjunction or "plan_miss" in disjunction:
+            rate = disjunction.get("plan_hit_rate", 0.0)
+            out.append(
+                f"  operand plans: {int(disjunction.get('plan_hit', 0))} "
+                f"reused, {int(disjunction.get('plan_miss', 0))} "
+                f"planned (reuse rate {rate:.1%})"
+            )
+        if "union_lowerings" in disjunction:
+            out.append(
+                "  union lowerings adopted: "
+                f"{int(disjunction['union_lowerings'])}"
             )
         out.append("")
     rates = summary.hit_rates()

@@ -9,15 +9,16 @@ segments.  Because the :class:`~repro.segments.catalog.SegmentCatalog`
 interns every published predicate, that overlap is visible as *pointer
 identity*: equal subtrees are the very same object across segments.
 
-:class:`PredicateSetEvaluator` exploits it with a per-batch mask cache
-keyed on ``id(node)``: each distinct subtree (atom or connective) is
-evaluated once per batch, and every later segment containing it reuses
-the cached mask.  Connectives combine their children's full-batch masks
-with NumPy boolean ops — deliberately *without* the short-circuit
-compaction the single-predicate lowering applies, since a compacted
-mask is relative to a sub-batch and could not be shared.  The trade is
-right for predicate sets: compaction saves work within one predicate,
-sharing saves it across hundreds.
+:class:`PredicateSetEvaluator` exploits it through the shared caching
+context in :mod:`repro.ir.batch`: one
+:class:`~repro.ir.batch.BatchLowering` instance spans *all* segments of
+a match call, so each distinct subtree (atom or connective) is
+evaluated once per batch, at full width, and every later segment
+containing it reuses the cached mask.  The cache implementation and its
+:class:`~repro.ir.batch.MaskCacheStats` type are the same ones behind
+single-predicate ``evaluate_batch`` — there is exactly one mask cache
+in the codebase, this module just holds its context open across a
+predicate *set* instead of a single tree.
 
 Sharing is sound because batch kernels are bit-identical to scalar
 ``evaluate`` (the parity contract property-tested in
@@ -42,14 +43,11 @@ import numpy as np
 
 from repro import obs
 from repro.core.predicates import (
-    And,
     FalsePredicate,
-    Not,
-    Or,
     Predicate,
     TruePredicate,
 )
-from repro.ir.batch import evaluate_batch
+from repro.ir.batch import BatchLowering, MaskCacheStats
 from repro.segments.catalog import SegmentCatalog, SegmentDef
 
 if TYPE_CHECKING:
@@ -57,20 +55,11 @@ if TYPE_CHECKING:
 
     from repro.core.columns import ColumnBatch
 
-
-@dataclass
-class MaskCacheStats:
-    """Per-match cache traffic (also mirrored as obs counters)."""
-
-    computed: int = 0
-    shared: int = 0
-    constants_skipped: int = 0
-
-    @property
-    def share_ratio(self) -> float:
-        """Fraction of node evaluations answered from the cache."""
-        total = self.computed + self.shared
-        return self.shared / total if total else 0.0
+__all__ = [
+    "MaskCacheStats",
+    "PredicateSetEvaluator",
+    "SegmentMatches",
+]
 
 
 @dataclass(frozen=True)
@@ -151,7 +140,7 @@ class PredicateSetEvaluator:
         """Which segments does each row of ``batch`` belong to?"""
         n = len(batch)
         stats = MaskCacheStats()
-        cache: dict[int, np.ndarray] = {}
+        context = BatchLowering(batch, stats=stats)
         with obs.span(
             "segments.match", segments=len(self._definitions), rows=n
         ) as span:
@@ -171,9 +160,7 @@ class PredicateSetEvaluator:
                     stats.constants_skipped += 1
                     masks.append(false_mask)
                 else:
-                    masks.append(
-                        self._mask(predicate, batch, cache, stats)
-                    )
+                    masks.append(context.mask(predicate))
             span.update(
                 masks_computed=stats.computed,
                 masks_shared=stats.shared,
@@ -195,38 +182,6 @@ class PredicateSetEvaluator:
             stats=stats,
             catalog_version=self.catalog_version,
         )
-
-    def _mask(
-        self,
-        pred: Predicate,
-        batch: "ColumnBatch",
-        cache: dict[int, np.ndarray],
-        stats: MaskCacheStats,
-    ) -> np.ndarray:
-        """Full-batch truth mask of one node, memoized by identity."""
-        key = id(pred)
-        cached = cache.get(key)
-        if cached is not None:
-            stats.shared += 1
-            return cached
-        if isinstance(pred, And):
-            mask = self._mask(pred.operands[0], batch, cache, stats)
-            for operand in pred.operands[1:]:
-                mask = mask & self._mask(operand, batch, cache, stats)
-        elif isinstance(pred, Or):
-            mask = self._mask(pred.operands[0], batch, cache, stats)
-            for operand in pred.operands[1:]:
-                mask = mask | self._mask(operand, batch, cache, stats)
-        elif isinstance(pred, Not):
-            mask = ~self._mask(pred.operand, batch, cache, stats)
-        else:
-            # Atoms (and constants nested below a connective) evaluate
-            # through the standard batch lowering — one kernel set, no
-            # duplicated semantics.
-            mask = evaluate_batch(pred, batch)
-        stats.computed += 1
-        cache[key] = mask
-        return mask
 
     # -- introspection -----------------------------------------------------
 

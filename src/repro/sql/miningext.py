@@ -50,6 +50,7 @@ from repro.sql.planner import (
     FULL_SCAN_PLAN,
     Plan,
     capture_plan,
+    capture_select_plan,
 )
 from repro.sql.plancache import PlanCache
 from repro.sql.stats import (
@@ -383,8 +384,12 @@ class PredictionJoinExecutor:
 
                     def estimator(predicate):
                         return estimate_selectivity(stats, predicate)
-            sql = select_statement(query.table, pushable)
-            plan = capture_plan(self._db, query.table, pushable)
+
+                    # Plan-once operand ordering keys on the statistics
+                    # snapshot: same version, same ordering decision.
+                    estimator.stats_version = stats.version
+            select = capture_select_plan(self._db, query.table, pushable)
+            sql, plan = select.sql, select.plan
             with obs.span("execute.sql", table=query.table) as sql_span:
                 started = time.perf_counter()
                 fetched = self._db.query_rows(sql)

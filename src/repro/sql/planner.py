@@ -16,8 +16,13 @@ import re
 from dataclasses import dataclass
 
 from repro import obs
-from repro.core.predicates import FalsePredicate, Predicate
-from repro.sql.compiler import select_statement
+from repro.core.predicates import FalsePredicate, Or, Predicate
+from repro.sql.compiler import (
+    DEFAULT_MAX_UNION_BRANCHES,
+    select_statement,
+    union_eligible,
+    union_select_statement,
+)
 from repro.sql.database import Database
 
 _SEARCH_INDEX = re.compile(r"USING (?:COVERING )?INDEX (\S+)")
@@ -100,6 +105,68 @@ def parse_explain(rows: list[tuple[int, int, int, str]]) -> Plan:
     if indexes and not saw_scan:
         return Plan(AccessPath.INDEX_SEARCH, tuple(sorted(set(indexes))), details)
     return Plan(AccessPath.FULL_SCAN, tuple(sorted(set(indexes))), details)
+
+
+@dataclass(frozen=True)
+class SelectPlan:
+    """A SELECT statement together with the plan that chose its shape."""
+
+    sql: str
+    plan: Plan
+    used_union: bool
+    branches: int
+
+    @property
+    def uses_index(self) -> bool:
+        return self.plan.uses_index
+
+
+def capture_select_plan(
+    db: Database,
+    table: str,
+    predicate: Predicate,
+    columns: str = "*",
+    max_branches: int = DEFAULT_MAX_UNION_BRANCHES,
+) -> SelectPlan:
+    """Plan-aware SELECT lowering with a UNION-of-index-range fallback.
+
+    Captures the flat ``WHERE`` plan first.  When the flat form of an
+    eligible OR-of-conjunctions full-scans (SQLite's multi-index OR is
+    all-or-nothing and cost-gated), the disjoint ``UNION ALL`` lowering
+    is tried; it is adopted only if its captured plan seeks an index on
+    *every* branch — a union that still scans some branch would repeat
+    full table passes and is strictly worse than one flat scan.  Counter
+    ``sql.lowering.union`` counts adoptions.
+    """
+    with obs.span("plan.capture_select", table=table) as sp:
+        flat = capture_plan(db, table, predicate)
+        chosen = SelectPlan(
+            sql=select_statement(table, predicate, columns),
+            plan=flat,
+            used_union=False,
+            branches=1,
+        )
+        if flat.access_path is AccessPath.FULL_SCAN and union_eligible(
+            predicate, max_branches
+        ):
+            assert isinstance(predicate, Or)
+            union_sql = union_select_statement(table, predicate, columns)
+            union_plan = parse_explain(db.explain(union_sql))
+            if union_plan.access_path is AccessPath.INDEX_SEARCH:
+                obs.add_counter("sql.lowering.union", 1)
+                chosen = SelectPlan(
+                    sql=union_sql,
+                    plan=union_plan,
+                    used_union=True,
+                    branches=len(predicate.operands),
+                )
+        if obs.enabled():
+            sp.update(
+                access_path=chosen.plan.access_path.value,
+                used_union=chosen.used_union,
+                branches=chosen.branches,
+            )
+        return chosen
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,7 @@ independence assumption.
 from __future__ import annotations
 
 import bisect
+import itertools
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
@@ -110,11 +111,20 @@ class ColumnStats:
 
 @dataclass(frozen=True)
 class TableStats:
-    """Per-column statistics of one table."""
+    """Per-column statistics of one table.
+
+    ``version`` names this statistics snapshot process-wide (a monotonic
+    counter stamped by :func:`build_table_stats`): estimators derived
+    from the snapshot expose it as ``stats_version`` so downstream
+    memoization — the batch lowering's plan-once operand ordering —
+    can key cached decisions on *which statistics* produced them and
+    invalidate when the stats are rebuilt.
+    """
 
     table: str
     row_count: int
     columns: dict[str, ColumnStats]
+    version: int = 0
 
     def column(self, name: str) -> ColumnStats:
         try:
@@ -167,6 +177,12 @@ def build_column_stats(name: str, values: Sequence[Value]) -> ColumnStats:
     )
 
 
+#: Monotonic snapshot counter behind ``TableStats.version``.  Itertools'
+#: count is CPython-atomic under the GIL, so concurrent stats builds in
+#: the serving layer get distinct versions without a lock.
+_STATS_VERSIONS = itertools.count(1)
+
+
 def build_table_stats(
     table: str,
     rows: Sequence[Mapping[str, Value]],
@@ -185,6 +201,7 @@ def build_table_stats(
             table=table,
             row_count=row_count if row_count is not None else len(rows),
             columns=columns,
+            version=next(_STATS_VERSIONS),
         )
 
 

@@ -21,6 +21,7 @@ row, where ordering provably cannot matter.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -31,11 +32,14 @@ from repro.core.predicates import (
     Interval,
     Not,
     Op,
+    Or,
     Predicate,
     conjunction,
     disjunction,
 )
 from repro.exceptions import PredicateError
+from repro.ir import intern
+from repro.ir.batch import BatchLowering, evaluate_batch_naive
 
 COLUMNS = ("a", "b", "c")
 
@@ -222,6 +226,33 @@ class TestBatchScalarParity:
             InSet("a", (BOUNDARY,)).evaluate_batch(ColumnBatch(sample))
         ) == [True, False]
 
+    def test_regression_ordered_comparison_at_exact_float_bound(self):
+        # Found by the reordering property: float64 rounds
+        # -(2**53 + 1) to -2**53, so `c < -(2**53)` decided on the
+        # float view answered False where the scalar algebra says True.
+        # Ordered comparisons and interval bounds at or past ±2**53
+        # must fall back to exact object-view ordering.
+        sample = [
+            {"c": -(BOUNDARY + 1)},
+            {"c": -BOUNDARY},
+            {"c": BOUNDARY},
+            {"c": BOUNDARY + 1},
+            {"c": 7},
+        ]
+        preds = [
+            Comparison("c", Op.LT, -BOUNDARY),
+            Comparison("c", Op.LE, -(BOUNDARY + 1)),
+            Comparison("c", Op.GT, BOUNDARY),
+            Comparison("c", Op.GE, BOUNDARY + 1),
+            Interval("c", -BOUNDARY, BOUNDARY, False, False),
+            Interval("c", BOUNDARY + 1, None, True, True),
+        ]
+        for pred in preds:
+            expected, error = scalar_oracle(pred, sample)
+            assert error is None
+            got = list(pred.evaluate_batch(ColumnBatch(sample)))
+            assert got == expected, (pred, got, expected)
+
     def test_regression_none_ordered_comparison_raises_like_scalar(self):
         # Scalar raises PredicateError on `None < 5`; the batch path
         # NaN-cast the column and returned [True, False] instead.
@@ -258,3 +289,111 @@ class TestBatchScalarParity:
             expected = [pred.evaluate(row) for row in sample]
             got = list(pred.evaluate_batch(ColumnBatch(sample)))
             assert got == expected
+
+
+@st.composite
+def or_of_ands(draw) -> Predicate:
+    """Interned deep ORs of ANDs drawn from a small shared atom pool.
+
+    Sampling disjunct members *with replacement* from a pool of 2–5
+    atoms makes duplicate atoms across disjuncts the common case —
+    exactly the envelope shape the mask cache exists for — and
+    ``intern`` turns that duplication into the pointer identity the
+    cache keys on.
+    """
+    pool = draw(st.lists(atoms(), min_size=2, max_size=5, unique_by=repr))
+    disjuncts = []
+    for _ in range(draw(st.integers(2, 5))):
+        width = draw(st.integers(1, 3))
+        members = [draw(st.sampled_from(pool)) for _ in range(width)]
+        disjuncts.append(conjunction(members))
+    return intern(disjunction(disjuncts))
+
+
+class TestDisjunctionCompactionParity:
+    """OR pending-compaction and the mask cache against the scalar loop."""
+
+    @given(or_of_ands(), st.lists(rows(), min_size=0, max_size=10))
+    @settings(max_examples=200, deadline=None)
+    def test_deep_or_of_ands_matches_scalar(self, pred, sample):
+        # Value parity on clean rows, raise-for-raise otherwise — the
+        # cached full-width strategy must fall back to pending-row
+        # compaction precisely when the scalar short-circuit loop
+        # would have dodged the poisoned rows.
+        expected, error = scalar_oracle(pred, sample)
+        batch = ColumnBatch(sample)
+        if error is not None:
+            with pytest.raises(PredicateError):
+                pred.evaluate_batch(batch)
+        else:
+            assert list(pred.evaluate_batch(batch)) == expected
+
+    @given(or_of_ands(), st.lists(rows(), min_size=0, max_size=10))
+    @settings(max_examples=150, deadline=None)
+    def test_cached_matches_naive_byte_for_byte(self, pred, sample):
+        batch = ColumnBatch(sample)
+        try:
+            naive = evaluate_batch_naive(pred, batch)
+        except PredicateError:
+            with pytest.raises(PredicateError):
+                pred.evaluate_batch(batch)
+            return
+        cached = pred.evaluate_batch(batch)
+        assert cached.dtype == naive.dtype
+        assert np.array_equal(cached, naive)
+
+    def test_duplicate_atom_across_disjuncts_hits_the_cache(self):
+        shared = Comparison("a", Op.GE, 3)
+        pred = intern(Or((
+            conjunction([shared, Comparison("b", Op.LT, 5)]),
+            conjunction([shared, Comparison("c", Op.GE, 0)]),
+        )))
+        sample = [{"a": i, "b": i % 4, "c": i - 5} for i in range(8)]
+        context = BatchLowering(ColumnBatch(sample))
+        mask = context.mask(pred)
+        assert context.stats.shared >= 1
+        assert list(mask) == [pred.evaluate(row) for row in sample]
+
+    def test_raising_operand_skipped_when_rows_already_settled(self):
+        # Canonical operand order puts `a >= 5` first; it accepts every
+        # row, so the scalar loop never orders None against 5.  The
+        # full-width lowering of `b < 5` raises — the fallback must
+        # notice there are no pending rows and answer without raising.
+        pred = Or((Comparison("a", Op.GE, 5), Comparison("b", Op.LT, 5)))
+        sample = [{"a": 10, "b": None}, {"a": 7, "b": 1}]
+        assert [pred.evaluate(row) for row in sample] == [True, True]
+        assert list(pred.evaluate_batch(ColumnBatch(sample))) == [
+            True,
+            True,
+        ]
+
+    def test_raising_operand_mid_disjunct_raises_for_raise(self):
+        # One undecided row carries the poison: the scalar loop reaches
+        # `b < 5` on it and raises, so the batch fallback must too.
+        pred = Or((Comparison("a", Op.GE, 5), Comparison("b", Op.LT, 5)))
+        sample = [{"a": 10, "b": None}, {"a": 0, "b": None}]
+        with pytest.raises(PredicateError):
+            [pred.evaluate(row) for row in sample]
+        with pytest.raises(PredicateError):
+            pred.evaluate_batch(ColumnBatch(sample))
+
+    def test_empty_pending_skips_expensive_operands_entirely(self):
+        calls = []
+
+        class Counting(Comparison):
+            def evaluate_batch(self, batch, estimator=None):
+                calls.append(len(batch))
+                return super().evaluate_batch(batch, estimator)
+
+        # `a >= -1000` sorts first canonically and settles every row;
+        # the overriding operand must never run on an empty remainder.
+        pred = Or((
+            Comparison("a", Op.GE, -1000),
+            Counting("b", Op.LT, 5),
+        ))
+        sample = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        assert list(pred.evaluate_batch(ColumnBatch(sample))) == [
+            True,
+            True,
+        ]
+        assert calls == []

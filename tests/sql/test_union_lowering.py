@@ -1,0 +1,229 @@
+"""UNION-of-index-range lowering: eligibility, semantics, plan gate.
+
+The disjoint ``UNION ALL`` form must be a pure physical rewrite: same
+row multiset as the flat ``WHERE``, same NULL handling as two-valued
+``Predicate.evaluate``, adopted only when the captured plans prove it
+strictly better (flat full-scans, every union branch seeks an index).
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.core.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    InSet,
+    Not,
+    Op,
+    Or,
+    TruePredicate,
+    equals,
+)
+from repro.sql.compiler import (
+    select_statement,
+    union_eligible,
+    union_select_statement,
+)
+from repro.sql.database import Database, load_table
+from repro.sql.planner import (
+    AccessPath,
+    capture_plan,
+    capture_select_plan,
+)
+
+ATOM = Comparison("x", Op.LT, 10)
+CONJ = And((equals("seg", 1), Comparison("x", Op.LT, 10)))
+
+
+class TestUnionEligible:
+    def test_or_of_atoms_and_conjunctions(self):
+        assert union_eligible(Or((ATOM, CONJ, equals("seg", 2))))
+
+    def test_non_or_is_not_eligible(self):
+        assert not union_eligible(CONJ)
+        assert not union_eligible(ATOM)
+        assert not union_eligible(TruePredicate())
+
+    def test_branch_cap(self):
+        wide = Or(tuple(equals("seg", k) for k in range(6)))
+        assert union_eligible(wide)
+        assert not union_eligible(wide, max_branches=3)
+
+    def test_constant_disjunct_is_not_eligible(self):
+        assert not union_eligible(Or((ATOM, TruePredicate())))
+        assert not union_eligible(Or((ATOM, FalsePredicate())))
+
+
+class TestUnionStatement:
+    def test_branch_count_and_disjointness_terms(self):
+        pred = Or((equals("seg", 0), equals("seg", 1), equals("seg", 2)))
+        sql = union_select_statement("t", pred, "id")
+        branches = sql.split(" UNION ALL ")
+        assert len(branches) == 3
+        # The first branch is the plain disjunct; every later branch
+        # carries an IS NOT TRUE guard excluding earlier disjuncts.
+        assert "IS NOT TRUE" not in branches[0]
+        assert all("IS NOT TRUE" in b for b in branches[1:])
+
+    def test_requires_top_level_or(self):
+        from repro.exceptions import PredicateError
+
+        with pytest.raises(PredicateError):
+            union_select_statement("t", CONJ)
+
+
+ROWS = [
+    (1, "paris", 10),
+    (2, "rome", None),
+    (3, None, 30),
+    (4, "berlin", None),
+    (5, None, None),
+    (6, "paris", 60),
+    # Duplicate of row 6's payload under a new id: bag semantics must
+    # survive the rewrite even when branches overlap on such rows.
+    (7, "paris", 60),
+]
+
+OR_PARITY_CASES = [
+    Or((equals("city", "rome"), Comparison("n", Op.NE, 10))),
+    Or((Not(InSet("city", ("paris",))), equals("n", 60))),
+    Or((equals("city", "paris"), equals("city", "rome"), equals("n", 30))),
+    Or((
+        And((equals("city", "paris"), Comparison("n", Op.NE, 60))),
+        And((Comparison("city", Op.NE, "paris"), InSet("n", (30, 60)))),
+    )),
+    # Overlapping disjuncts: rows satisfying both must appear once.
+    Or((equals("city", "paris"), Comparison("n", Op.NE, 10))),
+]
+
+
+@pytest.fixture(scope="module")
+def connection():
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE t (id INTEGER, city TEXT, n INTEGER)")
+    connection.executemany("INSERT INTO t VALUES (?, ?, ?)", ROWS)
+    yield connection
+    connection.close()
+
+
+def union_ids(connection, pred):
+    sql = union_select_statement("t", pred, "id")
+    return sorted(row[0] for row in connection.execute(sql))
+
+
+def eval_ids(pred):
+    return sorted(
+        id_
+        for id_, city, n in ROWS
+        if pred.evaluate({"id": id_, "city": city, "n": n})
+    )
+
+
+class TestUnionNullParity:
+    @pytest.mark.parametrize(
+        "pred", OR_PARITY_CASES, ids=[repr(p) for p in OR_PARITY_CASES]
+    )
+    def test_union_matches_evaluate(self, connection, pred):
+        # sorted lists, not sets: duplicates (rows 6 and 7 share a
+        # payload) must appear exactly as often as in the flat form.
+        assert union_ids(connection, pred) == eval_ids(pred)
+
+    @pytest.mark.parametrize(
+        "pred", OR_PARITY_CASES, ids=[repr(p) for p in OR_PARITY_CASES]
+    )
+    def test_union_matches_flat_sql(self, connection, pred):
+        flat_sql = select_statement("t", pred, "id")
+        flat = sorted(row[0] for row in connection.execute(flat_sql))
+        assert union_ids(connection, pred) == flat
+
+
+def _low_cardinality_db(rows=1500, segments=4):
+    """The regime the lowering exists for: indexed low-card equality
+    disjuncts whose flat OR SQLite prices above one sequential scan."""
+    db = Database()
+    load_table(
+        db,
+        "t",
+        [{"seg": i % segments, "x": float(i % 100)} for i in range(rows)],
+    )
+    db.create_index("t", ["seg"])
+    db.analyze()
+    pred = Or(tuple(
+        And((equals("seg", k), Comparison("x", Op.LT, 40.0 + k)))
+        for k in range(segments)
+    ))
+    return db, pred
+
+
+class TestCaptureSelectPlan:
+    def test_adopts_union_when_flat_full_scans(self):
+        db, pred = _low_cardinality_db()
+        flat = capture_plan(db, "t", pred)
+        assert flat.access_path is AccessPath.FULL_SCAN
+        select = capture_select_plan(db, "t", pred)
+        assert select.used_union
+        assert select.branches == 4
+        assert select.plan.access_path is AccessPath.INDEX_SEARCH
+        assert "UNION ALL" in select.sql
+
+    def test_union_rows_match_flat_rows(self):
+        db, pred = _low_cardinality_db()
+        select = capture_select_plan(db, "t", pred)
+        assert select.used_union
+        flat_rows = sorted(
+            map(repr, db.query_rows(select_statement("t", pred)))
+        )
+        union_rows = sorted(map(repr, db.query_rows(select.sql)))
+        assert flat_rows == union_rows
+
+    def test_keeps_flat_when_multi_index_or_fires(self):
+        # High-cardinality equality disjuncts: SQLite's own multi-index
+        # OR already seeks, so the flat form is not a full scan and the
+        # union rewrite must not be attempted.
+        db = Database()
+        load_table(
+            db,
+            "t",
+            [{"b": i, "x": float(i % 100)} for i in range(3000)],
+        )
+        db.create_index("t", ["b"])
+        db.analyze()
+        pred = Or(tuple(
+            And((equals("b", k * 7), Comparison("x", Op.LT, 50.0)))
+            for k in range(4)
+        ))
+        select = capture_select_plan(db, "t", pred)
+        assert not select.used_union
+        assert select.branches == 1
+        assert select.plan.access_path is AccessPath.INDEX_SEARCH
+
+    def test_keeps_flat_without_an_index(self):
+        # No index: the union's branches would each scan, repeating
+        # table passes — strictly worse than one flat scan, so the
+        # gate must refuse even though the flat form full-scans.
+        db = Database()
+        load_table(
+            db,
+            "t",
+            [{"seg": i % 4, "x": float(i)} for i in range(500)],
+        )
+        pred = Or(tuple(
+            And((equals("seg", k), Comparison("x", Op.LT, 100.0)))
+            for k in range(4)
+        ))
+        select = capture_select_plan(db, "t", pred)
+        assert not select.used_union
+        assert select.plan.access_path is AccessPath.FULL_SCAN
+        assert "UNION ALL" not in select.sql
+
+    def test_ineligible_or_keeps_flat(self):
+        # Too many branches for the cap: gate refuses before planning.
+        db, _ = _low_cardinality_db()
+        pred = Or(tuple(
+            And((equals("seg", k % 4), Comparison("x", Op.LT, float(k))))
+            for k in range(20)
+        ))
+        select = capture_select_plan(db, "t", pred, max_branches=8)
+        assert not select.used_union
