@@ -16,6 +16,7 @@ Usage::
     python -m repro serve-bench --workers 4   # concurrent serving bench
     python -m repro segment-bench --segments 1000  # shared-mask matching
     python -m repro disjunction-bench   # cached vs naive OR evaluation
+    python -m repro calibration-bench   # estimator feedback convergence
     python -m repro run --trace DIR     # write JSON-lines traces to DIR
     python -m repro trace-report --trace DIR   # summarize a trace dir
 """
@@ -62,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
             "serve-bench",
             "segment-bench",
             "disjunction-bench",
+            "calibration-bench",
             "all",
         ),
         help="which experiment group to run",
@@ -115,6 +117,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="segment-bench/disjunction-bench: rows streamed through "
         "evaluation (default: 8192)",
+    )
+    parser.add_argument(
+        "--passes",
+        type=int,
+        default=4,
+        metavar="N",
+        help="calibration-bench: workload passes through the calibrated "
+        "executor (default: 4)",
     )
     parser.add_argument(
         "--trace",
@@ -365,6 +375,37 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"overall speedup {report['overall']['speedup']:.2f}x")
         target = "BENCH_disjunction.json"
+        with open(target, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {target}")
+    if arguments.artifact == "calibration-bench":
+        import json
+
+        from repro.experiments.bench_calibration import (
+            run_calibration_bench,
+        )
+
+        if arguments.passes < 2:
+            parser.error(f"--passes must be >= 2, got {arguments.passes}")
+        report = run_calibration_bench(config, passes=arguments.passes)
+        for entry in report["pass_reports"]:
+            error = entry["abs_error"]
+            print(
+                f"pass {entry['pass']}: |est-actual| "
+                f"p50={error['p50']:.4f} p90={error['p90']:.4f} "
+                f"max={error['max']:.4f} "
+                f"(overlay hits {entry['overlay_hits']}/"
+                f"{entry['overlay_lookups']}, "
+                f"recalibrations {entry['recalibrations']})"
+            )
+        print(
+            "error quantiles strictly shrunk: "
+            f"{report['first_vs_last']['strictly_shrunk']}; rows identical "
+            f"across passes: {report['rows_identical_across_passes']}, "
+            f"vs uncalibrated: {report['rows_identical_to_uncalibrated']}"
+        )
+        target = "BENCH_calibration.json"
         with open(target, "w", encoding="utf-8") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
             stream.write("\n")

@@ -14,6 +14,11 @@ Reads every ``*.jsonl`` file of a trace directory in sorted-filename order
 * **estimator accuracy** — absolute-error quantiles over the
   ``estimator_accuracy`` records the executor emits (estimated vs. actual
   selectivity of the pushed predicate),
+* **calibration** — the feedback loop's health: observations fed into the
+  :mod:`repro.sql.calibration` store, overlay hits/misses,
+  divergence-triggered plan recalibrations, and before/after
+  absolute-error quantiles (static estimate vs. the calibrated estimate
+  acted on) from records that carry ``static_estimated``,
 * **malformed lines** — counted, and fatal under ``strict``.
 """
 
@@ -58,6 +63,12 @@ class TraceSummary:
     events: dict[str, int]
     estimator_records: int = 0
     estimator_error_quantiles: dict[str, float] = field(default_factory=dict)
+    #: Absolute errors of the *static* estimate, from records that carry
+    #: ``static_estimated`` (i.e. executions with calibration wired) —
+    #: paired with :attr:`calibrated_errors` for before/after quantiles.
+    static_errors: list[float] = field(default_factory=list)
+    #: Absolute errors of the estimate *acted on* for the same records.
+    calibrated_errors: list[float] = field(default_factory=list)
 
     def top_spans(self, limit: int = 10) -> list[SpanSummary]:
         ranked = sorted(
@@ -174,6 +185,46 @@ class TraceSummary:
             stats["union_lowerings"] = unions
         return stats
 
+    def calibration(self) -> dict[str, float]:
+        """Feedback-loop statistics from the calibration telemetry.
+
+        Empty when calibration never ran.  ``observations`` counts
+        measured selectivities fed into the store, ``overlay_hits`` /
+        ``overlay_misses`` how often a calibrated lookup found a usable
+        entry, ``recalibrations`` cached plans dropped for estimate
+        divergence.  When records carry ``static_estimated``, the
+        before/after quantiles compare the static estimate's absolute
+        error against the calibrated estimate actually acted on.
+        """
+        stats: dict[str, float] = {}
+        pairs = (
+            ("observations", "calibration.observation"),
+            ("overlay_hits", "calibration.overlay.hit"),
+            ("overlay_misses", "calibration.overlay.miss"),
+            ("evictions", "calibration.evict"),
+            ("recalibrations", "plan_cache.recalibration"),
+        )
+        for key, counter in pairs:
+            value = self.counters.get(counter)
+            if value is not None:
+                stats[key] = value
+        lookups = stats.get("overlay_hits", 0.0) + stats.get(
+            "overlay_misses", 0.0
+        )
+        if lookups:
+            stats["overlay_hit_rate"] = (
+                stats.get("overlay_hits", 0.0) / lookups
+            )
+        if self.static_errors:
+            before = sorted(self.static_errors)
+            after = sorted(self.calibrated_errors)
+            stats["paired_records"] = float(len(before))
+            stats["static_p50"] = _quantile(before, 0.50)
+            stats["static_p90"] = _quantile(before, 0.90)
+            stats["calibrated_p50"] = _quantile(after, 0.50)
+            stats["calibrated_p90"] = _quantile(after, 0.90)
+        return stats
+
     def pass_rewrites(self) -> dict[str, dict[str, float]]:
         """Per-pass rewrite statistics from the ``ir.pass.*`` counters.
 
@@ -228,6 +279,8 @@ def summarize(directory: str | Path, strict: bool = False) -> TraceSummary:
     gauges: dict[str, float] = {}
     events: dict[str, int] = {}
     errors: list[float] = []
+    static_errors: list[float] = []
+    calibrated_errors: list[float] = []
     for path in files:
         with path.open(encoding="utf-8") as stream:
             for line_number, line in enumerate(stream, start=1):
@@ -242,7 +295,14 @@ def summarize(directory: str | Path, strict: bool = False) -> TraceSummary:
                     malformed.append(f"{where}: not valid JSON")
                     continue
                 problem = _ingest(
-                    payload, spans, counters, gauges, events, errors
+                    payload,
+                    spans,
+                    counters,
+                    gauges,
+                    events,
+                    errors,
+                    static_errors,
+                    calibrated_errors,
                 )
                 if problem is not None:
                     malformed.append(f"{where}: {problem}")
@@ -269,6 +329,8 @@ def summarize(directory: str | Path, strict: bool = False) -> TraceSummary:
         events=events,
         estimator_records=len(errors),
         estimator_error_quantiles=quantiles,
+        static_errors=static_errors,
+        calibrated_errors=calibrated_errors,
     )
 
 
@@ -279,6 +341,8 @@ def _ingest(
     gauges: dict[str, float],
     events: dict[str, int],
     errors: list[float],
+    static_errors: list[float],
+    calibrated_errors: list[float],
 ) -> str | None:
     """Fold one parsed line into the aggregates; describe any defect."""
     if not isinstance(payload, dict):
@@ -330,13 +394,24 @@ def _ingest(
                 "estimator_accuracy needs numeric 'estimated' and 'actual'"
             )
         errors.append(abs(float(estimated) - float(actual)))
+        static = payload.get("static_estimated")
+        if isinstance(static, (int, float)):
+            # A record with the uncalibrated estimate alongside the one
+            # acted on: a before/after pair for the calibration section.
+            static_errors.append(abs(float(static) - float(actual)))
+            calibrated_errors.append(abs(float(estimated) - float(actual)))
         return None
     # Unknown record types are forward-compatible, not malformed.
     return None
 
 
-def format_report(summary: TraceSummary, top: int = 10) -> str:
-    """Human-readable rendering of a :class:`TraceSummary`."""
+def format_report(summary: TraceSummary, top: int = 25) -> str:
+    """Human-readable rendering of a :class:`TraceSummary`.
+
+    ``top`` bounds the span ranking only; it is sized so every span name
+    the library emits today fits (a lower bound silently hid names the
+    CLI round-trip tests assert on).
+    """
     out: list[str] = []
     out.append(
         f"trace files: {summary.files}   lines: {summary.lines}   "
@@ -370,6 +445,36 @@ def format_report(summary: TraceSummary, top: int = 10) -> str:
     else:
         out.append("  (none)")
     out.append("")
+    calibration = summary.calibration()
+    if calibration:
+        out.append("Calibration:")
+        parts = []
+        for metric in (
+            "observations",
+            "overlay_hits",
+            "overlay_misses",
+            "recalibrations",
+            "evictions",
+        ):
+            if metric in calibration:
+                parts.append(f"{metric}={int(calibration[metric])}")
+        if parts:
+            out.append("  " + "  ".join(parts))
+        if "overlay_hit_rate" in calibration:
+            out.append(
+                "  overlay hit rate: "
+                f"{calibration['overlay_hit_rate']:.1%}"
+            )
+        if "paired_records" in calibration:
+            out.append(
+                f"  abs error over {int(calibration['paired_records'])} "
+                "paired records: "
+                f"static p50={calibration['static_p50']:.4f} "
+                f"p90={calibration['static_p90']:.4f}  ->  "
+                f"calibrated p50={calibration['calibrated_p50']:.4f} "
+                f"p90={calibration['calibrated_p90']:.4f}"
+            )
+        out.append("")
     passes = summary.pass_rewrites()
     if passes:
         out.append("Simplification passes:")

@@ -91,8 +91,12 @@ class AdmissionController:
                     f"({self._pending}/{self.max_pending} pending)"
                 )
             self._pending += 1
-            depth = self._pending
-        obs.set_gauge("serve.queue.depth", depth)
+            # Publish under the lock: two racing threads publishing
+            # after release could land out of order and leave the gauge
+            # permanently wrong (e.g. stuck at a stale depth after the
+            # queue drained).  Inside the lock, publishes are totally
+            # ordered with the depth transitions they report.
+            obs.set_gauge("serve.queue.depth", self._pending)
 
     def release(self) -> None:
         """Return one pending slot (request finished, shed, or timed out)."""
@@ -102,8 +106,7 @@ class AdmissionController:
                     "release() without a matching admit()"
                 )
             self._pending -= 1
-            depth = self._pending
-        obs.set_gauge("serve.queue.depth", depth)
+            obs.set_gauge("serve.queue.depth", self._pending)
 
     @property
     def pending(self) -> int:

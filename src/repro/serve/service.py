@@ -12,6 +12,9 @@ all workers:
   optimized by any worker is a hit for every other),
 * one table-statistics cache (stats built once per table, not per
   thread),
+* one :class:`~repro.sql.calibration.CalibrationStore` (measured
+  selectivities observed by any worker calibrate every worker's
+  estimates),
 * one :class:`~repro.serve.batcher.MicroBatcher` coalescing residual
   model scoring across concurrent requests,
 * the registry's live catalog with its deploy-time envelopes.
@@ -62,6 +65,7 @@ from repro.serve.admission import AdmissionController, Deadline
 from repro.serve.batcher import BatchingCatalog, MicroBatcher
 from repro.serve.pool import ConnectionPool
 from repro.serve.registry import ModelRegistry
+from repro.sql.calibration import CalibrationStore
 from repro.sql.database import Database
 from repro.sql.miningext import ExecutionReport, PredictionJoinExecutor
 from repro.sql.plancache import PlanCache
@@ -207,6 +211,7 @@ class QueryService:
         vectorized: bool = True,
         batch_size: int = 2048,
         segment_catalog: "SegmentCatalog | None" = None,
+        calibration: "CalibrationStore | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -225,6 +230,12 @@ class QueryService:
             plan_cache if plan_cache is not None else PlanCache(256)
         )
         self._stats_cache: dict[str, TableStats] = {}
+        # One calibration store next to the stats cache: observations
+        # from any worker refine every worker's estimates, and the
+        # shared plan cache recalibrates against the shared overlay.
+        self._calibration = (
+            calibration if calibration is not None else CalibrationStore()
+        )
         self._batcher: MicroBatcher | None = None
         catalog = registry.catalog
         if batching:
@@ -268,6 +279,11 @@ class QueryService:
     def batcher(self) -> MicroBatcher | None:
         """The shared micro-batcher (``None`` when batching is off)."""
         return self._batcher
+
+    @property
+    def calibration(self) -> CalibrationStore:
+        """The calibration store shared by every worker's executor."""
+        return self._calibration
 
     @property
     def segments(self) -> "SegmentCatalog | None":
@@ -567,6 +583,7 @@ class QueryService:
             vectorized=self._vectorized,
             batch_size=self._batch_size,
             stats_cache=self._stats_cache,
+            calibration=self._calibration,
         )
         while True:
             request = self._queue.get()

@@ -52,11 +52,11 @@ from repro.sql.planner import (
     capture_plan,
     capture_select_plan,
 )
+from repro.sql.calibration import CalibratedEstimator, CalibrationStore
 from repro.sql.plancache import PlanCache
 from repro.sql.stats import (
     TableStats,
     build_table_stats,
-    estimate_selectivity,
     record_estimator_accuracy,
 )
 
@@ -86,6 +86,12 @@ class ExecutionReport:
     #: (e.g. :meth:`PredictionJoinExecutor.predictions`) never re-score
     #: rows the executor already scored.
     predictions: PredictionStore | None = None
+    #: Selectivity of the final pushed predicate: the estimate the
+    #: executor acted on (calibrated when a calibration store is wired)
+    #: and the measured fraction — ``None`` on paths that never
+    #: estimate (naive strategy, gate disabled without calibration).
+    estimated_selectivity: float | None = None
+    actual_selectivity: float | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -124,6 +130,7 @@ class PredictionJoinExecutor:
         vectorized: bool = True,
         batch_size: int = 2048,
         stats_cache: "dict[str, TableStats] | None" = None,
+        calibration: "CalibrationStore | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ModelError(f"batch_size must be >= 1, got {batch_size}")
@@ -141,6 +148,12 @@ class PredictionJoinExecutor:
         self._plan_cache = plan_cache
         self._vectorized = vectorized
         self._batch_size = batch_size
+        # The calibration store is shared the same way the stats cache
+        # is: every executor over the same data feeds and reads one
+        # store, so observations from any worker improve every worker's
+        # estimates.  Calibration steers physical decisions only —
+        # gating, operand ordering, plan reuse — never result rows.
+        self._calibration = calibration
 
     @property
     def vectorized(self) -> bool:
@@ -151,6 +164,11 @@ class PredictionJoinExecutor:
     def batch_size(self) -> int:
         """Rows per columnar batch on the vectorized path."""
         return self._batch_size
+
+    @property
+    def calibration(self) -> "CalibrationStore | None":
+        """The shared selectivity-calibration store (``None`` = open loop)."""
+        return self._calibration
 
     def _table_stats(self, table: str) -> TableStats:
         if table not in self._stats_cache:
@@ -330,9 +348,20 @@ class PredictionJoinExecutor:
         with obs.span(
             "execute.optimized", table=query.table
         ) as execute_span:
+            stats: TableStats | None = None
+            estimator: CalibratedEstimator | None = None
+            if (
+                self._selectivity_gate is not None
+                or self._calibration is not None
+            ):
+                stats = self._table_stats(query.table)
+                estimator = CalibratedEstimator(stats, self._calibration)
             if self._plan_cache is not None:
                 optimized = self._plan_cache.get_or_optimize(
-                    query, self._catalog, max_disjuncts=max_disjuncts
+                    query,
+                    self._catalog,
+                    calibrated=estimator,
+                    max_disjuncts=max_disjuncts,
                 )
             else:
                 optimized = optimize(
@@ -354,12 +383,23 @@ class PredictionJoinExecutor:
                 )
             pushable = optimized.pushable_predicate
             envelopes: list[Predicate] | None = None
-            estimator: SelectivityEstimator | None = None
-            stats: TableStats | None = None
-            if self._selectivity_gate is not None:
-                stats = self._table_stats(query.table)
-                estimated = estimate_selectivity(stats, pushable)
-                if estimated > self._selectivity_gate:
+            acted_estimate: float | None = None
+            if estimator is not None:
+                acted_estimate = estimator(pushable)
+                if self._plan_cache is not None:
+                    # The estimate this plan is being executed under;
+                    # later lookups compare it against the calibrated
+                    # truth and recalibrate on divergence.
+                    self._plan_cache.record_estimate(
+                        query,
+                        self._catalog,
+                        acted_estimate,
+                        max_disjuncts=max_disjuncts,
+                    )
+                if (
+                    self._selectivity_gate is not None
+                    and acted_estimate > self._selectivity_gate
+                ):
                     # The envelope is too unselective to buy an index plan;
                     # strip it (paper Section 4.2: "the upper envelope can
                     # be removed at the end of the optimization").  It
@@ -371,7 +411,7 @@ class PredictionJoinExecutor:
                     obs.event(
                         "execute.envelope_stripped",
                         table=query.table,
-                        estimated=estimated,
+                        estimated=acted_estimate,
                         gate=self._selectivity_gate,
                     )
                     pushable = optimized.query.relational_predicate
@@ -381,13 +421,7 @@ class PredictionJoinExecutor:
                             : len(optimized.residual_predicates)
                         ]
                     ]
-
-                    def estimator(predicate):
-                        return estimate_selectivity(stats, predicate)
-
-                    # Plan-once operand ordering keys on the statistics
-                    # snapshot: same version, same ordering decision.
-                    estimator.stats_version = stats.version
+                    acted_estimate = estimator(pushable)
             select = capture_select_plan(self._db, query.table, pushable)
             sql, plan = select.sql, select.plan
             with obs.span("execute.sql", table=query.table) as sql_span:
@@ -395,17 +429,35 @@ class PredictionJoinExecutor:
                 fetched = self._db.query_rows(sql)
                 sql_seconds = time.perf_counter() - started
                 sql_span.set("rows_fetched", len(fetched))
-            if obs.enabled() and stats is not None and stats.row_count > 0:
+            actual: float | None = None
+            if (
+                estimator is not None
+                and stats is not None
+                and stats.row_count > 0
+            ):
                 # Estimator-accuracy feedback: the estimate the optimizer
                 # acted on versus the measured selectivity of the same
-                # (final) pushed predicate.
-                record_estimator_accuracy(
-                    query.table,
-                    pushable,
-                    estimate_selectivity(stats, pushable),
-                    len(fetched) / stats.row_count,
-                    stats.row_count,
-                )
+                # (final) pushed predicate — recorded for the trace, and
+                # fed back into the calibration store so the next
+                # execution estimates from observation.
+                actual = len(fetched) / stats.row_count
+                if obs.enabled():
+                    record_estimator_accuracy(
+                        query.table,
+                        pushable,
+                        acted_estimate,
+                        actual,
+                        stats.row_count,
+                        static_estimated=estimator.static(pushable),
+                    )
+                if self._calibration is not None:
+                    self._calibration.observe(
+                        query.table,
+                        pushable,
+                        acted_estimate,
+                        actual,
+                        stats.version,
+                    )
 
             with obs.span("execute.model", table=query.table) as model_span:
                 started = time.perf_counter()
@@ -432,6 +484,8 @@ class PredictionJoinExecutor:
                 plan=plan,
                 optimized=optimized,
                 predictions=predictions,
+                estimated_selectivity=acted_estimate,
+                actual_selectivity=actual,
             )
 
     def execute(

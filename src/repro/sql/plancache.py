@@ -16,6 +16,14 @@ The relational predicate enters the key through
 which commutative-equivalent predicates (``And(a, b)`` vs ``And(b, a)``)
 share one entry.  The previous ``repr``-text key missed on such logically
 identical queries and re-optimized them from scratch.
+
+Beyond model versions, entries carry the selectivity estimate the plan
+was executed under (:meth:`PlanCache.record_estimate`).  When a lookup
+supplies a calibrated estimator (:mod:`repro.sql.calibration`), a hit
+whose recorded estimate has drifted from the calibrated truth beyond the
+recalibration threshold is dropped and re-optimized — the feedback-loop
+analogue of the paper's version-based invalidation, for plans whose
+*selectivity* assumptions (not their envelopes) went stale.
 """
 
 from __future__ import annotations
@@ -27,17 +35,21 @@ from dataclasses import dataclass
 from repro import obs
 from repro.core.catalog import ModelCatalog
 from repro.core.optimizer import MiningQuery, OptimizedQuery, optimize
+from repro.core.predicates import SelectivityEstimator
 from repro.ir import fingerprint as ir_fingerprint
 
 
 @dataclass
 class PlanCacheStats:
-    """Hit/miss/invalidation/eviction counters for observability."""
+    """Hit/miss/invalidation/eviction/recalibration counters."""
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
     evictions: int = 0
+    #: Cached plans dropped because their recorded selectivity estimate
+    #: diverged from the calibrated truth beyond the threshold.
+    recalibrations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -58,12 +70,27 @@ class PlanCache:
     ``hits + misses`` always equals the number of lookups.
     """
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(
+        self,
+        capacity: int = 128,
+        recalibration_threshold: float = 0.05,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if recalibration_threshold <= 0:
+            raise ValueError(
+                "recalibration_threshold must be > 0, got "
+                f"{recalibration_threshold}"
+            )
         self._capacity = capacity
+        self._recalibration_threshold = recalibration_threshold
+        #: key -> (model versions, plan, estimate the plan was kept
+        #: under — ``None`` until the executor records one).
         self._entries: OrderedDict[
-            tuple, tuple[tuple[tuple[str, int], ...], OptimizedQuery]
+            tuple,
+            tuple[
+                tuple[tuple[str, int], ...], OptimizedQuery, float | None
+            ],
         ] = OrderedDict()
         self._lock = threading.Lock()
         self.stats = PlanCacheStats()
@@ -79,8 +106,14 @@ class PlanCache:
 
         def freeze(value: object) -> object:
             if isinstance(value, dict):
+                # Sort by repr like the set branch: mixed-type keys
+                # (e.g. ``{1: ..., "a": ...}``) are unorderable and a
+                # plain sorted() turned a cache lookup into a TypeError.
                 return tuple(
-                    sorted((k, freeze(v)) for k, v in value.items())
+                    sorted(
+                        ((k, freeze(v)) for k, v in value.items()),
+                        key=lambda item: (repr(item[0]), repr(item[1])),
+                    )
                 )
             if isinstance(value, (list, tuple)):
                 return tuple(freeze(v) for v in value)
@@ -124,6 +157,7 @@ class PlanCache:
         self,
         query: MiningQuery,
         catalog: ModelCatalog,
+        calibrated: "SelectivityEstimator | None" = None,
         **optimize_kwargs,
     ) -> OptimizedQuery:
         """Return a cached plan if every referenced model is unchanged.
@@ -134,34 +168,85 @@ class PlanCache:
         so the same query under different optimizer settings is a *miss*
         (re-optimized), never a silent replay of a plan built with other
         settings.
+
+        ``calibrated``, when given, enables divergence-triggered
+        invalidation: a hit whose recorded estimate (see
+        :meth:`record_estimate`) diverges from
+        ``calibrated(plan.pushable_predicate)`` by more than the
+        recalibration threshold is dropped and re-optimized — the plan
+        was kept under selectivity assumptions the measured traffic has
+        since contradicted.  Counted as ``plan_cache.recalibration``.
         """
         key = self._fingerprint(query, optimize_kwargs)
         versions = self._model_versions(query, catalog)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
-                cached_versions, plan = cached
-                if cached_versions == versions:
+                cached_versions, plan, estimate = cached
+                if cached_versions != versions:
+                    del self._entries[key]
+                    self.stats.invalidations += 1
+                    obs.add_counter("plan_cache.invalidation")
+                elif self._diverged(plan, estimate, calibrated):
+                    del self._entries[key]
+                    self.stats.recalibrations += 1
+                    obs.add_counter("plan_cache.recalibration")
+                else:
                     self._entries.move_to_end(key)
                     self.stats.hits += 1
                     obs.add_counter("plan_cache.hit")
                     return plan
-                del self._entries[key]
-                self.stats.invalidations += 1
-                obs.add_counter("plan_cache.invalidation")
             self.stats.misses += 1
             obs.add_counter("plan_cache.miss")
         # Optimize outside the lock: misses on different queries must not
         # serialize behind each other in the serving path.
         plan = optimize(query, catalog, **optimize_kwargs)
         with self._lock:
-            self._entries[key] = (versions, plan)
+            self._entries[key] = (versions, plan, None)
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
                 obs.add_counter("plan_cache.evict")
         return plan
+
+    def _diverged(
+        self,
+        plan: OptimizedQuery,
+        estimate: float | None,
+        calibrated: "SelectivityEstimator | None",
+    ) -> bool:
+        """Whether a cached plan's recorded estimate is no longer credible."""
+        if calibrated is None or estimate is None:
+            return False
+        try:
+            current = calibrated(plan.pushable_predicate)
+        except Exception:
+            # A calibration overlay must never turn a cache hit into a
+            # crash; an unestimable predicate simply keeps the plan.
+            return False
+        return abs(float(current) - estimate) > self._recalibration_threshold
+
+    def record_estimate(
+        self,
+        query: MiningQuery,
+        catalog: ModelCatalog,
+        estimate: float,
+        **optimize_kwargs,
+    ) -> None:
+        """Attach the selectivity estimate a cached plan was executed under.
+
+        The executor calls this after computing the pushable predicate's
+        estimated selectivity; the recorded value is what later lookups
+        compare the calibrated truth against.  A no-op when the entry
+        has since been evicted or replaced by a different-version plan.
+        """
+        key = self._fingerprint(query, optimize_kwargs)
+        versions = self._model_versions(query, catalog)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None and cached[0] == versions:
+                self._entries[key] = (cached[0], cached[1], float(estimate))
 
     def __len__(self) -> int:
         with self._lock:

@@ -46,6 +46,19 @@ def _is_numeric(value: object) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _value_key(value: Value) -> tuple[bool, Value]:
+    """Dict key distinguishing bool from numeric the way ``_is_numeric`` does.
+
+    Python dicts treat ``True == 1 == 1.0`` as one key, so a plain
+    ``top_values[value]`` lookup on a bool column answered
+    ``equality_selectivity(1)`` with ``True``'s frequency (and vice
+    versa), and a sample containing both merged their counts.  Tagging
+    the key with ``isinstance(value, bool)`` keeps the two apart while
+    preserving the intended ``1 == 1.0`` numeric merging.
+    """
+    return (isinstance(value, bool), value)
+
+
 @dataclass(frozen=True)
 class ColumnStats:
     """Summary of one column built from a sample."""
@@ -53,13 +66,16 @@ class ColumnStats:
     name: str
     sample_size: int
     distinct: int
-    top_values: dict[Value, float]
+    #: Most-common-value frequencies keyed by :func:`_value_key` (the
+    #: bool tag keeps ``True`` and ``1`` as distinct values).
+    top_values: dict[tuple[bool, Value], float]
     #: Sorted numeric sample quantile boundaries (numeric columns only).
     boundaries: tuple[float, ...] | None
 
     def equality_selectivity(self, value: Value) -> float:
-        if value in self.top_values:
-            return self.top_values[value]
+        key = _value_key(value)
+        if key in self.top_values:
+            return self.top_values[key]
         if self.distinct == 0:
             return 0.0
         # A value absent from the sample can only claim the probability
@@ -139,13 +155,16 @@ def build_column_stats(name: str, values: Sequence[Value]) -> ColumnStats:
     """Build stats for one column from sampled values."""
     if not values:
         raise DatabaseError(f"no sample values for column {name!r}")
-    counts: dict[Value, int] = {}
+    counts: dict[tuple[bool, Value], int] = {}
     for value in values:
-        counts[value] = counts.get(value, 0) + 1
+        key = _value_key(value)
+        counts[key] = counts.get(key, 0) + 1
     total = len(values)
-    common = sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    common = sorted(
+        counts.items(), key=lambda kv: (-kv[1], str(kv[0][1]), kv[0][0])
+    )
     top_values = {
-        value: count / total for value, count in common[:_TOP_VALUES]
+        key: count / total for key, count in common[:_TOP_VALUES]
     }
     # Booleans are ints to isinstance() but not to a histogram: a column
     # of True/False must not masquerade as numeric boundaries.
@@ -248,24 +267,33 @@ def record_estimator_accuracy(
     estimated: float,
     actual: float,
     rows_total: int,
+    static_estimated: float | None = None,
 ) -> None:
     """Log one estimated-vs-actual selectivity pair to the trace.
 
-    ``estimated`` comes from :func:`estimate_selectivity` before execution;
-    ``actual`` is the measured fraction of rows satisfying ``predicate``
-    after execution.  ``trace-report`` aggregates the absolute errors into
-    quantiles — the estimate-vs-actual feedback loop semantic-predicate
-    optimizers use to reorder expensive predicates.
+    ``estimated`` is the estimate the optimizer *acted on* (the
+    calibrated overlay when calibration is active); ``actual`` is the
+    measured fraction of rows satisfying ``predicate`` after execution.
+    ``static_estimated``, when given, is the uncalibrated estimate for
+    the same predicate — ``trace-report``'s Calibration section pairs
+    the two into before/after absolute-error quantiles, the
+    estimate-vs-actual feedback loop semantic-predicate optimizers use
+    to reorder expensive predicates.
     """
-    obs.record(
-        "estimator_accuracy",
-        table=table,
-        predicate=repr(predicate),
-        estimated=float(estimated),
-        actual=float(actual),
-        rows_total=int(rows_total),
-        abs_error=abs(float(estimated) - float(actual)),
-    )
+    fields = {
+        "table": table,
+        "predicate": repr(predicate),
+        "estimated": float(estimated),
+        "actual": float(actual),
+        "rows_total": int(rows_total),
+        "abs_error": abs(float(estimated) - float(actual)),
+    }
+    if static_estimated is not None:
+        fields["static_estimated"] = float(static_estimated)
+        fields["static_abs_error"] = abs(
+            float(static_estimated) - float(actual)
+        )
+    obs.record("estimator_accuracy", **fields)
 
 
 def _comparison_selectivity(stats: TableStats, pred: Comparison) -> float:

@@ -39,10 +39,11 @@ from repro.sql.planner import (
     capture_plan,
 )
 from repro import obs
+from repro.sql.calibration import CalibratedEstimator, CalibrationStore
 from repro.sql.schema import TableSchema
 from repro.sql.stats import (
+    TableStats,
     build_table_stats,
-    estimate_selectivity,
     record_estimator_accuracy,
 )
 from repro.workload.measurement import QueryMeasurement
@@ -126,12 +127,26 @@ def run_family(
     index_budget: int = 8,
     repeats: int = 2,
     max_envelope_atoms: int = 450,
+    calibration: CalibrationStore | None = None,
+    stats_cache: dict[str, TableStats] | None = None,
 ) -> list[QueryMeasurement]:
     """Measure every class of one model on an already-loaded dataset.
 
     Indexes from previous families are dropped first; the advisor then tunes
     for this family's workload, exactly as the paper runs the Tuning Wizard
     per (data set, mining model) combination.
+
+    ``calibration``, when given, closes the estimator loop: the gate
+    decision uses the calibrated overlay estimate, and every measured
+    envelope selectivity is fed back into the store — a repeated run
+    gates from observation instead of the static independence model.
+    Calibration only moves the gate (a physical decision); measured rows
+    and selectivities are unaffected.
+
+    ``stats_cache``, shared across repeated calls, keeps the statistics
+    snapshot (and its version) stable between passes — calibration
+    overlays are version-guarded, so without a shared snapshot each pass
+    would restart the EWMA instead of refining it.
     """
     db = loaded.db
     table = loaded.table
@@ -141,8 +156,16 @@ def run_family(
     tune_for_workload(db, table, workload, budget=index_budget)
     loaded.measure_scan(repeats=repeats)
 
-    sample = db.sample_rows(table, 10_000)
-    stats = build_table_stats(table, sample, row_count=loaded.rows_total)
+    if stats_cache is not None and table in stats_cache:
+        stats = stats_cache[table]
+    else:
+        sample = db.sample_rows(table, 10_000)
+        stats = build_table_stats(
+            table, sample, row_count=loaded.rows_total
+        )
+        if stats_cache is not None:
+            stats_cache[table] = stats
+    estimator = CalibratedEstimator(stats, calibration)
     selectivities = original_selectivities(loaded.dataset, model)
 
     measurements: list[QueryMeasurement] = []
@@ -156,7 +179,7 @@ def run_family(
             query_seconds = 0.0
             envelope_selectivity = 0.0
         else:
-            estimated = estimate_selectivity(stats, predicate)
+            estimated = estimator(predicate)
             too_unselective = (
                 selectivity_gate is not None
                 and estimated > selectivity_gate
@@ -189,6 +212,18 @@ def run_family(
                     estimated,
                     envelope_selectivity,
                     loaded.rows_total,
+                    static_estimated=estimator.static(envelope.predicate),
+                )
+            if calibration is not None:
+                # Feed the measured selectivity back even when the gate
+                # stripped the envelope — gating decisions converge from
+                # observation on the next pass either way.
+                calibration.observe(
+                    table,
+                    envelope.predicate,
+                    estimated,
+                    envelope_selectivity,
+                    stats.version,
                 )
         plan_changed = (
             plan.is_constant or plan.access_path is not baseline_plan_path

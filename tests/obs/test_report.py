@@ -160,3 +160,63 @@ class TestFormatReport:
         )
         text = obs.format_report(obs.summarize(tmp_path))
         assert "(none)" in text
+
+
+class TestCalibrationSection:
+    def _payloads(self):
+        return [
+            {"type": "counter", "name": "calibration.observation", "value": 4},
+            {"type": "counter", "name": "calibration.overlay.hit", "value": 3},
+            {"type": "counter", "name": "calibration.overlay.miss", "value": 1},
+            {"type": "counter", "name": "plan_cache.recalibration", "value": 2},
+            {
+                "type": "estimator_accuracy",
+                "estimated": 0.30,
+                "actual": 0.30,
+                "static_estimated": 0.10,
+            },
+            {
+                "type": "estimator_accuracy",
+                "estimated": 0.50,
+                "actual": 0.45,
+                "static_estimated": 0.90,
+            },
+            # No static_estimated: counts toward the overall quantiles
+            # but not the before/after pairs.
+            {"type": "estimator_accuracy", "estimated": 0.2, "actual": 0.2},
+        ]
+
+    def test_calibration_stats(self, tmp_path):
+        write_trace(tmp_path / "trace_a.jsonl", self._payloads())
+        summary = obs.summarize(tmp_path)
+        calibration = summary.calibration()
+        assert calibration["observations"] == 4
+        assert calibration["overlay_hits"] == 3
+        assert calibration["overlay_misses"] == 1
+        assert calibration["recalibrations"] == 2
+        assert calibration["overlay_hit_rate"] == pytest.approx(0.75)
+        assert calibration["paired_records"] == 2
+        # Static errors: |0.1-0.3|=0.2, |0.9-0.45|=0.45; calibrated:
+        # 0.0 and 0.05 — calibration shrank both quantiles.
+        assert calibration["static_p50"] == pytest.approx(0.325)
+        assert calibration["calibrated_p50"] == pytest.approx(0.025)
+        assert calibration["calibrated_p90"] < calibration["static_p90"]
+        assert summary.estimator_records == 3
+
+    def test_report_renders_calibration_section(self, tmp_path):
+        write_trace(tmp_path / "trace_a.jsonl", self._payloads())
+        output = obs.format_report(obs.summarize(tmp_path))
+        assert "Calibration:" in output
+        assert "observations=4" in output
+        assert "recalibrations=2" in output
+        assert "overlay hit rate: 75.0%" in output
+        assert "paired records" in output
+
+    def test_no_calibration_no_section(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_a.jsonl",
+            [{"type": "counter", "name": "plan_cache.hit", "value": 1}],
+        )
+        summary = obs.summarize(tmp_path)
+        assert summary.calibration() == {}
+        assert "Calibration:" not in obs.format_report(summary)

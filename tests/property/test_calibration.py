@@ -1,0 +1,193 @@
+"""Property tests for the calibrated-estimator feedback loop.
+
+Four invariants over hypothesis-generated tables, predicate trees, and
+observation sequences:
+
+* a calibrated estimate always lands in ``[0, 1]``, whatever the store
+  holds;
+* with zero observations the calibrated estimate *is* the static
+  estimate (an empty store is exactly the open loop);
+* repeated observation of a stable fraction converges the estimate to
+  that fraction (EWMA fixed point);
+* calibration never changes query results — the executor returns the
+  same rows open- and closed-loop, pass after pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.catalog import ModelCatalog
+from repro.core.optimizer import MiningQuery
+from repro.core.predicates import (
+    Comparison,
+    InSet,
+    Not,
+    Op,
+    conjunction,
+)
+from repro.core.rewrite import PredictionEquals
+from repro.mining.decision_tree import DecisionTreeLearner
+from repro.sql.calibration import CalibratedEstimator, CalibrationStore
+from repro.sql.database import Database, load_table
+from repro.sql.miningext import PredictionJoinExecutor
+from repro.sql.plancache import PlanCache
+from repro.sql.stats import build_table_stats, estimate_selectivity
+
+from tests.conftest import CUSTOMER_FEATURES, make_customer_rows
+
+COLUMNS = ("a", "b", "flag")
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    rows = [
+        {
+            "a": draw(st.integers(min_value=-5, max_value=5)),
+            "b": draw(
+                st.floats(
+                    min_value=-10.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            ),
+            "flag": draw(st.booleans()),
+        }
+        for _ in range(n)
+    ]
+    return rows
+
+
+def atom_strategy():
+    numeric_comparison = st.builds(
+        Comparison,
+        st.sampled_from(COLUMNS),
+        st.sampled_from(list(Op)),
+        st.integers(min_value=-6, max_value=6),
+    )
+    inset = st.builds(
+        InSet,
+        st.sampled_from(COLUMNS),
+        st.frozensets(
+            st.integers(min_value=-6, max_value=6), min_size=1, max_size=4
+        ),
+    )
+    return st.one_of(numeric_comparison, inset)
+
+
+def predicate_strategy():
+    return st.recursive(
+        atom_strategy(),
+        lambda children: st.one_of(
+            st.builds(Not, children),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda ops: conjunction(ops)
+            ),
+        ),
+        max_leaves=6,
+    )
+
+
+def fractions():
+    return st.floats(
+        min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+    )
+
+
+class TestCalibratedEstimateBounds:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows=tables(),
+        predicate=predicate_strategy(),
+        observed=st.lists(fractions(), min_size=0, max_size=5),
+    )
+    def test_estimate_within_unit_interval(self, rows, predicate, observed):
+        stats = build_table_stats("t", rows)
+        store = CalibrationStore()
+        for fraction in observed:
+            store.observe("t", predicate, 0.5, fraction, stats.version)
+        estimator = CalibratedEstimator(stats, store)
+        assert 0.0 <= estimator(predicate) <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=tables(), predicate=predicate_strategy())
+    def test_empty_store_equals_static(self, rows, predicate):
+        stats = build_table_stats("t", rows)
+        estimator = CalibratedEstimator(stats, CalibrationStore())
+        assert estimator(predicate) == estimate_selectivity(
+            stats, predicate
+        )
+        assert estimator.static(predicate) == estimate_selectivity(
+            stats, predicate
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows=tables(),
+        predicate=predicate_strategy(),
+        fraction=fractions(),
+        repeats=st.integers(min_value=1, max_value=6),
+    )
+    def test_converges_to_observed_fraction(
+        self, rows, predicate, fraction, repeats
+    ):
+        """A stable measured fraction is the EWMA's fixed point: the
+        very first observation seeds it, repeats leave it there."""
+        stats = build_table_stats("t", rows)
+        store = CalibrationStore()
+        for _ in range(repeats):
+            store.observe("t", predicate, 0.5, fraction, stats.version)
+        estimator = CalibratedEstimator(stats, store)
+        assert estimator(predicate) == pytest.approx(fraction)
+
+
+class TestCalibrationNeverChangesResults:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rows = make_customer_rows(200, seed=13)
+        feature_rows = [
+            {c: row[c] for c in CUSTOMER_FEATURES} for row in rows
+        ]
+        db = Database()
+        load_table(db, "customers", feature_rows)
+        catalog = ModelCatalog()
+        catalog.register(
+            DecisionTreeLearner(
+                CUSTOMER_FEATURES, "risk", max_depth=5, name="m"
+            ).fit(rows)
+        )
+        yield db, catalog
+        db.close()
+
+    @pytest.mark.parametrize("label", ["low", "medium", "high"])
+    @pytest.mark.parametrize("gate", [None, 0.2, 0.001])
+    def test_rows_identical_open_and_closed_loop(self, setup, label, gate):
+        """Whatever the gate and however often the loop has run, the
+        result rows match the uncalibrated executor's exactly."""
+        db, catalog = setup
+        query = MiningQuery(
+            "customers",
+            relational_predicate=Comparison("age", Op.GT, 25),
+            mining_predicates=(PredictionEquals("m", label),),
+        )
+        open_loop = PredictionJoinExecutor(
+            db, catalog, selectivity_gate=gate
+        )
+        closed_loop = PredictionJoinExecutor(
+            db,
+            catalog,
+            selectivity_gate=gate,
+            plan_cache=PlanCache(),
+            calibration=CalibrationStore(),
+        )
+        expected = sorted(
+            map(repr, open_loop.execute_optimized(query).rows)
+        )
+        for _ in range(4):
+            got = sorted(
+                map(repr, closed_loop.execute_optimized(query).rows)
+            )
+            assert got == expected

@@ -67,3 +67,70 @@ class TestAdmissionController:
     def test_rejects_bad_default_timeout(self):
         with pytest.raises(ValueError, match="default_timeout"):
             AdmissionController(max_pending=1, default_timeout=0)
+
+
+class TestQueueDepthGauge:
+    """The ``serve.queue.depth`` gauge is published under the lock, so
+    its sequence must mirror the depth transitions exactly — the old
+    publish-after-release could interleave and strand a stale value."""
+
+    def _record_gauges(self, monkeypatch):
+        from repro import obs
+        from repro.serve import admission
+
+        published: list[tuple[str, float]] = []
+
+        def capture(name: str, value: float) -> None:
+            published.append((name, value))
+
+        # Patch both the obs package attribute and the module alias the
+        # controller resolves at call time.
+        monkeypatch.setattr(obs, "set_gauge", capture)
+        monkeypatch.setattr(admission.obs, "set_gauge", capture)
+        return published
+
+    def test_gauge_tracks_every_transition(self, monkeypatch):
+        published = self._record_gauges(monkeypatch)
+        controller = AdmissionController(max_pending=4)
+        controller.admit()
+        controller.admit()
+        controller.release()
+        controller.admit()
+        controller.release()
+        controller.release()
+        values = [
+            value
+            for name, value in published
+            if name == "serve.queue.depth"
+        ]
+        assert values == [1, 2, 1, 2, 1, 0]
+
+    def test_gauge_is_monotone_consistent_under_threads(self, monkeypatch):
+        """Concurrent admit/release must publish a sequence of depths
+        that only ever steps by +-1, stays within bounds, and ends at
+        zero — impossible if publishes raced outside the lock."""
+        import threading
+
+        published = self._record_gauges(monkeypatch)
+        controller = AdmissionController(max_pending=64)
+
+        def worker() -> None:
+            for _ in range(100):
+                controller.admit()
+                controller.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        values = [
+            value
+            for name, value in published
+            if name == "serve.queue.depth"
+        ]
+        assert len(values) == 8 * 100 * 2
+        assert values[-1] == 0
+        assert all(0 <= value <= 64 for value in values)
+        for before, after in zip(values, values[1:]):
+            assert abs(after - before) == 1

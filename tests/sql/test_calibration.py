@@ -1,0 +1,330 @@
+"""The estimator feedback loop: store, overlay, plan recalibration."""
+
+import threading
+
+import pytest
+
+from repro.core.catalog import ModelCatalog
+from repro.core.optimizer import MiningQuery
+from repro.core.predicates import And, Comparison, Op
+from repro.core.rewrite import PredictionEquals
+from repro.mining.decision_tree import DecisionTreeLearner
+from repro.sql.calibration import (
+    CalibratedEstimator,
+    CalibrationStore,
+)
+from repro.sql.database import Database, load_table
+from repro.sql.miningext import PredictionJoinExecutor
+from repro.sql.plancache import PlanCache
+from repro.sql.stats import build_table_stats, estimate_selectivity
+
+from tests.conftest import CUSTOMER_FEATURES, make_customer_rows
+
+PRED = Comparison("age", Op.LT, 40)
+OTHER = Comparison("income", Op.GT, 50_000.0)
+
+
+@pytest.fixture()
+def stats():
+    rows = [
+        {"age": age, "income": 1000.0 * age} for age in range(20, 70)
+    ]
+    return build_table_stats("t", rows)
+
+
+class TestCalibrationStore:
+    def test_observe_then_lookup(self, stats):
+        store = CalibrationStore()
+        store.observe("t", PRED, 0.5, 0.25, stats.version)
+        entry = store.lookup("t", PRED, stats_version=stats.version)
+        assert entry is not None
+        assert entry.ewma == 0.25
+        assert entry.observations == 1
+        assert entry.abs_error == 0.25
+
+    def test_lookup_unknown_predicate(self, stats):
+        store = CalibrationStore()
+        assert store.lookup("t", PRED) is None
+
+    def test_ewma_converges(self, stats):
+        store = CalibrationStore(alpha=0.5)
+        store.observe("t", PRED, 0.5, 0.0, stats.version)
+        store.observe("t", PRED, 0.5, 1.0, stats.version)
+        entry = store.lookup("t", PRED)
+        assert entry.ewma == 0.5  # 0.5*1.0 + 0.5*0.0
+        assert entry.observations == 2
+
+    def test_stats_version_mismatch_restarts_ewma(self, stats):
+        store = CalibrationStore()
+        store.observe("t", PRED, 0.5, 0.2, stats_version=1)
+        store.observe("t", PRED, 0.5, 0.8, stats_version=2)
+        entry = store.lookup("t", PRED)
+        # Not an EWMA blend: the old snapshot's observations are gone.
+        assert entry.ewma == 0.8
+        assert entry.observations == 1
+        assert store.stats.resets == 1
+
+    def test_lookup_guards_stats_version(self, stats):
+        store = CalibrationStore()
+        store.observe("t", PRED, 0.5, 0.2, stats_version=1)
+        assert store.lookup("t", PRED, stats_version=2) is None
+        assert store.lookup("t", PRED, stats_version=1) is not None
+
+    def test_min_observations_gate(self, stats):
+        store = CalibrationStore(min_observations=2)
+        store.observe("t", PRED, 0.5, 0.2, stats.version)
+        assert store.lookup("t", PRED) is None
+        store.observe("t", PRED, 0.5, 0.2, stats.version)
+        assert store.lookup("t", PRED) is not None
+
+    def test_lru_eviction(self, stats):
+        store = CalibrationStore(capacity=2)
+        store.observe("t", PRED, 0.5, 0.2, stats.version)
+        store.observe("t", OTHER, 0.5, 0.3, stats.version)
+        store.observe("t", And((PRED, OTHER)), 0.5, 0.1, stats.version)
+        assert len(store) == 2
+        assert store.stats.evictions == 1
+        assert store.lookup("t", PRED) is None  # the oldest went
+
+    def test_generation_bumps_on_shift_only(self, stats):
+        store = CalibrationStore()
+        before = store.generation
+        store.observe("t", PRED, 0.5, 0.25, stats.version)
+        after_first = store.generation
+        assert after_first > before
+        # Re-observing the same fraction moves the EWMA by zero: no bump.
+        store.observe("t", PRED, 0.5, 0.25, stats.version)
+        assert store.generation == after_first
+        store.observe("t", PRED, 0.5, 0.75, stats.version)
+        assert store.generation > after_first
+
+    def test_concurrent_observe(self, stats):
+        store = CalibrationStore()
+        errors: list[Exception] = []
+
+        def worker(fraction: float) -> None:
+            try:
+                for _ in range(200):
+                    store.observe("t", PRED, 0.5, fraction, stats.version)
+                    store.lookup("t", PRED)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i / 8,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert store.stats.observations == 1600
+        entry = store.lookup("t", PRED)
+        assert 0.0 <= entry.ewma <= 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"capacity": 0},
+            {"min_observations": 0},
+        ],
+    )
+    def test_rejects_bad_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            CalibrationStore(**kwargs)
+
+
+class TestCalibratedEstimator:
+    def test_no_store_is_static(self, stats):
+        estimator = CalibratedEstimator(stats, None)
+        assert estimator(PRED) == estimate_selectivity(stats, PRED)
+        assert estimator.stats_version == (stats.version, 0)
+
+    def test_zero_observations_is_static(self, stats):
+        estimator = CalibratedEstimator(stats, CalibrationStore())
+        assert estimator(PRED) == estimate_selectivity(stats, PRED)
+
+    def test_overlay_applies_after_observation(self, stats):
+        store = CalibrationStore()
+        store.observe("t", PRED, 0.5, 0.125, stats.version)
+        estimator = CalibratedEstimator(stats, store)
+        assert estimator(PRED) == 0.125
+        # The static estimate stays reachable for before/after reporting.
+        assert estimator.static(PRED) == estimate_selectivity(stats, PRED)
+        # An unobserved predicate still answers statically.
+        assert estimator(OTHER) == estimate_selectivity(stats, OTHER)
+
+    def test_stale_observation_not_applied(self, stats):
+        store = CalibrationStore()
+        store.observe("t", PRED, 0.5, 0.125, stats.version + 1)
+        estimator = CalibratedEstimator(stats, store)
+        assert estimator(PRED) == estimate_selectivity(stats, PRED)
+
+    def test_memo_token_tracks_generation(self, stats):
+        """The plan-once operand-ordering memo keys on ``stats_version``:
+        a calibration shift must produce a fresh token."""
+        store = CalibrationStore()
+        first = CalibratedEstimator(stats, store).stats_version
+        store.observe("t", PRED, 0.5, 0.25, stats.version)
+        second = CalibratedEstimator(stats, store).stats_version
+        assert first != second
+        # No shift, no re-plan: the token is stable.
+        assert CalibratedEstimator(stats, store).stats_version == second
+
+
+@pytest.fixture()
+def catalog():
+    rows = make_customer_rows(150, seed=21)
+    catalog = ModelCatalog()
+    catalog.register(
+        DecisionTreeLearner(
+            CUSTOMER_FEATURES, "risk", max_depth=4, name="m"
+        ).fit(rows)
+    )
+    return catalog
+
+
+QUERY = MiningQuery(
+    "customers", mining_predicates=(PredictionEquals("m", "high"),)
+)
+
+
+class TestPlanCacheRecalibration:
+    def test_divergence_drops_cached_plan(self, catalog, stats):
+        cache = PlanCache(recalibration_threshold=0.05)
+        plan = cache.get_or_optimize(QUERY, catalog)
+        cache.record_estimate(QUERY, catalog, 0.5)
+
+        class Far:
+            stats_version = (stats.version, 1)
+
+            def __call__(self, predicate):
+                return 0.9
+
+        refreshed = cache.get_or_optimize(QUERY, catalog, calibrated=Far())
+        assert cache.stats.recalibrations == 1
+        assert cache.stats.misses == 2
+        # The re-optimized plan is equivalent (same inputs), just rebuilt.
+        assert refreshed.pushable_predicate == plan.pushable_predicate
+
+    def test_close_estimate_keeps_plan(self, catalog):
+        cache = PlanCache(recalibration_threshold=0.05)
+        plan = cache.get_or_optimize(QUERY, catalog)
+        cache.record_estimate(QUERY, catalog, 0.5)
+
+        class Near:
+            def __call__(self, predicate):
+                return 0.52
+
+        again = cache.get_or_optimize(QUERY, catalog, calibrated=Near())
+        assert again is plan
+        assert cache.stats.recalibrations == 0
+        assert cache.stats.hits == 1
+
+    def test_no_recorded_estimate_never_diverges(self, catalog):
+        cache = PlanCache()
+        plan = cache.get_or_optimize(QUERY, catalog)
+
+        class Any:
+            def __call__(self, predicate):
+                return 0.0
+
+        assert cache.get_or_optimize(QUERY, catalog, calibrated=Any()) is plan
+        assert cache.stats.recalibrations == 0
+
+    def test_estimator_exception_keeps_plan(self, catalog):
+        cache = PlanCache()
+        plan = cache.get_or_optimize(QUERY, catalog)
+        cache.record_estimate(QUERY, catalog, 0.5)
+
+        class Broken:
+            def __call__(self, predicate):
+                raise RuntimeError("no stats for you")
+
+        assert (
+            cache.get_or_optimize(QUERY, catalog, calibrated=Broken())
+            is plan
+        )
+        assert cache.stats.recalibrations == 0
+
+    def test_record_estimate_after_eviction_is_noop(self, catalog):
+        cache = PlanCache(capacity=1)
+        cache.get_or_optimize(QUERY, catalog)
+        other = MiningQuery(
+            "customers",
+            relational_predicate=Comparison("age", Op.LT, 30),
+            mining_predicates=(PredictionEquals("m", "high"),),
+        )
+        cache.get_or_optimize(other, catalog)  # evicts QUERY's entry
+        cache.record_estimate(QUERY, catalog, 0.5)  # must not resurrect
+        assert len(cache) == 1
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="recalibration_threshold"):
+            PlanCache(recalibration_threshold=0.0)
+
+
+class TestExecutorFeedbackLoop:
+    @pytest.fixture()
+    def setup(self):
+        rows = make_customer_rows(200, seed=5)
+        feature_rows = [
+            {c: row[c] for c in CUSTOMER_FEATURES} for row in rows
+        ]
+        db = Database()
+        load_table(db, "customers", feature_rows)
+        catalog = ModelCatalog()
+        catalog.register(
+            DecisionTreeLearner(
+                CUSTOMER_FEATURES, "risk", max_depth=4, name="m"
+            ).fit(rows)
+        )
+        yield db, catalog
+        db.close()
+
+    def test_second_run_estimates_from_observation(self, setup):
+        db, catalog = setup
+        store = CalibrationStore()
+        executor = PredictionJoinExecutor(
+            db,
+            catalog,
+            selectivity_gate=None,
+            plan_cache=PlanCache(),
+            calibration=store,
+        )
+        query = MiningQuery(
+            "customers", mining_predicates=(PredictionEquals("m", "high"),)
+        )
+        first = executor.execute_optimized(query)
+        assert first.actual_selectivity is not None
+        assert store.stats.observations == 1
+        second = executor.execute_optimized(query)
+        # The pushed predicate was observed once; the second pass's
+        # estimate is that observation, so its error is exactly zero.
+        assert second.estimated_selectivity == pytest.approx(
+            second.actual_selectivity
+        )
+        assert second.rows == first.rows
+
+    def test_calibration_never_changes_rows(self, setup):
+        db, catalog = setup
+        query = MiningQuery(
+            "customers", mining_predicates=(PredictionEquals("m", "high"),)
+        )
+        open_loop = PredictionJoinExecutor(db, catalog)
+        closed_loop = PredictionJoinExecutor(
+            db,
+            catalog,
+            plan_cache=PlanCache(),
+            calibration=CalibrationStore(),
+        )
+        expected = sorted(
+            map(repr, open_loop.execute_optimized(query).rows)
+        )
+        for _ in range(3):
+            got = sorted(
+                map(repr, closed_loop.execute_optimized(query).rows)
+            )
+            assert got == expected

@@ -154,3 +154,25 @@ class TestPlanCache:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             PlanCache(capacity=0)
+
+
+class TestCanonicalKwargs:
+    def test_mixed_type_dict_keys_do_not_raise(self):
+        """``sorted()`` over ``{1: ..., "a": ...}.items()`` raised
+        TypeError (int vs str comparison) and turned a cache lookup into
+        a crash; keys now sort by repr like the set branch."""
+        key = PlanCache._canonical_kwargs({"options": {1: "x", "a": 2}})
+        assert key == PlanCache._canonical_kwargs(
+            {"options": {"a": 2, 1: "x"}}
+        )
+
+    def test_distinct_mixed_key_dicts_are_distinct(self):
+        assert PlanCache._canonical_kwargs(
+            {"options": {1: "x"}}
+        ) != PlanCache._canonical_kwargs({"options": {"1": "x"}})
+
+    def test_nested_values_still_frozen(self):
+        key = PlanCache._canonical_kwargs(
+            {"options": {1: [1, 2], "a": {3, 4}}}
+        )
+        assert hash(key) is not None

@@ -204,3 +204,46 @@ class TestBoolColumns:
         stats = build_column_stats("flag", [True, False] * 50)
         got = stats.range_selectivity(0, 1, True, True)
         assert got == _GENERIC_SELECTIVITY
+
+
+class TestBoolIntKeyCollision:
+    """``True == 1 == 1.0`` as dict keys: top-value bookkeeping must
+    distinguish bool from numeric the way ``_is_numeric`` does."""
+
+    def test_mixed_bool_and_int_counts_stay_separate(self):
+        # 60x True, 40x 1: one dict key under plain hashing, which both
+        # merged the counts and answered either lookup with the blend.
+        stats = build_column_stats("m", [True] * 60 + [1] * 40)
+        assert stats.distinct == 2
+        assert stats.equality_selectivity(True) == pytest.approx(0.6)
+        assert stats.equality_selectivity(1) == pytest.approx(0.4)
+
+    def test_false_and_zero_stay_separate(self):
+        stats = build_column_stats("m", [False] * 30 + [0] * 70)
+        assert stats.equality_selectivity(False) == pytest.approx(0.3)
+        assert stats.equality_selectivity(0) == pytest.approx(0.7)
+
+    def test_int_float_merging_preserved(self):
+        # 1 == 1.0 is the *intended* numeric merge; only bool is special.
+        stats = build_column_stats("n", [1] * 50 + [1.0] * 50)
+        assert stats.distinct == 1
+        assert stats.equality_selectivity(1) == pytest.approx(1.0)
+        assert stats.equality_selectivity(1.0) == pytest.approx(1.0)
+
+    def test_bool_lookup_on_int_column_misses(self):
+        stats = build_column_stats("n", [1] * 100)
+        assert stats.equality_selectivity(1) == pytest.approx(1.0)
+        # True is a different value: it gets the unseen-value estimate,
+        # not the int's full frequency.
+        assert stats.equality_selectivity(True) < 1.0
+
+    def test_estimate_selectivity_over_mixed_column(self):
+        # Predicate constants cannot be bool (the predicate layer rejects
+        # them), but *data* can: an int-constant equality over a column
+        # holding mostly True must not inherit True's frequency.
+        rows = [{"flag": True} for _ in range(80)] + [
+            {"flag": 1} for _ in range(20)
+        ]
+        stats = build_table_stats("t", rows)
+        eq_one = estimate_selectivity(stats, Comparison("flag", Op.EQ, 1))
+        assert eq_one == pytest.approx(0.2)
