@@ -14,6 +14,8 @@ Usage::
     python -m repro bench-parallel      # serial-vs-parallel sweep timings
     python -m repro bench-vectorized    # scalar-vs-vectorized scoring
     python -m repro serve-bench --workers 4   # concurrent serving bench
+    python -m repro serve-bench --transport tcp --processes 2
+    python -m repro serve --port 7653 --duration 5   # TCP serving front-end
     python -m repro segment-bench --segments 1000  # shared-mask matching
     python -m repro disjunction-bench   # cached vs naive OR evaluation
     python -m repro calibration-bench   # estimator feedback convergence
@@ -61,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
             "bench-parallel",
             "bench-vectorized",
             "serve-bench",
+            "serve",
             "segment-bench",
             "disjunction-bench",
             "calibration-bench",
@@ -102,6 +105,42 @@ def main(argv: list[str] | None = None) -> int:
         default=400,
         metavar="N",
         help="serve-bench: requests per run (default: 400)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("inproc", "socketpair", "tcp", "all"),
+        default="all",
+        help="serve-bench: which transport adapters to replay the "
+        "schedule through (default: all)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve-bench: also run the multi-process router at "
+        "1/2/N worker processes (default: 0 = skip the router)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="serve: interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve: TCP port to bind (default: 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve: stop after this many seconds "
+        "(default: run until interrupted)",
     )
     parser.add_argument(
         "--segments",
@@ -271,16 +310,27 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 f"--requests must be >= 1, got {arguments.requests}"
             )
+        if arguments.processes < 0:
+            parser.error(
+                f"--processes must be >= 0, got {arguments.processes}"
+            )
         worker_counts = tuple(
             sorted({1, 2, arguments.workers} - {0})
         )
         worker_counts = tuple(
             w for w in worker_counts if w <= arguments.workers
         )
+        transports = (
+            ("inproc", "socketpair", "tcp")
+            if arguments.transport == "all"
+            else (arguments.transport,)
+        )
         report = run_serving_bench(
             config,
             workers=worker_counts,
             requests=arguments.requests,
+            transports=transports,
+            processes=arguments.processes,
         )
         serial = report["serial"]
         print(
@@ -301,10 +351,36 @@ def main(argv: list[str] | None = None) -> int:
             f"best speedup vs serial: "
             f"{report['best_speedup_vs_serial']:.2f}x"
         )
+        for entry in report["transports"]:
+            print(
+                f"transport={entry['transport']}: "
+                f"{entry['seconds']:.2f}s "
+                f"({entry['throughput_rps']:.1f} req/s, "
+                f"identical: {entry['identical_to_serial']})"
+            )
+        for entry in report["router"]:
+            print(
+                f"router processes={entry['processes']}: "
+                f"{entry['seconds']:.2f}s "
+                f"({entry['throughput_rps']:.1f} req/s, "
+                f"identical: {entry['identical_to_serial']})"
+            )
+        if report["transport_matrix"]:
+            identical = all(report["transport_matrix"].values())
+            print(
+                "transport matrix byte-identical: "
+                f"{identical} ({', '.join(sorted(report['transport_matrix']))})"
+            )
         with open("BENCH_serving.json", "w", encoding="utf-8") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
             stream.write("\n")
         print("wrote BENCH_serving.json")
+    if arguments.artifact == "serve":
+        if arguments.duration is not None and arguments.duration <= 0:
+            parser.error(
+                f"--duration must be > 0, got {arguments.duration}"
+            )
+        _serve_tcp(config, arguments)
     if arguments.artifact == "segment-bench":
         import json
 
@@ -416,6 +492,61 @@ def main(argv: list[str] | None = None) -> int:
         obs.flush()
         print(f"traces written to {arguments.trace}")
     return 0
+
+
+def _serve_tcp(
+    config: ExperimentConfig, arguments: argparse.Namespace
+) -> None:
+    """Stand up the TCP serving front-end over trained smoke models.
+
+    Trains and deploys the first dataset's decision-tree and naive-Bayes
+    models, loads the table, and serves framed-protocol requests on
+    ``--host``/``--port`` until ``--duration`` elapses (or forever).
+    """
+    import time
+
+    from repro.experiments import harness
+    from repro.serve.engine import ServeEngine
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.transport import TCPServer
+    from repro.workload.measurement import (
+        FAMILY_DECISION_TREE,
+        FAMILY_NAIVE_BAYES,
+    )
+    from repro.workload.runner import load_dataset
+
+    name = config.datasets[0]
+    dataset = harness.dataset_for(config, name)
+    loaded = load_dataset(dataset, config.rows_target)
+    registry = ModelRegistry(max_nodes=config.max_nodes)
+    for family in (FAMILY_DECISION_TREE, FAMILY_NAIVE_BAYES):
+        trained = harness.train_family(dataset, family, config)
+        registry.register(trained.model, deploy=True)
+    engine = ServeEngine(
+        loaded.db,
+        registry,
+        workers=arguments.workers,
+        selectivity_gate=config.selectivity_gate,
+    )
+    server = TCPServer(engine, host=arguments.host, port=arguments.port)
+    host, port = server.address
+    print(
+        f"serving {dataset.name} ({loaded.rows_total} rows, models: "
+        f"{', '.join(registry.deployed_names())}) on {host}:{port}"
+    )
+    try:
+        if arguments.duration is not None:
+            time.sleep(arguments.duration)
+        else:  # pragma: no cover - interactive mode
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        server.close()
+        engine.shutdown()
+        loaded.db.close()
+        print("serve: shut down cleanly")
 
 
 def _run_lifecycle(config: ExperimentConfig) -> None:

@@ -82,3 +82,15 @@ class RequestTimeoutError(ServeError):
 
 class ServiceStoppedError(ServeError):
     """The service is draining or stopped and accepts no new work."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame or payload violated the serving protocol."""
+
+
+class TransportError(ServeError):
+    """A transport connection failed before the request completed."""
+
+
+class WorkerCrashedError(TransportError):
+    """A router worker process died with the request in flight."""

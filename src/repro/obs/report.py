@@ -151,6 +151,32 @@ class TraceSummary:
             stats["coalescing_factor"] = stats["batch_requests"] / calls
         return stats
 
+    def transport(self) -> dict[str, float]:
+        """Transport-layer statistics from the ``serve.transport.*`` /
+        ``serve.router.*`` telemetry.
+
+        Empty when no byte transport ran.  Frame and byte counters are
+        summed across every shard (each router worker process writes its
+        own ``trace_serve_worker_<i>.jsonl``, merged deterministically
+        in sorted filename order), request counters are reported
+        per-transport under ``requests_<name>``, and ``respawns`` counts
+        router workers replaced after a crash.
+        """
+        stats: dict[str, float] = {}
+        for metric in ("frames.in", "frames.out", "bytes.in", "bytes.out"):
+            value = self.counters.get(f"serve.transport.{metric}")
+            if value is not None:
+                stats[metric.replace(".", "_")] = value
+        prefix = "serve.transport.requests."
+        for name in sorted(self.counters):
+            if name.startswith(prefix):
+                transport_name = name[len(prefix):]
+                stats[f"requests_{transport_name}"] = self.counters[name]
+        respawns = self.counters.get("serve.router.respawn")
+        if respawns is not None:
+            stats["respawns"] = respawns
+        return stats
+
     def disjunction(self) -> dict[str, float]:
         """Disjunction-execution statistics from ``ir.batch.*`` and
         ``sql.lowering.*`` telemetry.
@@ -526,6 +552,31 @@ def format_report(summary: TraceSummary, top: int = 25) -> str:
                 f"predict_batch calls "
                 f"({int(serving.get('batch_rows', 0))} rows, "
                 f"coalescing factor {factor:.2f})"
+            )
+        out.append("")
+    transport = summary.transport()
+    if transport:
+        out.append("Transport:")
+        frames_in = int(transport.get("frames_in", 0))
+        frames_out = int(transport.get("frames_out", 0))
+        bytes_in = int(transport.get("bytes_in", 0))
+        bytes_out = int(transport.get("bytes_out", 0))
+        if frames_in or frames_out:
+            out.append(
+                f"  frames: in={frames_in} out={frames_out} "
+                f"(bytes in={bytes_in} out={bytes_out})"
+            )
+        request_names = sorted(
+            key[len("requests_"):]
+            for key in transport
+            if key.startswith("requests_")
+        )
+        for name in request_names:
+            count = int(transport[f"requests_{name}"])
+            out.append(f"  requests[{name}]: {count}")
+        if "respawns" in transport:
+            out.append(
+                f"  worker respawns: {int(transport['respawns'])}"
             )
         out.append("")
     segments = summary.segments()

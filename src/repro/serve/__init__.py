@@ -3,7 +3,8 @@
 The ROADMAP's north star is serving mining predicates inside ordinary
 query traffic, not one-shot benchmark scripts.  This package is that
 serving path, assembled from the optimizer/executor stack the earlier
-PRs built:
+PRs built and split into engine / protocol / transport layers so *what
+the service does* is independent of *how bytes reach it*:
 
 * :mod:`repro.serve.registry` — :class:`ModelRegistry`: versioned
   ``register`` / ``deploy`` / ``retire`` of mining models.  Envelopes are
@@ -20,31 +21,66 @@ PRs built:
 * :mod:`repro.serve.batcher` — :class:`MicroBatcher`: coalesces residual
   model-scoring work from *concurrent* requests into shared
   ``predict_batch`` calls, bit-identical to per-request scoring.
-* :mod:`repro.serve.service` — :class:`QueryService`: the worker pool
-  tying it all together, with one shared
-  :class:`~repro.sql.plancache.PlanCache`, in-flight request collapsing,
-  and a drain/shutdown protocol.  Given a
+* :mod:`repro.serve.engine` — :class:`ServeEngine`: the
+  transport-neutral core (admission, in-flight collapsing,
+  micro-batching, segment matching, worker-pool execution over shared
+  caches) operating on typed request/response dataclasses
+  (:class:`QueryRequest`, :class:`MatchRequest`, and deploy/retire
+  control messages).
+* :mod:`repro.serve.protocol` — the versioned, length-prefixed framed
+  wire codec: every request kind and every typed
+  :class:`~repro.exceptions.ServeError` subclass round-trips.
+* :mod:`repro.serve.transport` — pluggable adapters over the engine:
+  in-process :class:`LoopbackTransport`, a socketpair transport
+  (:func:`serve_socketpair`), and a TCP transport whose accept loop is
+  a single-thread ``asyncio`` front-end (:class:`TCPServer` /
+  :func:`connect_tcp`).
+* :mod:`repro.serve.router` — :class:`ProcessRouter`: fans requests out
+  to N worker *processes* (one socketpair each), broadcasts
+  deploy/retire as version-stamped catalog messages, fails in-flight
+  requests of dead workers with typed errors, and respawns them.
+* :mod:`repro.serve.service` — :class:`QueryService`: the embedded
+  facade (the original public API), a thin veneer over
+  :class:`ServeEngine` through the loopback transport.  Given a
   :class:`~repro.segments.catalog.SegmentCatalog`, it also serves
   ``match_segments`` — the segment-matching workload of
   :mod:`repro.segments` — through the same admission controller,
   collapsing, and a dedicated match batcher.
 * :mod:`repro.serve.bench` — the ``serve-bench`` CLI artifact
-  (``BENCH_serving.json``).
+  (``BENCH_serving.json``), including the transport/router byte-identity
+  matrix.
 
 Everything emits ``serve.*`` spans/counters/gauges through
-:mod:`repro.obs`; ``trace-report`` renders them as a dedicated
-"Serving" section.
+:mod:`repro.obs`; ``trace-report`` renders them as dedicated "Serving"
+and "Transport" sections.
 """
 
 from repro.serve.admission import AdmissionController, Deadline
 from repro.serve.batcher import BatchingCatalog, MicroBatcher
-from repro.serve.pool import ConnectionPool
-from repro.serve.registry import ModelRegistry, ModelVersion, model_fingerprint
-from repro.serve.service import (
-    QueryService,
+from repro.serve.engine import (
+    DeployRequest,
+    DeployResult,
+    MatchRequest,
+    QueryRequest,
+    RetireRequest,
+    RetireResult,
     SegmentMatchResult,
+    ServeEngine,
     ServeResult,
     ServiceStats,
+)
+from repro.serve.pool import ConnectionPool
+from repro.serve.registry import ModelRegistry, ModelVersion, model_fingerprint
+from repro.serve.router import ProcessRouter
+from repro.serve.service import QueryService
+from repro.serve.transport import (
+    LoopbackTransport,
+    SocketServer,
+    SocketTransport,
+    TCPServer,
+    Transport,
+    connect_tcp,
+    serve_socketpair,
 )
 
 __all__ = [
@@ -52,12 +88,27 @@ __all__ = [
     "BatchingCatalog",
     "ConnectionPool",
     "Deadline",
+    "DeployRequest",
+    "DeployResult",
+    "LoopbackTransport",
+    "MatchRequest",
     "MicroBatcher",
     "ModelRegistry",
     "ModelVersion",
+    "ProcessRouter",
+    "QueryRequest",
     "QueryService",
+    "RetireRequest",
+    "RetireResult",
     "SegmentMatchResult",
+    "ServeEngine",
     "ServeResult",
     "ServiceStats",
+    "SocketServer",
+    "SocketTransport",
+    "TCPServer",
+    "Transport",
+    "connect_tcp",
     "model_fingerprint",
+    "serve_socketpair",
 ]

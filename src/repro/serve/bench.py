@@ -18,12 +18,24 @@ amortization, not parallelism: concurrent duplicates collapse onto
 in-flight executions, and the micro-batcher coalesces residual scoring
 into shared ``predict_batch`` calls.
 
+On top of the thread-scaling runs, the bench replays the same schedule
+through every **transport** (in-process loopback, socketpair, TCP) and
+through the multi-process **router** at 1/2/N worker processes, gating
+on byte-identical results everywhere: every configuration's result rows
+are digested over their canonical JSON and compared to the serial
+baseline's digest.  On a 1-CPU box the router buys no speedup — the
+matrix is a *determinism* gate (multicore cashes the speedup later),
+recorded in ``BENCH_serving.json`` under ``"transports"`` /
+``"router"`` / ``"transport_matrix"``.
+
 ``run_serving_bench`` returns the JSON-ready payload written to
 ``BENCH_serving.json`` by ``python -m repro serve-bench``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, wait
@@ -41,8 +53,20 @@ from repro.experiments.harness import (
     train_family,
 )
 from repro.exceptions import ReproError
+from repro.serve.engine import (
+    DeployRequest,
+    QueryRequest,
+    ServeEngine,
+)
 from repro.serve.registry import ModelRegistry
+from repro.serve.router import ProcessRouter
 from repro.serve.service import QueryService, ServeResult
+from repro.serve.transport import (
+    LoopbackTransport,
+    TCPServer,
+    connect_tcp,
+    serve_socketpair,
+)
 from repro.sql.miningext import PredictionJoinExecutor
 from repro.sql.plancache import PlanCache
 from repro.workload.measurement import (
@@ -124,6 +148,45 @@ def _latency_summary(latencies: list[float]) -> dict:
     }
 
 
+def rows_digest(results_rows: "list[tuple]") -> str:
+    """A canonical digest of an ordered result-set list.
+
+    Byte-identity across transports and process counts is asserted by
+    digest equality: every configuration's rows serialize to the same
+    canonical JSON (sorted keys, repr-exact floats) or the gate fails.
+    """
+    payload = json.dumps(
+        [[dict(row) for row in rows] for rows in results_rows],
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _router_bootstrap(
+    config: ExperimentConfig, dataset_name: str, max_pending: int
+):
+    """Build one worker's engine: fresh dataset, empty registry replica.
+
+    Top-level so the router can ship it to worker processes; the
+    dataset rebuild is deterministic (same config, same seed), and
+    models arrive afterwards as deploy broadcasts — the worker never
+    sees a pickled model object.
+    """
+    dataset = dataset_for(config, dataset_name)
+    loaded = load_dataset(dataset, config.rows_target)
+    registry = ModelRegistry(max_nodes=config.max_nodes)
+    return ServeEngine(
+        loaded.db,
+        registry,
+        workers=2,
+        max_pending=max_pending,
+        plan_cache=PlanCache(256),
+        selectivity_gate=config.selectivity_gate,
+    )
+
+
 def _run_serial(
     executor: PredictionJoinExecutor,
     queries: list[MiningQuery],
@@ -162,14 +225,45 @@ def _run_service(
     return results, time.perf_counter() - started
 
 
+def _run_transport(
+    transport,
+    queries: list[MiningQuery],
+    schedule: list[int],
+    window: int,
+) -> tuple[list[ServeResult], float]:
+    """Replay the schedule closed-loop through one transport adapter."""
+    requests = [QueryRequest(query) for query in queries]
+    ordered: list[Future] = []
+    inflight: "deque[Future]" = deque()
+    started = time.perf_counter()
+    for index in schedule:
+        if len(inflight) >= window:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                inflight.remove(future)
+        future = transport.submit(requests[index])
+        ordered.append(future)
+        inflight.append(future)
+    results = [future.result() for future in ordered]
+    return results, time.perf_counter() - started
+
+
 def run_serving_bench(
     config: ExperimentConfig,
     workers: tuple[int, ...] = (1, 2, 4),
     requests: int = 400,
     max_pending: int = 64,
     dataset_name: str | None = None,
+    transports: tuple[str, ...] = ("inproc", "socketpair", "tcp"),
+    processes: int = 0,
 ) -> dict:
-    """The full benchmark: deploy, baseline, concurrent runs, verify."""
+    """The full benchmark: deploy, baseline, concurrent runs, verify.
+
+    ``transports`` selects which adapters replay the schedule (any of
+    ``inproc`` / ``socketpair`` / ``tcp``); ``processes`` > 0 also runs
+    the multi-process router at 1/2/``processes`` workers.  Every
+    configuration is gated byte-identical to the serial baseline.
+    """
     with obs.span("serve.bench", requests=requests):
         name = dataset_name or config.datasets[0]
         dataset = dataset_for(config, name)
@@ -178,8 +272,10 @@ def run_serving_bench(
 
         registry = ModelRegistry(max_nodes=config.max_nodes)
         deploy_seconds = 0.0
+        model_payloads: list[dict] = []
         for family in (FAMILY_DECISION_TREE, FAMILY_NAIVE_BAYES):
             trained = train_family(dataset, family, config)
+            model_payloads.append(trained.model.to_dict())
             deploy_started = time.perf_counter()
             registry.register(trained.model, deploy=True)
             deploy_seconds += time.perf_counter() - deploy_started
@@ -288,5 +384,119 @@ def run_serving_bench(
             payload["speedup_at_4_workers"] = by_workers[4][
                 "speedup_vs_serial"
             ]
+
+        serial_digest = rows_digest(serial_rows)
+        payload["serial"]["rows_digest"] = serial_digest
+        matrix: dict[str, bool] = {}
+
+        payload["transports"] = []
+        if transports:
+            engine = ServeEngine(
+                db,
+                registry,
+                workers=2,
+                max_pending=max_pending,
+                plan_cache=PlanCache(256),
+                selectivity_gate=config.selectivity_gate,
+            )
+            try:
+                for query in queries:  # warm the shared engine once
+                    engine.execute(QueryRequest(query))
+                for transport_name in transports:
+                    server = None
+                    if transport_name == "inproc":
+                        client = LoopbackTransport(engine)
+                    elif transport_name == "socketpair":
+                        client, server = serve_socketpair(engine)
+                    elif transport_name == "tcp":
+                        server = TCPServer(engine)
+                        client = connect_tcp(*server.address)
+                    else:
+                        raise ReproError(
+                            f"serve-bench: unknown transport "
+                            f"{transport_name!r}"
+                        )
+                    try:
+                        results, seconds = _run_transport(
+                            client, queries, schedule, window=max_pending
+                        )
+                    finally:
+                        client.close()
+                        if server is not None:
+                            server.close()
+                    digest = rows_digest([r.rows for r in results])
+                    if digest != serial_digest:
+                        raise ReproError(
+                            "serve-bench: transport "
+                            f"{transport_name!r} results differ from "
+                            "serial execution"
+                        )
+                    matrix[transport_name] = True
+                    latencies = [
+                        r.queue_seconds + r.execute_seconds
+                        for r in results
+                    ]
+                    payload["transports"].append(
+                        {
+                            "transport": transport_name,
+                            "seconds": round(seconds, 4),
+                            "throughput_rps": round(
+                                requests / seconds, 2
+                            ),
+                            **_latency_summary(latencies),
+                            "rows_digest": digest,
+                            "identical_to_serial": True,
+                        }
+                    )
+            finally:
+                engine.shutdown()
+
+        payload["router"] = []
+        if processes > 0:
+            process_counts = tuple(
+                sorted({1, 2, processes} & set(range(1, processes + 1)))
+            )
+            trace_dir = obs.trace_directory()
+            for process_count in process_counts:
+                router = ProcessRouter(
+                    _router_bootstrap,
+                    args=(config, name, max_pending),
+                    processes=process_count,
+                    trace_dir=None
+                    if trace_dir is None
+                    else str(trace_dir),
+                )
+                try:
+                    for model_payload in model_payloads:
+                        router.control(DeployRequest(model=model_payload))
+                    for query in queries:  # warm every worker's caches
+                        router.request(QueryRequest(query))
+                    results, seconds = _run_transport(
+                        router, queries, schedule, window=max_pending
+                    )
+                finally:
+                    router.close()
+                digest = rows_digest([r.rows for r in results])
+                if digest != serial_digest:
+                    raise ReproError(
+                        f"serve-bench: router({process_count}) results "
+                        "differ from serial execution"
+                    )
+                matrix[f"router-{process_count}"] = True
+                latencies = [
+                    r.queue_seconds + r.execute_seconds for r in results
+                ]
+                payload["router"].append(
+                    {
+                        "processes": process_count,
+                        "seconds": round(seconds, 4),
+                        "throughput_rps": round(requests / seconds, 2),
+                        **_latency_summary(latencies),
+                        "rows_digest": digest,
+                        "identical_to_serial": True,
+                    }
+                )
+
+        payload["transport_matrix"] = matrix
         db.close()
         return payload

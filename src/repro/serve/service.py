@@ -1,190 +1,72 @@
-"""The concurrent query service: worker pool, collapsing, shared caches.
+"""The embedded query service: a facade over the serving engine.
 
-:class:`QueryService` is the embedded serving front-end over the
-optimizer/executor stack: requests are admitted (bounded, with
-deadlines), queued, and executed by a pool of worker threads, each
-holding its own read-only connection from a :class:`~repro.serve.pool.
-ConnectionPool` and its own :class:`~repro.sql.miningext.
-PredictionJoinExecutor` — while everything *cacheable* is shared across
-all workers:
+:class:`QueryService` is the in-process serving front-end — the API
+every embedded caller (and the whole pre-split test suite) programs
+against.  Since the engine/protocol/transport decomposition it is a
+**thin facade**: the behavior lives in
+:class:`~repro.serve.engine.ServeEngine` (admission, in-flight
+collapsing, micro-batching, segment matching, worker-pool execution
+over shared caches), reached through a
+:class:`~repro.serve.transport.LoopbackTransport` — the zero-copy
+in-process adapter of the same transport API the socketpair and TCP
+adapters implement.  The facade adds nothing but the original
+convenience signatures (``submit(query, timeout=, optimize=)`` instead
+of typed request dataclasses), so:
 
-* one thread-safe :class:`~repro.sql.plancache.PlanCache` (a query
-  optimized by any worker is a hit for every other),
-* one table-statistics cache (stats built once per table, not per
-  thread),
-* one :class:`~repro.sql.calibration.CalibrationStore` (measured
-  selectivities observed by any worker calibrate every worker's
-  estimates),
-* one :class:`~repro.serve.batcher.MicroBatcher` coalescing residual
-  model scoring across concurrent requests,
-* the registry's live catalog with its deploy-time envelopes.
+* every existing caller keeps working unchanged, with unchanged
+  semantics — loopback passes the engine's result objects through
+  untouched, execution reports included;
+* anything the facade can do, a remote client can do over a wire
+  transport with the same typed errors
+  (:class:`~repro.exceptions.QueueFullError`,
+  :class:`~repro.exceptions.RequestTimeoutError`, ...), because both
+  drive the same engine through the same adapter seam.
 
-**In-flight request collapsing**: a request structurally identical to one
-*currently executing* (same table, same relational-predicate fingerprint,
-same mining predicates, same model versions, same strategy) does not
+The collapsing and bit-identity contracts documented here hold for
+every transport: a request structurally identical to one *currently
+executing* (same table, same relational-predicate fingerprint, same
+mining predicates, same model catalog versions, same strategy) does not
 execute again — it waits for the in-flight execution and receives the
-same result rows.  Serving workloads are heavily repetitive (hot labels,
-dashboard queries), and collapsing turns k duplicate arrivals into one
-model application.  Collapsing never changes results: the duplicates
-would have executed over the same read-only data during the same window.
-Only *executing* requests collapse — queued duplicates execute normally —
-so a single-worker service degenerates to plain serial execution.
-
-Results are **bit-identical to serial execution** by construction: every
-worker runs the same executor over the same data and shared caches are
-either keyed exactly (plans, stats) or row-independent (micro-batching);
-the stress suite verifies byte-identical row sets under concurrency,
-timeouts, and cache eviction.
+same result rows.  Results are bit-identical to serial execution by
+construction: every worker runs the same executor over the same
+read-only data, and shared caches are either keyed exactly (plans,
+stats) or row-independent (micro-batching); the stress suite verifies
+byte-identical row sets under concurrency, timeouts, cache eviction,
+and across every transport and router process count.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-import time
 from concurrent.futures import Future
-from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, replace
 
 from collections.abc import Sequence
 
-from repro import obs
 from repro.core.optimizer import MiningQuery
-from repro.exceptions import (
-    QueueFullError,
-    RequestTimeoutError,
-    ServeError,
-    ServiceStoppedError,
-)
-from repro.ir import fingerprint as ir_fingerprint
 from repro.mining.base import Row
 from repro.segments.batcher import MatchBatcher
 from repro.segments.catalog import SegmentCatalog
-from repro.segments.evaluator import MaskCacheStats
-from repro.serve.admission import AdmissionController, Deadline
-from repro.serve.batcher import BatchingCatalog, MicroBatcher
-from repro.serve.pool import ConnectionPool
+from repro.serve.batcher import MicroBatcher
+from repro.serve.engine import (
+    MatchRequest,
+    QueryRequest,
+    SegmentMatchResult,
+    ServeEngine,
+    ServeResult,
+    ServiceStats,
+)
 from repro.serve.registry import ModelRegistry
+from repro.serve.transport import LoopbackTransport
 from repro.sql.calibration import CalibrationStore
 from repro.sql.database import Database
-from repro.sql.miningext import ExecutionReport, PredictionJoinExecutor
 from repro.sql.plancache import PlanCache
-from repro.sql.stats import TableStats
 
-
-@dataclass(frozen=True)
-class ServeResult:
-    """One served request: result rows plus serving-side timings."""
-
-    rows: tuple
-    strategy: str
-    queue_seconds: float
-    execute_seconds: float
-    collapsed: bool
-    report: ExecutionReport | None
-
-    @property
-    def rows_returned(self) -> int:
-        return len(self.rows)
-
-
-@dataclass(frozen=True)
-class SegmentMatchResult:
-    """One served segment-match request: memberships plus timings.
-
-    ``memberships`` is the row-major answer (per input row, the tuple of
-    matching segment names); ``coalesced`` reports whether the request
-    shared its evaluation with concurrent ones through the match
-    batcher, ``collapsed`` whether it piggybacked on an identical
-    in-flight request without evaluating at all.
-    """
-
-    memberships: tuple[tuple[str, ...], ...]
-    segment_names: tuple[str, ...]
-    catalog_version: int
-    queue_seconds: float
-    match_seconds: float
-    collapsed: bool
-    coalesced: bool
-    mask_stats: MaskCacheStats
-
-    @property
-    def rows_matched(self) -> int:
-        """Rows belonging to at least one segment."""
-        return len([m for m in self.memberships if m])
-
-
-class ServiceStats:
-    """Thread-safe lifetime counters of one service instance."""
-
-    _FIELDS = (
-        "submitted",
-        "completed",
-        "collapsed",
-        "shed",
-        "timeouts",
-        "errors",
-        "cancelled",
-    )
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts = {name: 0 for name in self._FIELDS}
-
-    def increment(self, name: str, amount: int = 1) -> None:
-        with self._lock:
-            self._counts[name] += amount
-
-    def snapshot(self) -> dict[str, int]:
-        with self._lock:
-            return dict(self._counts)
-
-    def __getattr__(self, name: str) -> int:
-        if name in ServiceStats._FIELDS:
-            with self._lock:
-                return self._counts[name]
-        raise AttributeError(name)
-
-
-class _Request:
-    """One admitted request travelling through the queue.
-
-    ``query`` is set for prediction-join requests; segment-match
-    requests carry ``rows``/``names`` instead (``query is None``).
-    """
-
-    __slots__ = (
-        "query",
-        "optimize",
-        "future",
-        "deadline",
-        "enqueued_at",
-        "key",
-        "rows",
-        "names",
-    )
-
-    def __init__(
-        self,
-        query: "MiningQuery | None",
-        optimize: bool,
-        future: "Future",
-        deadline: Deadline | None,
-        key: tuple | None,
-        rows: "Sequence[Row] | None" = None,
-        names: "tuple[str, ...] | None" = None,
-    ) -> None:
-        self.query = query
-        self.optimize = optimize
-        self.future = future
-        self.deadline = deadline
-        self.enqueued_at = time.perf_counter()
-        self.key = key
-        self.rows = rows
-        self.names = names
-
-
-_SENTINEL = object()
+__all__ = [
+    "QueryService",
+    "SegmentMatchResult",
+    "ServeResult",
+    "ServiceStats",
+    "serve",
+]
 
 
 class QueryService:
@@ -213,92 +95,68 @@ class QueryService:
         segment_catalog: "SegmentCatalog | None" = None,
         calibration: "CalibrationStore | None" = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        self._registry = registry
-        self._segments = segment_catalog
-        self._match_batcher: MatchBatcher | None = (
-            MatchBatcher(segment_catalog)
-            if segment_catalog is not None
-            else None
+        self._engine = ServeEngine(
+            db,
+            registry,
+            workers=workers,
+            max_pending=max_pending,
+            default_timeout=default_timeout,
+            plan_cache=plan_cache,
+            batching=batching,
+            collapsing=collapsing,
+            selectivity_gate=selectivity_gate,
+            stats_sample=stats_sample,
+            vectorized=vectorized,
+            batch_size=batch_size,
+            segment_catalog=segment_catalog,
+            calibration=calibration,
         )
-        self._pool = ConnectionPool(db, read_only=True)
-        self._controller = AdmissionController(
-            max_pending, default_timeout=default_timeout
-        )
-        self._plan_cache = (
-            plan_cache if plan_cache is not None else PlanCache(256)
-        )
-        self._stats_cache: dict[str, TableStats] = {}
-        # One calibration store next to the stats cache: observations
-        # from any worker refine every worker's estimates, and the
-        # shared plan cache recalibrates against the shared overlay.
-        self._calibration = (
-            calibration if calibration is not None else CalibrationStore()
-        )
-        self._batcher: MicroBatcher | None = None
-        catalog = registry.catalog
-        if batching:
-            self._batcher = MicroBatcher(catalog)
-            catalog = BatchingCatalog(registry.catalog, self._batcher)
-        self._exec_catalog = catalog
-        self._collapsing = collapsing
-        self._selectivity_gate = selectivity_gate
-        self._stats_sample = stats_sample
-        self._vectorized = vectorized
-        self._batch_size = batch_size
-        self.stats = ServiceStats()
-        self._queue: "queue.Queue" = queue.Queue()
-        self._lock = threading.Lock()
-        self._done = threading.Condition(self._lock)
-        self._inflight: dict[tuple, "Future[ServeResult]"] = {}
-        self._draining = False
-        self._stopped = False
-        self._workers = [
-            threading.Thread(
-                target=self._worker_loop,
-                name=f"repro-serve-worker-{index}",
-                daemon=True,
-            )
-            for index in range(workers)
-        ]
-        for worker in self._workers:
-            worker.start()
+        self._transport = LoopbackTransport(self._engine)
 
     # -- public API --------------------------------------------------------
 
     @property
+    def engine(self) -> ServeEngine:
+        """The transport-neutral core this facade drives."""
+        return self._engine
+
+    @property
     def registry(self) -> ModelRegistry:
-        return self._registry
+        return self._engine.registry
 
     @property
     def plan_cache(self) -> PlanCache:
-        return self._plan_cache
+        return self._engine.plan_cache
 
     @property
     def batcher(self) -> MicroBatcher | None:
         """The shared micro-batcher (``None`` when batching is off)."""
-        return self._batcher
+        return self._engine.batcher
 
     @property
     def calibration(self) -> CalibrationStore:
         """The calibration store shared by every worker's executor."""
-        return self._calibration
+        return self._engine.calibration
 
     @property
     def segments(self) -> "SegmentCatalog | None":
         """The live segment catalog (``None`` without one)."""
-        return self._segments
+        return self._engine.segments
 
     @property
     def match_batcher(self) -> "MatchBatcher | None":
         """The segment match batcher (``None`` without a catalog)."""
-        return self._match_batcher
+        return self._engine.match_batcher
 
     @property
     def queue_depth(self) -> int:
         """Admitted, unfinished requests (queued plus executing)."""
-        return self._controller.pending
+        return self._engine.queue_depth
+
+    @property
+    def stats(self) -> ServiceStats:
+        """Thread-safe lifetime counters of this service instance."""
+        return self._engine.stats
 
     def submit(
         self,
@@ -315,32 +173,9 @@ class QueryService:
         identical to one currently executing collapses onto it without
         consuming a queue slot.
         """
-        if self._draining or self._stopped:
-            obs.add_counter("serve.request.rejected_stopped")
-            raise ServiceStoppedError("service is draining or stopped")
-        self.stats.increment("submitted")
-        obs.add_counter("serve.request.submitted")
-        key = self._collapse_key(query, optimize)
-        if key is not None:
-            with self._lock:
-                primary = self._inflight.get(key)
-                if primary is not None:
-                    return self._attach(primary)
-        try:
-            self._controller.admit()
-        except QueueFullError:
-            self.stats.increment("shed")
-            raise
-        future: "Future[ServeResult]" = Future()
-        request = _Request(
-            query,
-            optimize,
-            future,
-            self._controller.deadline_for(timeout),
-            key,
+        return self._transport.submit(
+            QueryRequest(query=query, optimize=optimize, timeout=timeout)
         )
-        self._queue.put(request)
-        return future
 
     def execute(
         self,
@@ -356,18 +191,9 @@ class QueryService:
         cancellation point here); a timed-out request that was still
         queued is dropped unexecuted by its worker.
         """
-        deadline = self._controller.deadline_for(timeout)
-        future = self.submit(query, timeout=timeout, optimize=optimize)
-        try:
-            return future.result(
-                timeout=None if deadline is None else deadline.remaining()
-            )
-        except FutureTimeoutError:
-            self.stats.increment("timeouts")
-            obs.add_counter("serve.request.timeout")
-            raise RequestTimeoutError(
-                f"request exceeded its {deadline.timeout:.3f}s deadline"
-            ) from None
+        return self._transport.request(
+            QueryRequest(query=query, optimize=optimize, timeout=timeout)
+        )
 
     def submit_match(
         self,
@@ -384,40 +210,13 @@ class QueryService:
         content) collapse onto the in-flight evaluation; distinct
         concurrent requests still coalesce inside the match batcher.
         """
-        if self._match_batcher is None:
-            raise ServeError(
-                "service was constructed without a segment catalog; "
-                "pass segment_catalog= to enable match_segments"
+        return self._transport.submit(
+            MatchRequest(
+                rows=rows,
+                segments=None if segments is None else tuple(segments),
+                timeout=timeout,
             )
-        if self._draining or self._stopped:
-            obs.add_counter("serve.request.rejected_stopped")
-            raise ServiceStoppedError("service is draining or stopped")
-        self.stats.increment("submitted")
-        obs.add_counter("serve.request.submitted")
-        names = tuple(segments) if segments is not None else None
-        key = self._match_key(rows, names)
-        if key is not None:
-            with self._lock:
-                primary = self._inflight.get(key)
-                if primary is not None:
-                    return self._attach(primary)
-        try:
-            self._controller.admit()
-        except QueueFullError:
-            self.stats.increment("shed")
-            raise
-        future: "Future[SegmentMatchResult]" = Future()
-        request = _Request(
-            None,
-            False,
-            future,
-            self._controller.deadline_for(timeout),
-            key,
-            rows=rows,
-            names=names,
         )
-        self._queue.put(request)
-        return future
 
     def match_segments(
         self,
@@ -426,18 +225,13 @@ class QueryService:
         timeout: float | None = None,
     ) -> SegmentMatchResult:
         """Synchronous :meth:`submit_match`; enforces the deadline."""
-        deadline = self._controller.deadline_for(timeout)
-        future = self.submit_match(rows, segments=segments, timeout=timeout)
-        try:
-            return future.result(
-                timeout=None if deadline is None else deadline.remaining()
+        return self._transport.request(
+            MatchRequest(
+                rows=rows,
+                segments=None if segments is None else tuple(segments),
+                timeout=timeout,
             )
-        except FutureTimeoutError:
-            self.stats.increment("timeouts")
-            obs.add_counter("serve.request.timeout")
-            raise RequestTimeoutError(
-                f"request exceeded its {deadline.timeout:.3f}s deadline"
-            ) from None
+        )
 
     def drain(self, timeout: float | None = None) -> bool:
         """Stop admitting and wait for every admitted request to finish.
@@ -446,20 +240,7 @@ class QueryService:
         timeout (requests may still be executing).  Draining is
         irreversible — pair it with :meth:`shutdown`.
         """
-        self._draining = True
-        obs.event("serve.drain", pending=self._controller.pending)
-        deadline = Deadline.from_timeout(timeout)
-        with self._done:
-            while self._controller.pending > 0:
-                remaining = (
-                    None if deadline is None else deadline.remaining()
-                )
-                if remaining is not None and remaining <= 0:
-                    return False
-                self._done.wait(
-                    timeout=0.1 if remaining is None else min(remaining, 0.1)
-                )
-        return True
+        return self._engine.drain(timeout=timeout)
 
     def shutdown(
         self, drain: bool = True, timeout: float | None = None
@@ -470,266 +251,13 @@ class QueryService:
         fail with :class:`~repro.exceptions.ServiceStoppedError`.
         Idempotent; returns whether shutdown was clean (fully drained).
         """
-        if self._stopped:
-            return True
-        clean = self.drain(timeout=timeout) if drain else False
-        self._stopped = True
-        self._draining = True
-        if not clean:
-            self._fail_queued()
-        for _ in self._workers:
-            self._queue.put(_SENTINEL)
-        for worker in self._workers:
-            worker.join()
-        if self._batcher is not None:
-            self._batcher.stop()
-        if self._match_batcher is not None:
-            self._match_batcher.stop()
-        self._pool.close_all()
-        obs.event("serve.shutdown", clean=clean)
-        return clean
+        return self._engine.shutdown(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "QueryService":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
-
-    # -- internals ---------------------------------------------------------
-
-    def _collapse_key(
-        self, query: MiningQuery, optimize: bool
-    ) -> tuple | None:
-        """Identity under which concurrent requests may share a result.
-
-        Includes every referenced model's *catalog version*, so a request
-        racing a redeploy never collapses onto an execution against the
-        old envelopes.  ``None`` disables collapsing for this request.
-        """
-        if not self._collapsing:
-            return None
-        names: list[str] = []
-        for predicate in query.mining_predicates:
-            for name in predicate.models():
-                if name not in names:
-                    names.append(name)
-        versions = tuple(
-            (name, self._registry.catalog.entry(name).version)
-            for name in names
-        )
-        return (
-            query.table,
-            ir_fingerprint(query.relational_predicate),
-            tuple(p.describe() for p in query.mining_predicates),
-            optimize,
-            versions,
-        )
-
-    def _match_key(
-        self, rows: "Sequence[Row]", names: "tuple[str, ...] | None"
-    ) -> tuple | None:
-        """Identity under which concurrent match requests share a result.
-
-        Keyed on exact row *content* (not object identity or a hash), so
-        a collapse can never hand one request another's memberships; the
-        catalog version pins the segment definitions the answer is
-        about.  ``None`` disables collapsing for this request.
-        """
-        if not self._collapsing:
-            return None
-        assert self._segments is not None
-        return (
-            "segments",
-            self._segments.version,
-            names,
-            tuple(tuple(sorted(row.items())) for row in rows),
-        )
-
-    def _attach(
-        self, primary: "Future[ServeResult]"
-    ) -> "Future[ServeResult]":
-        """A dependent future resolving with the in-flight execution."""
-        self.stats.increment("collapsed")
-        obs.add_counter("serve.request.collapsed")
-        dependent: "Future[ServeResult]" = Future()
-
-        def propagate(done: "Future[ServeResult]") -> None:
-            if dependent.cancelled():
-                return
-            error = done.exception()
-            try:
-                if error is not None:
-                    dependent.set_exception(error)
-                else:
-                    dependent.set_result(
-                        replace(done.result(), collapsed=True)
-                    )
-            except Exception:
-                # The dependent was cancelled between the check and the
-                # set; its waiter already gave up.
-                pass
-
-        primary.add_done_callback(propagate)
-        return dependent
-
-    def _worker_loop(self) -> None:
-        db = self._pool.get()
-        executor = PredictionJoinExecutor(
-            db,
-            self._exec_catalog,
-            selectivity_gate=self._selectivity_gate,
-            stats_sample=self._stats_sample,
-            plan_cache=self._plan_cache,
-            vectorized=self._vectorized,
-            batch_size=self._batch_size,
-            stats_cache=self._stats_cache,
-            calibration=self._calibration,
-        )
-        while True:
-            request = self._queue.get()
-            if request is _SENTINEL:
-                return
-            self._handle(request, executor)
-
-    def _handle(
-        self, request: _Request, executor: PredictionJoinExecutor
-    ) -> None:
-        try:
-            queue_seconds = time.perf_counter() - request.enqueued_at
-            if not request.future.set_running_or_notify_cancel():
-                self.stats.increment("cancelled")
-                obs.add_counter("serve.request.cancelled")
-                return
-            if request.deadline is not None and request.deadline.expired:
-                self.stats.increment("timeouts")
-                obs.add_counter("serve.request.timeout")
-                request.future.set_exception(
-                    RequestTimeoutError(
-                        "request spent its whole "
-                        f"{request.deadline.timeout:.3f}s deadline queued"
-                    )
-                )
-                return
-            if request.key is not None:
-                with self._lock:
-                    primary = self._inflight.get(request.key)
-                    if primary is None:
-                        self._inflight[request.key] = request.future
-                    else:
-                        # A duplicate was dequeued while its twin
-                        # executes: collapse at the worker, too.
-                        dependent = self._attach(primary)
-                        dependent.add_done_callback(
-                            _forward_to(request.future)
-                        )
-                        return
-            try:
-                if request.query is None:
-                    result: object = self._execute_match(
-                        request, queue_seconds
-                    )
-                else:
-                    with obs.span(
-                        "serve.request", table=request.query.table
-                    ) as span:
-                        started = time.perf_counter()
-                        report = executor.execute(
-                            request.query, optimize_query=request.optimize
-                        )
-                        execute_seconds = time.perf_counter() - started
-                        span.update(
-                            queue_seconds=queue_seconds,
-                            rows_returned=report.rows_returned,
-                            strategy=report.strategy,
-                        )
-                    result = ServeResult(
-                        rows=report.rows,
-                        strategy=report.strategy,
-                        queue_seconds=queue_seconds,
-                        execute_seconds=execute_seconds,
-                        collapsed=False,
-                        report=report,
-                    )
-                self.stats.increment("completed")
-                obs.add_counter("serve.request.completed")
-                request.future.set_result(result)
-            except BaseException as error:
-                self.stats.increment("errors")
-                obs.add_counter("serve.request.error")
-                request.future.set_exception(error)
-            finally:
-                if request.key is not None:
-                    with self._lock:
-                        if self._inflight.get(request.key) is request.future:
-                            del self._inflight[request.key]
-        finally:
-            self._controller.release()
-            with self._done:
-                self._done.notify_all()
-
-    def _execute_match(
-        self, request: _Request, queue_seconds: float
-    ) -> SegmentMatchResult:
-        """Run one segment-match request through the match batcher."""
-        assert self._match_batcher is not None
-        assert request.rows is not None
-        with obs.span(
-            "serve.match", rows=len(request.rows)
-        ) as span:
-            started = time.perf_counter()
-            matches, coalesced = self._match_batcher.match(
-                request.rows, request.names
-            )
-            match_seconds = time.perf_counter() - started
-            span.update(
-                queue_seconds=queue_seconds,
-                segments=len(matches.names),
-                rows_matched=matches.rows_matched,
-                coalesced=coalesced,
-            )
-        return SegmentMatchResult(
-            memberships=matches.memberships,
-            segment_names=matches.names,
-            catalog_version=matches.catalog_version,
-            queue_seconds=queue_seconds,
-            match_seconds=match_seconds,
-            collapsed=False,
-            coalesced=coalesced,
-            mask_stats=matches.stats,
-        )
-
-    def _fail_queued(self) -> None:
-        """Fail every still-queued request during a non-drained shutdown."""
-        while True:
-            try:
-                request = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if request is _SENTINEL:
-                continue
-            if request.future.set_running_or_notify_cancel():
-                request.future.set_exception(
-                    ServiceStoppedError("service stopped before execution")
-                )
-            self._controller.release()
-            with self._done:
-                self._done.notify_all()
-
-
-def _forward_to(target: "Future[ServeResult]"):
-    """A done-callback copying one future's outcome onto another."""
-
-    def forward(done: "Future[ServeResult]") -> None:
-        error = done.exception()
-        try:
-            if error is not None:
-                target.set_exception(error)
-            else:
-                target.set_result(done.result())
-        except Exception:
-            pass
-
-    return forward
 
 
 def serve(

@@ -1,0 +1,563 @@
+"""Pluggable serving transports (``repro.serve.transport``).
+
+The harness/adapter split: :class:`~repro.serve.engine.ServeEngine` is
+the harness, and everything here adapts *some* byte (or object) channel
+onto it.  Three adapters, one client API
+(:meth:`Transport.submit` / :meth:`Transport.request` /
+:meth:`Transport.control`):
+
+* :class:`LoopbackTransport` — in-process, no serialization.  The
+  public :class:`~repro.serve.service.QueryService` facade sits on
+  this, so embedded serving pays zero new cost and keeps full
+  :class:`~repro.sql.miningext.ExecutionReport` objects.
+* :class:`SocketTransport` over a ``socket.socketpair()`` — the framed
+  wire protocol without networking, used by the multi-process router
+  (one socketpair per worker) and as the cheapest full-codec test bed.
+  :func:`serve_socketpair` wires one up against an engine in-process.
+* :class:`SocketTransport` over TCP (:func:`connect_tcp`) against
+  :class:`TCPServer` — a real networked front-end whose accept loop is
+  an ``asyncio`` event loop on a single daemon thread, so many idle
+  client connections cost file descriptors, not threads.  Execution
+  still happens on the engine's worker pool; the event loop only frames
+  and unframes bytes.
+
+Server-side, :class:`EngineDispatcher` is the one request pump all byte
+transports share: it feeds arriving bytes through a
+:class:`~repro.serve.protocol.FrameDecoder`, applies control frames
+synchronously, submits query/match frames to the engine, and answers
+from engine worker threads through a thread-safe ``send`` callable.
+Every engine-side failure crosses back as a typed error frame — a
+client sees the same :class:`~repro.exceptions.QueueFullError` or
+:class:`~repro.exceptions.RequestTimeoutError` it would have caught
+in-process.
+
+Transport traffic is observable: ``serve.transport.frames.in/out`` and
+``serve.transport.bytes.in/out`` counters, plus per-transport
+``serve.transport.requests.<name>`` — surfaced by the ``trace-report``
+Transport section.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+from repro import obs
+from repro.exceptions import (
+    ProtocolError,
+    RequestTimeoutError,
+    TransportError,
+)
+from repro.serve.engine import (
+    DeployRequest,
+    DeployResult,
+    MatchRequest,
+    QueryRequest,
+    RetireRequest,
+    RetireResult,
+    ServeEngine,
+)
+from repro.serve.protocol import (
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    FrameDecoder,
+    decode_error,
+    decode_request,
+    decode_response,
+    encode_error,
+    encode_frame,
+    encode_request,
+    encode_response,
+)
+
+#: Read chunk for every blocking and asyncio receive loop.
+RECV_BYTES = 65536
+
+
+class Transport:
+    """The client API every transport adapter implements."""
+
+    name: str = "abstract"
+
+    def submit(
+        self, request: "QueryRequest | MatchRequest"
+    ) -> "Future":
+        raise NotImplementedError
+
+    def request(self, request: "QueryRequest | MatchRequest"):
+        """Synchronous :meth:`submit`, deadline enforced while waiting."""
+        raise NotImplementedError
+
+    def control(
+        self, request: "DeployRequest | RetireRequest"
+    ) -> "DeployResult | RetireResult":
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class LoopbackTransport(Transport):
+    """In-process adapter: typed objects pass through untouched.
+
+    No frames, no serialization, no copies —
+    :class:`~repro.serve.engine.ServeResult` objects keep their full
+    execution reports.  Closing the loopback does **not** shut the
+    engine down; the engine's owner does that.
+    """
+
+    name = "inproc"
+
+    def __init__(self, engine: ServeEngine) -> None:
+        self._engine = engine
+
+    @property
+    def engine(self) -> ServeEngine:
+        return self._engine
+
+    def submit(self, request):
+        obs.add_counter(f"serve.transport.requests.{self.name}")
+        return self._engine.submit(request)
+
+    def request(self, request):
+        obs.add_counter(f"serve.transport.requests.{self.name}")
+        return self._engine.execute(request)
+
+    def control(self, request):
+        return self._engine.control(request)
+
+    def close(self) -> None:
+        pass
+
+
+class EngineDispatcher:
+    """Server half shared by every byte transport.
+
+    Feed it raw bytes; it decodes frames, runs control frames inline,
+    submits query/match frames to the engine, and sends typed response
+    or error frames back through ``send`` — which MUST be safe to call
+    from any thread, because responses fire from engine worker threads.
+    A :class:`~repro.exceptions.ProtocolError` out of :meth:`feed`
+    means the stream is corrupt and the connection must be closed.
+    """
+
+    def __init__(self, engine: ServeEngine, transport_name: str, send) -> None:
+        self._engine = engine
+        self._name = transport_name
+        self._send = send
+        self._decoder = FrameDecoder()
+
+    def feed(self, data: bytes) -> None:
+        obs.add_counter("serve.transport.bytes.in", len(data))
+        for frame in self._decoder.feed(data):
+            obs.add_counter("serve.transport.frames.in")
+            obs.add_counter(f"serve.transport.requests.{self._name}")
+            self._dispatch(frame.request_id, frame.payload)
+
+    def _dispatch(self, request_id: int, payload: dict) -> None:
+        try:
+            request = decode_request(payload)
+        except ProtocolError as error:
+            self._reply_error(request_id, error)
+            return
+        if isinstance(request, (DeployRequest, RetireRequest)):
+            try:
+                self._reply_response(
+                    request_id, self._engine.control(request)
+                )
+            except BaseException as error:
+                self._reply_error(request_id, error)
+            return
+        try:
+            future = self._engine.submit(request)
+        except BaseException as error:
+            # Admission failures (queue full, stopped) are synchronous.
+            self._reply_error(request_id, error)
+            return
+        future.add_done_callback(
+            lambda done: self._reply_future(request_id, done)
+        )
+
+    def _reply_future(self, request_id: int, done: "Future") -> None:
+        error = done.exception()
+        if error is not None:
+            self._reply_error(request_id, error)
+        else:
+            self._reply_response(request_id, done.result())
+
+    def _reply_response(self, request_id: int, result) -> None:
+        try:
+            frame = encode_frame(
+                KIND_RESPONSE, request_id, encode_response(result)
+            )
+        except ProtocolError as error:
+            self._reply_error(request_id, error)
+            return
+        self._emit(frame)
+
+    def _reply_error(self, request_id: int, error: BaseException) -> None:
+        self._emit(
+            encode_frame(KIND_ERROR, request_id, encode_error(error))
+        )
+
+    def _emit(self, frame: bytes) -> None:
+        obs.add_counter("serve.transport.frames.out")
+        obs.add_counter("serve.transport.bytes.out", len(frame))
+        self._send(frame)
+
+
+class SocketTransport(Transport):
+    """Framed-protocol client over any connected stream socket.
+
+    One connection multiplexes any number of concurrent requests by
+    request id; a daemon reader thread resolves their futures as
+    response/error frames arrive.  Connection loss fails every
+    in-flight request with ``close_error`` (default
+    :class:`~repro.exceptions.TransportError`; the router passes
+    :class:`~repro.exceptions.WorkerCrashedError`) and fires
+    ``on_close`` exactly once — the router's respawn hook.
+    """
+
+    def __init__(
+        self,
+        sock: "socket.socket",
+        name: str = "socket",
+        close_error: type = TransportError,
+        on_close=None,
+    ) -> None:
+        self.name = name
+        self._sock = sock
+        self._close_error = close_error
+        self._on_close = on_close
+        self._write_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._pending: dict[int, "Future"] = {}
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-transport-{name}-reader",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # -- client API ----------------------------------------------------
+
+    def submit(self, request) -> "Future":
+        payload = encode_request(request)
+        future: "Future" = Future()
+        with self._lock:
+            if self._closed:
+                raise self._close_error(
+                    f"{self.name} transport is closed"
+                )
+            request_id = next(self._ids)
+            self._pending[request_id] = future
+        frame = encode_frame(KIND_REQUEST, request_id, payload)
+        try:
+            with self._write_lock:
+                self._sock.sendall(frame)
+        except OSError as error:
+            with self._lock:
+                self._pending.pop(request_id, None)
+            raise self._close_error(
+                f"{self.name} transport send failed: {error}"
+            ) from error
+        return future
+
+    def request(self, request):
+        """Synchronous :meth:`submit`; enforces the request deadline.
+
+        Server-side admission and queue deadlines still apply (they come
+        back as typed error frames); this guards the client's *wait*, so
+        a request with a timeout can never block its caller longer than
+        that timeout plus one network round trip.
+        """
+        timeout = getattr(request, "timeout", None)
+        future = self.submit(request)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            raise RequestTimeoutError(
+                f"request exceeded its {timeout:.3f}s deadline "
+                "waiting on the transport"
+            ) from None
+
+    def control(self, request):
+        future = self.submit(request)
+        return future.result()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        if self._reader is not threading.current_thread():
+            self._reader.join(timeout=5)
+        self._fail_pending(self._close_error(f"{self.name} transport closed"))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- reader ----------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = self._sock.recv(RECV_BYTES)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    self._resolve(frame)
+        except (OSError, ProtocolError):
+            pass
+        was_closed = self._closed
+        with self._lock:
+            self._closed = True
+        self._fail_pending(
+            self._close_error(
+                f"{self.name} transport connection lost with the "
+                "request in flight"
+            )
+        )
+        if not was_closed and self._on_close is not None:
+            self._on_close(self)
+
+    def _resolve(self, frame) -> None:
+        with self._lock:
+            future = self._pending.pop(frame.request_id, None)
+        if future is None:
+            return
+        try:
+            if frame.kind == KIND_RESPONSE:
+                future.set_result(decode_response(frame.payload))
+            elif frame.kind == KIND_ERROR:
+                future.set_exception(decode_error(frame.payload))
+            else:
+                future.set_exception(
+                    ProtocolError(
+                        f"unexpected frame kind {frame.kind} in response"
+                    )
+                )
+        except ProtocolError as error:
+            future.set_exception(error)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+
+
+class SocketServer:
+    """Blocking server loop: one connected socket onto one engine.
+
+    Runs a daemon thread reading the socket into an
+    :class:`EngineDispatcher`; exits on EOF or a corrupt stream.  Used
+    for socketpair serving in-process and as the worker-side loop of
+    the multi-process router (where it runs on the worker's main
+    thread via :meth:`serve_forever`).
+    """
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        sock: "socket.socket",
+        name: str = "socketpair",
+        threaded: bool = True,
+    ) -> None:
+        self._engine = engine
+        self._sock = sock
+        self._write_lock = threading.Lock()
+        self.dispatcher = EngineDispatcher(engine, name, self._send)
+        self._thread: "threading.Thread | None" = None
+        if threaded:
+            self._thread = threading.Thread(
+                target=self.serve_forever,
+                name=f"repro-transport-{name}-server",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def _send(self, frame: bytes) -> None:
+        with self._write_lock:
+            try:
+                self._sock.sendall(frame)
+            except OSError:
+                # The client hung up mid-response; its reader already
+                # failed the request transport-side.
+                pass
+
+    def serve_forever(self) -> None:
+        """Read until EOF or a corrupt stream, dispatching every frame."""
+        try:
+            while True:
+                data = self._sock.recv(RECV_BYTES)
+                if not data:
+                    return
+                self.dispatcher.feed(data)
+        except (OSError, ProtocolError):
+            return
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        if (
+            self._thread is not None
+            and self._thread is not threading.current_thread()
+        ):
+            self._thread.join(timeout=5)
+
+
+def serve_socketpair(
+    engine: ServeEngine,
+) -> tuple[SocketTransport, SocketServer]:
+    """An engine served over a ``socketpair`` — full codec, no network.
+
+    Returns ``(client, server)``; close both when done (closing the
+    client alone also stops the server loop via EOF).
+    """
+    client_sock, server_sock = socket.socketpair()
+    server = SocketServer(engine, server_sock, name="socketpair")
+    client = SocketTransport(client_sock, name="socketpair")
+    return client, server
+
+
+class TCPServer:
+    """Asyncio TCP front-end over one engine.
+
+    The event loop runs on a single daemon thread and only moves bytes:
+    arriving frames are dispatched to the engine's worker pool, and
+    responses are written back via ``call_soon_threadsafe`` (engine
+    callbacks fire on worker threads).  Idle connections are just
+    descriptors parked on the selector — no thread each — which is the
+    point of an asyncio front-end.
+    """
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._engine = engine
+        self._loop = asyncio.new_event_loop()
+        self._server: "asyncio.AbstractServer | None" = None
+        started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(host, port, started),
+            name="repro-transport-tcp-server",
+            daemon=True,
+        )
+        self._thread.start()
+        if not started.wait(timeout=10):
+            raise TransportError("TCP server failed to start in 10s")
+        if self._server is None:
+            raise TransportError(f"could not bind TCP server on {host}:{port}")
+
+    def _run(
+        self, host: str, port: int, started: "threading.Event"
+    ) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def start() -> None:
+            try:
+                self._server = await asyncio.start_server(
+                    self._handle_connection, host, port
+                )
+            finally:
+                started.set()
+
+        self._loop.run_until_complete(start())
+        if self._server is not None:
+            self._loop.run_forever()
+        self._loop.close()
+
+    async def _handle_connection(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        def send(frame: bytes) -> None:
+            # Engine callbacks land here from worker threads; only the
+            # loop may touch the writer.
+            self._loop.call_soon_threadsafe(self._write, writer, frame)
+
+        dispatcher = EngineDispatcher(self._engine, "tcp", send)
+        try:
+            while True:
+                data = await reader.read(RECV_BYTES)
+                if not data:
+                    break
+                dispatcher.feed(data)
+        except (ConnectionError, ProtocolError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except RuntimeError:
+                # Server shutdown stopped the loop with this handler
+                # still parked on a read; nothing left to close onto.
+                pass
+
+    @staticmethod
+    def _write(writer: "asyncio.StreamWriter", frame: bytes) -> None:
+        if not writer.is_closing():
+            writer.write(frame)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — port is real even when bound to 0."""
+        assert self._server is not None
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    def close(self) -> None:
+        if self._server is None:
+            return
+
+        def stop() -> None:
+            assert self._server is not None
+            self._server.close()
+            self._loop.stop()
+
+        self._loop.call_soon_threadsafe(stop)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "TCPServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def connect_tcp(host: str, port: int, timeout: float = 10) -> SocketTransport:
+    """A :class:`SocketTransport` client connected to a :class:`TCPServer`."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return SocketTransport(sock, name="tcp")

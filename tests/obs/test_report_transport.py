@@ -1,0 +1,131 @@
+"""The Transport section of trace-report and per-process shard merging."""
+
+import json
+
+from repro import obs
+
+
+def write_trace(path, payloads):
+    path.write_text(
+        "".join(json.dumps(p) + "\n" for p in payloads), encoding="utf-8"
+    )
+
+
+TRANSPORT_PAYLOADS = [
+    {"type": "counter", "name": "serve.transport.frames.in", "value": 40},
+    {"type": "counter", "name": "serve.transport.frames.out", "value": 38},
+    {"type": "counter", "name": "serve.transport.bytes.in", "value": 9000},
+    {"type": "counter", "name": "serve.transport.bytes.out", "value": 21000},
+    {"type": "counter", "name": "serve.transport.requests.tcp", "value": 12},
+    {
+        "type": "counter",
+        "name": "serve.transport.requests.socketpair",
+        "value": 20,
+    },
+    {"type": "counter", "name": "serve.transport.requests.inproc", "value": 6},
+    {"type": "counter", "name": "serve.router.respawn", "value": 1},
+    {"type": "gauge", "name": "serve.router.workers", "value": 2},
+]
+
+
+class TestTransportSection:
+    def test_transport_stats(self, tmp_path):
+        write_trace(tmp_path / "trace_a.jsonl", TRANSPORT_PAYLOADS)
+        transport = obs.summarize(tmp_path).transport()
+        assert transport["frames_in"] == 40
+        assert transport["frames_out"] == 38
+        assert transport["bytes_in"] == 9000
+        assert transport["bytes_out"] == 21000
+        assert transport["requests_tcp"] == 12
+        assert transport["requests_socketpair"] == 20
+        assert transport["requests_inproc"] == 6
+        assert transport["respawns"] == 1
+
+    def test_transport_section_rendered(self, tmp_path):
+        write_trace(tmp_path / "trace_a.jsonl", TRANSPORT_PAYLOADS)
+        report = obs.format_report(obs.summarize(tmp_path))
+        assert "Transport:" in report
+        assert "frames: in=40 out=38" in report
+        assert "bytes in=9000 out=21000" in report
+        assert "requests[inproc]: 6" in report
+        assert "requests[socketpair]: 20" in report
+        assert "requests[tcp]: 12" in report
+        assert "worker respawns: 1" in report
+
+    def test_absent_without_transport_traffic(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_a.jsonl",
+            [{"type": "counter", "name": "plan_cache.hit", "value": 1}],
+        )
+        summary = obs.summarize(tmp_path)
+        assert summary.transport() == {}
+        assert "Transport:" not in obs.format_report(summary)
+
+
+class TestShardMerge:
+    """Per-process router worker shards merge deterministically.
+
+    Each worker process writes its own ``trace_serve_worker_<i>.jsonl``;
+    ``summarize`` reads shards in sorted filename order, so the merged
+    summary (and rendered report) is a pure function of the shard
+    *contents*, not of which worker flushed last.
+    """
+
+    def shard(self, index, frames, bytes_count):
+        return [
+            {
+                "type": "counter",
+                "name": "serve.transport.frames.in",
+                "value": frames,
+            },
+            {
+                "type": "counter",
+                "name": "serve.transport.bytes.in",
+                "value": bytes_count,
+            },
+            {
+                "type": "counter",
+                "name": "serve.transport.requests.router",
+                "value": frames,
+            },
+            {
+                "type": "event",
+                "name": "serve.shard",
+                "worker": index,
+            },
+        ]
+
+    def test_counters_sum_across_shards(self, tmp_path):
+        write_trace(
+            tmp_path / "trace_serve_worker_0.jsonl", self.shard(0, 10, 1000)
+        )
+        write_trace(
+            tmp_path / "trace_serve_worker_1.jsonl", self.shard(1, 5, 700)
+        )
+        transport = obs.summarize(tmp_path).transport()
+        assert transport["frames_in"] == 15
+        assert transport["bytes_in"] == 1700
+        assert transport["requests_router"] == 15
+
+    def test_merge_is_write_order_independent(self, tmp_path):
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        first.mkdir()
+        second.mkdir()
+        # Same shard contents, written in opposite order.
+        write_trace(
+            first / "trace_serve_worker_0.jsonl", self.shard(0, 10, 1000)
+        )
+        write_trace(
+            first / "trace_serve_worker_1.jsonl", self.shard(1, 5, 700)
+        )
+        write_trace(
+            second / "trace_serve_worker_1.jsonl", self.shard(1, 5, 700)
+        )
+        write_trace(
+            second / "trace_serve_worker_0.jsonl", self.shard(0, 10, 1000)
+        )
+        report_first = obs.format_report(obs.summarize(first))
+        report_second = obs.format_report(obs.summarize(second))
+        assert report_first == report_second
+        assert "frames: in=15" in report_first

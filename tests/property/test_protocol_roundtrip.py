@@ -1,0 +1,320 @@
+"""Property tests of the serving wire codec (hypothesis).
+
+Three laws the protocol layer must uphold under arbitrary input:
+
+1. **Frame streams are fragmentation-proof** — any sequence of frames,
+   concatenated back-to-back and fed to a :class:`FrameDecoder` in any
+   chunking (including one byte at a time), decodes to exactly the
+   frames that were encoded, in order.
+2. **Requests round-trip** — ``decode_request(encode_request(r)) == r``
+   for generated query and match requests over generated predicate
+   trees and row values.
+3. **Values survive exactly** — int/str/bool/None and every finite
+   float keep both value and type across the wire; NaN round-trips to
+   NaN (compared through ``math.isnan``, since ``nan != nan``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.optimizer import MiningQuery
+from repro.core.predicates import (
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Predicate,
+    conjunction,
+    disjunction,
+)
+from repro.core.rewrite import (
+    PredictionEquals,
+    PredictionIn,
+    PredictionJoinColumn,
+    PredictionJoinPrediction,
+)
+from repro.serve.engine import MatchRequest, QueryRequest
+from repro.serve.protocol import (
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    FrameDecoder,
+    decode_request,
+    decode_value,
+    encode_frame,
+    encode_request,
+    encode_value,
+)
+
+COLUMNS = ("age", "income", "region")
+MODELS = ("risk_tree", "risk_nb")
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+#: Values legal inside predicates (must be mutually orderable per type).
+predicate_values = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+    ),
+    st.text(min_size=0, max_size=8),
+)
+
+#: Values legal inside rows — anything the codec claims to carry.
+row_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**53), 2**53),
+    finite_floats,
+    st.sampled_from([float("nan"), float("inf"), float("-inf")]),
+    st.text(min_size=0, max_size=12),
+)
+
+
+@st.composite
+def atoms(draw) -> Predicate:
+    column = draw(st.sampled_from(COLUMNS))
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return Comparison(
+            column, draw(st.sampled_from(list(Op))), draw(predicate_values)
+        )
+    if kind == 1:
+        # Homogeneous value type: InSet sorts its members.
+        values = draw(
+            st.one_of(
+                st.lists(
+                    st.integers(-50, 50), min_size=1, max_size=4, unique=True
+                ),
+                st.lists(
+                    st.text(min_size=0, max_size=6),
+                    min_size=1,
+                    max_size=4,
+                    unique=True,
+                ),
+            )
+        )
+        return InSet(column, tuple(values))
+    low = draw(st.integers(-20, 20))
+    high = draw(st.integers(low, 25))
+    return Interval(
+        column,
+        low,
+        high,
+        low_closed=draw(st.booleans()),
+        high_closed=draw(st.booleans()),
+    )
+
+
+def predicate_trees():
+    return st.recursive(
+        atoms(),
+        lambda children: st.one_of(
+            st.builds(
+                lambda xs: conjunction(xs),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(
+                lambda xs: disjunction(xs),
+                st.lists(children, min_size=2, max_size=3),
+            ),
+            st.builds(Not, children),
+        ),
+        max_leaves=8,
+    )
+
+
+@st.composite
+def mining_predicates(draw):
+    model = draw(st.sampled_from(MODELS))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return PredictionEquals(model, draw(predicate_values))
+    if kind == 1:
+        labels = draw(
+            st.lists(
+                st.text(min_size=1, max_size=6),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        return PredictionIn(model, tuple(labels))
+    if kind == 2:
+        return PredictionJoinPrediction(MODELS[0], MODELS[1])
+    return PredictionJoinColumn(model, draw(st.sampled_from(COLUMNS)))
+
+
+@st.composite
+def query_requests(draw) -> QueryRequest:
+    return QueryRequest(
+        query=MiningQuery(
+            table=draw(st.sampled_from(("customers", "orders"))),
+            relational_predicate=draw(predicate_trees()),
+            mining_predicates=tuple(
+                draw(st.lists(mining_predicates(), max_size=3))
+            ),
+        ),
+        optimize=draw(st.booleans()),
+        timeout=draw(st.one_of(st.none(), st.floats(0.001, 60))),
+    )
+
+
+@st.composite
+def match_requests(draw) -> MatchRequest:
+    rows = tuple(
+        draw(
+            st.lists(
+                st.dictionaries(
+                    st.sampled_from(COLUMNS), row_values, max_size=3
+                ),
+                max_size=4,
+            )
+        )
+    )
+    segments = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.text(min_size=1, max_size=8), max_size=3, unique=True
+            ).map(tuple),
+        )
+    )
+    return MatchRequest(
+        rows=rows,
+        segments=segments,
+        timeout=draw(st.one_of(st.none(), st.floats(0.001, 60))),
+    )
+
+
+def rows_equivalent(a, b) -> bool:
+    """Row equality where NaN equals NaN (in value and type)."""
+    if len(a) != len(b):
+        return False
+    for left, right in zip(a, b):
+        if set(left) != set(right):
+            return False
+        for column in left:
+            lv, rv = left[column], right[column]
+            if isinstance(lv, float) and math.isnan(lv):
+                if not (isinstance(rv, float) and math.isnan(rv)):
+                    return False
+            elif lv != rv or type(lv) is not type(rv):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# 1. Frame streams survive arbitrary fragmentation
+# ---------------------------------------------------------------------------
+
+json_payloads = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(-(2**40), 2**40),
+        finite_floats,
+        st.text(max_size=12),
+        st.lists(st.integers(-5, 5), max_size=3),
+    ),
+    max_size=4,
+)
+
+frame_specs = st.lists(
+    st.tuples(
+        st.sampled_from([KIND_REQUEST, KIND_RESPONSE, KIND_ERROR]),
+        st.integers(0, 2**64 - 1),
+        json_payloads,
+    ),
+    max_size=5,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=frame_specs, data=st.data())
+def test_concatenated_frames_survive_any_chunking(specs, data):
+    stream = b"".join(
+        encode_frame(kind, request_id, payload)
+        for kind, request_id, payload in specs
+    )
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(0, max(len(stream), 0)),
+                max_size=8,
+            )
+        )
+    )
+    decoder = FrameDecoder()
+    frames = []
+    previous = 0
+    for cut in cuts + [len(stream)]:
+        frames.extend(decoder.feed(stream[previous:cut]))
+        previous = cut
+    assert len(frames) == len(specs)
+    for frame, (kind, request_id, payload) in zip(frames, specs):
+        assert frame.kind == kind
+        assert frame.request_id == request_id
+        assert frame.payload == payload
+
+
+@settings(max_examples=20, deadline=None)
+@given(specs=frame_specs)
+def test_frames_survive_byte_by_byte_delivery(specs):
+    stream = b"".join(
+        encode_frame(kind, request_id, payload)
+        for kind, request_id, payload in specs
+    )
+    decoder = FrameDecoder()
+    frames = []
+    for i in range(len(stream)):
+        frames.extend(decoder.feed(stream[i : i + 1]))
+    assert [(f.kind, f.request_id, f.payload) for f in frames] == specs
+
+
+# ---------------------------------------------------------------------------
+# 2. Requests round-trip
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(request=query_requests())
+def test_query_requests_round_trip(request):
+    payload = encode_frame(KIND_REQUEST, 1, encode_request(request))
+    (frame,) = FrameDecoder().feed(payload)
+    assert decode_request(frame.payload) == request
+
+
+@settings(max_examples=80, deadline=None)
+@given(request=match_requests())
+def test_match_requests_round_trip(request):
+    payload = encode_frame(KIND_REQUEST, 1, encode_request(request))
+    (frame,) = FrameDecoder().feed(payload)
+    decoded = decode_request(frame.payload)
+    assert decoded.segments == request.segments
+    assert decoded.timeout == request.timeout
+    assert rows_equivalent(decoded.rows, request.rows)
+
+
+# ---------------------------------------------------------------------------
+# 3. Value fidelity
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=row_values)
+def test_values_survive_exactly(value):
+    # Through a real frame, so JSON serialization is part of the law.
+    stream = encode_frame(KIND_REQUEST, 1, {"v": encode_value(value)})
+    (frame,) = FrameDecoder().feed(stream)
+    decoded = decode_value(frame.payload["v"])
+    if isinstance(value, float) and math.isnan(value):
+        assert isinstance(decoded, float) and math.isnan(decoded)
+    else:
+        assert decoded == value
+        assert type(decoded) is type(value)

@@ -1,0 +1,179 @@
+"""ServeEngine: typed requests, control plane, and constructor safety.
+
+The leak regression: a constructor step that raises after the
+connection pool (and possibly batcher threads) exist must tear all of
+it down before propagating — a failed ``__init__`` may not strand
+daemon threads or open connections.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.optimizer import MiningQuery
+from repro.core.predicates import Comparison, Op
+from repro.core.rewrite import PredictionEquals
+from repro.exceptions import (
+    RegistryError,
+    ServeError,
+    ServiceStoppedError,
+)
+from repro.segments.catalog import SegmentCatalog
+from repro.serve.engine import (
+    DeployRequest,
+    MatchRequest,
+    QueryRequest,
+    RetireRequest,
+    ServeEngine,
+)
+from repro.serve.pool import ConnectionPool
+from repro.serve.registry import ModelRegistry
+from repro.sql.miningext import PredictionJoinExecutor
+
+
+def repro_threads() -> set[str]:
+    """Names of live library-owned threads (workers, batchers, pools)."""
+    return {
+        t.name
+        for t in threading.enumerate()
+        if t.is_alive() and t.name.startswith("repro-")
+    }
+
+
+class _BrokenRegistry:
+    """A registry whose catalog access fails mid-constructor.
+
+    ``ServeEngine.__init__`` touches ``registry.catalog`` *after*
+    creating the connection pool, the admission controller, and the
+    segment match batcher — the deepest point a constructor failure can
+    strand resources.
+    """
+
+    @property
+    def catalog(self):
+        raise RuntimeError("catalog unavailable")
+
+
+@pytest.fixture()
+def pool_spy(monkeypatch):
+    calls: list[str] = []
+    original = ConnectionPool.close_all
+
+    def spying_close_all(self):
+        calls.append("close_all")
+        return original(self)
+
+    monkeypatch.setattr(ConnectionPool, "close_all", spying_close_all)
+    return calls
+
+
+class TestConstructorLeaks:
+    def test_invalid_max_pending_releases_pool(self, serve_db, pool_spy):
+        before = repro_threads()
+        with pytest.raises(ValueError, match="max_pending"):
+            ServeEngine(serve_db, ModelRegistry(), max_pending=0)
+        assert repro_threads() == before
+        assert pool_spy == ["close_all"]
+
+    def test_late_failure_tears_down_batcher_threads(
+        self, serve_db, pool_spy
+    ):
+        """Failure after the match batcher exists stops its thread too."""
+        catalog = SegmentCatalog()
+        catalog.register("adult", Comparison("age", Op.GE, 18))
+        before = repro_threads()
+        with pytest.raises(RuntimeError, match="catalog unavailable"):
+            ServeEngine(
+                serve_db, _BrokenRegistry(), segment_catalog=catalog
+            )
+        assert repro_threads() == before
+        assert pool_spy == ["close_all"]
+
+    def test_invalid_workers_rejected_before_any_resource(self, serve_db):
+        before = repro_threads()
+        with pytest.raises(ValueError, match="workers"):
+            ServeEngine(serve_db, ModelRegistry(), workers=0)
+        assert repro_threads() == before
+
+
+class TestTypedRequests:
+    def test_query_request_matches_direct_execution(
+        self, serve_db, deployed_registry, label_queries
+    ):
+        expected = PredictionJoinExecutor(
+            serve_db, deployed_registry.catalog
+        ).execute(label_queries[0])
+        with ServeEngine(
+            serve_db, deployed_registry, workers=2
+        ) as engine:
+            result = engine.execute(QueryRequest(query=label_queries[0]))
+        assert result.rows == expected.rows
+        assert result.report is not None
+        assert result.collapsed is False
+
+    def test_match_without_catalog_is_typed(
+        self, serve_db, deployed_registry
+    ):
+        with ServeEngine(serve_db, deployed_registry) as engine:
+            with pytest.raises(ServeError, match="segment catalog"):
+                engine.submit(MatchRequest(rows=({"age": 30},)))
+
+    def test_submit_after_shutdown_raises(self, serve_db, deployed_registry):
+        engine = ServeEngine(serve_db, deployed_registry, workers=1)
+        engine.shutdown()
+        with pytest.raises(ServiceStoppedError):
+            engine.submit(QueryRequest(query=MiningQuery("customers")))
+
+
+class TestControlPlane:
+    def test_deploy_and_retire_are_version_stamped(
+        self, serve_db, customer_tree
+    ):
+        registry = ModelRegistry(max_nodes=150)
+        with ServeEngine(serve_db, registry, workers=1) as engine:
+            deployed = engine.control(
+                DeployRequest(model=customer_tree.to_dict())
+            )
+            assert deployed.name == "risk_tree"
+            assert deployed.version == 1
+            assert deployed.catalog_version >= 1
+            assert deployed.labels == ("high", "low", "medium")
+
+            result = engine.execute(
+                QueryRequest(
+                    query=MiningQuery(
+                        "customers",
+                        mining_predicates=(
+                            PredictionEquals("risk_tree", "high"),
+                        ),
+                    )
+                )
+            )
+            assert result.rows_returned > 0
+
+            retired = engine.control(RetireRequest(name="risk_tree"))
+            assert retired.name == "risk_tree"
+            assert retired.version == 1
+            with pytest.raises(RegistryError):
+                engine.control(RetireRequest(name="risk_tree"))
+
+    def test_redeploy_bumps_versions(self, serve_db, customer_tree):
+        registry = ModelRegistry(max_nodes=150)
+        with ServeEngine(serve_db, registry, workers=1) as engine:
+            first = engine.control(
+                DeployRequest(model=customer_tree.to_dict())
+            )
+            second = engine.control(
+                DeployRequest(model=customer_tree.to_dict())
+            )
+            assert second.version == first.version + 1
+            assert second.catalog_version > first.catalog_version
+
+    def test_unsupported_control_request_raises(
+        self, serve_db, deployed_registry
+    ):
+        with ServeEngine(serve_db, deployed_registry, workers=1) as engine:
+            with pytest.raises(ServeError, match="unsupported control"):
+                engine.control("deploy")  # type: ignore[arg-type]

@@ -1,0 +1,363 @@
+"""Unit tests for the framed wire codec (``repro.serve.protocol``).
+
+Round-trips every frame kind, every typed request/response, value
+fidelity (including the tagged non-finite floats), and the full typed
+error registry; malformed input must surface as
+:class:`~repro.exceptions.ProtocolError`, never json/struct-flavored.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+import repro.exceptions as exceptions
+from repro.core.optimizer import MiningQuery
+from repro.core.predicates import (
+    FALSE,
+    TRUE,
+    And,
+    Comparison,
+    InSet,
+    Interval,
+    Not,
+    Op,
+    Or,
+)
+from repro.core.rewrite import (
+    PredictionEquals,
+    PredictionIn,
+    PredictionJoinColumn,
+    PredictionJoinPrediction,
+)
+from repro.exceptions import (
+    ProtocolError,
+    QueueFullError,
+    ReproError,
+    RequestTimeoutError,
+    ServeError,
+)
+from repro.ir.batch import MaskCacheStats
+from repro.serve.engine import (
+    DeployRequest,
+    DeployResult,
+    MatchRequest,
+    QueryRequest,
+    RetireRequest,
+    RetireResult,
+    SegmentMatchResult,
+    ServeResult,
+)
+from repro.serve.protocol import (
+    HEADER_BYTES,
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    decode_error,
+    decode_predicate,
+    decode_request,
+    decode_response,
+    decode_value,
+    encode_error,
+    encode_frame,
+    encode_predicate,
+    encode_request,
+    encode_response,
+    encode_value,
+)
+
+
+class TestFrames:
+    def test_round_trip_single_frame(self):
+        data = encode_frame(KIND_REQUEST, 7, {"q": "retire", "name": "m"})
+        frames = FrameDecoder().feed(data)
+        assert len(frames) == 1
+        assert frames[0].kind == KIND_REQUEST
+        assert frames[0].request_id == 7
+        assert frames[0].payload == {"q": "retire", "name": "m"}
+
+    def test_byte_by_byte_fragmentation(self):
+        data = encode_frame(KIND_RESPONSE, 3, {"r": "retire", "name": "m",
+                                               "version": 1})
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(data)):
+            frames.extend(decoder.feed(data[i : i + 1]))
+        assert len(frames) == 1
+        assert frames[0].request_id == 3
+
+    def test_concatenated_frames_one_feed(self):
+        stream = b"".join(
+            encode_frame(KIND_REQUEST, i, {"q": "retire", "name": str(i)})
+            for i in range(5)
+        )
+        frames = FrameDecoder().feed(stream)
+        assert [f.request_id for f in frames] == [0, 1, 2, 3, 4]
+
+    def test_split_mid_header(self):
+        data = encode_frame(KIND_ERROR, 9, {"error": "ServeError",
+                                            "message": "x"})
+        decoder = FrameDecoder()
+        assert decoder.feed(data[: HEADER_BYTES // 2]) == []
+        frames = decoder.feed(data[HEADER_BYTES // 2 :])
+        assert len(frames) == 1
+        assert frames[0].kind == KIND_ERROR
+
+    def test_bad_magic_raises(self):
+        data = bytearray(encode_frame(KIND_REQUEST, 1, {"q": "retire",
+                                                        "name": "m"}))
+        data[0:2] = b"XX"
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameDecoder().feed(bytes(data))
+
+    def test_bad_version_raises(self):
+        data = bytearray(encode_frame(KIND_REQUEST, 1, {"q": "retire",
+                                                        "name": "m"}))
+        data[2] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            FrameDecoder().feed(bytes(data))
+
+    def test_bad_kind_raises(self):
+        data = bytearray(encode_frame(KIND_REQUEST, 1, {"q": "retire",
+                                                        "name": "m"}))
+        data[3] = 42
+        with pytest.raises(ProtocolError, match="kind"):
+            FrameDecoder().feed(bytes(data))
+        with pytest.raises(ProtocolError, match="kind"):
+            encode_frame(42, 1, {})
+
+    def test_oversized_announcement_raises_before_buffering(self):
+        import struct
+
+        header = struct.pack(
+            "!2sBBQI", b"RS", 1, KIND_REQUEST, 1, MAX_FRAME_BYTES + 1
+        )
+        with pytest.raises(ProtocolError, match="ceiling"):
+            FrameDecoder().feed(header)
+
+    def test_non_json_payload_raises(self):
+        import struct
+
+        body = b"\xff\xfe not json"
+        header = struct.pack(
+            "!2sBBQI", b"RS", 1, KIND_REQUEST, 1, len(body)
+        )
+        with pytest.raises(ProtocolError, match="JSON"):
+            FrameDecoder().feed(header + body)
+
+    def test_non_object_payload_raises(self):
+        import struct
+
+        body = b"[1,2,3]"
+        header = struct.pack(
+            "!2sBBQI", b"RS", 1, KIND_REQUEST, 1, len(body)
+        )
+        with pytest.raises(ProtocolError, match="object"):
+            FrameDecoder().feed(header + body)
+
+    def test_unserializable_payload_raises(self):
+        with pytest.raises(ProtocolError, match="serializable"):
+            encode_frame(KIND_REQUEST, 1, {"x": object()})
+        with pytest.raises(ProtocolError, match="serializable"):
+            encode_frame(KIND_REQUEST, 1, {"x": float("nan")})
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "value", [0, 1, -7, "text", "", True, False, None, 1.5, -0.25,
+                  1e300, 5e-324]
+    )
+    def test_json_native_values_round_trip_exactly(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_int_float_bool_stay_distinct(self):
+        assert decode_value(encode_value(1)) is not True
+        assert type(decode_value(encode_value(1))) is int
+        assert type(decode_value(encode_value(1.0))) is float
+        assert decode_value(encode_value(True)) is True
+
+    def test_nonfinite_floats_tagged(self):
+        assert encode_value(float("nan")) == {"__float__": "nan"}
+        assert math.isnan(decode_value({"__float__": "nan"}))
+        assert decode_value(encode_value(float("inf"))) == float("inf")
+        assert decode_value(encode_value(float("-inf"))) == float("-inf")
+
+    def test_malformed_value_payload_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_value({"__float__": "seven"})
+
+
+PREDICATES = [
+    TRUE,
+    FALSE,
+    Comparison("age", Op.GE, 30),
+    Comparison("income", Op.LT, 45_000.5),
+    Comparison("name", Op.NE, "bob"),
+    InSet("region", ("north", "south")),
+    InSet("age", (1, 2, 3)),
+    Interval("age", low=18, high=65),
+    Interval("income", low=0.0, high=None, low_closed=False),
+    Interval("income", low=None, high=9.5, high_closed=False),
+    And((Comparison("a", Op.EQ, 1), Comparison("b", Op.EQ, 2))),
+    Or((Comparison("a", Op.EQ, 1), InSet("b", ("x", "y")))),
+    Not(Comparison("a", Op.GT, 0)),
+    Or(
+        (
+            And((Comparison("a", Op.LE, 3), Interval("b", low=1, high=2))),
+            Not(InSet("c", ("q",))),
+        )
+    ),
+]
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("predicate", PREDICATES, ids=repr)
+    def test_round_trip(self, predicate):
+        assert decode_predicate(encode_predicate(predicate)) == predicate
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ProtocolError, match="unknown predicate tag"):
+            decode_predicate({"p": "xor"})
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_predicate({"nope": 1})
+        with pytest.raises(ProtocolError):
+            decode_predicate({"p": "cmp", "col": "a"})
+
+
+MINING_PREDICATES = [
+    PredictionEquals("risk_tree", "high"),
+    PredictionEquals("clusters", 2),
+    PredictionIn("risk_tree", ("high", "medium")),
+    PredictionJoinPrediction("risk_tree", "risk_nb"),
+    PredictionJoinColumn("risk_tree", "risk"),
+]
+
+
+class TestRequests:
+    @pytest.mark.parametrize("mining", MINING_PREDICATES, ids=repr)
+    def test_query_request_round_trip(self, mining):
+        request = QueryRequest(
+            query=MiningQuery(
+                "customers",
+                relational_predicate=Comparison("age", Op.GE, 30),
+                mining_predicates=(mining,),
+            ),
+            optimize=False,
+            timeout=1.5,
+        )
+        assert decode_request(encode_request(request)) == request
+
+    def test_match_request_round_trip(self):
+        request = MatchRequest(
+            rows=(
+                {"age": 30, "income": 50_000.0},
+                {"age": 61, "income": 9_999.25},
+            ),
+            segments=("young", "affluent"),
+            timeout=None,
+        )
+        assert decode_request(encode_request(request)) == request
+
+    def test_match_request_none_segments(self):
+        request = MatchRequest(rows=({"a": 1},), segments=None)
+        assert decode_request(encode_request(request)) == request
+
+    def test_deploy_and_retire_round_trip(self, customer_tree):
+        deploy = DeployRequest(model=customer_tree.to_dict(), rows=None)
+        assert decode_request(encode_request(deploy)) == deploy
+        retire = RetireRequest(name="risk_tree")
+        assert decode_request(encode_request(retire)) == retire
+
+    def test_unknown_request_tag_raises(self):
+        with pytest.raises(ProtocolError, match="unknown request tag"):
+            decode_request({"q": "explode"})
+
+    def test_unencodable_request_raises(self):
+        with pytest.raises(ProtocolError, match="cannot encode"):
+            encode_request("not a request")  # type: ignore[arg-type]
+
+
+class TestResponses:
+    def test_serve_result_drops_report(self):
+        result = ServeResult(
+            rows=({"age": 30, "risk": "high"},),
+            strategy="rewrite",
+            queue_seconds=0.001,
+            execute_seconds=0.01,
+            collapsed=True,
+            report="not-a-real-report",  # type: ignore[arg-type]
+        )
+        decoded = decode_response(encode_response(result))
+        assert decoded.rows == result.rows
+        assert decoded.strategy == "rewrite"
+        assert decoded.collapsed is True
+        assert decoded.report is None
+
+    def test_segment_match_result_round_trip(self):
+        result = SegmentMatchResult(
+            memberships=(("young",), (), ("young", "affluent")),
+            segment_names=("affluent", "young"),
+            catalog_version=4,
+            queue_seconds=0.0,
+            match_seconds=0.002,
+            collapsed=False,
+            coalesced=True,
+            mask_stats=MaskCacheStats(
+                computed=3, shared=1, constants_skipped=0,
+                plan_hits=2, plan_misses=1,
+            ),
+        )
+        assert decode_response(encode_response(result)) == result
+
+    def test_control_results_round_trip(self):
+        deploy = DeployResult(
+            name="m", version=2, catalog_version=5,
+            labels=("high", "low"),
+        )
+        assert decode_response(encode_response(deploy)) == deploy
+        retire = RetireResult(name="m", version=2)
+        assert decode_response(encode_response(retire)) == retire
+
+    def test_unknown_response_tag_raises(self):
+        with pytest.raises(ProtocolError, match="unknown response tag"):
+            decode_response({"r": "explode"})
+
+
+class TestErrors:
+    def test_every_typed_error_round_trips_by_class(self):
+        for name in dir(exceptions):
+            cls = getattr(exceptions, name)
+            if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+                continue
+            decoded = decode_error(encode_error(cls("boom")))
+            assert type(decoded) is cls
+            assert "boom" in str(decoded)
+
+    def test_specific_serving_errors(self):
+        assert isinstance(
+            decode_error(encode_error(QueueFullError("full"))),
+            QueueFullError,
+        )
+        assert isinstance(
+            decode_error(encode_error(RequestTimeoutError("late"))),
+            RequestTimeoutError,
+        )
+
+    def test_unknown_class_falls_back_to_serve_error(self):
+        decoded = decode_error(
+            {"error": "FutureProtocolError", "message": "huh"}
+        )
+        assert type(decoded) is ServeError
+        assert "FutureProtocolError" in str(decoded)
+        assert "huh" in str(decoded)
+
+    def test_malformed_error_payload_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_error({"message": "no class"})
