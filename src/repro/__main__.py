@@ -16,6 +16,8 @@ Usage::
     python -m repro serve-bench --workers 4   # concurrent serving bench
     python -m repro serve-bench --transport tcp --processes 2
     python -m repro serve --port 7653 --duration 5   # TCP serving front-end
+    python -m repro load-bench --arrivals poisson --transport inproc
+    python -m repro load-bench --arrivals burst --rate 200 --trace DIR
     python -m repro segment-bench --segments 1000  # shared-mask matching
     python -m repro disjunction-bench   # cached vs naive OR evaluation
     python -m repro calibration-bench   # estimator feedback convergence
@@ -64,6 +66,7 @@ def main(argv: list[str] | None = None) -> int:
             "bench-vectorized",
             "serve-bench",
             "serve",
+            "load-bench",
             "segment-bench",
             "disjunction-bench",
             "calibration-bench",
@@ -108,10 +111,50 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--transport",
-        choices=("inproc", "socketpair", "tcp", "all"),
+        choices=("inproc", "socketpair", "tcp", "router", "all"),
         default="all",
         help="serve-bench: which transport adapters to replay the "
-        "schedule through (default: all)",
+        "schedule through (default: all); load-bench: the transport "
+        "for the determinism section ('all' means inproc; 'router' is "
+        "load-bench only)",
+    )
+    parser.add_argument(
+        "--arrivals",
+        choices=("constant", "poisson", "burst", "ramp"),
+        default="poisson",
+        help="load-bench: arrival process shape (default: poisson)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="load-bench: offered overload rate in requests/second "
+        "(default: auto-calibrated to 3x measured capacity)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="load-bench: per-request deadline "
+        "(default: auto-calibrated from the serial probe)",
+    )
+    parser.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="serve: micro-batch accumulation window (default: 0 = "
+        "dispatch immediately)",
+    )
+    parser.add_argument(
+        "--result-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve/serve-bench/load-bench: cache identical results "
+        "for this long (default: off)",
     )
     parser.add_argument(
         "--processes",
@@ -314,6 +357,11 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(
                 f"--processes must be >= 0, got {arguments.processes}"
             )
+        if arguments.transport == "router":
+            parser.error(
+                "serve-bench: --transport router is load-bench only "
+                "(use --processes N for the router matrix)"
+            )
         worker_counts = tuple(
             sorted({1, 2, arguments.workers} - {0})
         )
@@ -331,6 +379,7 @@ def main(argv: list[str] | None = None) -> int:
             requests=arguments.requests,
             transports=transports,
             processes=arguments.processes,
+            result_ttl=arguments.result_ttl,
         )
         serial = report["serial"]
         print(
@@ -381,6 +430,87 @@ def main(argv: list[str] | None = None) -> int:
                 f"--duration must be > 0, got {arguments.duration}"
             )
         _serve_tcp(config, arguments)
+    if arguments.artifact == "load-bench":
+        import json
+
+        from repro.load.bench import run_load_bench
+
+        if arguments.workers < 1:
+            parser.error(
+                f"--workers must be >= 1, got {arguments.workers}"
+            )
+        if arguments.requests < 1:
+            parser.error(
+                f"--requests must be >= 1, got {arguments.requests}"
+            )
+        if arguments.rate is not None and arguments.rate <= 0:
+            parser.error(f"--rate must be > 0, got {arguments.rate}")
+        if arguments.deadline is not None and arguments.deadline <= 0:
+            parser.error(
+                f"--deadline must be > 0, got {arguments.deadline}"
+            )
+        transport = (
+            "inproc"
+            if arguments.transport == "all"
+            else arguments.transport
+        )
+        report = run_load_bench(
+            config,
+            arrivals=arguments.arrivals,
+            rate=arguments.rate,
+            requests=arguments.requests,
+            workers=arguments.workers,
+            deadline=arguments.deadline,
+            transport=transport,
+            result_ttl=arguments.result_ttl,
+        )
+        calibration = report["calibration"]
+        print(
+            f"calibration: service mean "
+            f"{calibration['service_mean_ms']:.2f}ms, capacity "
+            f"{calibration['capacity_rps']:.0f} req/s, deadline "
+            f"{calibration['deadline_ms']:.1f}ms"
+        )
+        determinism = report["determinism"]
+        print(
+            f"determinism[{determinism['transport']}] at "
+            f"{determinism['rate_rps']:.0f} req/s: offsets identical "
+            f"{determinism['offsets_identical']}, rows identical "
+            f"{determinism['rows_identical']}"
+        )
+        overload = report["overload"]
+        for policy in ("static", "adaptive"):
+            row = overload[policy]
+            print(
+                f"overload[{policy}] at {overload['rate_rps']:.0f} "
+                f"req/s: goodput {row['goodput']:.1f} req/s, p99 "
+                f"{row['latency_ms']['p99']:.1f}ms, shed "
+                f"{row['shed']}, queued timeouts "
+                f"{row['queued_timeout']}, late {row['late']}"
+            )
+        passed = sorted(
+            name for name, ok in overload["gates"].items() if ok
+        )
+        missed = sorted(
+            name for name, ok in overload["gates"].items() if not ok
+        )
+        print("gates passed: " + (", ".join(passed) or "none"))
+        if missed:
+            print(
+                "gates informational (bursty arrivals, not enforced): "
+                + ", ".join(missed)
+            )
+        for entry in report["batch_window_frontier"]:
+            print(
+                f"batch window {entry['window_ms']:.1f}ms: goodput "
+                f"{entry['goodput_rps']:.1f} req/s, p50 "
+                f"{entry['p50_ms']:.1f}ms, p99 {entry['p99_ms']:.1f}ms, "
+                f"coalesced {entry['batch_coalesced']}"
+            )
+        with open("BENCH_load.json", "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print("wrote BENCH_load.json")
     if arguments.artifact == "segment-bench":
         import json
 
@@ -527,6 +657,8 @@ def _serve_tcp(
         registry,
         workers=arguments.workers,
         selectivity_gate=config.selectivity_gate,
+        batch_window=arguments.batch_window,
+        result_ttl=arguments.result_ttl,
     )
     server = TCPServer(engine, host=arguments.host, port=arguments.port)
     host, port = server.address

@@ -76,6 +76,16 @@ class QueueFullError(AdmissionError):
     """The bounded request queue is full; the request was shed."""
 
 
+class DeadlineShedError(AdmissionError):
+    """Admission predicted the deadline cannot be met; shed at admit time.
+
+    Raised by the adaptive controller instead of letting a request time
+    out in queue: the caller learns *immediately* that this replica
+    cannot finish in time and can retry elsewhere while the deadline
+    still has budget.
+    """
+
+
 class RequestTimeoutError(ServeError):
     """A request exceeded its deadline before completing."""
 

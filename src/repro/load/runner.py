@@ -1,0 +1,276 @@
+"""The open-loop load runner.
+
+:func:`run_load` walks an :class:`~repro.load.arrivals.ArrivalSchedule`
+and fires one request per offset at ``start + offset`` **whether or not
+earlier requests have completed** — the defining property of an
+open-loop harness.  Completions resolve on transport callback threads;
+the issuing loop never waits on them, so a slow service faces the full
+configured arrival rate instead of an accidentally throttled one.
+
+Measurement avoids coordinated omission twice over:
+
+* **latency is charged from the scheduled time**, not the actual issue
+  time — if the issuing loop itself falls behind (it can, the OS is not
+  a hard-real-time scheduler), that lag counts against the measured
+  latency rather than disappearing;
+* **every scheduled request is accounted for** in exactly one outcome
+  bucket: ``ok``, ``late`` (completed, but after its deadline),
+  ``shed`` (rejected at admission — queue full or predicted deadline
+  miss), ``queued_timeout`` (admitted but expired waiting in queue),
+  or ``error`` (anything else).  Sheds and deadline misses are *not*
+  errors: they are the service's load-management answers, and the SLO
+  report scores them as such.
+
+The per-request record splits total latency into queue and service
+components when the result carries its execution time (``ok``/``late``
+outcomes), supporting the queue-vs-service attribution the SLO report
+prints.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from collections.abc import Callable, Sequence
+
+from repro import obs
+from repro.exceptions import (
+    AdmissionError,
+    RequestTimeoutError,
+)
+from repro.load.arrivals import ArrivalSchedule
+from repro.serve.engine import MatchRequest, QueryRequest
+from repro.serve.transport import Transport
+
+__all__ = ["LoadResult", "RequestRecord", "run_load", "OUTCOMES"]
+
+#: Every outcome bucket a scheduled request can land in.
+OUTCOMES = ("ok", "late", "shed", "queued_timeout", "error")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One scheduled request, fully accounted.
+
+    All times are seconds relative to the run's start.  ``latency`` is
+    ``completed - scheduled`` (coordinated-omission corrected); it is
+    ``None`` for requests that never completed (sheds resolve at issue
+    time, so they do carry a latency — the cost the *caller* paid to
+    learn the request was rejected).
+    """
+
+    index: int
+    scheduled: float
+    issued: float
+    completed: float | None
+    outcome: str
+    latency: float | None
+    service_seconds: float | None = None
+    error: str | None = None
+    result: object | None = None
+
+    @property
+    def issue_lag(self) -> float:
+        """How late the issuing loop itself fired this request."""
+        return self.issued - self.scheduled
+
+    @property
+    def queue_seconds(self) -> float | None:
+        """Latency not explained by service time (queue + transport)."""
+        if self.latency is None or self.service_seconds is None:
+            return None
+        return max(0.0, self.latency - self.service_seconds)
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Everything one open-loop run produced."""
+
+    schedule: ArrivalSchedule
+    records: tuple[RequestRecord, ...]
+    duration: float
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for record in self.records:
+            counts[record.outcome] += 1
+        return counts
+
+    def completed_records(self) -> list[RequestRecord]:
+        """Records that produced a result (``ok`` and ``late``)."""
+        return [r for r in self.records if r.outcome in ("ok", "late")]
+
+
+def _service_seconds(result: object) -> float | None:
+    """Pull the server-measured execution time off a result, if any."""
+    for attribute in ("execute_seconds", "match_seconds"):
+        seconds = getattr(result, attribute, None)
+        if seconds is not None:
+            return float(seconds)
+    return None
+
+
+def _classify_error(error: BaseException) -> str:
+    if isinstance(error, AdmissionError):
+        return "shed"
+    if isinstance(error, RequestTimeoutError):
+        return "queued_timeout"
+    return "error"
+
+
+class _Slot:
+    """Mutable completion slot one in-flight request resolves into."""
+
+    __slots__ = (
+        "index",
+        "scheduled",
+        "issued",
+        "timeout",
+        "completed",
+        "outcome",
+        "error",
+        "result",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        scheduled: float,
+        issued: float,
+        timeout: float | None,
+    ) -> None:
+        self.index = index
+        self.scheduled = scheduled
+        self.issued = issued
+        self.timeout = timeout
+        self.completed: float | None = None
+        self.outcome: str | None = None
+        self.error: str | None = None
+        self.result: object | None = None
+
+
+def run_load(
+    transport: Transport,
+    schedule: ArrivalSchedule,
+    requests: "Sequence[QueryRequest | MatchRequest] | Callable[[int], QueryRequest | MatchRequest]",
+    grace: float = 30.0,
+    keep_results: bool = False,
+) -> LoadResult:
+    """Fire ``requests`` open-loop at the schedule's offsets.
+
+    ``requests`` is either a sequence aligned index-for-index with the
+    schedule or a factory called with each index at issue time.  After
+    the last issue, completions are awaited for at most ``grace``
+    seconds; anything still unresolved is recorded as an ``error``
+    (outcome ``error``, error ``"unresolved after grace period"``) —
+    the harness never blocks forever on a hung service.
+
+    With ``keep_results=True`` each completed record keeps a reference
+    to its result object, which the bench uses for byte-identity
+    digests; leave it off for long runs.
+    """
+    if not callable(requests):
+        if len(requests) != schedule.count:
+            raise ValueError(
+                f"{len(requests)} requests for "
+                f"{schedule.count} scheduled arrivals"
+            )
+        sequence = requests
+        requests = lambda index: sequence[index]  # noqa: E731
+    if grace < 0:
+        raise ValueError(f"grace must be >= 0, got {grace}")
+
+    slots: list[_Slot] = []
+    futures: list["Future | None"] = []
+    done = threading.Semaphore(0)
+    start = time.perf_counter()
+
+    def _resolve(slot: _Slot, future: "Future") -> None:
+        slot.completed = time.perf_counter() - start
+        error = future.exception()
+        if error is not None:
+            slot.outcome = _classify_error(error)
+            slot.error = f"{type(error).__name__}: {error}"
+        else:
+            slot.result = future.result()
+        done.release()
+
+    for index, offset in enumerate(schedule.offsets):
+        remaining = start + offset - time.perf_counter()
+        if remaining > 0:
+            time.sleep(remaining)
+        request = requests(index)
+        slot = _Slot(
+            index,
+            offset,
+            time.perf_counter() - start,
+            getattr(request, "timeout", None),
+        )
+        slots.append(slot)
+        obs.add_counter("load.request.issued")
+        try:
+            future = transport.submit(request)
+        except BaseException as error:  # noqa: BLE001 — every outcome is data
+            # In-process transports raise admission errors synchronously;
+            # byte transports deliver them through the future instead.
+            slot.completed = time.perf_counter() - start
+            slot.outcome = _classify_error(error)
+            slot.error = f"{type(error).__name__}: {error}"
+            futures.append(None)
+            continue
+        futures.append(future)
+        future.add_done_callback(
+            lambda f, s=slot: _resolve(s, f)
+        )
+
+    # -- wait for completions, bounded by the grace period ----------------
+    pending = sum(1 for future in futures if future is not None)
+    deadline = time.perf_counter() + grace
+    for _ in range(pending):
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0 or not done.acquire(timeout=remaining):
+            break
+
+    duration = time.perf_counter() - start
+    records = []
+    for slot, future in zip(slots, futures):
+        outcome = slot.outcome
+        result = slot.result
+        if outcome is None:
+            if slot.completed is not None:
+                # Completed with a result: late iff it outlived its own
+                # deadline, measured from when it was actually issued
+                # (the deadline clock starts at admission, not at the
+                # scheduled time the issuing loop aimed for).
+                elapsed = slot.completed - slot.issued
+                late = slot.timeout is not None and elapsed > slot.timeout
+                outcome = "late" if late else "ok"
+            else:
+                outcome = "error"
+                slot.error = "unresolved after grace period"
+        obs.add_counter(f"load.request.{outcome}")
+        records.append(
+            RequestRecord(
+                index=slot.index,
+                scheduled=slot.scheduled,
+                issued=slot.issued,
+                completed=slot.completed,
+                outcome=outcome,
+                latency=(
+                    None
+                    if slot.completed is None
+                    else slot.completed - slot.scheduled
+                ),
+                service_seconds=(
+                    None if result is None else _service_seconds(result)
+                ),
+                error=slot.error,
+                result=result if keep_results else None,
+            )
+        )
+    return LoadResult(
+        schedule=schedule, records=tuple(records), duration=duration
+    )

@@ -1,0 +1,167 @@
+"""SLO accounting over one open-loop run.
+
+:func:`summarize_load` reduces a :class:`~repro.load.runner.LoadResult`
+to the numbers an SLO conversation is actually about:
+
+* **latency percentiles** (p50/p95/p99, coordinated-omission corrected:
+  every latency is measured from the *scheduled* arrival time) over
+  completed requests;
+* **jitter percentiles** — absolute latency deltas between consecutive
+  completions, the "how bumpy is the experience" companion to raw
+  percentiles (two services with equal p99 can feel very different if
+  one alternates 1 ms / 200 ms);
+* **goodput vs offered load** — completed-in-deadline requests per
+  second against the schedule's empirical arrival rate.  Under
+  overload, goodput below offered rate is expected; goodput *collapse*
+  is what admission control exists to prevent;
+* **miss / shed rates** — deadline misses (late completions plus
+  queued timeouts) and admission sheds as separate rates, because they
+  are different failure modes: a shed costs the caller microseconds, a
+  queued timeout costs the full deadline.
+
+Everything is published as ``load.*`` gauges/counters through
+:mod:`repro.obs`, which the trace report renders as the "Load / SLO"
+section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.load.runner import LoadResult
+
+__all__ = ["SLOReport", "summarize_load"]
+
+_QUANTILES = (("p50", 50.0), ("p95", 95.0), ("p99", 99.0))
+
+
+def _percentiles(values: "list[float]") -> dict[str, float]:
+    if not values:
+        return {name: 0.0 for name, _ in _QUANTILES}
+    data = np.asarray(values, dtype=np.float64)
+    return {
+        name: float(np.percentile(data, q)) for name, q in _QUANTILES
+    }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """One run's SLO summary; ``to_dict`` is its JSON form."""
+
+    requests: int
+    ok: int
+    late: int
+    shed: int
+    queued_timeout: int
+    errors: int
+    duration: float
+    offered_rate: float
+    goodput: float
+    miss_rate: float
+    shed_rate: float
+    latency: dict[str, float]
+    jitter: dict[str, float]
+    latency_mean: float
+    latency_max: float
+    queue_mean: float
+    service_mean: float
+    issue_lag_max: float
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.late
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "late": self.late,
+            "shed": self.shed,
+            "queued_timeout": self.queued_timeout,
+            "errors": self.errors,
+            "duration_seconds": self.duration,
+            "offered_rate": self.offered_rate,
+            "goodput": self.goodput,
+            "miss_rate": self.miss_rate,
+            "shed_rate": self.shed_rate,
+            "latency_seconds": dict(self.latency),
+            "jitter_seconds": dict(self.jitter),
+            "latency_mean_seconds": self.latency_mean,
+            "latency_max_seconds": self.latency_max,
+            "queue_mean_seconds": self.queue_mean,
+            "service_mean_seconds": self.service_mean,
+            "issue_lag_max_seconds": self.issue_lag_max,
+        }
+
+
+def summarize_load(result: LoadResult, publish: bool = True) -> SLOReport:
+    """Reduce one run to its SLO report; optionally publish ``load.*``
+    gauges for the trace report."""
+    counts = result.outcome_counts()
+    completed = result.completed_records()
+    latencies = [
+        r.latency for r in completed if r.latency is not None
+    ]
+    # Jitter: consecutive-completion latency deltas, in completion order.
+    ordered = sorted(
+        (r for r in completed if r.completed is not None),
+        key=lambda r: r.completed,
+    )
+    deltas = [
+        abs(b.latency - a.latency)
+        for a, b in zip(ordered, ordered[1:])
+        if a.latency is not None and b.latency is not None
+    ]
+    queue_values = [
+        r.queue_seconds for r in completed if r.queue_seconds is not None
+    ]
+    service_values = [
+        r.service_seconds
+        for r in completed
+        if r.service_seconds is not None
+    ]
+    duration = result.duration
+    report = SLOReport(
+        requests=len(result.records),
+        ok=counts["ok"],
+        late=counts["late"],
+        shed=counts["shed"],
+        queued_timeout=counts["queued_timeout"],
+        errors=counts["error"],
+        duration=duration,
+        offered_rate=result.schedule.empirical_rate(),
+        goodput=counts["ok"] / duration if duration > 0 else 0.0,
+        miss_rate=(
+            (counts["late"] + counts["queued_timeout"])
+            / len(result.records)
+            if result.records
+            else 0.0
+        ),
+        shed_rate=(
+            counts["shed"] / len(result.records) if result.records else 0.0
+        ),
+        latency=_percentiles(latencies),
+        jitter=_percentiles(deltas),
+        latency_mean=float(np.mean(latencies)) if latencies else 0.0,
+        latency_max=max(latencies, default=0.0),
+        queue_mean=float(np.mean(queue_values)) if queue_values else 0.0,
+        service_mean=(
+            float(np.mean(service_values)) if service_values else 0.0
+        ),
+        issue_lag_max=max(
+            (r.issue_lag for r in result.records), default=0.0
+        ),
+    )
+    if publish:
+        obs.set_gauge("load.offered_rate", report.offered_rate)
+        obs.set_gauge("load.goodput", report.goodput)
+        obs.set_gauge("load.miss_rate", report.miss_rate)
+        obs.set_gauge("load.shed_rate", report.shed_rate)
+        for name, value in report.latency.items():
+            obs.set_gauge(f"load.latency.{name}", value)
+        for name, value in report.jitter.items():
+            obs.set_gauge(f"load.jitter.{name}", value)
+    return report

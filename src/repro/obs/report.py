@@ -177,6 +177,42 @@ class TraceSummary:
             stats["respawns"] = respawns
         return stats
 
+    def load(self) -> dict[str, float]:
+        """Open-loop load-harness statistics from ``load.*`` telemetry.
+
+        Empty when no load run happened.  Outcome counters come from
+        ``load.request.<outcome>`` (one bucket per scheduled request);
+        the rate/latency numbers are the ``load.*`` gauges the SLO
+        summarizer publishes for its most recent run.
+        """
+        stats: dict[str, float] = {}
+        for metric in (
+            "issued",
+            "ok",
+            "late",
+            "shed",
+            "queued_timeout",
+            "error",
+        ):
+            value = self.counters.get(f"load.request.{metric}")
+            if value is not None:
+                stats[metric] = value
+        for gauge in (
+            "offered_rate",
+            "goodput",
+            "miss_rate",
+            "shed_rate",
+        ):
+            value = self.gauges.get(f"load.{gauge}")
+            if value is not None:
+                stats[gauge] = value
+        for family in ("latency", "jitter"):
+            for quantile in ("p50", "p95", "p99"):
+                value = self.gauges.get(f"load.{family}.{quantile}")
+                if value is not None:
+                    stats[f"{family}_{quantile}"] = value
+        return stats
+
     def disjunction(self) -> dict[str, float]:
         """Disjunction-execution statistics from ``ir.batch.*`` and
         ``sql.lowering.*`` telemetry.
@@ -577,6 +613,45 @@ def format_report(summary: TraceSummary, top: int = 25) -> str:
         if "respawns" in transport:
             out.append(
                 f"  worker respawns: {int(transport['respawns'])}"
+            )
+        out.append("")
+    load = summary.load()
+    if load:
+        out.append("Load / SLO:")
+        parts = []
+        for metric in (
+            "issued",
+            "ok",
+            "late",
+            "shed",
+            "queued_timeout",
+            "error",
+        ):
+            if metric in load:
+                parts.append(f"{metric}={int(load[metric])}")
+        if parts:
+            out.append("  " + "  ".join(parts))
+        if "offered_rate" in load or "goodput" in load:
+            out.append(
+                "  offered "
+                f"{load.get('offered_rate', 0.0):.1f} req/s -> goodput "
+                f"{load.get('goodput', 0.0):.1f} req/s "
+                f"(miss rate {load.get('miss_rate', 0.0):.1%}, "
+                f"shed rate {load.get('shed_rate', 0.0):.1%})"
+            )
+        if "latency_p99" in load:
+            out.append(
+                "  latency p50="
+                f"{load.get('latency_p50', 0.0) * 1000:.2f}ms "
+                f"p95={load.get('latency_p95', 0.0) * 1000:.2f}ms "
+                f"p99={load['latency_p99'] * 1000:.2f}ms"
+            )
+        if "jitter_p99" in load:
+            out.append(
+                "  jitter  p50="
+                f"{load.get('jitter_p50', 0.0) * 1000:.2f}ms "
+                f"p95={load.get('jitter_p95', 0.0) * 1000:.2f}ms "
+                f"p99={load['jitter_p99'] * 1000:.2f}ms"
             )
         out.append("")
     segments = summary.segments()

@@ -25,6 +25,7 @@ subsets would mislabel slices.  Counters mirror the serving batcher:
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
@@ -64,8 +65,13 @@ class MatchBatcher:
     waiters with :class:`~repro.exceptions.ServiceStoppedError`.
     """
 
-    def __init__(self, catalog: SegmentCatalog) -> None:
+    def __init__(
+        self, catalog: SegmentCatalog, window: float = 0.0
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
         self._catalog = catalog
+        self._window = window
         self._cond = threading.Condition()
         self._pending: dict[_GroupKey, list[_Pending]] = {}
         self._evaluators: dict[_GroupKey, PredicateSetEvaluator] = {}
@@ -117,6 +123,16 @@ class MatchBatcher:
             with self._cond:
                 while not self._pending and not self._stopped:
                     self._cond.wait()
+                if not self._stopped and self._window > 0:
+                    # Bounded accumulation window, as in MicroBatcher:
+                    # wait (lock released) so nearby arrivals join this
+                    # drain; the deadline caps the added latency.
+                    deadline = time.monotonic() + self._window
+                    while not self._stopped:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
                 if self._stopped:
                     work = self._pending
                     self._pending = {}

@@ -55,13 +55,19 @@ Everything emits ``serve.*`` spans/counters/gauges through
 and "Transport" sections.
 """
 
-from repro.serve.admission import AdmissionController, Deadline
+from repro.serve.admission import (
+    AdaptiveAdmissionController,
+    AdmissionController,
+    Deadline,
+    ServiceTimeEstimator,
+)
 from repro.serve.batcher import BatchingCatalog, MicroBatcher
 from repro.serve.engine import (
     DeployRequest,
     DeployResult,
     MatchRequest,
     QueryRequest,
+    ResultCache,
     RetireRequest,
     RetireResult,
     SegmentMatchResult,
@@ -75,6 +81,8 @@ from repro.serve.router import ProcessRouter
 from repro.serve.service import QueryService
 from repro.serve.transport import (
     LoopbackTransport,
+    RetryingTransport,
+    RetryPolicy,
     SocketServer,
     SocketTransport,
     TCPServer,
@@ -84,6 +92,7 @@ from repro.serve.transport import (
 )
 
 __all__ = [
+    "AdaptiveAdmissionController",
     "AdmissionController",
     "BatchingCatalog",
     "ConnectionPool",
@@ -98,12 +107,16 @@ __all__ = [
     "ProcessRouter",
     "QueryRequest",
     "QueryService",
+    "ResultCache",
     "RetireRequest",
     "RetireResult",
+    "RetryPolicy",
+    "RetryingTransport",
     "SegmentMatchResult",
     "ServeEngine",
     "ServeResult",
     "ServiceStats",
+    "ServiceTimeEstimator",
     "SocketServer",
     "SocketTransport",
     "TCPServer",

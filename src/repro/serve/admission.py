@@ -13,6 +13,22 @@ backlog drains by dropping already-dead work first.
 Queue depth is exported as the ``serve.queue.depth`` gauge and shed /
 timeout decisions as ``serve.request.shed`` / ``serve.request.timeout``
 counters — the signals a load balancer would watch.
+
+:class:`AdaptiveAdmissionController` grows the static bound into a
+feedback controller for open-loop (SLO) traffic:
+
+* an **AIMD concurrency limit** below ``max_pending`` — additive
+  increase on every in-deadline completion, multiplicative decrease on
+  every deadline miss or queued timeout — published as the
+  ``serve.admission.limit`` gauge next to the existing
+  ``serve.queue.depth`` gauge that drives it;
+* **deadline-aware shedding**: a per-request-kind EWMA of observed
+  service times (:class:`ServiceTimeEstimator`, fed by the engine)
+  predicts this request's wait-plus-service; when that exceeds the
+  deadline's remaining budget, the request is shed *at admit time* with
+  :class:`~repro.exceptions.DeadlineShedError`
+  (``serve.request.shed.deadline`` counter) instead of spending its
+  whole deadline queued and timing out anyway.
 """
 
 from __future__ import annotations
@@ -21,7 +37,7 @@ import threading
 import time
 
 from repro import obs
-from repro.exceptions import QueueFullError
+from repro.exceptions import DeadlineShedError, QueueFullError
 
 
 class Deadline:
@@ -81,8 +97,18 @@ class AdmissionController:
             timeout = self.default_timeout
         return Deadline.from_timeout(timeout)
 
-    def admit(self) -> None:
-        """Claim one pending slot or shed the request."""
+    def admit(
+        self,
+        kind: str | None = None,
+        deadline: "Deadline | None" = None,
+    ) -> None:
+        """Claim one pending slot or shed the request.
+
+        ``kind`` and ``deadline`` describe the request for controllers
+        that admit by predicted feasibility; the static controller
+        accepts and ignores them, so every caller can pass them
+        unconditionally.
+        """
         with self._lock:
             if self._pending >= self.max_pending:
                 obs.add_counter("serve.request.shed")
@@ -108,8 +134,189 @@ class AdmissionController:
             self._pending -= 1
             obs.set_gauge("serve.queue.depth", self._pending)
 
+    def record_outcome(
+        self,
+        kind: str | None,
+        service_seconds: float | None,
+        ok: bool,
+    ) -> None:
+        """Feedback hook after a request finishes; static: no-op.
+
+        ``service_seconds`` is the measured execution time (``None``
+        when the request never executed, e.g. a queued timeout);
+        ``ok`` is whether it finished within its deadline.
+        """
+
     @property
     def pending(self) -> int:
         """Currently admitted, unfinished requests."""
         with self._lock:
             return self._pending
+
+
+class ServiceTimeEstimator:
+    """Thread-safe per-request-kind EWMA of observed service times.
+
+    Seeded exactly by the first observation of each kind, then smoothed
+    with weight ``alpha`` on new samples — the same discipline as the
+    calibration store's selectivity EWMA.  :meth:`estimate` returns
+    ``None`` for kinds never observed, which admission treats as
+    "no basis to shed".
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._lock = threading.Lock()
+        self._ewma: dict[str, float] = {}
+        self._count: dict[str, int] = {}
+
+    def observe(self, kind: str, seconds: float) -> None:
+        """Fold one measured service time into the kind's EWMA."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        with self._lock:
+            current = self._ewma.get(kind)
+            if current is None:
+                self._ewma[kind] = seconds
+            else:
+                self._ewma[kind] = (
+                    self.alpha * seconds + (1.0 - self.alpha) * current
+                )
+            self._count[kind] = self._count.get(kind, 0) + 1
+
+    def estimate(self, kind: str) -> float | None:
+        """The kind's smoothed service time (``None`` if never seen)."""
+        with self._lock:
+            return self._ewma.get(kind)
+
+    def observations(self, kind: str) -> int:
+        with self._lock:
+            return self._count.get(kind, 0)
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._ewma)
+
+
+class AdaptiveAdmissionController(AdmissionController):
+    """AIMD-limited, deadline-aware admission over the same slot pool.
+
+    Two mechanisms layered on the static bound (which remains the hard
+    ceiling):
+
+    * The effective concurrency limit starts at ``max_pending`` and
+      adapts: each in-deadline completion adds ``increase / limit``
+      (additive increase, ~+1 per round-trip of the whole window), each
+      deadline miss or queued timeout multiplies by ``decrease``
+      (multiplicative decrease), floored at ``workers`` so the pool is
+      never starved.  The limit is published as the
+      ``serve.admission.limit`` gauge.
+    * With a deadline and a service-time estimate for the request's
+      kind, admission predicts wait-plus-service as
+      ``estimate * (pending / workers + 1)`` — the queue ahead drains
+      through ``workers`` lanes, then this request runs.  A prediction
+      exceeding the deadline's remaining budget sheds immediately with
+      :class:`~repro.exceptions.DeadlineShedError`
+      (``serve.request.shed.deadline``): the caller gets its rejection
+      while the deadline still has budget to retry elsewhere, and no
+      worker wastes time dequeuing doomed work.
+    """
+
+    def __init__(
+        self,
+        max_pending: int,
+        default_timeout: float | None = None,
+        workers: int = 1,
+        increase: float = 1.0,
+        decrease: float = 0.5,
+        alpha: float = 0.3,
+    ) -> None:
+        super().__init__(max_pending, default_timeout=default_timeout)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if increase <= 0:
+            raise ValueError(f"increase must be > 0, got {increase}")
+        if not 0.0 < decrease < 1.0:
+            raise ValueError(
+                f"decrease must be in (0, 1), got {decrease}"
+            )
+        self.workers = workers
+        self._increase = increase
+        self._decrease = decrease
+        self._floor = float(min(workers, max_pending))
+        self._limit = float(max_pending)
+        self.estimator = ServiceTimeEstimator(alpha)
+        self.deadline_sheds = 0
+        self.limit_sheds = 0
+
+    @property
+    def limit(self) -> float:
+        """The current AIMD concurrency limit."""
+        with self._lock:
+            return self._limit
+
+    def admit(
+        self,
+        kind: str | None = None,
+        deadline: "Deadline | None" = None,
+    ) -> None:
+        with self._lock:
+            limit = min(self.max_pending, int(self._limit))
+            if self._pending >= limit:
+                self.limit_sheds += 1
+                obs.add_counter("serve.request.shed")
+                raise QueueFullError(
+                    f"adaptive admission limit reached "
+                    f"({self._pending}/{limit} pending, "
+                    f"AIMD limit {self._limit:.1f})"
+                )
+            if kind is not None and deadline is not None:
+                estimate = self.estimator.estimate(kind)
+                if estimate is not None:
+                    predicted = estimate * (
+                        self._pending / self.workers + 1.0
+                    )
+                    remaining = deadline.remaining()
+                    if predicted > remaining:
+                        self.deadline_sheds += 1
+                        obs.add_counter("serve.request.shed")
+                        obs.add_counter("serve.request.shed.deadline")
+                        raise DeadlineShedError(
+                            f"predicted {predicted * 1000:.1f}ms "
+                            f"wait+service exceeds the deadline's "
+                            f"{remaining * 1000:.1f}ms remaining "
+                            f"({self._pending} pending, "
+                            f"{estimate * 1000:.2f}ms {kind} estimate)"
+                        )
+            self._pending += 1
+            obs.set_gauge("serve.queue.depth", self._pending)
+
+    def record_outcome(
+        self,
+        kind: str | None,
+        service_seconds: float | None,
+        ok: bool,
+    ) -> None:
+        """Feed one finished request back into the controller.
+
+        In-deadline completions grow the limit additively and refine the
+        kind's service-time EWMA; deadline misses (late completions and
+        queued timeouts) shrink it multiplicatively.  Sheds do not feed
+        back — they are the controller's own output, not a congestion
+        signal.
+        """
+        if kind is not None and service_seconds is not None:
+            self.estimator.observe(kind, service_seconds)
+        with self._lock:
+            if ok:
+                self._limit = min(
+                    float(self.max_pending),
+                    self._limit + self._increase / max(self._limit, 1.0),
+                )
+            else:
+                self._limit = max(
+                    self._floor, self._limit * self._decrease
+                )
+            obs.set_gauge("serve.admission.limit", self._limit)

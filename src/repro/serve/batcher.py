@@ -18,10 +18,14 @@ batch composition.  Concatenating requests and slicing the result is
 therefore *bit-identical* to scoring each request alone (regression-tested
 in ``tests/serve/test_batcher.py``).
 
-Coalescing is opportunistic, not delay-based: the scorer never sleeps
-waiting for company, so an idle service adds one thread hop of latency
-and nothing more, while a busy service naturally accumulates concurrent
-requests into larger and larger groups.  Stats:
+Coalescing is opportunistic by default: the scorer never sleeps waiting
+for company, so an idle service adds one thread hop of latency and
+nothing more, while a busy service naturally accumulates concurrent
+requests into larger and larger groups.  A bounded **accumulation
+window** (``window`` seconds, typically 0.5–2 ms) trades a little
+latency for larger groups: after the first request arrives the scorer
+keeps waiting up to the window for more before draining — a point on
+the throughput/latency frontier the load bench evaluates.  Stats:
 ``serve.batch.requests`` (scoring requests), ``serve.batch.calls``
 (underlying ``predict_batch`` invocations), ``serve.batch.rows`` (rows
 scored), and ``serve.batch.coalesced`` (requests that shared a call).
@@ -30,6 +34,7 @@ scored), and ``serve.batch.coalesced`` (requests that shared a call).
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
@@ -67,8 +72,13 @@ class MicroBatcher:
     :class:`~repro.exceptions.ServiceStoppedError`.
     """
 
-    def __init__(self, catalog: ModelCatalog) -> None:
+    def __init__(
+        self, catalog: ModelCatalog, window: float = 0.0
+    ) -> None:
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
         self._catalog = catalog
+        self._window = window
         self._cond = threading.Condition()
         self._pending: dict[str, list[_Pending]] = {}
         self._stopped = False
@@ -112,6 +122,17 @@ class MicroBatcher:
             with self._cond:
                 while not self._pending and not self._stopped:
                     self._cond.wait()
+                if not self._stopped and self._window > 0:
+                    # Accumulate: hold the drain open for the window so
+                    # closely-spaced arrivals share one call.  Waiting
+                    # releases the lock, so enqueues keep landing; the
+                    # deadline bounds the added latency.
+                    deadline = time.monotonic() + self._window
+                    while not self._stopped:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
                 if self._stopped:
                     work = self._pending
                     self._pending = {}

@@ -256,6 +256,7 @@ def run_serving_bench(
     dataset_name: str | None = None,
     transports: tuple[str, ...] = ("inproc", "socketpair", "tcp"),
     processes: int = 0,
+    result_ttl: float | None = None,
 ) -> dict:
     """The full benchmark: deploy, baseline, concurrent runs, verify.
 
@@ -263,6 +264,9 @@ def run_serving_bench(
     ``inproc`` / ``socketpair`` / ``tcp``); ``processes`` > 0 also runs
     the multi-process router at 1/2/``processes`` workers.  Every
     configuration is gated byte-identical to the serial baseline.
+    ``result_ttl`` turns the engine-side result cache on for the
+    service and transport runs — safe for the identity gates, because
+    a cached hit returns the original result object.
     """
     with obs.span("serve.bench", requests=requests):
         name = dataset_name or config.datasets[0]
@@ -323,6 +327,7 @@ def run_serving_bench(
                 max_pending=max_pending,
                 plan_cache=PlanCache(256),
                 selectivity_gate=config.selectivity_gate,
+                result_ttl=result_ttl,
             )
             try:
                 for query in queries:  # warm-up this service's caches
@@ -398,6 +403,7 @@ def run_serving_bench(
                 max_pending=max_pending,
                 plan_cache=PlanCache(256),
                 selectivity_gate=config.selectivity_gate,
+                result_ttl=result_ttl,
             )
             try:
                 for query in queries:  # warm the shared engine once

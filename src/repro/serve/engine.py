@@ -40,6 +40,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
@@ -50,7 +51,7 @@ from repro import obs
 from repro.core.optimizer import MiningQuery
 from repro.core.predicates import Value
 from repro.exceptions import (
-    QueueFullError,
+    AdmissionError,
     RequestTimeoutError,
     ServeError,
     ServiceStoppedError,
@@ -61,7 +62,11 @@ from repro.mining.base import Row
 from repro.mining.interchange import model_from_dict
 from repro.segments.batcher import MatchBatcher
 from repro.segments.catalog import SegmentCatalog
-from repro.serve.admission import AdmissionController, Deadline
+from repro.serve.admission import (
+    AdaptiveAdmissionController,
+    AdmissionController,
+    Deadline,
+)
 from repro.serve.batcher import BatchingCatalog, MicroBatcher
 from repro.serve.pool import ConnectionPool
 from repro.serve.registry import ModelRegistry
@@ -203,6 +208,60 @@ class RetireResult:
     version: int
 
 
+class ResultCache:
+    """TTL'd, LRU-bounded cache of successful results by collapse key.
+
+    The collapse key already carries every referenced model's catalog
+    version, so a redeploy naturally changes the key and the stale entry
+    simply ages out — no invalidation protocol needed.  A cached hit
+    returns the original result object (its recorded queue/execute
+    timings describe the execution that populated the entry).  Counters:
+    ``serve.result_cache.hit`` / ``.miss``.
+    """
+
+    def __init__(self, ttl: float, max_entries: int = 1024) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, tuple[float, object]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> object | None:
+        now = time.monotonic()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] > now:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                obs.add_counter("serve.result_cache.hit")
+                return entry[1]
+            if entry is not None:
+                del self._entries[key]
+            self.misses += 1
+            obs.add_counter("serve.result_cache.miss")
+            return None
+
+    def put(self, key: tuple, result: object) -> None:
+        with self._lock:
+            self._entries[key] = (time.monotonic() + self.ttl, result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 class ServiceStats:
     """Thread-safe lifetime counters of one engine instance."""
 
@@ -283,9 +342,18 @@ class ServeEngine:
         batch_size: int = 2048,
         segment_catalog: "SegmentCatalog | None" = None,
         calibration: "CalibrationStore | None" = None,
+        admission: str = "static",
+        batch_window: float = 0.0,
+        result_ttl: float | None = None,
+        result_cache_size: int = 1024,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if admission not in ("static", "adaptive"):
+            raise ValueError(
+                f"admission must be 'static' or 'adaptive', "
+                f"got {admission!r}"
+            )
         self._registry = registry
         self._segments = segment_catalog
         # Every resource owning a thread or a connection is created
@@ -298,8 +366,22 @@ class ServeEngine:
         self._workers: list[threading.Thread] = []
         try:
             self._pool = ConnectionPool(db, read_only=True)
-            self._controller = AdmissionController(
-                max_pending, default_timeout=default_timeout
+            if admission == "adaptive":
+                self._controller: AdmissionController = (
+                    AdaptiveAdmissionController(
+                        max_pending,
+                        default_timeout=default_timeout,
+                        workers=workers,
+                    )
+                )
+            else:
+                self._controller = AdmissionController(
+                    max_pending, default_timeout=default_timeout
+                )
+            self._result_cache = (
+                None
+                if result_ttl is None
+                else ResultCache(result_ttl, result_cache_size)
             )
             self._plan_cache = (
                 plan_cache if plan_cache is not None else PlanCache(256)
@@ -314,10 +396,12 @@ class ServeEngine:
                 else CalibrationStore()
             )
             if segment_catalog is not None:
-                self._match_batcher = MatchBatcher(segment_catalog)
+                self._match_batcher = MatchBatcher(
+                    segment_catalog, window=batch_window
+                )
             catalog = registry.catalog
             if batching:
-                self._batcher = MicroBatcher(catalog)
+                self._batcher = MicroBatcher(catalog, window=batch_window)
                 catalog = BatchingCatalog(registry.catalog, self._batcher)
             self._exec_catalog = catalog
             self._collapsing = collapsing
@@ -395,15 +479,29 @@ class ServeEngine:
         """Admitted, unfinished requests (queued plus executing)."""
         return self._controller.pending
 
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission controller (static or adaptive)."""
+        return self._controller
+
+    @property
+    def result_cache(self) -> "ResultCache | None":
+        """The TTL'd result cache (``None`` when ``result_ttl`` unset)."""
+        return self._result_cache
+
     def submit(self, request: "QueryRequest | MatchRequest") -> "Future":
         """Admit one typed request; returns a future for its result.
 
         Raises :class:`~repro.exceptions.QueueFullError` when the bounded
-        queue is full and :class:`~repro.exceptions.ServiceStoppedError`
-        when draining or stopped; both are *synchronous* (the future is
-        only created for admitted requests).  A request structurally
-        identical to one currently executing collapses onto it without
-        consuming a queue slot.
+        queue is full (under adaptive admission also
+        :class:`~repro.exceptions.DeadlineShedError` when the deadline is
+        predicted infeasible) and
+        :class:`~repro.exceptions.ServiceStoppedError` when draining or
+        stopped; all are *synchronous* (the future is only created for
+        admitted requests).  A request structurally identical to one
+        currently executing collapses onto it without consuming a queue
+        slot; with a result cache configured, a fresh cached result
+        answers without queueing at all.
         """
         if isinstance(request, MatchRequest) and self._match_batcher is None:
             raise ServeError(
@@ -417,24 +515,26 @@ class ServeEngine:
         obs.add_counter("serve.request.submitted")
         key = self._collapse_key(request)
         if key is not None:
+            if self._result_cache is not None:
+                cached = self._result_cache.get(key)
+                if cached is not None:
+                    hit: "Future" = Future()
+                    hit.set_result(cached)
+                    return hit
             with self._lock:
                 primary = self._inflight.get(key)
                 if primary is not None:
                     return self._attach(primary)
+        deadline = self._controller.deadline_for(request.timeout)
         try:
-            self._controller.admit()
-        except QueueFullError:
+            self._controller.admit(
+                kind=_request_kind(request), deadline=deadline
+            )
+        except AdmissionError:
             self.stats.increment("shed")
             raise
         future: "Future" = Future()
-        self._queue.put(
-            _Queued(
-                request,
-                future,
-                self._controller.deadline_for(request.timeout),
-                key,
-            )
-        )
+        self._queue.put(_Queued(request, future, deadline, key))
         return future
 
     def execute(self, request: "QueryRequest | MatchRequest"):
@@ -649,6 +749,9 @@ class ServeEngine:
             if queued.deadline is not None and queued.deadline.expired:
                 self.stats.increment("timeouts")
                 obs.add_counter("serve.request.timeout")
+                self._controller.record_outcome(
+                    _request_kind(queued.request), None, ok=False
+                )
                 queued.future.set_exception(
                     RequestTimeoutError(
                         "request spent its whole "
@@ -680,6 +783,25 @@ class ServeEngine:
                     )
                 self.stats.increment("completed")
                 obs.add_counter("serve.request.completed")
+                service_seconds = (
+                    result.match_seconds
+                    if isinstance(result, SegmentMatchResult)
+                    else result.execute_seconds
+                )
+                # Feedback before resolving the future: a caller that
+                # saw its result can rely on the controller's estimator
+                # and limit already reflecting it.
+                self._controller.record_outcome(
+                    _request_kind(queued.request),
+                    service_seconds,
+                    ok=queued.deadline is None
+                    or not queued.deadline.expired,
+                )
+                if (
+                    self._result_cache is not None
+                    and queued.key is not None
+                ):
+                    self._result_cache.put(queued.key, result)
                 queued.future.set_result(result)
             except BaseException as error:
                 self.stats.increment("errors")
@@ -765,6 +887,11 @@ class ServeEngine:
             self._controller.release()
             with self._done:
                 self._done.notify_all()
+
+
+def _request_kind(request: "QueryRequest | MatchRequest") -> str:
+    """The admission/estimation kind of a typed request."""
+    return "match" if isinstance(request, MatchRequest) else "query"
 
 
 def _forward_to(target: "Future"):

@@ -14,7 +14,15 @@ Derived envelopes are cached under the model's *content fingerprint*
 (:func:`model_fingerprint`, a digest of ``model.to_dict()``), so
 retire-and-redeploy cycles — and deploys of a structurally identical
 model under another version — warm-start instead of re-deriving
-(``serve.registry.warm_start.hit`` / ``.miss`` counters).
+(``serve.registry.warm_start.hit`` / ``.miss`` counters).  With a
+``cache_dir`` (or ``REPRO_ENVELOPE_CACHE_DIR``), the cache also
+**persists**: every fresh derivation is written as
+``envelopes_<fingerprint>.json`` with the sweep cache's atomic
+tempfile + ``os.replace`` discipline, so a new process — a restarted
+service, a respawned :class:`~repro.serve.router.ProcessRouter` worker —
+skips re-derivation entirely (``serve.registry.warm_start.disk_hit`` /
+``.disk_miss``).  Corrupt or version-skewed files are ignored, never
+fatal: the fallback is simply re-deriving.
 
 Publishing into the live catalog bumps the catalog entry's version, which
 is what invalidates every cached plan built against the previous
@@ -26,9 +34,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 import threading
 from collections.abc import Sequence
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro import obs
 from repro.core.catalog import ModelCatalog
@@ -39,7 +50,14 @@ from repro.core.predicates import Value
 from repro.exceptions import RegistryError
 from repro.ir import fingerprint as ir_fingerprint
 from repro.ir import intern
-from repro.mining.base import MiningModel, Row
+from repro.mining.base import MiningModel, ModelKind, Row
+
+#: Environment fallback for the on-disk envelope cache directory.
+ENV_ENVELOPE_CACHE_DIR = "REPRO_ENVELOPE_CACHE_DIR"
+
+#: Format stamp of the on-disk envelope cache; bump on layout changes
+#: (old files are then treated as misses, not errors).
+_DISK_FORMAT = 1
 
 
 def model_fingerprint(model: MiningModel) -> str:
@@ -91,10 +109,14 @@ class ModelRegistry:
         catalog: ModelCatalog | None = None,
         max_nodes: int = DEFAULT_MAX_NODES,
         bins: int = 8,
+        cache_dir: "str | Path | None" = None,
     ) -> None:
         self._catalog = catalog if catalog is not None else ModelCatalog()
         self._max_nodes = max_nodes
         self._bins = bins
+        if cache_dir is None:
+            cache_dir = os.environ.get(ENV_ENVELOPE_CACHE_DIR) or None
+        self._cache_dir = None if cache_dir is None else Path(cache_dir)
         self._lock = threading.RLock()
         self._versions: dict[str, list[ModelVersion]] = {}
         self._deployed: dict[str, ModelVersion] = {}
@@ -155,10 +177,13 @@ class ModelRegistry:
             ) as span:
                 if entry.envelopes is None:
                     cached = self._envelope_cache.get(entry.fingerprint)
+                    if cached is None:
+                        cached = self._disk_load(entry.fingerprint)
                     if cached is not None:
                         obs.add_counter("serve.registry.warm_start.hit")
                         span.set("warm_start", True)
                         entry.envelopes, entry.derive_seconds = cached
+                        self._envelope_cache[entry.fingerprint] = cached
                     else:
                         obs.add_counter("serve.registry.warm_start.miss")
                         span.set("warm_start", False)
@@ -179,6 +204,11 @@ class ModelRegistry:
                             e.seconds for e in entry.envelopes.values()
                         )
                         self._envelope_cache[entry.fingerprint] = (
+                            entry.envelopes,
+                            entry.derive_seconds,
+                        )
+                        self._disk_store(
+                            entry.fingerprint,
                             entry.envelopes,
                             entry.derive_seconds,
                         )
@@ -222,6 +252,115 @@ class ModelRegistry:
                 "serve.registry.retire", model=name, version=entry.version
             )
             return entry
+
+    # -- on-disk warm-start cache ------------------------------------------
+
+    def _disk_path(self, fingerprint: str) -> Path:
+        assert self._cache_dir is not None
+        return self._cache_dir / f"envelopes_{fingerprint}.json"
+
+    def _disk_load(
+        self, fingerprint: str
+    ) -> "tuple[dict[Value, UpperEnvelope], float] | None":
+        """Warm-start envelopes from disk; ``None`` on any defect.
+
+        A missing, corrupt, truncated, or format-skewed file is a cache
+        miss (``serve.registry.warm_start.disk_miss``), never an error —
+        the fallback is re-deriving, which is always correct.
+        """
+        if self._cache_dir is None:
+            return None
+        # The wire codec already round-trips predicates and values
+        # exactly; imported lazily because protocol pulls in the engine,
+        # which imports this module.
+        from repro.serve.protocol import decode_predicate, decode_value
+
+        try:
+            with self._disk_path(fingerprint).open(
+                encoding="utf-8"
+            ) as stream:
+                payload = json.load(stream)
+            if (
+                payload["format"] != _DISK_FORMAT
+                or payload["fingerprint"] != fingerprint
+            ):
+                raise ValueError("format or fingerprint mismatch")
+            envelopes: dict[Value, UpperEnvelope] = {}
+            for item in payload["envelopes"]:
+                envelope = UpperEnvelope(
+                    model_name=item["model_name"],
+                    model_kind=ModelKind(item["model_kind"]),
+                    class_label=decode_value(item["class_label"]),
+                    predicate=intern(
+                        decode_predicate(item["predicate"])
+                    ),
+                    exact=bool(item["exact"]),
+                    seconds=float(item["seconds"]),
+                    derivation=item["derivation"],
+                )
+                envelopes[decode_value(item["label"])] = envelope
+            derive_seconds = float(payload["derive_seconds"])
+        except Exception:
+            obs.add_counter("serve.registry.warm_start.disk_miss")
+            return None
+        obs.add_counter("serve.registry.warm_start.disk_hit")
+        return envelopes, derive_seconds
+
+    def _disk_store(
+        self,
+        fingerprint: str,
+        envelopes: "dict[Value, UpperEnvelope]",
+        derive_seconds: float,
+    ) -> None:
+        """Persist freshly derived envelopes, atomically.
+
+        Same discipline as the sweep cache: write a tempfile in the
+        target directory, then ``os.replace`` — readers only ever see a
+        complete file.  I/O failures are swallowed: persistence is an
+        optimization, not a correctness requirement.
+        """
+        if self._cache_dir is None:
+            return
+        from repro.serve.protocol import encode_predicate, encode_value
+
+        payload = {
+            "format": _DISK_FORMAT,
+            "fingerprint": fingerprint,
+            "derive_seconds": derive_seconds,
+            "envelopes": [
+                {
+                    "label": encode_value(label),
+                    "model_name": envelope.model_name,
+                    "model_kind": envelope.model_kind.value,
+                    "class_label": encode_value(envelope.class_label),
+                    "predicate": encode_predicate(envelope.predicate),
+                    "exact": envelope.exact,
+                    "seconds": envelope.seconds,
+                    "derivation": envelope.derivation,
+                }
+                for label, envelope in sorted(
+                    envelopes.items(), key=lambda pair: str(pair[0])
+                )
+            ],
+        }
+        try:
+            self._cache_dir.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(
+                prefix=f"envelopes_{fingerprint}.",
+                suffix=".tmp",
+                dir=self._cache_dir,
+            )
+            try:
+                with os.fdopen(
+                    descriptor, "w", encoding="utf-8"
+                ) as stream:
+                    json.dump(payload, stream, separators=(",", ":"))
+                os.replace(temp_name, self._disk_path(fingerprint))
+            except BaseException:
+                os.unlink(temp_name)
+                raise
+        except OSError:
+            return
 
     # -- introspection -----------------------------------------------------
 

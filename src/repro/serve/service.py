@@ -94,6 +94,10 @@ class QueryService:
         batch_size: int = 2048,
         segment_catalog: "SegmentCatalog | None" = None,
         calibration: "CalibrationStore | None" = None,
+        admission: str = "static",
+        batch_window: float = 0.0,
+        result_ttl: float | None = None,
+        result_cache_size: int = 1024,
     ) -> None:
         self._engine = ServeEngine(
             db,
@@ -110,6 +114,10 @@ class QueryService:
             batch_size=batch_size,
             segment_catalog=segment_catalog,
             calibration=calibration,
+            admission=admission,
+            batch_window=batch_window,
+            result_ttl=result_ttl,
+            result_cache_size=result_cache_size,
         )
         self._transport = LoopbackTransport(self._engine)
 

@@ -41,16 +41,20 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
 
 from repro import obs
 from repro.exceptions import (
     ProtocolError,
     RequestTimeoutError,
     TransportError,
+    WorkerCrashedError,
 )
 from repro.serve.engine import (
     DeployRequest,
@@ -556,8 +560,161 @@ class TCPServer:
         self.close()
 
 
-def connect_tcp(host: str, port: int, timeout: float = 10) -> SocketTransport:
-    """A :class:`SocketTransport` client connected to a :class:`TCPServer`."""
-    sock = socket.create_connection((host, port), timeout=timeout)
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with jittered exponential backoff.
+
+    Off by default everywhere (``retries=0`` semantics come from passing
+    ``retry=None``): retrying is a *caller* decision, because a retried
+    non-idempotent action is a correctness bug in some deployments.  The
+    delay sequence is deterministic for a given ``seed``: attempt ``k``
+    sleeps ``backoff * multiplier**k``, capped at ``max_backoff``, then
+    scaled into ``[1 - jitter, 1]`` by a seeded PRNG — jitter
+    de-synchronizes clients without making tests flaky.
+    """
+
+    retries: int = 3
+    backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 1.0
+    jitter: float = 0.5
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 1:
+            raise ValueError(f"retries must be >= 1, got {self.retries}")
+        if self.backoff <= 0:
+            raise ValueError(f"backoff must be > 0, got {self.backoff}")
+        if self.multiplier < 1:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_backoff < self.backoff:
+            raise ValueError(
+                f"max_backoff must be >= backoff, got {self.max_backoff}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delays(self) -> list[float]:
+        """The full delay sequence, one entry per retry attempt."""
+        rng = random.Random(self.seed)
+        delays: list[float] = []
+        delay = self.backoff
+        for _ in range(self.retries):
+            scale = 1.0 - self.jitter * rng.random()
+            delays.append(delay * scale)
+            delay = min(delay * self.multiplier, self.max_backoff)
+        return delays
+
+
+class RetryingTransport(Transport):
+    """A client-side retry wrapper over any transport.
+
+    Retries synchronous :meth:`request` calls (and reconnects, when a
+    ``reconnect`` factory is given) on
+    :class:`~repro.exceptions.WorkerCrashedError` and connection-level
+    :class:`~repro.exceptions.TransportError` — the failures where the
+    request may simply land on a respawned worker.  It deliberately does
+    NOT retry:
+
+    * :meth:`submit` — the caller holds a future, so a transparent
+      retry would have to mutate it behind the caller's back;
+    * :meth:`control` — deploy/retire are not idempotent against a
+      replica set mid-respawn; the router owns control consistency;
+    * admission or timeout errors — those are the *server's* answer,
+      not a delivery failure.
+
+    Each retry sleeps the policy's next delay (``serve.transport.retry``
+    counter); exhausted attempts re-raise the last error.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        policy: RetryPolicy,
+        reconnect=None,
+    ) -> None:
+        self.name = f"retry({inner.name})"
+        self._inner = inner
+        self._policy = policy
+        self._reconnect = reconnect
+
+    @property
+    def inner(self) -> Transport:
+        """The transport currently wrapped (swapped on reconnect)."""
+        return self._inner
+
+    def submit(self, request) -> "Future":
+        return self._inner.submit(request)
+
+    def request(self, request):
+        attempts = [None] + self._policy.delays()
+        last_error: BaseException | None = None
+        for attempt, delay in enumerate(attempts):
+            if delay is not None:
+                time.sleep(delay)
+                obs.add_counter("serve.transport.retry")
+                if self._reconnect is not None and getattr(
+                    self._inner, "closed", False
+                ):
+                    try:
+                        replacement = self._reconnect()
+                    except TransportError as error:
+                        last_error = error
+                        continue
+                    self._inner.close()
+                    self._inner = replacement
+            try:
+                return self._inner.request(request)
+            except WorkerCrashedError as error:
+                last_error = error
+            except RequestTimeoutError:
+                raise
+            except TransportError as error:
+                if self._reconnect is None:
+                    raise
+                last_error = error
+        assert last_error is not None
+        raise last_error
+
+    def control(self, request):
+        return self._inner.control(request)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def connect_tcp(
+    host: str,
+    port: int,
+    timeout: float = 10,
+    retry: "RetryPolicy | None" = None,
+) -> SocketTransport:
+    """A :class:`SocketTransport` client connected to a :class:`TCPServer`.
+
+    With a :class:`RetryPolicy`, connection refusal (the server not yet
+    listening, or restarting) is retried with the policy's backoff
+    sequence before giving up with
+    :class:`~repro.exceptions.TransportError`; without one (the
+    default), a refused connection raises immediately.
+    """
+    delays = [] if retry is None else retry.delays()
+    for attempt in range(len(delays) + 1):
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            break
+        except OSError as error:
+            if attempt >= len(delays):
+                if retry is None:
+                    raise
+                raise TransportError(
+                    f"connect to {host}:{port} failed after "
+                    f"{len(delays) + 1} attempts: {error}"
+                ) from error
+            obs.add_counter("serve.transport.retry")
+            time.sleep(delays[attempt])
     sock.settimeout(None)
     return SocketTransport(sock, name="tcp")

@@ -1,0 +1,137 @@
+"""Arrival generators: determinism, monotonicity, process shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.load import (
+    ARRIVAL_KINDS,
+    build_arrivals,
+    burst_arrivals,
+    constant_arrivals,
+    poisson_arrivals,
+    ramp_arrivals,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_same_seed_identical_offsets(self, kind):
+        first = build_arrivals(kind, 100.0, 300, seed=42)
+        second = build_arrivals(kind, 100.0, 300, seed=42)
+        assert first.offsets == second.offsets
+
+    @pytest.mark.parametrize("kind", ("poisson", "burst", "ramp"))
+    def test_different_seed_differs(self, kind):
+        first = build_arrivals(kind, 100.0, 300, seed=1)
+        second = build_arrivals(kind, 100.0, 300, seed=2)
+        assert first.offsets != second.offsets
+
+    def test_constant_ignores_seed(self):
+        first = constant_arrivals(50.0, 100, seed=1)
+        second = constant_arrivals(50.0, 100, seed=99)
+        assert first.offsets == second.offsets
+
+
+class TestShape:
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_nondecreasing(self, kind):
+        schedule = build_arrivals(kind, 200.0, 500, seed=7)
+        assert all(
+            later >= earlier
+            for earlier, later in zip(
+                schedule.offsets, schedule.offsets[1:]
+            )
+        )
+
+    def test_constant_is_exactly_periodic(self):
+        schedule = constant_arrivals(4.0, 5)
+        assert schedule.offsets == (0.0, 0.25, 0.5, 0.75, 1.0)
+        assert schedule.empirical_rate() == pytest.approx(4.0)
+
+    def test_poisson_rate_converges(self):
+        schedule = poisson_arrivals(100.0, 5000, seed=3)
+        assert schedule.empirical_rate() == pytest.approx(100.0, rel=0.1)
+
+    def test_burst_arrivals_land_in_the_on_phase(self):
+        period, duty = 1.0, 0.25
+        schedule = burst_arrivals(
+            80.0, 1000, seed=5, period=period, duty=duty
+        )
+        for offset in schedule.offsets:
+            within = offset % period
+            assert within <= duty * period + 1e-9
+
+    def test_burst_mean_rate_is_preserved(self):
+        schedule = burst_arrivals(100.0, 5000, seed=9)
+        assert schedule.empirical_rate() == pytest.approx(100.0, rel=0.15)
+
+    def test_ramp_warms_up(self):
+        # Early gaps (low intensity) must be larger on average than late
+        # gaps (full intensity).
+        # 200 arrivals at rate 100 with a 2 s ramp: the first quarter
+        # falls inside the warm-up, the last quarter after it.
+        schedule = ramp_arrivals(
+            100.0, 200, seed=11, ramp_seconds=2.0, start_fraction=0.1
+        )
+        gaps = [
+            later - earlier
+            for earlier, later in zip(
+                schedule.offsets, schedule.offsets[1:]
+            )
+        ]
+        quarter = len(gaps) // 4
+        early = sum(gaps[:quarter]) / quarter
+        late = sum(gaps[-quarter:]) / quarter
+        assert early > 2.0 * late
+
+    def test_ramp_with_full_start_fraction_is_homogeneous(self):
+        flat = ramp_arrivals(100.0, 200, seed=2, start_fraction=1.0)
+        poisson = poisson_arrivals(100.0, 200, seed=2)
+        assert flat.offsets == pytest.approx(poisson.offsets)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            build_arrivals("sawtooth", 10.0, 10)
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_bad_rate(self, kind, rate):
+        with pytest.raises(ValueError, match="rate"):
+            build_arrivals(kind, rate, 10)
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_bad_count(self, kind):
+        with pytest.raises(ValueError, match="count"):
+            build_arrivals(kind, 10.0, 0)
+
+    def test_bad_burst_params(self):
+        with pytest.raises(ValueError, match="period"):
+            burst_arrivals(10.0, 10, period=0.0)
+        with pytest.raises(ValueError, match="duty"):
+            burst_arrivals(10.0, 10, duty=0.0)
+        with pytest.raises(ValueError, match="duty"):
+            burst_arrivals(10.0, 10, duty=1.5)
+
+    def test_bad_ramp_params(self):
+        with pytest.raises(ValueError, match="ramp_seconds"):
+            ramp_arrivals(10.0, 10, ramp_seconds=0.0)
+        with pytest.raises(ValueError, match="start_fraction"):
+            ramp_arrivals(10.0, 10, start_fraction=0.0)
+
+
+class TestScheduleProperties:
+    def test_params_are_recorded(self):
+        schedule = burst_arrivals(10.0, 10, period=2.0, duty=0.5)
+        assert dict(schedule.params) == {"period": 2.0, "duty": 0.5}
+
+    def test_count_and_duration(self):
+        schedule = constant_arrivals(10.0, 11)
+        assert schedule.count == 11
+        assert schedule.duration == pytest.approx(1.0)
+
+    def test_single_arrival_empirical_rate_falls_back(self):
+        schedule = poisson_arrivals(10.0, 1, seed=0)
+        assert schedule.empirical_rate() == 10.0

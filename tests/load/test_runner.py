@@ -1,0 +1,235 @@
+"""Open-loop runner: outcome taxonomy, timing semantics, bounded waits."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from types import SimpleNamespace
+
+import pytest
+
+from repro.exceptions import (
+    DeadlineShedError,
+    QueueFullError,
+    RequestTimeoutError,
+)
+from repro.load import build_arrivals, run_load
+from repro.load.runner import OUTCOMES
+
+
+def request_factory(timeout=None):
+    return lambda index: SimpleNamespace(timeout=timeout)
+
+
+class ImmediateTransport:
+    """Resolves every request instantly with a fixed service time."""
+
+    name = "immediate"
+
+    def __init__(self, service_seconds: float = 0.001) -> None:
+        self.service_seconds = service_seconds
+        self.submitted = 0
+
+    def submit(self, request) -> "Future":
+        self.submitted += 1
+        future: "Future" = Future()
+        future.set_result(
+            SimpleNamespace(execute_seconds=self.service_seconds)
+        )
+        return future
+
+
+class ScriptedTransport:
+    """Plays back one scripted behavior per submitted request.
+
+    Script entries: ``("ok",)``, ``("raise", error)`` (synchronous),
+    ``("fail", error)`` (through the future), ``("hang",)`` (never
+    resolves), ``("delay", seconds)`` (resolves on a timer thread).
+    """
+
+    name = "scripted"
+
+    def __init__(self, script) -> None:
+        self.script = list(script)
+        self.index = 0
+
+    def submit(self, request) -> "Future":
+        action = self.script[self.index]
+        self.index += 1
+        if action[0] == "raise":
+            raise action[1]
+        future: "Future" = Future()
+        result = SimpleNamespace(execute_seconds=0.001)
+        if action[0] == "ok":
+            future.set_result(result)
+        elif action[0] == "fail":
+            future.set_exception(action[1])
+        elif action[0] == "delay":
+            timer = threading.Timer(
+                action[1], future.set_result, args=(result,)
+            )
+            timer.daemon = True
+            timer.start()
+        elif action[0] == "hang":
+            pass
+        else:  # pragma: no cover - script typo guard
+            raise AssertionError(action)
+        return future
+
+
+def fast_schedule(count: int):
+    return build_arrivals("constant", 5000.0, count, seed=0)
+
+
+class TestOutcomes:
+    def test_every_request_lands_in_one_bucket(self):
+        transport = ScriptedTransport(
+            [
+                ("ok",),
+                ("raise", QueueFullError("full")),
+                ("fail", DeadlineShedError("will miss")),
+                ("fail", RequestTimeoutError("expired in queue")),
+                ("fail", ValueError("boom")),
+            ]
+        )
+        result = run_load(
+            transport, fast_schedule(5), request_factory(), grace=1.0
+        )
+        outcomes = [record.outcome for record in result.records]
+        assert outcomes == [
+            "ok",
+            "shed",
+            "shed",
+            "queued_timeout",
+            "error",
+        ]
+        counts = result.outcome_counts()
+        assert sum(counts.values()) == 5
+        assert set(counts) == set(OUTCOMES)
+
+    def test_sync_and_future_sheds_are_equivalent(self):
+        transport = ScriptedTransport(
+            [("raise", QueueFullError("full")),
+             ("fail", QueueFullError("full"))]
+        )
+        result = run_load(
+            transport, fast_schedule(2), request_factory(), grace=1.0
+        )
+        assert [r.outcome for r in result.records] == ["shed", "shed"]
+        # A synchronous shed still resolves with a completion time: the
+        # caller learned the answer at issue time.
+        assert all(r.completed is not None for r in result.records)
+        assert all(r.error for r in result.records)
+
+    def test_late_completion_is_a_miss_not_ok(self):
+        transport = ScriptedTransport([("delay", 0.15)])
+        result = run_load(
+            transport,
+            fast_schedule(1),
+            request_factory(timeout=0.05),
+            grace=2.0,
+        )
+        record = result.records[0]
+        assert record.outcome == "late"
+        assert record.latency >= 0.15
+
+    def test_slow_completion_without_deadline_is_ok(self):
+        transport = ScriptedTransport([("delay", 0.05)])
+        result = run_load(
+            transport, fast_schedule(1), request_factory(), grace=2.0
+        )
+        assert result.records[0].outcome == "ok"
+
+    def test_hung_request_errors_after_grace(self):
+        transport = ScriptedTransport([("hang",)])
+        started = time.perf_counter()
+        result = run_load(
+            transport, fast_schedule(1), request_factory(), grace=0.2
+        )
+        elapsed = time.perf_counter() - started
+        record = result.records[0]
+        assert record.outcome == "error"
+        assert record.completed is None
+        assert record.latency is None
+        assert "unresolved" in record.error
+        assert elapsed < 5.0
+
+
+class TestTiming:
+    def test_latency_is_measured_from_the_scheduled_time(self):
+        # Requests scheduled in the past (the loop runs behind a 0-gap
+        # schedule) must charge the lag to latency, not hide it.
+        transport = ImmediateTransport()
+        schedule = build_arrivals("constant", 1e6, 50, seed=0)
+        result = run_load(
+            transport, schedule, request_factory(), grace=1.0
+        )
+        for record in result.records:
+            assert record.issued >= record.scheduled - 1e-9
+            assert record.issue_lag >= -1e-9
+            assert record.latency == pytest.approx(
+                record.completed - record.scheduled
+            )
+
+    def test_open_loop_issues_everything(self):
+        transport = ImmediateTransport()
+        schedule = build_arrivals("poisson", 2000.0, 100, seed=1)
+        result = run_load(
+            transport, schedule, request_factory(), grace=1.0
+        )
+        assert transport.submitted == 100
+        assert len(result.records) == 100
+        assert result.duration >= schedule.offsets[-1]
+
+    def test_queue_seconds_complements_service(self):
+        transport = ImmediateTransport(service_seconds=0.002)
+        result = run_load(
+            transport, fast_schedule(5), request_factory(), grace=1.0
+        )
+        for record in result.records:
+            assert record.service_seconds == pytest.approx(0.002)
+            assert record.queue_seconds is not None
+            assert record.queue_seconds >= 0.0
+
+
+class TestInputs:
+    def test_request_sequence_must_match_schedule(self):
+        transport = ImmediateTransport()
+        with pytest.raises(ValueError, match="scheduled arrivals"):
+            run_load(
+                transport,
+                fast_schedule(3),
+                [SimpleNamespace(timeout=None)] * 2,
+            )
+
+    def test_negative_grace_rejected(self):
+        with pytest.raises(ValueError, match="grace"):
+            run_load(
+                ImmediateTransport(),
+                fast_schedule(1),
+                request_factory(),
+                grace=-1.0,
+            )
+
+    def test_keep_results_controls_retention(self):
+        transport = ImmediateTransport()
+        kept = run_load(
+            transport,
+            fast_schedule(2),
+            request_factory(),
+            grace=1.0,
+            keep_results=True,
+        )
+        dropped = run_load(
+            transport,
+            fast_schedule(2),
+            request_factory(),
+            grace=1.0,
+        )
+        assert all(r.result is not None for r in kept.records)
+        assert all(r.result is None for r in dropped.records)
+        # service time survives either way
+        assert all(
+            r.service_seconds is not None for r in dropped.records
+        )

@@ -1,0 +1,149 @@
+"""SLO summarizer: percentiles, jitter, goodput, rate accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.load import build_arrivals, summarize_load
+from repro.load.runner import LoadResult, RequestRecord
+
+
+def record(
+    index,
+    outcome,
+    scheduled=0.0,
+    issued=None,
+    completed=None,
+    service=None,
+):
+    latency = None if completed is None else completed - scheduled
+    return RequestRecord(
+        index=index,
+        scheduled=scheduled,
+        issued=scheduled if issued is None else issued,
+        completed=completed,
+        outcome=outcome,
+        latency=latency,
+        service_seconds=service,
+    )
+
+
+def make_result(records, duration=10.0, rate=10.0):
+    schedule = build_arrivals(
+        "constant", rate, max(len(records), 1), seed=0
+    )
+    return LoadResult(
+        schedule=schedule, records=tuple(records), duration=duration
+    )
+
+
+class TestCounts:
+    def test_outcomes_and_rates(self):
+        records = [
+            record(0, "ok", scheduled=0.0, completed=0.1, service=0.05),
+            record(1, "ok", scheduled=0.1, completed=0.3, service=0.05),
+            record(2, "late", scheduled=0.2, completed=0.9, service=0.05),
+            record(3, "shed", scheduled=0.3, completed=0.31),
+            record(4, "queued_timeout", scheduled=0.4, completed=0.9),
+            record(5, "error", scheduled=0.5),
+        ]
+        report = summarize_load(
+            make_result(records, duration=2.0), publish=False
+        )
+        assert report.requests == 6
+        assert report.ok == 2
+        assert report.late == 1
+        assert report.shed == 1
+        assert report.queued_timeout == 1
+        assert report.errors == 1
+        assert report.completed == 3
+        assert report.goodput == pytest.approx(2 / 2.0)
+        assert report.miss_rate == pytest.approx(2 / 6)
+        assert report.shed_rate == pytest.approx(1 / 6)
+
+    def test_empty_run(self):
+        report = summarize_load(
+            make_result([], duration=1.0), publish=False
+        )
+        assert report.requests == 0
+        assert report.goodput == 0.0
+        assert report.miss_rate == 0.0
+        assert report.latency == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+class TestLatency:
+    def test_percentiles_over_completed_only(self):
+        records = [
+            record(i, "ok", scheduled=0.0, completed=0.1 * (i + 1))
+            for i in range(9)
+        ] + [record(9, "shed", scheduled=0.0, completed=0.0)]
+        report = summarize_load(make_result(records), publish=False)
+        # completed latencies are 0.1..0.9; the shed's zero latency must
+        # not drag the percentiles down.
+        assert report.latency["p50"] == pytest.approx(0.5)
+        assert report.latency_max == pytest.approx(0.9)
+        assert report.latency_mean == pytest.approx(0.5)
+
+    def test_queue_and_service_split(self):
+        records = [
+            record(
+                0, "ok", scheduled=0.0, completed=0.3, service=0.1
+            )
+        ]
+        report = summarize_load(make_result(records), publish=False)
+        assert report.service_mean == pytest.approx(0.1)
+        assert report.queue_mean == pytest.approx(0.2)
+
+
+class TestJitter:
+    def test_steady_latency_has_zero_jitter(self):
+        records = [
+            record(i, "ok", scheduled=0.1 * i, completed=0.1 * i + 0.05)
+            for i in range(10)
+        ]
+        report = summarize_load(make_result(records), publish=False)
+        assert report.jitter["p99"] == pytest.approx(0.0)
+
+    def test_alternating_latency_has_jitter(self):
+        # Same p50-ish latency band, violently alternating: jitter must
+        # expose what the latency percentiles alone would blur.
+        records = []
+        for i in range(10):
+            latency = 0.01 if i % 2 == 0 else 0.2
+            records.append(
+                record(
+                    i,
+                    "ok",
+                    scheduled=0.1 * i,
+                    completed=0.1 * i + latency,
+                )
+            )
+        report = summarize_load(make_result(records), publish=False)
+        assert report.jitter["p50"] == pytest.approx(0.19)
+
+
+class TestPublish:
+    def test_gauges_published(self, monkeypatch):
+        from repro.load import slo as slo_module
+
+        published = {}
+        monkeypatch.setattr(
+            slo_module.obs,
+            "set_gauge",
+            lambda name, value: published.__setitem__(name, value),
+        )
+        records = [record(0, "ok", scheduled=0.0, completed=0.1)]
+        report = summarize_load(make_result(records, duration=1.0))
+        assert published["load.goodput"] == report.goodput
+        assert published["load.latency.p99"] == report.latency["p99"]
+        assert published["load.jitter.p50"] == report.jitter["p50"]
+        assert published["load.offered_rate"] == report.offered_rate
+
+    def test_to_dict_round_trips_fields(self):
+        records = [record(0, "ok", scheduled=0.0, completed=0.1)]
+        report = summarize_load(make_result(records), publish=False)
+        payload = report.to_dict()
+        assert payload["requests"] == 1
+        assert payload["ok"] == 1
+        assert payload["latency_seconds"]["p99"] == report.latency["p99"]
+        assert payload["jitter_seconds"]["p50"] == report.jitter["p50"]

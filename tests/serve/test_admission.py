@@ -134,3 +134,125 @@ class TestQueueDepthGauge:
         assert all(0 <= value <= 64 for value in values)
         for before, after in zip(values, values[1:]):
             assert abs(after - before) == 1
+
+
+class TestServiceTimeEstimator:
+    def test_first_observation_seeds_exactly(self):
+        from repro.serve import ServiceTimeEstimator
+
+        estimator = ServiceTimeEstimator(alpha=0.3)
+        assert estimator.estimate("query") is None
+        estimator.observe("query", 0.1)
+        assert estimator.estimate("query") == 0.1
+
+    def test_ewma_smoothing(self):
+        from repro.serve import ServiceTimeEstimator
+
+        estimator = ServiceTimeEstimator(alpha=0.5)
+        estimator.observe("query", 0.1)
+        estimator.observe("query", 0.3)
+        assert estimator.estimate("query") == pytest.approx(0.2)
+        assert estimator.observations("query") == 2
+
+    def test_kinds_are_independent(self):
+        from repro.serve import ServiceTimeEstimator
+
+        estimator = ServiceTimeEstimator()
+        estimator.observe("query", 0.5)
+        assert estimator.estimate("match") is None
+        estimator.observe("match", 0.01)
+        assert estimator.snapshot() == {"query": 0.5, "match": 0.01}
+
+    def test_validation(self):
+        from repro.serve import ServiceTimeEstimator
+
+        with pytest.raises(ValueError, match="alpha"):
+            ServiceTimeEstimator(alpha=0.0)
+        with pytest.raises(ValueError, match="seconds"):
+            ServiceTimeEstimator().observe("query", -1.0)
+
+
+class TestAdaptiveAdmissionController:
+    def _controller(self, **kwargs):
+        from repro.serve import AdaptiveAdmissionController
+
+        defaults = dict(max_pending=16, workers=2)
+        defaults.update(kwargs)
+        return AdaptiveAdmissionController(**defaults)
+
+    def test_starts_at_the_static_ceiling(self):
+        controller = self._controller()
+        assert controller.limit == 16.0
+
+    def test_misses_halve_the_limit_down_to_the_worker_floor(self):
+        controller = self._controller()
+        controller.record_outcome("query", 0.1, ok=False)
+        assert controller.limit == 8.0
+        for _ in range(10):
+            controller.record_outcome("query", 0.1, ok=False)
+        assert controller.limit == 2.0  # floored at workers
+
+    def test_successes_recover_additively(self):
+        controller = self._controller()
+        for _ in range(4):
+            controller.record_outcome("query", 0.1, ok=False)
+        shrunk = controller.limit
+        controller.record_outcome("query", 0.1, ok=True)
+        assert controller.limit == pytest.approx(shrunk + 1.0 / shrunk)
+        for _ in range(2000):
+            controller.record_outcome("query", 0.1, ok=True)
+        assert controller.limit == 16.0  # capped at max_pending
+
+    def test_shrunk_limit_sheds_before_the_static_bound(self):
+        controller = self._controller(max_pending=4, workers=1)
+        for _ in range(10):
+            controller.record_outcome("query", 0.1, ok=False)
+        assert controller.limit == 1.0
+        controller.admit()
+        with pytest.raises(QueueFullError, match="adaptive"):
+            controller.admit()
+        controller.release()
+
+    def test_deadline_shed_predicts_from_the_estimate(self):
+        from repro.exceptions import AdmissionError, DeadlineShedError
+        from repro.serve import Deadline
+
+        controller = self._controller(max_pending=16, workers=1)
+        # Seed the estimator: queries take ~100ms.
+        controller.record_outcome("query", 0.1, ok=True)
+        controller.admit(kind="query", deadline=Deadline(10.0))
+        # One pending + this one through 1 worker ~ 0.2s > 50ms budget.
+        with pytest.raises(DeadlineShedError) as excinfo:
+            controller.admit(kind="query", deadline=Deadline(0.05))
+        assert isinstance(excinfo.value, AdmissionError)
+        # A roomy deadline still admits.
+        controller.admit(kind="query", deadline=Deadline(10.0))
+        assert controller.pending == 2
+        controller.release()
+        controller.release()
+
+    def test_no_estimate_means_no_deadline_shed(self):
+        from repro.serve import Deadline
+
+        controller = self._controller()
+        controller.admit(kind="query", deadline=Deadline(0.0001))
+        assert controller.pending == 1
+        controller.release()
+
+    def test_record_outcome_feeds_the_estimator(self):
+        controller = self._controller()
+        assert controller.estimator.estimate("query") is None
+        controller.record_outcome("query", 0.25, ok=True)
+        assert controller.estimator.estimate("query") == 0.25
+        # A queued timeout has no service time but still penalizes.
+        controller.record_outcome("query", None, ok=False)
+        assert controller.estimator.observations("query") == 1
+
+    def test_base_controller_ignores_kind_and_deadline(self):
+        from repro.serve import Deadline
+
+        controller = AdmissionController(max_pending=2)
+        controller.admit(kind="query", deadline=Deadline(0.001))
+        controller.record_outcome("query", 0.1, ok=False)  # no-op
+        assert controller.pending == 1
+        controller.release()

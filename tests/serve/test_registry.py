@@ -103,3 +103,113 @@ class TestRetire:
     def test_retire_not_deployed(self, registry):
         with pytest.raises(RegistryError, match="not deployed"):
             registry.retire("risk_tree")
+
+
+class TestDiskEnvelopeCache:
+    def _deploy(self, customer_tree, cache_dir):
+        registry = ModelRegistry(max_nodes=100, cache_dir=cache_dir)
+        registry.register(customer_tree)
+        return registry, registry.deploy("risk_tree")
+
+    def test_deploy_persists_an_envelope_file(
+        self, tmp_path, customer_tree
+    ):
+        _, entry = self._deploy(customer_tree, tmp_path)
+        target = tmp_path / f"envelopes_{entry.fingerprint}.json"
+        assert target.exists()
+        # No stray tempfiles after the atomic replace.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_fresh_registry_warm_starts_from_disk(
+        self, tmp_path, customer_tree, monkeypatch
+    ):
+        from repro.serve import registry as registry_module
+
+        _, cold = self._deploy(customer_tree, tmp_path)
+        counted: list[str] = []
+        monkeypatch.setattr(
+            registry_module.obs,
+            "add_counter",
+            lambda name, value=1: counted.append(name),
+        )
+        _, warm = self._deploy(customer_tree, tmp_path)
+        assert "serve.registry.warm_start.disk_hit" in counted
+        assert set(warm.envelopes) == set(cold.envelopes)
+        for label, envelope in warm.envelopes.items():
+            expected = cold.envelopes[label]
+            assert envelope.predicate is intern(expected.predicate)
+            assert envelope.exact == expected.exact
+            assert envelope.model_kind == expected.model_kind
+
+    def test_warm_start_serves_identical_rows(
+        self, tmp_path, customer_tree, serve_db
+    ):
+        from repro.sql.miningext import PredictionJoinExecutor
+
+        query = MiningQuery(
+            "customers",
+            mining_predicates=(PredictionEquals("risk_tree", "high"),),
+        )
+        registries = [
+            self._deploy(customer_tree, tmp_path)[0] for _ in range(2)
+        ]
+        rows = [
+            PredictionJoinExecutor(serve_db, r.catalog)
+            .execute(query)
+            .rows
+            for r in registries
+        ]
+        assert rows[0] == rows[1]
+
+    def test_corrupt_cache_file_is_a_miss_not_an_error(
+        self, tmp_path, customer_tree, monkeypatch
+    ):
+        from repro.serve import registry as registry_module
+
+        _, entry = self._deploy(customer_tree, tmp_path)
+        target = tmp_path / f"envelopes_{entry.fingerprint}.json"
+        target.write_text("{ not json", encoding="utf-8")
+        counted: list[str] = []
+        monkeypatch.setattr(
+            registry_module.obs,
+            "add_counter",
+            lambda name, value=1: counted.append(name),
+        )
+        _, rederived = self._deploy(customer_tree, tmp_path)
+        assert "serve.registry.warm_start.disk_miss" in counted
+        assert rederived.envelopes
+        # The re-derivation healed the cache file.
+        assert "not json" not in target.read_text(encoding="utf-8")
+
+    def test_fingerprint_mismatch_is_rejected(
+        self, tmp_path, customer_tree
+    ):
+        import json
+
+        _, entry = self._deploy(customer_tree, tmp_path)
+        target = tmp_path / f"envelopes_{entry.fingerprint}.json"
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        payload["fingerprint"] = "0" * 16
+        target.write_text(json.dumps(payload), encoding="utf-8")
+        registry = ModelRegistry(max_nodes=100, cache_dir=tmp_path)
+        registry.register(customer_tree)
+        entry = registry.deploy("risk_tree")  # re-derives, no crash
+        assert entry.envelopes
+
+    def test_environment_variable_configures_the_directory(
+        self, tmp_path, customer_tree, monkeypatch
+    ):
+        from repro.serve.registry import ENV_ENVELOPE_CACHE_DIR
+
+        monkeypatch.setenv(ENV_ENVELOPE_CACHE_DIR, str(tmp_path))
+        registry = ModelRegistry(max_nodes=100)
+        registry.register(customer_tree)
+        entry = registry.deploy("risk_tree")
+        target = tmp_path / f"envelopes_{entry.fingerprint}.json"
+        assert target.exists()
+
+    def test_no_cache_dir_means_no_files(self, customer_tree, tmp_path):
+        registry = ModelRegistry(max_nodes=100)
+        registry.register(customer_tree)
+        registry.deploy("risk_tree")
+        assert list(tmp_path.iterdir()) == []
